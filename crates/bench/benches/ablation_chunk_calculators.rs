@@ -1,0 +1,55 @@
+//! Ablation: per-request cost of every chunk-size calculator.
+//!
+//! The paper's future work ("modeling the overhead of the DLS techniques")
+//! needs the raw cost of a scheduling operation. This bench drains each
+//! technique over a fixed loop and reports time per scheduling decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_core::{AwfVariant, LoopSetup, Technique};
+use std::time::Duration;
+
+fn chunk_calculators(c: &mut Criterion) {
+    let setup = LoopSetup::new(100_000, 16).with_moments(1.0, 1.0).with_overhead(0.5);
+    let techniques = [
+        Technique::Stat,
+        Technique::SS,
+        Technique::Css { k: 64 },
+        Technique::Fsc,
+        Technique::Gss { min_chunk: 1 },
+        Technique::Tss { first: None, last: None },
+        Technique::Fac,
+        Technique::Fac2,
+        Technique::Tap { alpha: 1.3 },
+        Technique::Bold,
+        Technique::Wf,
+        Technique::Awf { variant: AwfVariant::Batch },
+        Technique::Af,
+    ];
+
+    let mut g = c.benchmark_group("ablation_chunk_calculators");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    for t in techniques {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                let mut sched = t.build(&setup).unwrap();
+                let mut pe = 0usize;
+                let mut total = 0u64;
+                loop {
+                    let chunk = sched.next_chunk(pe);
+                    if chunk == 0 {
+                        break;
+                    }
+                    total += chunk;
+                    // Adaptive techniques want feedback; give a cheap one.
+                    sched.record_completion(pe, chunk, chunk as f64);
+                    pe = (pe + 1) % 16;
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, chunk_calculators);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation: technique ranking under different task-time distributions.
+//!
+//! The paper's simulations "provide the opportunity to capture any
+//! probability distribution of the task execution times" — this ablation
+//! exercises that claim: the same eight techniques over exponential,
+//! gamma, lognormal, uniform and bimodal workloads with matched means.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_core::Technique;
+use dls_metrics::OverheadModel;
+use dls_msgsim::{simulate, SimSpec};
+use dls_platform::{LinkSpec, Platform};
+use dls_workload::{TimeModel, Workload};
+use std::time::Duration;
+
+fn workloads() -> Vec<(&'static str, Workload)> {
+    let n = 4_096;
+    vec![
+        ("exponential", Workload::new(n, TimeModel::Exponential { mean: 1.0 }).unwrap()),
+        ("gamma_k4", Workload::new(n, TimeModel::Gamma { shape: 4.0, scale: 0.25 }).unwrap()),
+        ("lognormal", Workload::new(n, TimeModel::LogNormal { mean: 1.0, std: 1.0 }).unwrap()),
+        ("uniform", Workload::new(n, TimeModel::Uniform { lo: 0.0, hi: 2.0 }).unwrap()),
+        ("bimodal", Workload::new(n, TimeModel::Bimodal { a: 0.5, b: 5.5, p_a: 0.9 }).unwrap()),
+    ]
+}
+
+fn distributions(c: &mut Criterion) {
+    let platform = Platform::homogeneous_star("pe", 16, 1.0, LinkSpec::negligible());
+    let overhead = OverheadModel::PostHocTotal { h: 0.1 };
+
+    eprintln!("\n=== distribution ablation (n=4096, p=16, h=0.1s, matched mu=1s) ===");
+    eprint!("{:<12}", "workload");
+    for t in Technique::hagerup_set() {
+        eprint!(" {:>8}", t.name());
+    }
+    eprintln!();
+    for (name, w) in workloads() {
+        eprint!("{:<12}", name);
+        for t in Technique::hagerup_set() {
+            let spec =
+                SimSpec::new(t, w.clone(), platform.clone()).with_overhead(overhead);
+            let wasted = simulate(&spec, 5).unwrap().average_wasted();
+            eprint!(" {:>8.1}", wasted);
+        }
+        eprintln!();
+    }
+
+    let mut g = c.benchmark_group("ablation_distributions");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for (name, w) in workloads() {
+        g.bench_with_input(BenchmarkId::new("fac2", name), &w, |b, w| {
+            let spec = SimSpec::new(Technique::Fac2, w.clone(), platform.clone())
+                .with_overhead(overhead);
+            b.iter(|| simulate(&spec, 5).unwrap().average_wasted())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, distributions);
+criterion_main!(benches);

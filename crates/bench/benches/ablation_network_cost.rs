@@ -1,0 +1,55 @@
+//! Ablation: sensitivity of the wasted time to network parameters.
+//!
+//! The paper zeroes the network (§III-B) to replicate Hagerup's
+//! network-free simulator, and blames "inaccurate network parameters" for
+//! part of the TSS non-reproduction. This ablation quantifies both calls:
+//! the wasted time of SS and FAC2 under links from negligible to late-90s
+//! LAN latencies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_core::Technique;
+use dls_metrics::OverheadModel;
+use dls_msgsim::{simulate, SimSpec};
+use dls_platform::{LinkSpec, Platform};
+use dls_workload::Workload;
+use std::time::Duration;
+
+fn network_cost(c: &mut Criterion) {
+    let links: [(&str, LinkSpec); 4] = [
+        ("negligible", LinkSpec::negligible()),
+        ("fast_1us", LinkSpec::fast()),
+        ("lan90s_100us", LinkSpec::lan_90s()),
+        ("wan_5ms", LinkSpec::new(5e-3, 1.25e6).unwrap()),
+    ];
+
+    // Print the ablation table once: wasted time of SS vs FAC2 per link.
+    eprintln!("\n=== network-cost ablation (n=4096, p=8, exp(mu=1s), h=0.5s) ===");
+    eprintln!("{:<14} {:>12} {:>12}", "link", "SS[s]", "FAC2[s]");
+    let workload = Workload::exponential(4_096, 1.0).unwrap();
+    let overhead = OverheadModel::PostHocTotal { h: 0.5 };
+    for (name, link) in links {
+        let platform = Platform::homogeneous_star("pe", 8, 1.0, link);
+        let mut row = Vec::new();
+        for t in [Technique::SS, Technique::Fac2] {
+            let spec = SimSpec::new(t, workload.clone(), platform.clone())
+                .with_overhead(overhead);
+            row.push(simulate(&spec, 3).unwrap().average_wasted());
+        }
+        eprintln!("{:<14} {:>12.2} {:>12.2}", name, row[0], row[1]);
+    }
+
+    let mut g = c.benchmark_group("ablation_network_cost");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for (name, link) in links {
+        g.bench_with_input(BenchmarkId::new("ss_sim", name), &link, |b, &link| {
+            let platform = Platform::homogeneous_star("pe", 8, 1.0, link);
+            let spec = SimSpec::new(Technique::SS, workload.clone(), platform)
+                .with_overhead(overhead);
+            b.iter(|| simulate(&spec, 3).unwrap().average_wasted())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, network_cost);
+criterion_main!(benches);

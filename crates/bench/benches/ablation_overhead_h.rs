@@ -1,0 +1,58 @@
+//! Ablation: sweep of the scheduling overhead `h`.
+//!
+//! At h = 0 self scheduling wins (perfect balance, free scheduling); as h
+//! grows, coarse techniques overtake it. This ablation locates the
+//! SS ↔ STAT crossover and shows where FAC2 and BOLD sit — the trade-off
+//! the paper's section II narrates and its future work wants to model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_core::Technique;
+use dls_metrics::OverheadModel;
+use dls_msgsim::{simulate, SimSpec};
+use dls_platform::{LinkSpec, Platform};
+use dls_workload::Workload;
+use std::time::Duration;
+
+fn overhead_sweep(c: &mut Criterion) {
+    let workload = Workload::exponential(2_048, 1.0).unwrap();
+    let platform = Platform::homogeneous_star("pe", 8, 1.0, LinkSpec::negligible());
+    let hs = [0.0, 0.001, 0.01, 0.1, 0.5, 2.0];
+
+    eprintln!("\n=== overhead-h ablation (n=2048, p=8, exp(mu=1s)) ===");
+    eprintln!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10}",
+        "h[s]", "STAT[s]", "SS[s]", "FAC2[s]", "BOLD[s]"
+    );
+    let mut crossover = None;
+    for &h in &hs {
+        let overhead = OverheadModel::PostHocTotal { h };
+        let mut row = Vec::new();
+        for t in [Technique::Stat, Technique::SS, Technique::Fac2, Technique::Bold] {
+            let spec = SimSpec::new(t, workload.clone(), platform.clone())
+                .with_overhead(overhead);
+            row.push(simulate(&spec, 11).unwrap().average_wasted());
+        }
+        if crossover.is_none() && row[1] > row[0] {
+            crossover = Some(h);
+        }
+        eprintln!(
+            "{:>8.3} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            h, row[0], row[1], row[2], row[3]
+        );
+    }
+    eprintln!("SS falls behind STAT at h ≈ {crossover:?}");
+
+    let mut g = c.benchmark_group("ablation_overhead_h");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &h in &[0.0, 0.5] {
+        g.bench_with_input(BenchmarkId::new("bold_sim", format!("h{h}")), &h, |b, &h| {
+            let spec = SimSpec::new(Technique::Bold, workload.clone(), platform.clone())
+                .with_overhead(OverheadModel::PostHocTotal { h });
+            b.iter(|| simulate(&spec, 11).unwrap().average_wasted())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, overhead_sweep);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Paper Figure 3: TSS publication experiment 1
+//! (n = 100,000 tasks of constant 110 µs, SS/CSS/GSS(1)/GSS(80)/TSS).
+//!
+//! Prints the regenerated speedup series once, then measures the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dls_platform::LinkSpec;
+use dls_repro::report;
+use dls_repro::tss_exp::{run_experiment, TssExperiment};
+use std::time::Duration;
+
+fn fig3(c: &mut Criterion) {
+    // Regenerate and print the full figure once.
+    let rows = dls_repro::tss_exp::run_fig3().expect("valid experiment");
+    let (headers, body) = report::speedup_rows(&rows);
+    eprintln!("\n=== Figure 3: regenerated speedups ===");
+    eprintln!("{}", report::format_table(&headers, &body));
+
+    // Measure a reduced sweep (2 PE counts) per iteration.
+    let mut g = c.benchmark_group("fig3_tss_exp1");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("sweep_p8_p80", |b| {
+        b.iter(|| {
+            run_experiment(TssExperiment::Exp1, LinkSpec::fast(), &[8, 80]).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Paper Figure 4: TSS publication experiment 2
+//! (n = 10,000 tasks of constant 2 ms, SS/CSS/GSS(1)/GSS(5)/TSS).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dls_platform::LinkSpec;
+use dls_repro::report;
+use dls_repro::tss_exp::{run_experiment, TssExperiment};
+use std::time::Duration;
+
+fn fig4(c: &mut Criterion) {
+    let rows = dls_repro::tss_exp::run_fig4().expect("valid experiment");
+    let (headers, body) = report::speedup_rows(&rows);
+    eprintln!("\n=== Figure 4: regenerated speedups ===");
+    eprintln!("{}", report::format_table(&headers, &body));
+
+    let mut g = c.benchmark_group("fig4_tss_exp2");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("sweep_p8_p80", |b| {
+        b.iter(|| {
+            run_experiment(TssExperiment::Exp2, LinkSpec::fast(), &[8, 80]).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

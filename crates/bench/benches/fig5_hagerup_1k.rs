@@ -1,0 +1,26 @@
+//! Paper Figure 5: BOLD publication experiment 1 at n = 1,024 —
+//! average wasted time of STAT/SS/FSC/GSS/TSS/FAC/FAC2/BOLD over
+//! exponential(µ = 1 s) tasks with h = 0.5 s (paper Table III row).
+//!
+//! Prints regenerated rows once, then measures a reduced campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dls_bench::{bench_config, print_figure_rows};
+use dls_repro::hagerup_exp::run_figure;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config(1_024, vec![2, 64, 1024], 5);
+    print_figure_rows("Figure 5", &cfg);
+
+    let small = bench_config(1_024, vec![2, 64], 1);
+    let mut g = c.benchmark_group("fig5_hagerup_1k");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("campaign_1run_p2_p64", |b| {
+        b.iter(|| run_figure(&small).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Paper Figure 7: BOLD publication experiment 1 at n = 65,536 —
+//! average wasted time of STAT/SS/FSC/GSS/TSS/FAC/FAC2/BOLD over
+//! exponential(µ = 1 s) tasks with h = 0.5 s (paper Table III row).
+//!
+//! Prints regenerated rows once, then measures a reduced campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dls_bench::{bench_config, print_figure_rows};
+use dls_repro::hagerup_exp::run_figure;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config(65_536, vec![2, 64, 1024], 2);
+    print_figure_rows("Figure 7", &cfg);
+
+    let small = bench_config(65_536, vec![2, 64], 1);
+    let mut g = c.benchmark_group("fig7_hagerup_64k");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("campaign_1run_p2_p64", |b| {
+        b.iter(|| run_figure(&small).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

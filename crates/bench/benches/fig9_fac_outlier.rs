@@ -1,0 +1,29 @@
+//! Paper Figure 9: per-run average wasted time of FAC with 2 PEs.
+//!
+//! Prints the outlier analysis at a reduced scale (same mechanism: FAC's
+//! near-half first batch + exponential sums), then measures the campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dls_repro::outlier::{run_outlier, OutlierConfig};
+use dls_repro::report;
+use std::time::Duration;
+
+fn fig9(c: &mut Criterion) {
+    // Regenerate a scaled version of the figure once (threshold scaled by
+    // n like the example does).
+    let n = 65_536u64;
+    let threshold = 400.0 * n as f64 / 524_288.0;
+    let analysis = run_outlier(&OutlierConfig::scaled(n, 100), threshold).unwrap();
+    eprintln!("\n=== Figure 9 (scaled to n = {n}): FAC outlier analysis ===");
+    eprintln!("{}", report::outlier_summary(&analysis));
+
+    let mut g = c.benchmark_group("fig9_fac_outlier");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("fac_p2_n16k_10runs", |b| {
+        b.iter(|| run_outlier(&OutlierConfig::scaled(16_384, 10), 12.5).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,0 +1,294 @@
+//! Factoring (Hummel, Schonberg & Flynn 1992) and weighted factoring
+//! (Hummel, Schmidt, Uma & Wein 1996).
+//!
+//! Factoring schedules chunks in *batches* of `p` equal chunks. At the start
+//! of batch `j` with `R_j` unassigned tasks, the chunk size is
+//! `F_j = ⌈R_j / (x_j · p)⌉`, where the factor `x_j` is chosen so that the
+//! batch finishes in balance with high probability:
+//!
+//! ```text
+//! b_j = (p / (2·√R_j)) · (σ/µ)
+//! x_0 = 1 + b_0² + b_0·√(b_0² + 2)        (first batch)
+//! x_j = 2 + b_j² + b_j·√(b_j² + 4)        (subsequent batches)
+//! ```
+//!
+//! When µ and σ are unknown, the authors recommend the fixed factor
+//! `x_j ≡ 2` — each batch takes half the remaining work — which "works well
+//! in practice" (FAC2, the form the paper verifies in Figures 5–8 alongside
+//! the moment-aware FAC).
+//!
+//! Weighted factoring (WF) divides each batch proportionally to fixed PE
+//! weights instead of equally — the first DLS technique designed for
+//! heterogeneous systems.
+
+use crate::{ChunkScheduler, LoopSetup, SetupError};
+
+/// Which factor rule the batch computation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactoringModel {
+    /// FAC: `x_j` from the known moments µ, σ.
+    KnownMoments,
+    /// FAC2: `x_j ≡ 2`.
+    FixedHalving,
+}
+
+/// FAC / FAC2 runtime state.
+///
+/// ```
+/// use dls_core::{Factoring, FactoringModel, ChunkScheduler, LoopSetup};
+/// let setup = LoopSetup::new(1000, 4);
+/// let mut fac2 = Factoring::new(&setup, FactoringModel::FixedHalving).unwrap();
+/// // Batch 1: four chunks of ⌈1000/8⌉ = 125 (half the work).
+/// let batch: Vec<u64> = (0..4).map(|pe| fac2.next_chunk(pe)).collect();
+/// assert_eq!(batch, vec![125; 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Factoring {
+    p: u64,
+    cov: f64, // σ/µ
+    model: FactoringModel,
+    n: u64,
+    remaining: u64,
+    batch_chunk: u64,
+    batch_left: u64,
+    first_batch: bool,
+}
+
+impl Factoring {
+    /// Creates FAC (moment-aware) or FAC2 (fixed halving).
+    pub fn new(setup: &LoopSetup, model: FactoringModel) -> Result<Self, SetupError> {
+        setup.validate()?;
+        Ok(Factoring {
+            p: setup.p as u64,
+            cov: setup.cov(),
+            model,
+            n: setup.n,
+            remaining: setup.n,
+            batch_chunk: 0,
+            batch_left: 0,
+            first_batch: true,
+        })
+    }
+
+    /// The factor `x_j` for a batch starting with `r` unassigned tasks.
+    fn factor(&self, r: u64) -> f64 {
+        match self.model {
+            FactoringModel::FixedHalving => 2.0,
+            FactoringModel::KnownMoments => {
+                if self.cov <= 0.0 {
+                    // Zero variance: the first batch can safely take all
+                    // the work in p equal chunks (x = 1).
+                    return if self.first_batch { 1.0 } else { 2.0 };
+                }
+                let b = (self.p as f64 / (2.0 * (r as f64).sqrt())) * self.cov;
+                if self.first_batch {
+                    1.0 + b * b + b * (b * b + 2.0).sqrt()
+                } else {
+                    2.0 + b * b + b * (b * b + 4.0).sqrt()
+                }
+            }
+        }
+    }
+
+    fn start_batch(&mut self) {
+        let x = self.factor(self.remaining);
+        self.batch_chunk = ((self.remaining as f64 / (x * self.p as f64)).ceil() as u64).max(1);
+        self.batch_left = self.p;
+        self.first_batch = false;
+    }
+}
+
+impl ChunkScheduler for Factoring {
+    fn name(&self) -> &'static str {
+        match self.model {
+            FactoringModel::KnownMoments => "FAC",
+            FactoringModel::FixedHalving => "FAC2",
+        }
+    }
+    fn remaining(&self) -> u64 {
+        self.remaining
+    }
+    fn next_chunk(&mut self, _pe: usize) -> u64 {
+        if self.remaining == 0 {
+            return 0;
+        }
+        if self.batch_left == 0 {
+            self.start_batch();
+        }
+        self.batch_left -= 1;
+        let c = self.batch_chunk.min(self.remaining);
+        self.remaining -= c;
+        c
+    }
+    fn start_time_step(&mut self) {
+        self.remaining = self.n;
+        self.batch_left = 0;
+        self.first_batch = true;
+    }
+}
+
+/// Weighted factoring: FAC2-style batches split by fixed PE weights.
+///
+/// Batch `j` reserves `R_j / 2` tasks; PE `i`'s chunk within the batch is
+/// `⌈(R_j/2) · w_i / Σw⌉`. Each PE draws its weighted share once per batch
+/// (tracked per PE, like the original SPAA'96 formulation where the batch
+/// is partitioned up front).
+#[derive(Debug, Clone)]
+pub struct WeightedFactoring {
+    weights: Vec<f64>,
+    weight_sum: f64,
+    n: u64,
+    remaining: u64,
+    // Per-PE chunk sizes for the current batch; consumed on request.
+    batch: Vec<u64>,
+    batch_left: u64,
+}
+
+impl WeightedFactoring {
+    /// Creates WF using the setup's PE weights (uniform when absent).
+    pub fn new(setup: &LoopSetup) -> Result<Self, SetupError> {
+        setup.validate()?;
+        let weights = setup.effective_weights();
+        let weight_sum: f64 = weights.iter().sum();
+        Ok(WeightedFactoring {
+            weights,
+            weight_sum,
+            n: setup.n,
+            remaining: setup.n,
+            batch: vec![],
+            batch_left: 0,
+        })
+    }
+
+    fn start_batch(&mut self) {
+        let p = self.weights.len() as u64;
+        let batch_total = (self.remaining / 2).max(p.min(self.remaining));
+        self.batch = self
+            .weights
+            .iter()
+            .map(|w| ((batch_total as f64 * w / self.weight_sum).ceil() as u64).max(1))
+            .collect();
+        self.batch_left = p;
+    }
+}
+
+impl ChunkScheduler for WeightedFactoring {
+    fn name(&self) -> &'static str {
+        "WF"
+    }
+    fn remaining(&self) -> u64 {
+        self.remaining
+    }
+    fn next_chunk(&mut self, pe: usize) -> u64 {
+        if self.remaining == 0 {
+            return 0;
+        }
+        if self.batch_left == 0 {
+            self.start_batch();
+        }
+        self.batch_left -= 1;
+        let want = self.batch.get(pe).copied().unwrap_or(1);
+        let c = want.min(self.remaining).max(1).min(self.remaining);
+        self.remaining -= c;
+        c
+    }
+    fn start_time_step(&mut self) {
+        self.remaining = self.n;
+        self.batch_left = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drain_round_robin;
+
+    #[test]
+    fn fac2_halves_per_batch() {
+        // n=1000, p=4: batch 1 chunks of ⌈1000/8⌉=125 ×4 (500 left),
+        // batch 2 chunks of ⌈500/8⌉=63 ...
+        let s = LoopSetup::new(1000, 4);
+        let mut f = Factoring::new(&s, FactoringModel::FixedHalving).unwrap();
+        assert_eq!(f.next_chunk(0), 125);
+        assert_eq!(f.next_chunk(1), 125);
+        assert_eq!(f.next_chunk(2), 125);
+        assert_eq!(f.next_chunk(3), 125);
+        assert_eq!(f.next_chunk(0), 63);
+    }
+
+    #[test]
+    fn fac2_conserves() {
+        let s = LoopSetup::new(12_345, 5);
+        let mut f = Factoring::new(&s, FactoringModel::FixedHalving).unwrap();
+        let chunks = drain_round_robin(&mut f, 5);
+        assert_eq!(chunks.iter().sum::<u64>(), 12_345);
+    }
+
+    #[test]
+    fn fac_low_variance_first_batch_is_aggressive() {
+        // With σ/µ small and R large, b ≈ 0 ⇒ x_0 ≈ 1: the first batch
+        // assigns nearly everything (the heavy-tail mechanism behind the
+        // paper's Figure 9 outlier analysis).
+        let s = LoopSetup::new(524_288, 2).with_moments(1.0, 1.0);
+        let mut f = Factoring::new(&s, FactoringModel::KnownMoments).unwrap();
+        let c0 = f.next_chunk(0);
+        assert!(
+            c0 > 250_000 && c0 < 262_144,
+            "first FAC chunk should be slightly below n/p: {c0}"
+        );
+    }
+
+    #[test]
+    fn fac_high_variance_is_conservative() {
+        // Large σ/µ ⇒ large b ⇒ large x ⇒ small careful chunks.
+        let s = LoopSetup::new(1000, 4).with_moments(1.0, 10.0);
+        let mut f = Factoring::new(&s, FactoringModel::KnownMoments).unwrap();
+        let c0 = f.next_chunk(0);
+        assert!(c0 < 125, "high-variance FAC chunk should be below FAC2's 125: {c0}");
+    }
+
+    #[test]
+    fn fac_zero_variance_assigns_static_blocks() {
+        let s = LoopSetup::new(1000, 4).with_moments(1.0, 0.0);
+        let mut f = Factoring::new(&s, FactoringModel::KnownMoments).unwrap();
+        assert_eq!(f.next_chunk(0), 250);
+    }
+
+    #[test]
+    fn fac_batch_factor_formula() {
+        // Spot-check x_0 against a hand computation: n=1024, p=8, σ/µ=1.
+        // b = 8/(2·32) = 0.125; x0 = 1 + 0.015625 + 0.125·√2.015625 ≈ 1.1931.
+        let s = LoopSetup::new(1024, 8).with_moments(1.0, 1.0);
+        let f = Factoring::new(&s, FactoringModel::KnownMoments).unwrap();
+        let x = f.factor(1024);
+        assert!((x - 1.1931).abs() < 1e-3, "x0 = {x}");
+    }
+
+    #[test]
+    fn wf_respects_weights() {
+        // Weights 3:1 over p=2: the faster PE gets ~3x the chunk.
+        let s = LoopSetup::new(1000, 2).with_weights(vec![3.0, 1.0]);
+        let mut w = WeightedFactoring::new(&s).unwrap();
+        let c0 = w.next_chunk(0);
+        let c1 = w.next_chunk(1);
+        assert!(c0 > 2 * c1, "weighted chunks: {c0} vs {c1}");
+        // Batch totals remain ~half the remaining work.
+        assert!((c0 + c1) as f64 >= 499.0 && (c0 + c1) as f64 <= 510.0);
+    }
+
+    #[test]
+    fn wf_uniform_weights_match_fac2() {
+        let s = LoopSetup::new(1000, 4);
+        let mut w = WeightedFactoring::new(&s).unwrap();
+        let c = w.next_chunk(0);
+        assert_eq!(c, 125);
+    }
+
+    #[test]
+    fn wf_conserves() {
+        let s = LoopSetup::new(9_999, 3).with_weights(vec![1.0, 2.0, 3.0]);
+        let mut w = WeightedFactoring::new(&s).unwrap();
+        let chunks = drain_round_robin(&mut w, 3);
+        assert_eq!(chunks.iter().sum::<u64>(), 9_999);
+    }
+}

@@ -1,0 +1,138 @@
+//! Fixed size chunking (Kruskal & Weiss 1985) — the first DLS technique.
+//!
+//! FSC assigns equal chunks of the analytically optimal size
+//!
+//! ```text
+//! k_opt = ( √2 · n · h / (σ · p · √(ln p)) )^(2/3)
+//! ```
+//!
+//! balancing the per-allocation overhead `h` against the expected
+//! end-of-loop imbalance from task-time variance σ. The formula is the
+//! asymptotic optimum derived in their paper for independent tasks with
+//! finite variance.
+
+use crate::{ChunkScheduler, LoopSetup, SetupError};
+
+/// FSC runtime state: a fixed chunk size and the remaining-task counter.
+#[derive(Debug, Clone)]
+pub struct FixedSizeChunking {
+    k: u64,
+    n: u64,
+    remaining: u64,
+}
+
+impl FixedSizeChunking {
+    /// Computes the Kruskal–Weiss chunk size for the loop.
+    ///
+    /// Degenerate regimes fall back to static chunking (`⌈n/p⌉`):
+    /// * `σ = 0` — no variance means no imbalance to hedge against;
+    /// * `p = 1` — `ln 1 = 0` (no straggler effect with one PE);
+    /// * `h = 0` — free scheduling would drive the optimum to 0, which is
+    ///   meaningless; FSC's own analysis assumes `h > 0`, so we clamp the
+    ///   chunk to at least 1 and in this case SS-like behavior results.
+    pub fn new(setup: &LoopSetup) -> Result<Self, SetupError> {
+        setup.validate()?;
+        let k = Self::optimal_chunk(setup);
+        Ok(FixedSizeChunking { k, n: setup.n, remaining: setup.n })
+    }
+
+    /// The Kruskal–Weiss optimal chunk size for this setup.
+    pub fn optimal_chunk(setup: &LoopSetup) -> u64 {
+        let n = setup.n as f64;
+        let p = setup.p as f64;
+        let stat_chunk = setup.n.div_ceil(setup.p as u64);
+        if setup.sigma <= 0.0 || setup.p < 2 {
+            return stat_chunk.max(1);
+        }
+        let ln_p = p.ln();
+        let raw = (std::f64::consts::SQRT_2 * n * setup.h / (setup.sigma * p * ln_p.sqrt()))
+            .powf(2.0 / 3.0);
+        // Clamp to a sane range: at least one task, at most a static block.
+        (raw.round() as u64).clamp(1, stat_chunk.max(1))
+    }
+
+    /// The chunk size FSC settled on.
+    pub fn chunk_size(&self) -> u64 {
+        self.k
+    }
+}
+
+impl ChunkScheduler for FixedSizeChunking {
+    fn name(&self) -> &'static str {
+        "FSC"
+    }
+    fn remaining(&self) -> u64 {
+        self.remaining
+    }
+    fn next_chunk(&mut self, _pe: usize) -> u64 {
+        let c = self.k.min(self.remaining);
+        self.remaining -= c;
+        c
+    }
+    fn start_time_step(&mut self) {
+        self.remaining = self.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hagerup_parameters_give_plausible_chunk() {
+        // n=1024, p=2, h=0.5, σ=1: k = (√2·1024·0.5/(2·√ln2))^(2/3) ≈ 57.6.
+        let s = LoopSetup::new(1024, 2).with_moments(1.0, 1.0).with_overhead(0.5);
+        let k = FixedSizeChunking::optimal_chunk(&s);
+        assert!((55..=61).contains(&k), "k = {k}");
+    }
+
+    #[test]
+    fn formula_value_is_exact() {
+        let s = LoopSetup::new(1024, 2).with_moments(1.0, 1.0).with_overhead(0.5);
+        let expect = (std::f64::consts::SQRT_2 * 1024.0 * 0.5
+            / (1.0 * 2.0 * (2.0f64).ln().sqrt()))
+        .powf(2.0 / 3.0)
+        .round() as u64;
+        assert_eq!(FixedSizeChunking::optimal_chunk(&s), expect);
+    }
+
+    #[test]
+    fn zero_variance_falls_back_to_static() {
+        let s = LoopSetup::new(100, 4).with_moments(1.0, 0.0).with_overhead(0.5);
+        assert_eq!(FixedSizeChunking::optimal_chunk(&s), 25);
+    }
+
+    #[test]
+    fn single_pe_falls_back_to_whole_loop() {
+        let s = LoopSetup::new(100, 1).with_moments(1.0, 1.0).with_overhead(0.5);
+        assert_eq!(FixedSizeChunking::optimal_chunk(&s), 100);
+    }
+
+    #[test]
+    fn zero_overhead_clamps_to_one() {
+        let s = LoopSetup::new(100, 4).with_moments(1.0, 1.0).with_overhead(0.0);
+        assert_eq!(FixedSizeChunking::optimal_chunk(&s), 1);
+    }
+
+    #[test]
+    fn chunk_never_exceeds_static_block() {
+        // Huge overhead pushes the raw formula past n/p; must clamp.
+        let s = LoopSetup::new(100, 4).with_moments(1.0, 0.01).with_overhead(1e6);
+        assert_eq!(FixedSizeChunking::optimal_chunk(&s), 25);
+    }
+
+    #[test]
+    fn drains_exactly_n() {
+        let s = LoopSetup::new(1000, 3).with_moments(1.0, 1.0).with_overhead(0.5);
+        let mut f = FixedSizeChunking::new(&s).unwrap();
+        let mut total = 0;
+        loop {
+            let c = f.next_chunk(0);
+            if c == 0 {
+                break;
+            }
+            total += c;
+        }
+        assert_eq!(total, 1000);
+    }
+}

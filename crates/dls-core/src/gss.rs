@@ -1,0 +1,126 @@
+//! Guided self scheduling (Polychronopoulos & Kuck 1987).
+//!
+//! Each request receives `⌈r/p⌉` of the `r` remaining tasks — large chunks
+//! early (low overhead), single tasks at the end (good balance), and robust
+//! against uneven PE start times, the problem GSS was designed for. The
+//! GSS(k) refinement floors the chunk at `k` to bound the number of tiny
+//! allocations (the TSS publication measures GSS(1), GSS(5) and GSS(80)).
+
+use crate::{ChunkScheduler, LoopSetup, SetupError};
+
+/// GSS(k) runtime state.
+///
+/// ```
+/// use dls_core::{GuidedSelfScheduling, ChunkScheduler, LoopSetup};
+/// let mut gss = GuidedSelfScheduling::new(&LoopSetup::new(100, 4), 1).unwrap();
+/// assert_eq!(gss.next_chunk(0), 25); // ⌈100/4⌉
+/// assert_eq!(gss.next_chunk(1), 19); // ⌈75/4⌉
+/// ```
+#[derive(Debug, Clone)]
+pub struct GuidedSelfScheduling {
+    p: u64,
+    min_chunk: u64,
+    n: u64,
+    remaining: u64,
+}
+
+impl GuidedSelfScheduling {
+    /// Creates GSS with minimum chunk `min_chunk >= 1`.
+    pub fn new(setup: &LoopSetup, min_chunk: u64) -> Result<Self, SetupError> {
+        setup.validate()?;
+        if min_chunk == 0 {
+            return Err(SetupError::BadParam("GSS minimum chunk must be >= 1"));
+        }
+        Ok(GuidedSelfScheduling {
+            p: setup.p as u64,
+            min_chunk,
+            n: setup.n,
+            remaining: setup.n,
+        })
+    }
+}
+
+impl ChunkScheduler for GuidedSelfScheduling {
+    fn name(&self) -> &'static str {
+        "GSS"
+    }
+    fn remaining(&self) -> u64 {
+        self.remaining
+    }
+    fn next_chunk(&mut self, _pe: usize) -> u64 {
+        if self.remaining == 0 {
+            return 0;
+        }
+        let guided = self.remaining.div_ceil(self.p);
+        let c = guided.max(self.min_chunk).min(self.remaining);
+        self.remaining -= c;
+        c
+    }
+    fn start_time_step(&mut self) {
+        self.remaining = self.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drain_round_robin;
+
+    #[test]
+    fn classic_gss_sequence() {
+        // n=100, p=4: 25, 19, 14, 11, 8, 6, 5, 3, 3, 2, 1, 1, 1, 1 (sums 100)
+        let s = LoopSetup::new(100, 4);
+        let mut g = GuidedSelfScheduling::new(&s, 1).unwrap();
+        let chunks = drain_round_robin(&mut g, 4);
+        assert_eq!(chunks[0], 25);
+        assert_eq!(chunks[1], 19);
+        assert_eq!(chunks.iter().sum::<u64>(), 100);
+        // Non-increasing chunk sizes.
+        assert!(chunks.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn min_chunk_floors_allocation() {
+        let s = LoopSetup::new(100, 4);
+        let mut g = GuidedSelfScheduling::new(&s, 10).unwrap();
+        let chunks = drain_round_robin(&mut g, 4);
+        assert_eq!(chunks.iter().sum::<u64>(), 100);
+        // All chunks except possibly the final clamped one are >= 10.
+        for &c in &chunks[..chunks.len() - 1] {
+            assert!(c >= 10, "chunk {c} below floor");
+        }
+    }
+
+    #[test]
+    fn min_chunk_reduces_allocations() {
+        let s = LoopSetup::new(10_000, 8);
+        let mut g1 = GuidedSelfScheduling::new(&s, 1).unwrap();
+        let mut g80 = GuidedSelfScheduling::new(&s, 80).unwrap();
+        let n1 = drain_round_robin(&mut g1, 8).len();
+        let n80 = drain_round_robin(&mut g80, 8).len();
+        assert!(n80 < n1, "GSS(80) must need fewer allocations than GSS(1): {n80} vs {n1}");
+    }
+
+    #[test]
+    fn single_pe_takes_everything() {
+        let s = LoopSetup::new(50, 1);
+        let mut g = GuidedSelfScheduling::new(&s, 1).unwrap();
+        assert_eq!(g.next_chunk(0), 50);
+        assert_eq!(g.next_chunk(0), 0);
+    }
+
+    #[test]
+    fn zero_min_chunk_rejected() {
+        assert!(GuidedSelfScheduling::new(&LoopSetup::new(10, 2), 0).is_err());
+    }
+
+    #[test]
+    fn gss_allocation_count_is_logarithmic() {
+        // #allocations ≈ p·ln(n/p) + p — far below n.
+        let s = LoopSetup::new(100_000, 72);
+        let mut g = GuidedSelfScheduling::new(&s, 1).unwrap();
+        let count = drain_round_robin(&mut g, 72).len();
+        assert!(count < 1000, "GSS made {count} allocations");
+        assert!(count > 72);
+    }
+}

@@ -1,0 +1,437 @@
+//! Dynamic loop scheduling (DLS) techniques — the artifact the paper
+//! verifies via reproducibility.
+//!
+//! A DLS technique answers one question, over and over: *a processing
+//! element is idle — how many of the remaining loop iterations should it
+//! get?* This crate implements every technique the paper measures
+//! (Table II: STAT, SS, FSC, GSS, TSS, FAC, FAC2, BOLD, plus CSS from the
+//! TSS publication) and the adaptive extensions its future-work section
+//! names (TAP, WF, AWF, AWF-B, AWF-C, AF).
+//!
+//! # Architecture
+//!
+//! * [`Technique`] — a serializable description of a technique + parameters.
+//! * [`LoopSetup`] — the a-priori information of paper Figure 2 / Table I:
+//!   `n`, `p`, overhead `h`, task-time moments `µ`, `σ`, PE weights.
+//! * [`ChunkScheduler`] — the runtime object a master queries per request.
+//!   Adaptive techniques additionally consume completion feedback via
+//!   [`ChunkScheduler::record_completion`].
+//! * [`Technique::build`] — factory from description + setup to scheduler.
+//!
+//! The same scheduler objects drive both simulators in this workspace
+//! (`dls-msgsim`, the SimGrid-MSG analog, and `dls-hagerup`, the replica of
+//! Hagerup's direct simulator), which is exactly the property the paper's
+//! verification methodology needs: one implementation, two harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use dls_core::{LoopSetup, Technique};
+//!
+//! let setup = LoopSetup::new(1000, 4).with_moments(1.0, 1.0).with_overhead(0.5);
+//! let mut sched = Technique::Fac2.build(&setup).unwrap();
+//! let first = sched.next_chunk(0);
+//! // Factoring's first batch splits half the work over the 4 PEs.
+//! assert_eq!(first, 125);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod bold;
+mod factoring;
+mod fsc;
+mod gss;
+mod params;
+mod scheduler;
+mod simple;
+mod tap;
+mod tss;
+
+pub use adaptive::{AdaptiveFactoring, AdaptiveWeightedFactoring, AwfVariant};
+pub use bold::Bold;
+pub use factoring::{Factoring, FactoringModel, WeightedFactoring};
+pub use fsc::FixedSizeChunking;
+pub use gss::GuidedSelfScheduling;
+pub use params::{LoopSetup, Param, SetupError};
+pub use scheduler::ChunkScheduler;
+pub use simple::{ChunkSelfScheduling, SelfScheduling, StaticChunking};
+pub use tap::Taper;
+pub use tss::TrapezoidSelfScheduling;
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamic loop scheduling technique with its user-chosen parameters.
+///
+/// This is the *description*; [`Technique::build`] instantiates the runtime
+/// scheduler for a concrete loop.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub enum Technique {
+    /// Static chunking: `⌈n/p⌉` tasks per PE, assigned once.
+    Stat,
+    /// Self scheduling: one task per request.
+    SS,
+    /// Chunk self scheduling: a fixed, programmer-chosen chunk size
+    /// (the TSS publication uses `k = n/p`).
+    Css {
+        /// The fixed chunk size `k ≥ 1`.
+        k: u64,
+    },
+    /// Fixed size chunking with the Kruskal–Weiss optimal chunk size.
+    Fsc,
+    /// Guided self scheduling: `⌈r/p⌉`, floored at `min_chunk`.
+    Gss {
+        /// Smallest chunk GSS may assign (the `k` of GSS(k)).
+        min_chunk: u64,
+    },
+    /// Trapezoid self scheduling with optional explicit first/last chunk
+    /// sizes (defaults: `f = ⌈n/(2p)⌉`, `l = 1`).
+    Tss {
+        /// First chunk size; `None` uses the TSS default.
+        first: Option<u64>,
+        /// Last chunk size; `None` uses the TSS default.
+        last: Option<u64>,
+    },
+    /// Factoring with known task-time moments (µ, σ).
+    Fac,
+    /// Factoring with the practical fixed factor `x = 2`.
+    Fac2,
+    /// Lucco's taper, a continuous refinement of factoring.
+    Tap {
+        /// The taper tuning constant α (`v = α·σ/µ`); Lucco suggests 1.3.
+        alpha: f64,
+    },
+    /// Hagerup's BOLD strategy (overhead-aware factoring; see module docs
+    /// of the `bold` module for the reconstruction notes).
+    Bold,
+    /// Weighted factoring: FAC2 chunks scaled by fixed PE weights.
+    Wf,
+    /// Adaptive weighted factoring; the variant decides when weights adapt.
+    Awf {
+        /// Batch-, chunk- or timestep-adaptive flavor.
+        variant: AwfVariant,
+    },
+    /// Adaptive factoring: per-PE µ/σ estimated online from completions.
+    Af,
+}
+
+impl Technique {
+    /// Short canonical name, as printed in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technique::Stat => "STAT",
+            Technique::SS => "SS",
+            Technique::Css { .. } => "CSS",
+            Technique::Fsc => "FSC",
+            Technique::Gss { .. } => "GSS",
+            Technique::Tss { .. } => "TSS",
+            Technique::Fac => "FAC",
+            Technique::Fac2 => "FAC2",
+            Technique::Tap { .. } => "TAP",
+            Technique::Bold => "BOLD",
+            Technique::Wf => "WF",
+            Technique::Awf { variant } => variant.name(),
+            Technique::Af => "AF",
+        }
+    }
+
+    /// The parameters this technique requires (paper Table II).
+    pub fn required_params(&self) -> &'static [Param] {
+        use Param::*;
+        match self {
+            Technique::Stat => &[P, N],
+            Technique::SS => &[],
+            Technique::Css { .. } => &[P, N],
+            Technique::Fsc => &[P, N, H, Sigma],
+            Technique::Gss { .. } => &[P, R],
+            Technique::Tss { .. } => &[P, N, F, L],
+            Technique::Fac => &[P, R, Mu, Sigma],
+            Technique::Fac2 => &[P, R],
+            Technique::Tap { .. } => &[P, R, Mu, Sigma],
+            Technique::Bold => &[P, N, H, Mu, Sigma, M],
+            Technique::Wf => &[P, R],
+            Technique::Awf { .. } => &[P, R],
+            Technique::Af => &[P, R, Mu, Sigma],
+        }
+    }
+
+    /// Whether the technique adapts to completion feedback at run time.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, Technique::Awf { .. } | Technique::Af)
+    }
+
+    /// Instantiates the runtime scheduler for the given loop.
+    pub fn build(&self, setup: &LoopSetup) -> Result<Box<dyn ChunkScheduler>, SetupError> {
+        setup.validate()?;
+        Ok(match *self {
+            Technique::Stat => Box::new(StaticChunking::new(setup)?),
+            Technique::SS => Box::new(SelfScheduling::new(setup)?),
+            Technique::Css { k } => Box::new(ChunkSelfScheduling::new(setup, k)?),
+            Technique::Fsc => Box::new(FixedSizeChunking::new(setup)?),
+            Technique::Gss { min_chunk } => {
+                Box::new(GuidedSelfScheduling::new(setup, min_chunk)?)
+            }
+            Technique::Tss { first, last } => {
+                Box::new(TrapezoidSelfScheduling::new(setup, first, last)?)
+            }
+            Technique::Fac => Box::new(Factoring::new(setup, FactoringModel::KnownMoments)?),
+            Technique::Fac2 => Box::new(Factoring::new(setup, FactoringModel::FixedHalving)?),
+            Technique::Tap { alpha } => Box::new(Taper::new(setup, alpha)?),
+            Technique::Bold => Box::new(Bold::new(setup)?),
+            Technique::Wf => Box::new(WeightedFactoring::new(setup)?),
+            Technique::Awf { variant } => {
+                Box::new(AdaptiveWeightedFactoring::new(setup, variant)?)
+            }
+            Technique::Af => Box::new(AdaptiveFactoring::new(setup)?),
+        })
+    }
+
+    /// The eight techniques measured by the BOLD publication's experiment 1,
+    /// in the order of the paper's figures.
+    pub fn hagerup_set() -> [Technique; 8] {
+        [
+            Technique::Stat,
+            Technique::SS,
+            Technique::Fsc,
+            Technique::Gss { min_chunk: 1 },
+            Technique::Tss { first: None, last: None },
+            Technique::Fac,
+            Technique::Fac2,
+            Technique::Bold,
+        ]
+    }
+}
+
+/// Error from parsing a [`Technique`] with [`std::str::FromStr`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseTechniqueError(String);
+
+impl std::fmt::Display for ParseTechniqueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unrecognized DLS technique `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseTechniqueError {}
+
+impl std::str::FromStr for Technique {
+    type Err = ParseTechniqueError;
+
+    /// Parses the figure-style names: `SS`, `STAT`, `CSS(128)`, `FSC`,
+    /// `GSS(1)`, `TSS`, `TSS(100,1)`, `FAC`, `FAC2`, `TAP`, `TAP(1.3)`,
+    /// `BOLD`, `WF`, `AWF`, `AWF-B`, `AWF-C`, `AF` (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseTechniqueError(s.to_string());
+        let upper = s.trim().to_ascii_uppercase();
+        let (name, args) = match upper.find('(') {
+            Some(i) if upper.ends_with(')') => {
+                (&upper[..i], Some(&upper[i + 1..upper.len() - 1]))
+            }
+            Some(_) => return Err(err()),
+            None => (upper.as_str(), None),
+        };
+        let one_u64 = |args: Option<&str>| -> Result<Option<u64>, ParseTechniqueError> {
+            args.map(|a| a.trim().parse::<u64>().map_err(|_| err())).transpose()
+        };
+        Ok(match name {
+            "STAT" => Technique::Stat,
+            "SS" => Technique::SS,
+            "CSS" => Technique::Css { k: one_u64(args)?.ok_or_else(err)? },
+            "FSC" => Technique::Fsc,
+            "GSS" => Technique::Gss { min_chunk: one_u64(args)?.unwrap_or(1) },
+            "TSS" => match args {
+                None => Technique::Tss { first: None, last: None },
+                Some(a) => {
+                    let parts: Vec<&str> = a.split(',').map(str::trim).collect();
+                    if parts.len() != 2 {
+                        return Err(err());
+                    }
+                    Technique::Tss {
+                        first: Some(parts[0].parse().map_err(|_| err())?),
+                        last: Some(parts[1].parse().map_err(|_| err())?),
+                    }
+                }
+            },
+            "FAC" => Technique::Fac,
+            "FAC2" => Technique::Fac2,
+            "TAP" => Technique::Tap {
+                alpha: args.map(|a| a.trim().parse::<f64>()).transpose().map_err(|_| err())?.unwrap_or(1.3),
+            },
+            "BOLD" => Technique::Bold,
+            "WF" => Technique::Wf,
+            "AWF" => Technique::Awf { variant: AwfVariant::TimeStep },
+            "AWF-B" => Technique::Awf { variant: AwfVariant::Batch },
+            "AWF-C" => Technique::Awf { variant: AwfVariant::Chunk },
+            "AF" => Technique::Af,
+            _ => return Err(err()),
+        })
+    }
+}
+
+impl std::fmt::Display for Technique {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Technique::Css { k } => write!(f, "CSS({k})"),
+            Technique::Gss { min_chunk } => write!(f, "GSS({min_chunk})"),
+            Technique::Tss { first: Some(a), last: Some(b) } => write!(f, "TSS({a},{b})"),
+            Technique::Tap { alpha } => write!(f, "TAP(α={alpha})"),
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+/// Drains a scheduler, returning every chunk it produces for a synthetic
+/// sequence of requests from PEs `0..p` in round-robin order.
+///
+/// Primarily a test/diagnostic helper: real request order depends on the
+/// simulated timing, but conservation properties (chunks sum to `n`, no
+/// zero-size chunks before exhaustion) must hold for *any* order.
+pub fn drain_round_robin(sched: &mut dyn ChunkScheduler, p: usize) -> Vec<u64> {
+    let mut chunks = Vec::new();
+    let mut pe = 0;
+    loop {
+        let c = sched.next_chunk(pe);
+        if c == 0 {
+            break;
+        }
+        chunks.push(c);
+        pe = (pe + 1) % p;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: u64, p: usize) -> LoopSetup {
+        LoopSetup::new(n, p).with_moments(1.0, 1.0).with_overhead(0.5)
+    }
+
+    #[test]
+    fn all_techniques_conserve_tasks() {
+        let s = setup(10_000, 7);
+        let techniques = [
+            Technique::Stat,
+            Technique::SS,
+            Technique::Css { k: 100 },
+            Technique::Fsc,
+            Technique::Gss { min_chunk: 1 },
+            Technique::Gss { min_chunk: 5 },
+            Technique::Tss { first: None, last: None },
+            Technique::Fac,
+            Technique::Fac2,
+            Technique::Tap { alpha: 1.3 },
+            Technique::Bold,
+            Technique::Wf,
+            Technique::Awf { variant: AwfVariant::Batch },
+            Technique::Awf { variant: AwfVariant::Chunk },
+            Technique::Af,
+        ];
+        for t in techniques {
+            let mut sched = t.build(&s).unwrap();
+            let chunks = drain_round_robin(sched.as_mut(), 7);
+            let total: u64 = chunks.iter().sum();
+            assert_eq!(total, 10_000, "{t} lost or duplicated tasks");
+            assert!(chunks.iter().all(|&c| c > 0), "{t} produced a zero chunk");
+            assert_eq!(sched.remaining(), 0, "{t} reports leftover tasks");
+            assert_eq!(sched.next_chunk(0), 0, "{t} must stay exhausted");
+        }
+    }
+
+    #[test]
+    fn table2_required_params() {
+        use Param::*;
+        // Paper Table II, row by row.
+        assert_eq!(Technique::Stat.required_params(), &[P, N]);
+        assert_eq!(Technique::SS.required_params(), &[] as &[Param]);
+        assert_eq!(Technique::Fsc.required_params(), &[P, N, H, Sigma]);
+        assert_eq!(Technique::Gss { min_chunk: 1 }.required_params(), &[P, R]);
+        assert_eq!(
+            Technique::Tss { first: None, last: None }.required_params(),
+            &[P, N, F, L]
+        );
+        assert_eq!(Technique::Fac.required_params(), &[P, R, Mu, Sigma]);
+        assert_eq!(Technique::Fac2.required_params(), &[P, R]);
+        assert_eq!(Technique::Bold.required_params(), &[P, N, H, Mu, Sigma, M]);
+    }
+
+    #[test]
+    fn table2_x_counts_match_paper() {
+        // The paper's Table II marks 2, 0, 4, 2, 4, 4, 2 and 6 parameters
+        // for STAT, SS, FSC, GSS, TSS, FAC, FAC2 and BOLD respectively.
+        let counts: Vec<usize> = Technique::hagerup_set()
+            .iter()
+            .map(|t| t.required_params().len())
+            .collect();
+        assert_eq!(counts, vec![2, 0, 4, 2, 4, 4, 2, 6]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Technique::Gss { min_chunk: 80 }.to_string(), "GSS(80)");
+        assert_eq!(Technique::Css { k: 1389 }.to_string(), "CSS(1389)");
+        assert_eq!(Technique::Fac2.to_string(), "FAC2");
+        assert_eq!(
+            Technique::Tss { first: Some(100), last: Some(1) }.to_string(),
+            "TSS(100,1)"
+        );
+    }
+
+    #[test]
+    fn adaptivity_classification() {
+        assert!(!Technique::Fac2.is_adaptive());
+        assert!(!Technique::Bold.is_adaptive());
+        assert!(Technique::Af.is_adaptive());
+        assert!(Technique::Awf { variant: AwfVariant::Chunk }.is_adaptive());
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for t in [
+            Technique::Stat,
+            Technique::SS,
+            Technique::Css { k: 1389 },
+            Technique::Fsc,
+            Technique::Gss { min_chunk: 80 },
+            Technique::Tss { first: Some(100), last: Some(1) },
+            Technique::Fac,
+            Technique::Fac2,
+            Technique::Bold,
+            Technique::Wf,
+            Technique::Awf { variant: AwfVariant::Batch },
+            Technique::Af,
+        ] {
+            let parsed: Technique = t.to_string().parse().unwrap();
+            assert_eq!(parsed, t, "round trip failed for {t}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_bare_and_defaulted_forms() {
+        assert_eq!("gss".parse::<Technique>().unwrap(), Technique::Gss { min_chunk: 1 });
+        assert_eq!(
+            "tss".parse::<Technique>().unwrap(),
+            Technique::Tss { first: None, last: None }
+        );
+        assert_eq!("tap".parse::<Technique>().unwrap(), Technique::Tap { alpha: 1.3 });
+        assert_eq!(
+            "awf-c".parse::<Technique>().unwrap(),
+            Technique::Awf { variant: AwfVariant::Chunk }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "XYZ", "CSS", "CSS()", "CSS(x)", "TSS(1)", "TSS(1,2,3)", "GSS(-1)"] {
+            assert!(bad.parse::<Technique>().is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn hagerup_set_order_matches_figures() {
+        let names: Vec<&str> = Technique::hagerup_set().iter().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["STAT", "SS", "FSC", "GSS", "TSS", "FAC", "FAC2", "BOLD"]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Loop setup: the a-priori information of paper Figure 2 / Tables I–II.
+
+use serde::{Deserialize, Serialize};
+
+/// The parameters of paper Table I that a technique may require (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Param {
+    /// `p` — number of PEs.
+    P,
+    /// `n` — number of tasks.
+    N,
+    /// `r` — number of remaining tasks.
+    R,
+    /// `h` — scheduling overhead.
+    H,
+    /// `µ` — mean of the task execution times.
+    Mu,
+    /// `σ` — standard deviation of the task execution times.
+    Sigma,
+    /// `f` — first chunk size.
+    F,
+    /// `l` — last chunk size.
+    L,
+    /// `m` — number of remaining and under-execution tasks.
+    M,
+}
+
+/// Errors from validating a [`LoopSetup`] or technique parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetupError {
+    /// The loop has zero tasks.
+    NoTasks,
+    /// There are zero PEs.
+    NoPes,
+    /// A required statistical moment is missing or invalid.
+    BadMoment(&'static str),
+    /// The scheduling overhead is invalid.
+    BadOverhead,
+    /// A technique-specific parameter is invalid.
+    BadParam(&'static str),
+    /// PE weights are missing or invalid for a weighted technique.
+    BadWeights(&'static str),
+}
+
+impl std::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetupError::NoTasks => write!(f, "loop must have at least one task"),
+            SetupError::NoPes => write!(f, "need at least one PE"),
+            SetupError::BadMoment(m) => write!(f, "invalid task-time moment: {m}"),
+            SetupError::BadOverhead => write!(f, "scheduling overhead must be finite and >= 0"),
+            SetupError::BadParam(m) => write!(f, "invalid technique parameter: {m}"),
+            SetupError::BadWeights(m) => write!(f, "invalid PE weights: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+/// Everything a technique may know about the loop before execution starts.
+///
+/// Matches the "application information" of paper Figure 2: the task count,
+/// the PE count, the per-scheduling-operation overhead `h`, the moments of
+/// the task-time distribution, and (for weighted techniques) relative PE
+/// speeds.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct LoopSetup {
+    /// Number of tasks `n`.
+    pub n: u64,
+    /// Number of PEs `p`.
+    pub p: usize,
+    /// Scheduling overhead `h` per scheduling operation, seconds.
+    pub h: f64,
+    /// Mean task execution time `µ`, seconds.
+    pub mean: f64,
+    /// Standard deviation `σ` of task execution times, seconds.
+    pub sigma: f64,
+    /// Relative PE speeds for WF/AWF (`None` ⇒ homogeneous).
+    pub weights: Option<Vec<f64>>,
+}
+
+impl LoopSetup {
+    /// Minimal setup: `n` tasks on `p` PEs, no overhead, unit mean,
+    /// zero variance.
+    pub fn new(n: u64, p: usize) -> Self {
+        LoopSetup { n, p, h: 0.0, mean: 1.0, sigma: 0.0, weights: None }
+    }
+
+    /// Sets the task-time moments µ and σ (paper Table I).
+    pub fn with_moments(mut self, mean: f64, sigma: f64) -> Self {
+        self.mean = mean;
+        self.sigma = sigma;
+        self
+    }
+
+    /// Sets the per-scheduling-operation overhead `h`.
+    pub fn with_overhead(mut self, h: f64) -> Self {
+        self.h = h;
+        self
+    }
+
+    /// Sets relative PE speeds (must have length `p`).
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Validates the setup invariants shared by all techniques.
+    pub fn validate(&self) -> Result<(), SetupError> {
+        if self.n == 0 {
+            return Err(SetupError::NoTasks);
+        }
+        if self.p == 0 {
+            return Err(SetupError::NoPes);
+        }
+        if !self.mean.is_finite() || self.mean <= 0.0 {
+            return Err(SetupError::BadMoment("mean must be finite and > 0"));
+        }
+        if !self.sigma.is_finite() || self.sigma < 0.0 {
+            return Err(SetupError::BadMoment("sigma must be finite and >= 0"));
+        }
+        if !self.h.is_finite() || self.h < 0.0 {
+            return Err(SetupError::BadOverhead);
+        }
+        if let Some(w) = &self.weights {
+            if w.len() != self.p {
+                return Err(SetupError::BadWeights("weights length must equal p"));
+            }
+            if w.iter().any(|x| !x.is_finite() || *x <= 0.0) {
+                return Err(SetupError::BadWeights("weights must be finite and > 0"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Coefficient of variation σ/µ.
+    pub fn cov(&self) -> f64 {
+        self.sigma / self.mean
+    }
+
+    /// The weights to use: explicit ones, or uniform 1.0 for homogeneous.
+    pub fn effective_weights(&self) -> Vec<f64> {
+        match &self.weights {
+            Some(w) => w.clone(),
+            None => vec![1.0; self.p],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let s = LoopSetup::new(100, 4)
+            .with_moments(2.0, 1.0)
+            .with_overhead(0.5)
+            .with_weights(vec![1.0, 2.0, 1.0, 1.0]);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.cov(), 0.5);
+        assert_eq!(s.effective_weights(), vec![1.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn default_weights_are_uniform() {
+        let s = LoopSetup::new(10, 3);
+        assert_eq!(s.effective_weights(), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_setups() {
+        assert_eq!(LoopSetup::new(0, 1).validate(), Err(SetupError::NoTasks));
+        assert_eq!(LoopSetup::new(1, 0).validate(), Err(SetupError::NoPes));
+        assert!(LoopSetup::new(1, 1).with_moments(0.0, 0.0).validate().is_err());
+        assert!(LoopSetup::new(1, 1).with_moments(1.0, -1.0).validate().is_err());
+        assert!(LoopSetup::new(1, 1).with_overhead(-0.5).validate().is_err());
+        assert!(LoopSetup::new(1, 1).with_overhead(f64::NAN).validate().is_err());
+        assert!(LoopSetup::new(1, 2).with_weights(vec![1.0]).validate().is_err());
+        assert!(LoopSetup::new(1, 2).with_weights(vec![1.0, 0.0]).validate().is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! The runtime scheduler interface queried by the master process.
+
+/// A chunk-size calculator with internal progress state.
+///
+/// One scheduler instance serves one execution of one loop: the master asks
+/// [`next_chunk`](ChunkScheduler::next_chunk) on every work request and
+/// forwards completion timings to
+/// [`record_completion`](ChunkScheduler::record_completion) so adaptive
+/// techniques (AWF, AF) can react.
+///
+/// # Contract
+///
+/// * `next_chunk` returns `0` **iff** no tasks remain unassigned; otherwise
+///   it returns `1..=remaining()` and decrements `remaining()` accordingly.
+/// * The scheduler never assigns more tasks than exist: the sum of all
+///   returned chunks equals the loop's `n` exactly.
+/// * `record_completion` must tolerate any interleaving with `next_chunk`
+///   (workers finish out of order).
+pub trait ChunkScheduler {
+    /// Canonical technique name (e.g. `"FAC2"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of tasks not yet assigned to any PE.
+    fn remaining(&self) -> u64;
+
+    /// Computes the chunk for a work request from PE `pe` (0-based).
+    fn next_chunk(&mut self, pe: usize) -> u64;
+
+    /// Feedback: PE `pe` finished a chunk of `chunk` tasks in `elapsed`
+    /// seconds of wall time. Non-adaptive techniques ignore this.
+    fn record_completion(&mut self, _pe: usize, _chunk: u64, _elapsed: f64) {}
+
+    /// Begins a new execution of the loop — the next *time step* of a
+    /// time-stepping application (N-body, CFD, wave-packet...).
+    ///
+    /// Implementations must re-arm their per-sweep progress state
+    /// (`remaining()` returns the full `n` again) while **keeping** any
+    /// learned adaptation state: AWF applies its time-step weight update
+    /// here, AF keeps its per-PE µ̂/σ̂ estimates. One scheduler object then
+    /// serves a whole multi-step simulation.
+    fn start_time_step(&mut self);
+}

@@ -1,0 +1,223 @@
+//! The two naive allocation approaches (STAT, SS) and programmer-tuned CSS.
+//!
+//! These bracket the whole DLS design space (paper §II): STAT has negligible
+//! scheduling overhead but high load imbalance, SS the reverse. CSS(k) is
+//! the TSS publication's "chunk self scheduling", a fixed chunk chosen by
+//! the programmer.
+
+use crate::{ChunkScheduler, LoopSetup, SetupError};
+
+/// Static chunking: PE `i` receives one block of `n/p` tasks (±1 when `p`
+/// does not divide `n`), assigned on its first request.
+///
+/// ```
+/// use dls_core::{StaticChunking, ChunkScheduler, LoopSetup};
+/// let mut stat = StaticChunking::new(&LoopSetup::new(10, 4)).unwrap();
+/// assert_eq!(stat.next_chunk(0), 3);
+/// assert_eq!(stat.next_chunk(0), 0); // one block per PE, ever
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticChunking {
+    block_sizes: Vec<u64>,
+    served: Vec<bool>,
+    n: u64,
+    remaining: u64,
+}
+
+impl StaticChunking {
+    /// Builds the static partition for the given loop.
+    pub fn new(setup: &LoopSetup) -> Result<Self, SetupError> {
+        setup.validate()?;
+        let p = setup.p as u64;
+        let base = setup.n / p;
+        let extra = (setup.n % p) as usize;
+        let block_sizes = (0..setup.p)
+            .map(|i| base + u64::from(i < extra))
+            .collect();
+        Ok(StaticChunking {
+            block_sizes,
+            served: vec![false; setup.p],
+            n: setup.n,
+            remaining: setup.n,
+        })
+    }
+}
+
+impl ChunkScheduler for StaticChunking {
+    fn name(&self) -> &'static str {
+        "STAT"
+    }
+    fn remaining(&self) -> u64 {
+        self.remaining
+    }
+    fn next_chunk(&mut self, pe: usize) -> u64 {
+        if self.remaining == 0 || pe >= self.served.len() || self.served[pe] {
+            return 0;
+        }
+        self.served[pe] = true;
+        let c = self.block_sizes[pe].min(self.remaining);
+        self.remaining -= c;
+        c
+    }
+    fn start_time_step(&mut self) {
+        self.served.fill(false);
+        self.remaining = self.n;
+    }
+}
+
+/// Self scheduling: one task per request — perfect balance, maximal
+/// scheduling overhead.
+#[derive(Debug, Clone)]
+pub struct SelfScheduling {
+    n: u64,
+    remaining: u64,
+}
+
+impl SelfScheduling {
+    /// Creates a self-scheduler for the loop.
+    pub fn new(setup: &LoopSetup) -> Result<Self, SetupError> {
+        setup.validate()?;
+        Ok(SelfScheduling { n: setup.n, remaining: setup.n })
+    }
+}
+
+impl ChunkScheduler for SelfScheduling {
+    fn name(&self) -> &'static str {
+        "SS"
+    }
+    fn remaining(&self) -> u64 {
+        self.remaining
+    }
+    fn next_chunk(&mut self, _pe: usize) -> u64 {
+        if self.remaining == 0 {
+            0
+        } else {
+            self.remaining -= 1;
+            1
+        }
+    }
+    fn start_time_step(&mut self) {
+        self.remaining = self.n;
+    }
+}
+
+/// Chunk self scheduling CSS(k): a fixed chunk size `k` per request.
+///
+/// The TSS publication tunes `k = n/p` for uniformly distributed loops
+/// ("minimal scheduling overhead and a balanced workload").
+#[derive(Debug, Clone)]
+pub struct ChunkSelfScheduling {
+    k: u64,
+    n: u64,
+    remaining: u64,
+}
+
+impl ChunkSelfScheduling {
+    /// Creates CSS with fixed chunk `k >= 1`.
+    pub fn new(setup: &LoopSetup, k: u64) -> Result<Self, SetupError> {
+        setup.validate()?;
+        if k == 0 {
+            return Err(SetupError::BadParam("CSS chunk size k must be >= 1"));
+        }
+        Ok(ChunkSelfScheduling { k, n: setup.n, remaining: setup.n })
+    }
+
+    /// The TSS publication's recommended chunk for uniform loops: `n/p`.
+    pub fn tss_default_k(setup: &LoopSetup) -> u64 {
+        (setup.n / setup.p as u64).max(1)
+    }
+}
+
+impl ChunkScheduler for ChunkSelfScheduling {
+    fn name(&self) -> &'static str {
+        "CSS"
+    }
+    fn remaining(&self) -> u64 {
+        self.remaining
+    }
+    fn next_chunk(&mut self, _pe: usize) -> u64 {
+        let c = self.k.min(self.remaining);
+        self.remaining -= c;
+        c
+    }
+    fn start_time_step(&mut self) {
+        self.remaining = self.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: u64, p: usize) -> LoopSetup {
+        LoopSetup::new(n, p)
+    }
+
+    #[test]
+    fn stat_divides_evenly() {
+        let mut s = StaticChunking::new(&setup(100, 4)).unwrap();
+        let chunks: Vec<u64> = (0..4).map(|pe| s.next_chunk(pe)).collect();
+        assert_eq!(chunks, vec![25, 25, 25, 25]);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn stat_spreads_remainder_over_first_pes() {
+        let mut s = StaticChunking::new(&setup(10, 4)).unwrap();
+        let chunks: Vec<u64> = (0..4).map(|pe| s.next_chunk(pe)).collect();
+        assert_eq!(chunks, vec![3, 3, 2, 2]);
+        assert_eq!(chunks.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn stat_serves_each_pe_once() {
+        let mut s = StaticChunking::new(&setup(100, 4)).unwrap();
+        assert_eq!(s.next_chunk(0), 25);
+        assert_eq!(s.next_chunk(0), 0, "second request from same PE gets nothing");
+        assert_eq!(s.next_chunk(1), 25);
+    }
+
+    #[test]
+    fn stat_more_pes_than_tasks() {
+        let mut s = StaticChunking::new(&setup(2, 5)).unwrap();
+        let chunks: Vec<u64> = (0..5).map(|pe| s.next_chunk(pe)).collect();
+        assert_eq!(chunks.iter().sum::<u64>(), 2);
+        assert_eq!(chunks.iter().filter(|&&c| c > 0).count(), 2);
+    }
+
+    #[test]
+    fn stat_out_of_range_pe_gets_nothing() {
+        let mut s = StaticChunking::new(&setup(10, 2)).unwrap();
+        assert_eq!(s.next_chunk(7), 0);
+    }
+
+    #[test]
+    fn ss_hands_out_single_tasks() {
+        let mut s = SelfScheduling::new(&setup(3, 2)).unwrap();
+        assert_eq!(s.next_chunk(0), 1);
+        assert_eq!(s.next_chunk(1), 1);
+        assert_eq!(s.next_chunk(0), 1);
+        assert_eq!(s.next_chunk(1), 0);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn css_fixed_chunks_with_short_tail() {
+        let mut s = ChunkSelfScheduling::new(&setup(10, 2), 4).unwrap();
+        assert_eq!(s.next_chunk(0), 4);
+        assert_eq!(s.next_chunk(1), 4);
+        assert_eq!(s.next_chunk(0), 2, "tail chunk is clamped to remaining");
+        assert_eq!(s.next_chunk(1), 0);
+    }
+
+    #[test]
+    fn css_rejects_zero_k() {
+        assert!(ChunkSelfScheduling::new(&setup(10, 2), 0).is_err());
+    }
+
+    #[test]
+    fn css_tss_default() {
+        assert_eq!(ChunkSelfScheduling::tss_default_k(&setup(100_000, 72)), 1388);
+        assert_eq!(ChunkSelfScheduling::tss_default_k(&setup(3, 8)), 1);
+    }
+}

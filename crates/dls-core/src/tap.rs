@@ -1,0 +1,109 @@
+//! Taper (Lucco 1992): a continuous, per-request refinement of factoring.
+//!
+//! Instead of batching, TAP re-evaluates on every request from the current
+//! remaining count `r`:
+//!
+//! ```text
+//! v = α·σ/µ
+//! k = r/p + v²/2 − v·√(2·r/p + v²/4)
+//! ```
+//!
+//! which tapers smoothly from GSS-like chunks (low variance) toward more
+//! conservative ones (high variance). Lucco suggests α ≈ 1.3 as a good
+//! compromise between overhead and balance.
+
+use crate::{ChunkScheduler, LoopSetup, SetupError};
+
+/// TAP runtime state.
+#[derive(Debug, Clone)]
+pub struct Taper {
+    p: f64,
+    v: f64,
+    n: u64,
+    remaining: u64,
+}
+
+impl Taper {
+    /// Creates TAP with tuning constant `alpha > 0`.
+    pub fn new(setup: &LoopSetup, alpha: f64) -> Result<Self, SetupError> {
+        setup.validate()?;
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(SetupError::BadParam("TAP alpha must be finite and > 0"));
+        }
+        Ok(Taper { p: setup.p as f64, v: alpha * setup.cov(), n: setup.n, remaining: setup.n })
+    }
+}
+
+impl ChunkScheduler for Taper {
+    fn name(&self) -> &'static str {
+        "TAP"
+    }
+    fn remaining(&self) -> u64 {
+        self.remaining
+    }
+    fn next_chunk(&mut self, _pe: usize) -> u64 {
+        if self.remaining == 0 {
+            return 0;
+        }
+        let r_over_p = self.remaining as f64 / self.p;
+        let k = r_over_p + self.v * self.v / 2.0
+            - self.v * (2.0 * r_over_p + self.v * self.v / 4.0).sqrt();
+        let c = (k.round() as u64).clamp(1, self.remaining);
+        self.remaining -= c;
+        c
+    }
+    fn start_time_step(&mut self) {
+        self.remaining = self.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drain_round_robin;
+
+    #[test]
+    fn zero_variance_equals_gss() {
+        // v = 0 ⇒ k = r/p: identical to the guided rule (modulo rounding).
+        let s = LoopSetup::new(100, 4).with_moments(1.0, 0.0);
+        let mut t = Taper::new(&s, 1.3).unwrap();
+        assert_eq!(t.next_chunk(0), 25);
+        assert_eq!(t.next_chunk(1), 19); // round(75/4) = 19
+    }
+
+    #[test]
+    fn variance_makes_chunks_smaller_than_gss() {
+        let lo = LoopSetup::new(10_000, 4).with_moments(1.0, 0.1);
+        let hi = LoopSetup::new(10_000, 4).with_moments(1.0, 2.0);
+        let c_lo = Taper::new(&lo, 1.3).unwrap().next_chunk(0);
+        let c_hi = Taper::new(&hi, 1.3).unwrap().next_chunk(0);
+        assert!(c_hi < c_lo, "higher variance must taper harder: {c_hi} vs {c_lo}");
+        assert!(c_lo <= 2500);
+    }
+
+    #[test]
+    fn conserves_tasks() {
+        let s = LoopSetup::new(5_000, 6).with_moments(1.0, 1.0);
+        let mut t = Taper::new(&s, 1.3).unwrap();
+        let chunks = drain_round_robin(&mut t, 6);
+        assert_eq!(chunks.iter().sum::<u64>(), 5_000);
+        assert!(chunks.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        let s = LoopSetup::new(10, 2);
+        assert!(Taper::new(&s, 0.0).is_err());
+        assert!(Taper::new(&s, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn formula_spot_check() {
+        // r=10000, p=4, v=1.3: k = 2500 + 0.845 − 1.3·√(5000 + 0.4225)
+        //                        ≈ 2500.845 − 91.93 ≈ 2409.
+        let s = LoopSetup::new(10_000, 4).with_moments(1.0, 1.0);
+        let mut t = Taper::new(&s, 1.3).unwrap();
+        let c = t.next_chunk(0);
+        assert!((2405..=2412).contains(&c), "k = {c}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Trapezoid self scheduling (Tzen & Ni 1993).
+//!
+//! TSS decreases the chunk size *linearly* from a first size `f` to a last
+//! size `l`, which keeps the chunk computation a single subtraction (cheap
+//! enough for their compiler-generated inline scheduling code). With the
+//! recommended defaults `f = ⌈n/(2p)⌉`, `l = 1`:
+//!
+//! ```text
+//! N = ⌈2n / (f + l)⌉          // number of chunks
+//! δ = (f − l) / (N − 1)        // linear decrement
+//! chunk_i = f − round(i·δ)     // i-th assigned chunk
+//! ```
+//!
+//! The final chunk is clamped so the totals match `n` exactly.
+
+use crate::{ChunkScheduler, LoopSetup, SetupError};
+
+/// TSS runtime state.
+///
+/// ```
+/// use dls_core::{TrapezoidSelfScheduling, ChunkScheduler, LoopSetup};
+/// let setup = LoopSetup::new(1000, 4);
+/// let mut tss = TrapezoidSelfScheduling::new(&setup, None, None).unwrap();
+/// assert_eq!(tss.next_chunk(0), 125); // f = ⌈1000/(2·4)⌉
+/// assert!(tss.next_chunk(1) < 125);   // linear decrease
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrapezoidSelfScheduling {
+    first: f64,
+    delta: f64,
+    issued: u64,
+    last: u64,
+    n: u64,
+    remaining: u64,
+}
+
+impl TrapezoidSelfScheduling {
+    /// Creates TSS; `first`/`last` default to `⌈n/(2p)⌉` and `1`.
+    pub fn new(
+        setup: &LoopSetup,
+        first: Option<u64>,
+        last: Option<u64>,
+    ) -> Result<Self, SetupError> {
+        setup.validate()?;
+        let f = first.unwrap_or_else(|| setup.n.div_ceil(2 * setup.p as u64).max(1));
+        let l = last.unwrap_or(1).max(1);
+        if f == 0 {
+            return Err(SetupError::BadParam("TSS first chunk must be >= 1"));
+        }
+        if l > f {
+            return Err(SetupError::BadParam("TSS last chunk must not exceed the first"));
+        }
+        if f > setup.n {
+            return Err(SetupError::BadParam("TSS first chunk must not exceed n"));
+        }
+        let n_chunks = (2 * setup.n).div_ceil(f + l).max(1);
+        let delta = if n_chunks > 1 {
+            (f - l) as f64 / (n_chunks - 1) as f64
+        } else {
+            0.0
+        };
+        Ok(TrapezoidSelfScheduling {
+            first: f as f64,
+            delta,
+            issued: 0,
+            last: l,
+            n: setup.n,
+            remaining: setup.n,
+        })
+    }
+
+    /// The planned size of the `i`-th chunk before clamping to remaining.
+    fn planned(&self, i: u64) -> u64 {
+        let raw = self.first - self.delta * i as f64;
+        (raw.round() as u64).max(self.last).max(1)
+    }
+}
+
+impl ChunkScheduler for TrapezoidSelfScheduling {
+    fn name(&self) -> &'static str {
+        "TSS"
+    }
+    fn remaining(&self) -> u64 {
+        self.remaining
+    }
+    fn next_chunk(&mut self, _pe: usize) -> u64 {
+        if self.remaining == 0 {
+            return 0;
+        }
+        let c = self.planned(self.issued).min(self.remaining);
+        self.issued += 1;
+        self.remaining -= c;
+        c
+    }
+    fn start_time_step(&mut self) {
+        self.issued = 0;
+        self.remaining = self.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drain_round_robin;
+
+    #[test]
+    fn defaults_follow_the_publication() {
+        // n=1000, p=4 ⇒ f = ⌈1000/8⌉ = 125, l = 1, N = ⌈2000/126⌉ = 16.
+        let s = LoopSetup::new(1000, 4);
+        let mut t = TrapezoidSelfScheduling::new(&s, None, None).unwrap();
+        let chunks = drain_round_robin(&mut t, 4);
+        assert_eq!(chunks[0], 125);
+        assert_eq!(chunks.iter().sum::<u64>(), 1000);
+        // Linear decrease: differences are nearly constant.
+        assert!(chunks.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn explicit_first_last() {
+        let s = LoopSetup::new(100, 2);
+        let mut t = TrapezoidSelfScheduling::new(&s, Some(20), Some(5)).unwrap();
+        let chunks = drain_round_robin(&mut t, 2);
+        assert_eq!(chunks[0], 20);
+        assert_eq!(chunks.iter().sum::<u64>(), 100);
+        // Every chunk but the clamped tail is within [5, 20].
+        for &c in &chunks[..chunks.len() - 1] {
+            assert!((5..=20).contains(&c));
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let s = LoopSetup::new(100, 2);
+        assert!(TrapezoidSelfScheduling::new(&s, Some(5), Some(10)).is_err());
+        assert!(TrapezoidSelfScheduling::new(&s, Some(1000), Some(1)).is_err());
+    }
+
+    #[test]
+    fn single_chunk_case() {
+        // f = n: one chunk takes everything.
+        let s = LoopSetup::new(100, 2);
+        let mut t = TrapezoidSelfScheduling::new(&s, Some(100), Some(100)).unwrap();
+        assert_eq!(t.next_chunk(0), 100);
+        assert_eq!(t.next_chunk(1), 0);
+    }
+
+    #[test]
+    fn tiny_loop_defaults_are_sane() {
+        let s = LoopSetup::new(3, 8);
+        let mut t = TrapezoidSelfScheduling::new(&s, None, None).unwrap();
+        let chunks = drain_round_robin(&mut t, 8);
+        assert_eq!(chunks.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn chunk_count_roughly_matches_formula() {
+        // N ≈ 2n/(f+l): for n=100,000, p=72 ⇒ f=⌈100000/144⌉=695, N≈288.
+        let s = LoopSetup::new(100_000, 72);
+        let mut t = TrapezoidSelfScheduling::new(&s, None, None).unwrap();
+        let count = drain_round_robin(&mut t, 72).len();
+        // Clamping the tail to the remaining tasks truncates slightly below
+        // the nominal N.
+        assert!((260..=300).contains(&count), "count = {count}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Golden chunk sequences: the exact allocation pattern of every
+//! deterministic technique for one reference loop (n = 100, p = 4,
+//! µ = σ = 1 s, h = 0.5 s), requests arriving round-robin.
+//!
+//! These pin the implementations against silent formula regressions. Key
+//! values are hand-verifiable:
+//!
+//! * GSS(1): 25 = ⌈100/4⌉, 19 = ⌈75/4⌉, ... (guided rule);
+//! * FAC2: batches of 4 × ⌈R/8⌉ = 13, 6, 3, 2, 1 (halving);
+//! * FAC: b₀ = 4/(2·10) = 0.2 ⇒ x₀ ≈ 1.3256 ⇒ ⌈100/(4·x₀)⌉ = 19; at
+//!   R = 24, b = 4/(2·√24) makes x = 3 exactly ⇒ chunk 2;
+//! * TSS: f = ⌈100/8⌉ = 13, l = 1, N = ⌈200/14⌉ = 15, δ = 12/14;
+//! * FSC: k = (√2·100·0.5/(1·4·√ln4))^(2/3) ≈ 6.
+//!
+//! A change to any formula must update these vectors *consciously*.
+
+use dls_core::{drain_round_robin, LoopSetup, Technique};
+
+fn golden(technique: Technique) -> Vec<u64> {
+    let s = LoopSetup::new(100, 4).with_moments(1.0, 1.0).with_overhead(0.5);
+    let mut sched = technique.build(&s).unwrap();
+    drain_round_robin(sched.as_mut(), 4)
+}
+
+#[test]
+fn stat_golden() {
+    assert_eq!(golden(Technique::Stat), vec![25, 25, 25, 25]);
+}
+
+#[test]
+fn ss_golden() {
+    assert_eq!(golden(Technique::SS), vec![1u64; 100]);
+}
+
+#[test]
+fn css16_golden() {
+    assert_eq!(golden(Technique::Css { k: 16 }), vec![16, 16, 16, 16, 16, 16, 4]);
+}
+
+#[test]
+fn fsc_golden() {
+    let mut expect = vec![6u64; 16];
+    expect.push(4);
+    assert_eq!(golden(Technique::Fsc), expect);
+}
+
+#[test]
+fn gss1_golden() {
+    assert_eq!(
+        golden(Technique::Gss { min_chunk: 1 }),
+        vec![25, 19, 14, 11, 8, 6, 5, 3, 3, 2, 1, 1, 1, 1]
+    );
+}
+
+#[test]
+fn gss5_golden() {
+    assert_eq!(
+        golden(Technique::Gss { min_chunk: 5 }),
+        vec![25, 19, 14, 11, 8, 6, 5, 5, 5, 2]
+    );
+}
+
+#[test]
+fn tss_golden() {
+    assert_eq!(
+        golden(Technique::Tss { first: None, last: None }),
+        vec![13, 12, 11, 10, 10, 9, 8, 7, 6, 5, 4, 4, 1]
+    );
+}
+
+#[test]
+fn fac_golden() {
+    assert_eq!(
+        golden(Technique::Fac),
+        vec![19, 19, 19, 19, 2, 2, 2, 2, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1]
+    );
+}
+
+#[test]
+fn fac2_golden() {
+    assert_eq!(
+        golden(Technique::Fac2),
+        vec![13, 13, 13, 13, 6, 6, 6, 6, 3, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1]
+    );
+}
+
+#[test]
+fn tap_golden() {
+    assert_eq!(
+        golden(Technique::Tap { alpha: 1.3 }),
+        vec![
+            17, 13, 11, 8, 7, 6, 5, 4, 3, 3, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+            1, 1, 1, 1
+        ]
+    );
+}
+
+#[test]
+fn bold_golden() {
+    assert_eq!(
+        golden(Technique::Bold),
+        vec![16, 14, 13, 11, 10, 8, 7, 6, 5, 4, 3, 2, 1]
+    );
+}
+
+#[test]
+fn wf_uniform_golden_equals_fac2() {
+    assert_eq!(golden(Technique::Wf), golden(Technique::Fac2));
+}
+
+#[test]
+fn golden_sequences_survive_a_time_step_reset() {
+    // Resetting must replay the identical sequence for stateless-by-step
+    // techniques.
+    let s = LoopSetup::new(100, 4).with_moments(1.0, 1.0).with_overhead(0.5);
+    for t in [
+        Technique::Stat,
+        Technique::Fac2,
+        Technique::Gss { min_chunk: 1 },
+        Technique::Tss { first: None, last: None },
+        Technique::Bold,
+    ] {
+        let mut sched = t.build(&s).unwrap();
+        let first = drain_round_robin(sched.as_mut(), 4);
+        sched.start_time_step();
+        let second = drain_round_robin(sched.as_mut(), 4);
+        assert_eq!(first, second, "{t} replays differently after reset");
+    }
+}

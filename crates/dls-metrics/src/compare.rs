@@ -1,0 +1,273 @@
+//! Two-sample statistical tests for reproducibility comparisons.
+//!
+//! The paper judges reproducibility by eyeballing discrepancy percentages.
+//! This module provides the formal counterpart: given two campaigns of
+//! per-run measurements (e.g. msgsim vs the Hagerup replica with
+//! independent seeds), test whether their distributions are compatible.
+//!
+//! * [`welch_t_test`] — difference of means with unequal variances
+//!   (Welch–Satterthwaite degrees of freedom, Student-t p-value);
+//! * [`ks_test`] — two-sample Kolmogorov–Smirnov on full distributions
+//!   (catches variance/shape differences means miss — e.g. FAC's heavy
+//!   tail at p = 2 against a technique with equal mean).
+
+/// Result of a two-sample test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic (t for Welch, D for KS).
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Natural log of the gamma function (Lanczos).
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_9e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COEF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Regularized incomplete beta I_x(a, b) via the continued fraction
+/// (Lentz's method, as in Numerical Recipes `betai`/`betacf`).
+fn betai(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1]");
+    if x == 0.0 || x == 1.0 {
+        return x;
+    }
+    let bt =
+        (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        bt * betacf(a, b, x) / a
+    } else {
+        1.0 - bt * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Two-sided p-value of Student's t with `df` degrees of freedom.
+fn t_two_sided_p(t: f64, df: f64) -> f64 {
+    betai(df / 2.0, 0.5, df / (df + t * t))
+}
+
+/// Welch's unequal-variance t-test on two samples.
+///
+/// # Panics
+/// If either sample has fewer than 2 observations.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> TestResult {
+    assert!(a.len() >= 2 && b.len() >= 2, "need at least 2 observations per sample");
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let ma = a.iter().sum::<f64>() / na;
+    let mb = b.iter().sum::<f64>() / nb;
+    let va = a.iter().map(|x| (x - ma) * (x - ma)).sum::<f64>() / (na - 1.0);
+    let vb = b.iter().map(|x| (x - mb) * (x - mb)).sum::<f64>() / (nb - 1.0);
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        // Identical constants: equal means ⇒ p = 1; different ⇒ p = 0.
+        let p = if ma == mb { 1.0 } else { 0.0 };
+        return TestResult { statistic: if ma == mb { 0.0 } else { f64::INFINITY }, p_value: p };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    TestResult { statistic: t, p_value: t_two_sided_p(t, df).clamp(0.0, 1.0) }
+}
+
+/// Two-sample Kolmogorov–Smirnov test (asymptotic p-value).
+///
+/// # Panics
+/// If either sample is empty.
+pub fn ks_test(a: &[f64], b: &[f64]) -> TestResult {
+    assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    let (na, nb) = (sa.len(), sb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < na && j < nb {
+        let xa = sa[i];
+        let xb = sb[j];
+        if xa <= xb {
+            i += 1;
+        }
+        if xb <= xa {
+            j += 1;
+        }
+        let fa = i as f64 / na as f64;
+        let fb = j as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let ne = (na as f64 * nb as f64) / (na as f64 + nb as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    // Kolmogorov Q function: 2 Σ (-1)^{j-1} exp(-2 j² λ²). The alternating
+    // series converges only for λ away from 0; below that the p-value is
+    // 1 to machine precision anyway (Numerical Recipes' probks cutoff).
+    let p_value = if lambda < 0.3 {
+        1.0
+    } else {
+        let mut p = 0.0;
+        let mut sign = 1.0;
+        for k in 1..=100 {
+            let term = sign * (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+            p += term;
+            if term.abs() < 1e-12 {
+                break;
+            }
+            sign = -sign;
+        }
+        (2.0 * p).clamp(0.0, 1.0)
+    };
+    TestResult { statistic: d, p_value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-9);
+        assert!((ln_gamma(2.0)).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn betai_boundaries_and_symmetry() {
+        assert_eq!(betai(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(betai(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 − I_{1−x}(b,a).
+        let x = 0.37;
+        assert!((betai(2.5, 1.5, x) - (1.0 - betai(1.5, 2.5, 1.0 - x))).abs() < 1e-10);
+        // I_x(1,1) = x (uniform CDF).
+        assert!((betai(1.0, 1.0, 0.42) - 0.42).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_distribution_reference_points() {
+        // t = 2.0, df = 10: two-sided p ≈ 0.0734 (standard tables).
+        let p = t_two_sided_p(2.0, 10.0);
+        assert!((p - 0.0734).abs() < 2e-3, "p = {p}");
+        // t = 1.96, df large → p ≈ 0.05.
+        let p = t_two_sided_p(1.96, 10_000.0);
+        assert!((p - 0.05).abs() < 2e-3, "p = {p}");
+    }
+
+    #[test]
+    fn welch_identical_samples_accept() {
+        let a = linspace(0.0, 10.0, 50);
+        let r = welch_t_test(&a, &a);
+        assert!(r.p_value > 0.99);
+        assert!(r.statistic.abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_shifted_samples_reject() {
+        let a = linspace(0.0, 1.0, 100);
+        let b: Vec<f64> = a.iter().map(|x| x + 10.0).collect();
+        let r = welch_t_test(&a, &b);
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn welch_handles_zero_variance() {
+        let a = vec![5.0; 10];
+        assert_eq!(welch_t_test(&a, &a).p_value, 1.0);
+        let b = vec![6.0; 10];
+        assert_eq!(welch_t_test(&a, &b).p_value, 0.0);
+    }
+
+    #[test]
+    fn ks_identical_distributions_accept() {
+        let a = linspace(0.0, 1.0, 200);
+        let r = ks_test(&a, &a);
+        assert!(r.statistic < 0.01);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn ks_detects_scale_difference_means_miss() {
+        // Same mean (0), different spread: t-test accepts, KS rejects.
+        let narrow = linspace(-1.0, 1.0, 300);
+        let wide = linspace(-10.0, 10.0, 300);
+        let t = welch_t_test(&narrow, &wide);
+        let ks = ks_test(&narrow, &wide);
+        assert!(t.p_value > 0.5, "t-test should accept equal means: {}", t.p_value);
+        assert!(ks.p_value < 1e-6, "KS must reject: {}", ks.p_value);
+    }
+
+    #[test]
+    fn ks_statistic_bounds() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0];
+        let r = ks_test(&a, &b);
+        assert!((r.statistic - 1.0).abs() < 1e-12, "disjoint supports ⇒ D = 1");
+        assert!(r.p_value < 0.2);
+    }
+}

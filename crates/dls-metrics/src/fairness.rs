@@ -1,0 +1,90 @@
+//! Load-distribution metrics beyond the paper's headline numbers.
+//!
+//! Useful for the ablation studies: coefficient of variation of per-PE
+//! compute times (the classical load-imbalance indicator in the DLS
+//! literature), Jain's fairness index, and max/mean imbalance ratios.
+
+/// Coefficient of variation (σ/µ) of a sample; 0 for perfectly balanced.
+pub fn cov(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "cov of empty slice");
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)` in `(0, 1]`, 1 = fair.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "fairness of empty slice");
+    let sum: f64 = xs.iter().sum();
+    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+    if sumsq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sumsq)
+}
+
+/// Max-over-mean load imbalance: 1 for perfect balance, p for one PE doing
+/// everything.
+pub fn max_mean_imbalance(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "imbalance of empty slice");
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if mean == 0.0 {
+        return 1.0;
+    }
+    xs.iter().fold(0.0f64, |a, &b| a.max(b)) / mean
+}
+
+/// The "percent imbalance" metric common in HPC reports:
+/// `(max/mean − 1) × 100`.
+pub fn percent_imbalance(xs: &[f64]) -> f64 {
+    (max_mean_imbalance(xs) - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_loads() {
+        let xs = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(cov(&xs), 0.0);
+        assert!((jain_fairness(&xs) - 1.0).abs() < 1e-12);
+        assert_eq!(max_mean_imbalance(&xs), 1.0);
+        assert_eq!(percent_imbalance(&xs), 0.0);
+    }
+
+    #[test]
+    fn one_pe_does_everything() {
+        let xs = [8.0, 0.0, 0.0, 0.0];
+        assert!((jain_fairness(&xs) - 0.25).abs() < 1e-12);
+        assert_eq!(max_mean_imbalance(&xs), 4.0);
+        assert!((percent_imbalance(&xs) - 300.0).abs() < 1e-9);
+        // cov of {8,0,0,0}: mean 2, var 12, σ=3.464 → cov = 1.732.
+        assert!((cov(&xs) - 3.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_bounds() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let f = jain_fairness(&xs);
+        assert!(f > 1.0 / 4.0 && f < 1.0);
+    }
+
+    #[test]
+    fn zero_loads_are_safe() {
+        let xs = [0.0, 0.0];
+        assert_eq!(cov(&xs), 0.0);
+        assert_eq!(jain_fairness(&xs), 1.0);
+        assert_eq!(max_mean_imbalance(&xs), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        cov(&[]);
+    }
+}

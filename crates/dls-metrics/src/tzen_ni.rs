@@ -1,0 +1,126 @@
+//! Tzen & Ni's performance metrics (TSS publication, eqs. 11–13).
+//!
+//! During a parallel loop execution each PE's time splits into three states:
+//! computing (X), scheduling (O) and waiting for synchronization (W). With
+//! `L` the ideal (serial, contention-free) computing time and `p` PEs:
+//!
+//! * speedup          Γ = L·p / (X + O + W)
+//! * scheduling overhead degree Θ = O·p / (X + O + W)
+//! * load imbalance degree      Λ = W·p / (X + O + W)
+//!
+//! Θ and Λ are "the average number of processors wasted in the scheduling
+//! and waiting state"; in the ideal case Γ = p, and Γ + Θ + Λ ≤ p always
+//! (the residual is network/memory contention, which a simulation without
+//! contention reduces to zero).
+
+/// The per-run totals from which the Tzen & Ni metrics are computed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceSplit {
+    /// Ideal serial computing time `L` (sum of task times).
+    pub ideal_compute: f64,
+    /// Total computing time `X` across all PEs (≥ `L` under contention).
+    pub compute: f64,
+    /// Total scheduling time `O` across all PEs.
+    pub scheduling: f64,
+    /// Total waiting time `W` across all PEs.
+    pub waiting: f64,
+    /// Number of PEs `p`.
+    pub p: usize,
+}
+
+/// The three Tzen & Ni metrics for one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopMetrics {
+    /// Speedup Γ.
+    pub speedup: f64,
+    /// Degree of scheduling overhead Θ (processors wasted scheduling).
+    pub overhead_degree: f64,
+    /// Degree of load imbalance Λ (processors wasted waiting).
+    pub imbalance_degree: f64,
+}
+
+impl ResourceSplit {
+    /// Computes Γ, Θ, Λ.
+    ///
+    /// # Panics
+    /// If `p == 0` or the denominator `X + O + W` is not positive.
+    pub fn metrics(&self) -> LoopMetrics {
+        assert!(self.p > 0, "need at least one PE");
+        let denom = self.compute + self.scheduling + self.waiting;
+        assert!(denom > 0.0, "X + O + W must be positive");
+        let p = self.p as f64;
+        LoopMetrics {
+            speedup: self.ideal_compute * p / denom,
+            overhead_degree: self.scheduling * p / denom,
+            imbalance_degree: self.waiting * p / denom,
+        }
+    }
+}
+
+impl LoopMetrics {
+    /// Γ + Θ + Λ — equals `p` exactly when there is no contention
+    /// (X = L), and is at most `p` otherwise.
+    pub fn accounted_processors(&self) -> f64 {
+        self.speedup + self.overhead_degree + self.imbalance_degree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_execution_reaches_p() {
+        // X = L, no scheduling cost, no waiting: Γ = p, Θ = Λ = 0.
+        let s = ResourceSplit {
+            ideal_compute: 100.0,
+            compute: 100.0,
+            scheduling: 0.0,
+            waiting: 0.0,
+            p: 8,
+        };
+        let m = s.metrics();
+        assert!((m.speedup - 8.0).abs() < 1e-12);
+        assert_eq!(m.overhead_degree, 0.0);
+        assert_eq!(m.imbalance_degree, 0.0);
+        assert!((m.accounted_processors() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_identity_without_contention() {
+        // Without contention (X = L), Γ + Θ + Λ = p regardless of split.
+        let s = ResourceSplit {
+            ideal_compute: 60.0,
+            compute: 60.0,
+            scheduling: 25.0,
+            waiting: 15.0,
+            p: 10,
+        };
+        let m = s.metrics();
+        assert!((m.accounted_processors() - 10.0).abs() < 1e-12);
+        assert!((m.speedup - 6.0).abs() < 1e-12);
+        assert!((m.overhead_degree - 2.5).abs() < 1e-12);
+        assert!((m.imbalance_degree - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_loses_processors() {
+        // X > L models memory/network contention: Γ + Θ + Λ < p.
+        let s = ResourceSplit {
+            ideal_compute: 50.0,
+            compute: 60.0,
+            scheduling: 20.0,
+            waiting: 20.0,
+            p: 10,
+        };
+        let m = s.metrics();
+        assert!(m.accounted_processors() < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_rejected() {
+        ResourceSplit { ideal_compute: 1.0, compute: 1.0, scheduling: 0.0, waiting: 0.0, p: 0 }
+            .metrics();
+    }
+}

@@ -1,0 +1,153 @@
+//! Hagerup's wasted-time metric (BOLD publication; paper §III-B, §IV-B).
+//!
+//! *"The wasted time of a single worker in one run is the sum of the idle
+//! time and of the scheduling overhead of this worker. The average wasted
+//! time of a single run is the sum of the wasted times of all workers
+//! divided by the number of workers."*
+//!
+//! The paper computes it from simulation output as: per worker,
+//! `makespan − compute_time`; averaged over workers; then the scheduling
+//! overhead `h × (number of chunks)` is **added to the average** (not
+//! divided by the worker count) — reproducing Hagerup's own accounting.
+
+/// How the fixed per-scheduling-operation overhead `h` enters the metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OverheadModel {
+    /// No overhead accounting (h = 0).
+    None,
+    /// Hagerup / paper §IV-B: `h × total_chunks` is added to the average
+    /// wasted time of a run, after averaging idle times over workers.
+    PostHocTotal {
+        /// Per-scheduling-operation overhead in seconds.
+        h: f64,
+    },
+    /// Ablation: `h` is charged inside the simulation per assigned chunk on
+    /// the executing PE (changes the schedule dynamics, not just the
+    /// metric). With this model the metric adds nothing post-hoc.
+    InDynamics {
+        /// Per-scheduling-operation overhead in seconds.
+        h: f64,
+    },
+}
+
+impl OverheadModel {
+    /// The h charged inside the simulator per chunk (0 unless `InDynamics`).
+    pub fn in_sim_h(&self) -> f64 {
+        match self {
+            OverheadModel::InDynamics { h } => *h,
+            _ => 0.0,
+        }
+    }
+
+    /// The post-hoc addition to a run's average wasted time.
+    pub fn post_hoc_addition(&self, total_chunks: u64) -> f64 {
+        match self {
+            OverheadModel::PostHocTotal { h } => h * total_chunks as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Cost summary of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunCost {
+    /// Total simulated time of the run (makespan), seconds.
+    pub makespan: f64,
+    /// Per-worker time spent computing (executing tasks), seconds.
+    pub compute: Vec<f64>,
+    /// Total number of chunks assigned (= scheduling operations).
+    pub chunks: u64,
+}
+
+impl RunCost {
+    /// Per-worker wasted times: `makespan − compute_i`, clamped at zero
+    /// against floating-point jitter.
+    pub fn worker_wasted(&self) -> Vec<f64> {
+        self.compute.iter().map(|&c| (self.makespan - c).max(0.0)).collect()
+    }
+
+    /// The paper's *average wasted time* of this run under the given
+    /// overhead model.
+    pub fn average_wasted(&self, overhead: OverheadModel) -> f64 {
+        average_wasted_time(self.makespan, &self.compute, self.chunks, overhead)
+    }
+}
+
+/// Per-worker wasted times from makespan and compute times.
+pub fn wasted_times(makespan: f64, compute: &[f64]) -> Vec<f64> {
+    compute.iter().map(|&c| (makespan - c).max(0.0)).collect()
+}
+
+/// Average wasted time of one run (paper §IV-B):
+/// `mean_i(makespan − compute_i) + h·chunks` (for the post-hoc model).
+pub fn average_wasted_time(
+    makespan: f64,
+    compute: &[f64],
+    chunks: u64,
+    overhead: OverheadModel,
+) -> f64 {
+    assert!(!compute.is_empty(), "need at least one worker");
+    let idle_avg: f64 =
+        compute.iter().map(|&c| (makespan - c).max(0.0)).sum::<f64>() / compute.len() as f64;
+    idle_avg + overhead.post_hoc_addition(chunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_balanced_run_wastes_only_overhead() {
+        // Every worker computes for the whole makespan.
+        let w = average_wasted_time(10.0, &[10.0, 10.0], 4, OverheadModel::PostHocTotal { h: 0.5 });
+        assert!((w - 2.0).abs() < 1e-12); // 0 idle + 0.5 × 4 chunks
+    }
+
+    #[test]
+    fn idle_time_is_averaged_over_workers() {
+        // Worker 0 computes 10, worker 1 computes 6 → idle 0 and 4 → avg 2.
+        let w = average_wasted_time(10.0, &[10.0, 6.0], 0, OverheadModel::None);
+        assert!((w - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_is_added_not_averaged() {
+        // Paper: "The scheduling overhead time h is multiplied with the
+        // number of chunks ... and this value is added to the average
+        // wasted time" — h·chunks is NOT divided by p.
+        let w = average_wasted_time(1.0, &[1.0, 1.0, 1.0, 1.0], 10, OverheadModel::PostHocTotal {
+            h: 0.5,
+        });
+        assert!((w - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_dynamics_model_adds_nothing_post_hoc() {
+        let m = OverheadModel::InDynamics { h: 0.5 };
+        assert_eq!(m.post_hoc_addition(100), 0.0);
+        assert_eq!(m.in_sim_h(), 0.5);
+        let p = OverheadModel::PostHocTotal { h: 0.5 };
+        assert_eq!(p.in_sim_h(), 0.0);
+        assert_eq!(p.post_hoc_addition(100), 50.0);
+    }
+
+    #[test]
+    fn fp_jitter_clamped() {
+        let ws = wasted_times(1.0, &[1.0 + 1e-15]);
+        assert_eq!(ws[0], 0.0);
+    }
+
+    #[test]
+    fn run_cost_convenience() {
+        let rc = RunCost { makespan: 5.0, compute: vec![5.0, 3.0], chunks: 2 };
+        assert_eq!(rc.worker_wasted(), vec![0.0, 2.0]);
+        let w = rc.average_wasted(OverheadModel::PostHocTotal { h: 1.0 });
+        assert!((w - 3.0).abs() < 1e-12); // avg idle 1 + h·2
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_workers_rejected() {
+        average_wasted_time(1.0, &[], 0, OverheadModel::None);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the statistics utilities.
+
+use dls_metrics::{
+    average_wasted_time, cov, discrepancy, jain_fairness, max_mean_imbalance,
+    mean_below_threshold, percentile, relative_discrepancy_pct, trimmed_mean, OverheadModel,
+    SummaryStats,
+};
+use proptest::prelude::*;
+
+fn finite_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+fn nonneg_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1e6, 1..200)
+}
+
+proptest! {
+    /// Merging arbitrary splits equals one-pass accumulation.
+    #[test]
+    fn welford_merge_any_split(xs in finite_vec(), cut in 0usize..200) {
+        let cut = cut.min(xs.len());
+        let whole = SummaryStats::from_slice(&xs);
+        let mut left = SummaryStats::from_slice(&xs[..cut]);
+        left.merge(&SummaryStats::from_slice(&xs[cut..]));
+        prop_assert_eq!(whole.count(), left.count());
+        prop_assert!((whole.mean() - left.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!(
+            (whole.variance() - left.variance()).abs()
+                <= 1e-5 * whole.variance().abs().max(1.0)
+        );
+    }
+
+    /// Mean lies within [min, max]; variance is non-negative.
+    #[test]
+    fn summary_bounds(xs in finite_vec()) {
+        let s = SummaryStats::from_slice(&xs);
+        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.variance() >= -1e-9);
+        prop_assert!(s.ci95_half_width() >= 0.0);
+    }
+
+    /// Percentiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn percentile_monotone(xs in nonneg_vec(), q1 in 0.0f64..100.0, q2 in 0.0f64..100.0) {
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let plo = percentile(&sorted, lo);
+        let phi = percentile(&sorted, hi);
+        prop_assert!(plo <= phi + 1e-12);
+        prop_assert!(plo >= sorted[0] - 1e-12);
+        prop_assert!(phi <= sorted[sorted.len() - 1] + 1e-12);
+    }
+
+    /// Trimmed and thresholded means never exceed the raw mean for
+    /// right-tailed trims of non-negative data.
+    #[test]
+    fn trimming_reduces_right_tail(xs in nonneg_vec(), thr in 0.0f64..1e6) {
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        if let Some(tb) = mean_below_threshold(&xs, thr) {
+            prop_assert!(tb <= mean + 1e-9 || xs.iter().all(|&x| x <= thr));
+        }
+        if let Some(tm) = trimmed_mean(&xs, 0.1) {
+            prop_assert!(tm.is_finite());
+        }
+    }
+
+    /// Fairness metrics stay in their documented ranges.
+    #[test]
+    fn fairness_ranges(xs in nonneg_vec()) {
+        let f = jain_fairness(&xs);
+        prop_assert!(f > 0.0 && f <= 1.0 + 1e-12);
+        prop_assert!(max_mean_imbalance(&xs) >= 1.0 - 1e-12);
+        prop_assert!(cov(&xs) >= 0.0);
+    }
+
+    /// Discrepancy identities: relative is consistent with absolute.
+    #[test]
+    fn discrepancy_identities(sim in 0.001f64..1e6, orig in 0.001f64..1e6) {
+        let d = discrepancy(sim, orig);
+        let r = relative_discrepancy_pct(sim, orig);
+        prop_assert!((r - 100.0 * d / orig).abs() < 1e-9 * r.abs().max(1.0));
+        prop_assert_eq!(discrepancy(orig, orig), 0.0);
+    }
+
+    /// Wasted time is non-negative and increases with the overhead h.
+    #[test]
+    fn wasted_time_monotone_in_h(
+        makespan in 1.0f64..1e4,
+        chunks in 1u64..10_000,
+        h1 in 0.0f64..10.0,
+        h2 in 0.0f64..10.0,
+    ) {
+        let compute = vec![makespan * 0.5, makespan * 0.9];
+        let (lo, hi) = (h1.min(h2), h1.max(h2));
+        let wlo = average_wasted_time(makespan, &compute, chunks,
+            OverheadModel::PostHocTotal { h: lo });
+        let whi = average_wasted_time(makespan, &compute, chunks,
+            OverheadModel::PostHocTotal { h: hi });
+        prop_assert!(wlo >= 0.0);
+        prop_assert!(whi >= wlo - 1e-12);
+    }
+}

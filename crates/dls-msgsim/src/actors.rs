@@ -1,0 +1,249 @@
+//! The master and worker actors of the MSG execution model (Figure 1).
+
+use crate::spec::SimSpec;
+use dls_core::ChunkScheduler;
+use dls_des::{Actor, ActorId, Ctx, SimTime};
+use dls_platform::LinkSpec;
+use dls_workload::{Availability, TaskTimes};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Messages exchanged between master and workers.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Worker → master: "I am idle"; carries the previous chunk's timing so
+    /// adaptive techniques receive their feedback.
+    Request {
+        /// Completion report for the previously executed chunk, if any.
+        prev: Option<Completion>,
+    },
+    /// Master → worker: execute `count` tasks totalling `work_secs` of
+    /// unit-speed work.
+    Work {
+        /// Number of tasks in the chunk.
+        count: u64,
+        /// Sum of the chunk's task times at unit speed, seconds.
+        work_secs: f64,
+    },
+    /// Master → worker: no more work; terminate.
+    Finalize,
+}
+
+/// A worker's report about its last chunk.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// Tasks in the chunk.
+    pub chunk: u64,
+    /// Wall time the chunk took on the worker, seconds.
+    pub elapsed: f64,
+}
+
+/// One assignment record in the optional chunk trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkRecord {
+    /// Virtual time at which the master assigned the chunk, seconds.
+    pub assigned_at: f64,
+    /// Receiving worker index.
+    pub worker: usize,
+    /// First task index of the chunk.
+    pub start: u64,
+    /// Number of tasks in the chunk.
+    pub count: u64,
+}
+
+/// Statistics shared between actors and collected after the run.
+#[derive(Debug)]
+pub struct SharedStats {
+    /// Per-worker total computing time (task execution only), seconds.
+    pub compute: Vec<f64>,
+    /// Total chunks assigned (scheduling operations).
+    pub chunks: u64,
+    /// Per-worker chunk counts.
+    pub chunks_per_worker: Vec<u64>,
+    /// Total tasks assigned (must end at `n`).
+    pub assigned_tasks: u64,
+    /// Time the last chunk execution finished (the makespan), seconds.
+    pub last_finish: f64,
+    /// Chunk trace (populated only when the spec requests it).
+    pub chunk_trace: Option<Vec<ChunkRecord>>,
+}
+
+impl SharedStats {
+    /// Zeroed statistics for `p` workers.
+    pub fn new(p: usize) -> Self {
+        SharedStats {
+            compute: vec![0.0; p],
+            chunks: 0,
+            chunks_per_worker: vec![0; p],
+            assigned_tasks: 0,
+            last_finish: 0.0,
+            chunk_trace: None,
+        }
+    }
+}
+
+const MASTER: ActorId = 0;
+
+/// The master: owns the scheduler and the task-time realization.
+pub struct Master {
+    scheduler: Rc<RefCell<Box<dyn ChunkScheduler>>>,
+    tasks: TaskTimes,
+    link: LinkSpec,
+    work_bytes: u64,
+    finalize_bytes: u64,
+    /// Per-request service time (0 = instantaneous master).
+    service: SimTime,
+    /// Time until which the master's single scheduling "core" is busy.
+    busy_until: SimTime,
+    next_task: usize,
+    stats: Rc<RefCell<SharedStats>>,
+}
+
+impl Master {
+    /// Builds the master for one run. The scheduler handle is shared so a
+    /// time-stepping driver can keep adaptive state across runs.
+    pub fn new(
+        scheduler: Rc<RefCell<Box<dyn ChunkScheduler>>>,
+        tasks: TaskTimes,
+        spec: &SimSpec,
+        stats: Rc<RefCell<SharedStats>>,
+    ) -> Self {
+        Master {
+            scheduler,
+            tasks,
+            link: spec.platform.link(),
+            work_bytes: spec.messages.work,
+            finalize_bytes: spec.messages.finalize,
+            service: SimTime::from_secs_f64(spec.master_service),
+            busy_until: SimTime::ZERO,
+            next_task: 0,
+            stats,
+        }
+    }
+
+    /// Serializes this request through the master's scheduling core and
+    /// returns the extra delay (queueing + service) to add to the reply.
+    fn serve(&mut self, now: SimTime) -> SimTime {
+        if self.service == SimTime::ZERO {
+            return SimTime::ZERO;
+        }
+        let start = self.busy_until.max(now);
+        let done = start.saturating_add(self.service);
+        self.busy_until = done;
+        done - now
+    }
+}
+
+impl Actor<Msg> for Master {
+    fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let Msg::Request { prev } = msg else {
+            unreachable!("master only receives work requests");
+        };
+        let worker = from - 1; // actor ids: master 0, worker w at w+1
+        let queueing = self.serve(ctx.now());
+        let mut scheduler = self.scheduler.borrow_mut();
+        if let Some(c) = prev {
+            scheduler.record_completion(worker, c.chunk, c.elapsed);
+        }
+        let count = scheduler.next_chunk(worker);
+        if count == 0 {
+            let delay =
+                queueing.saturating_add(SimTime::from_secs_f64(self.link.comm_time(self.finalize_bytes)));
+            ctx.send(from, delay, Msg::Finalize);
+            return;
+        }
+        let end = self.next_task + count as usize;
+        let work_secs = self.tasks.chunk_sum(self.next_task, end);
+        self.next_task = end;
+        {
+            let mut s = self.stats.borrow_mut();
+            s.chunks += 1;
+            s.chunks_per_worker[worker] += 1;
+            s.assigned_tasks += count;
+            if let Some(trace) = &mut s.chunk_trace {
+                trace.push(ChunkRecord {
+                    assigned_at: ctx.now().as_secs_f64(),
+                    worker,
+                    start: (end - count as usize) as u64,
+                    count,
+                });
+            }
+        }
+        let delay =
+            queueing.saturating_add(SimTime::from_secs_f64(self.link.comm_time(self.work_bytes)));
+        ctx.send(from, delay, Msg::Work { count, work_secs });
+    }
+}
+
+/// A worker: request → execute → request, until finalized.
+pub struct Worker {
+    index: usize,
+    speed: f64,
+    availability: Availability,
+    link: LinkSpec,
+    request_bytes: u64,
+    in_sim_h: f64,
+    /// The chunk currently executing (set between Work and the timer).
+    executing: Option<Completion>,
+    stats: Rc<RefCell<SharedStats>>,
+}
+
+impl Worker {
+    /// Builds worker `index` (platform host `index`, actor id `index + 1`).
+    pub fn new(index: usize, spec: &SimSpec, stats: Rc<RefCell<SharedStats>>) -> Self {
+        let host = spec.platform.host(index);
+        Worker {
+            index,
+            speed: host.speed,
+            availability: host.availability.clone(),
+            link: spec.platform.link(),
+            request_bytes: spec.messages.request,
+            in_sim_h: spec.overhead.in_sim_h(),
+            executing: None,
+            stats,
+        }
+    }
+
+    fn send_request(&self, prev: Option<Completion>, ctx: &mut Ctx<'_, Msg>) {
+        let delay = SimTime::from_secs_f64(self.link.comm_time(self.request_bytes));
+        ctx.send(MASTER, delay, Msg::Request { prev });
+    }
+}
+
+impl Actor<Msg> for Worker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.send_request(None, ctx);
+    }
+
+    fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match msg {
+            Msg::Work { count, work_secs } => {
+                let now = ctx.now().as_secs_f64();
+                // Nominal execution at the host's rated speed, corrected by
+                // the availability model averaged over the execution window.
+                let nominal = work_secs / (self.speed * self.availability.weight);
+                let factor = self.availability.perturbation.average_factor(now, now + nominal);
+                let exec = nominal / factor.max(f64::MIN_POSITIVE);
+                self.stats.borrow_mut().compute[self.index] += exec;
+                self.executing = Some(Completion { chunk: count, elapsed: exec });
+                ctx.set_timer(SimTime::from_secs_f64(self.in_sim_h + exec), 0);
+            }
+            Msg::Finalize => {
+                // Idle worker shuts down; nothing to schedule.
+            }
+            Msg::Request { .. } => unreachable!("workers never receive requests"),
+        }
+    }
+
+    fn on_timer(&mut self, _key: u64, ctx: &mut Ctx<'_, Msg>) {
+        let done = self.executing.take().expect("timer fires only while executing");
+        {
+            let mut s = self.stats.borrow_mut();
+            let now = ctx.now().as_secs_f64();
+            if now > s.last_finish {
+                s.last_finish = now;
+            }
+        }
+        self.send_request(Some(done), ctx);
+    }
+}

@@ -1,0 +1,337 @@
+//! Platform model: the "system information" of paper Figure 2.
+//!
+//! This crate is the analog of the SimGrid **platform file** plus the parts
+//! of the deployment file that map processes to hosts. A [`Platform`]
+//! describes hosts (speed, cores, availability), network links (latency,
+//! bandwidth) and a topology (star around the master, or full mesh), and can
+//! answer "what does it cost to move `b` bytes from host `i` to host `j`?".
+//!
+//! Two design points mirror the paper:
+//!
+//! * §III-A: for master–worker scheduling no full network transformation is
+//!   needed — only master↔worker routes matter, so a star topology with one
+//!   link class suffices for the TSS reproduction;
+//! * §III-B: Hagerup's simulator had no network, which the paper reproduced
+//!   by "setting the network parameters bandwidth to a very high value and
+//!   the latency to a very low value" — that configuration is provided as
+//!   [`LinkSpec::negligible`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dls_workload::Availability;
+use serde::{Deserialize, Serialize};
+
+/// A network link class: fixed latency plus serialization at a bandwidth.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct LinkSpec {
+    /// One-way latency in seconds.
+    pub latency: f64,
+    /// Bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl LinkSpec {
+    /// Creates a link after validating parameters.
+    pub fn new(latency: f64, bandwidth: f64) -> Result<Self, PlatformError> {
+        if !latency.is_finite() || latency < 0.0 {
+            return Err(PlatformError::BadLink("latency must be finite and >= 0"));
+        }
+        if bandwidth.is_nan() || bandwidth <= 0.0 {
+            return Err(PlatformError::BadLink("bandwidth must be > 0"));
+        }
+        Ok(LinkSpec { latency, bandwidth })
+    }
+
+    /// The paper's §III-B "no network cost" configuration: latency 1 ns,
+    /// bandwidth 1 EB/s — practically free but still totally ordered events.
+    pub fn negligible() -> Self {
+        LinkSpec { latency: 1e-9, bandwidth: 1e18 }
+    }
+
+    /// A typical late-90s LAN (the paper's first, failed attempt at the BOLD
+    /// system description): 100 µs latency, 100 Mbit/s.
+    pub fn lan_90s() -> Self {
+        LinkSpec { latency: 100e-6, bandwidth: 12.5e6 }
+    }
+
+    /// A fast modern cluster interconnect: 1 µs latency, 100 Gbit/s.
+    pub fn fast() -> Self {
+        LinkSpec { latency: 1e-6, bandwidth: 12.5e9 }
+    }
+
+    /// Time to deliver a message of `bytes` over this link.
+    pub fn comm_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// One host (a processing element in the paper's terminology is a core of a
+/// host; the reproduced experiments use single-core hosts).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Host {
+    /// Host name (unique within the platform).
+    pub name: String,
+    /// Relative speed: 1.0 executes a 1-second task in 1 second.
+    pub speed: f64,
+    /// Number of cores (PEs) on the host.
+    pub cores: u32,
+    /// Availability model (weight + perturbation over time).
+    pub availability: Availability,
+}
+
+/// Network topology shapes supported by the platform builder.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub enum Topology {
+    /// All workers connect to the master through one shared link class
+    /// (each route = 2 half-links ⇒ one latency + one serialization).
+    Star,
+    /// Every pair of hosts is directly connected by the link class.
+    FullMesh,
+}
+
+/// Errors from building or validating a platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// Invalid link parameters.
+    BadLink(&'static str),
+    /// Invalid host parameters.
+    BadHost(&'static str),
+    /// The platform has no hosts.
+    NoHosts,
+    /// Host names collide.
+    DuplicateHost(String),
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::BadLink(m) => write!(f, "bad link: {m}"),
+            PlatformError::BadHost(m) => write!(f, "bad host: {m}"),
+            PlatformError::NoHosts => write!(f, "platform must contain at least one host"),
+            PlatformError::DuplicateHost(n) => write!(f, "duplicate host name `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// A complete system description: hosts + topology + link class.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Platform {
+    hosts: Vec<Host>,
+    topology: Topology,
+    link: LinkSpec,
+}
+
+impl Platform {
+    /// Builds a platform from explicit hosts.
+    pub fn new(
+        hosts: Vec<Host>,
+        topology: Topology,
+        link: LinkSpec,
+    ) -> Result<Self, PlatformError> {
+        if hosts.is_empty() {
+            return Err(PlatformError::NoHosts);
+        }
+        let mut names = std::collections::HashSet::new();
+        for h in &hosts {
+            if !h.speed.is_finite() || h.speed <= 0.0 {
+                return Err(PlatformError::BadHost("speed must be finite and > 0"));
+            }
+            if h.cores == 0 {
+                return Err(PlatformError::BadHost("cores must be >= 1"));
+            }
+            if h.availability.weight.is_nan() || h.availability.weight <= 0.0 {
+                return Err(PlatformError::BadHost("availability weight must be > 0"));
+            }
+            if !names.insert(h.name.clone()) {
+                return Err(PlatformError::DuplicateHost(h.name.clone()));
+            }
+        }
+        Ok(Platform { hosts, topology, link })
+    }
+
+    /// Homogeneous star: `count` single-core hosts of identical `speed`
+    /// named `"{prefix}-0" .. "{prefix}-{count-1}"`.
+    pub fn homogeneous_star(prefix: &str, count: usize, speed: f64, link: LinkSpec) -> Self {
+        let hosts = (0..count)
+            .map(|i| Host {
+                name: format!("{prefix}-{i}"),
+                speed,
+                cores: 1,
+                availability: Availability::nominal(),
+            })
+            .collect();
+        Platform::new(hosts, Topology::Star, link).expect("homogeneous star is valid")
+    }
+
+    /// Heterogeneous star: one host per entry of `weights`, host `i` running
+    /// at `speed * weights[i]`.
+    pub fn weighted_star(
+        prefix: &str,
+        weights: &[f64],
+        speed: f64,
+        link: LinkSpec,
+    ) -> Result<Self, PlatformError> {
+        let hosts = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Host {
+                name: format!("{prefix}-{i}"),
+                speed: speed * w,
+                cores: 1,
+                availability: Availability::nominal(),
+            })
+            .collect();
+        Platform::new(hosts, Topology::Star, link)
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Total number of PEs (sum of cores).
+    pub fn num_pes(&self) -> u64 {
+        self.hosts.iter().map(|h| h.cores as u64).sum()
+    }
+
+    /// The hosts, in index order.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// Host by index.
+    pub fn host(&self, i: usize) -> &Host {
+        &self.hosts[i]
+    }
+
+    /// The topology shape.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The link class.
+    pub fn link(&self) -> LinkSpec {
+        self.link
+    }
+
+    /// Relative speeds of all hosts (used as WF weights).
+    pub fn speeds(&self) -> Vec<f64> {
+        self.hosts.iter().map(|h| h.speed).collect()
+    }
+
+    /// One-way communication time for `bytes` from host `a` to host `b`.
+    ///
+    /// In a star, a route crosses the hub: two link traversals are modeled
+    /// as one latency + one serialization on the shared class (SimGrid's
+    /// "backbone" pattern); a full mesh is a single direct traversal.
+    /// Messages between colocated processes (`a == b`) are free.
+    pub fn comm_time(&self, a: usize, b: usize, bytes: u64) -> f64 {
+        assert!(a < self.hosts.len() && b < self.hosts.len(), "host out of range");
+        if a == b {
+            return 0.0;
+        }
+        match self.topology {
+            Topology::Star | Topology::FullMesh => self.link.comm_time(bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_star_shape() {
+        let p = Platform::homogeneous_star("w", 4, 2.0, LinkSpec::fast());
+        assert_eq!(p.num_hosts(), 4);
+        assert_eq!(p.num_pes(), 4);
+        assert_eq!(p.host(0).name, "w-0");
+        assert_eq!(p.host(3).name, "w-3");
+        assert!(p.hosts().iter().all(|h| h.speed == 2.0));
+    }
+
+    #[test]
+    fn weighted_star_speeds() {
+        let p = Platform::weighted_star("w", &[1.0, 2.0, 0.5], 1.0, LinkSpec::fast()).unwrap();
+        assert_eq!(p.speeds(), vec![1.0, 2.0, 0.5]);
+    }
+
+    #[test]
+    fn invalid_hosts_rejected() {
+        let mk = |speed, cores| {
+            Platform::new(
+                vec![Host {
+                    name: "h".into(),
+                    speed,
+                    cores,
+                    availability: Availability::nominal(),
+                }],
+                Topology::Star,
+                LinkSpec::fast(),
+            )
+        };
+        assert!(mk(0.0, 1).is_err());
+        assert!(mk(f64::NAN, 1).is_err());
+        assert!(mk(1.0, 0).is_err());
+        assert!(Platform::new(vec![], Topology::Star, LinkSpec::fast()).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let h = Host {
+            name: "same".into(),
+            speed: 1.0,
+            cores: 1,
+            availability: Availability::nominal(),
+        };
+        let err = Platform::new(vec![h.clone(), h], Topology::Star, LinkSpec::fast());
+        assert_eq!(err.unwrap_err(), PlatformError::DuplicateHost("same".into()));
+    }
+
+    #[test]
+    fn link_validation() {
+        assert!(LinkSpec::new(-1.0, 1.0).is_err());
+        assert!(LinkSpec::new(0.0, 0.0).is_err());
+        assert!(LinkSpec::new(0.0, f64::NAN).is_err());
+        assert!(LinkSpec::new(1e-6, 1e9).is_ok());
+    }
+
+    #[test]
+    fn comm_time_model() {
+        let l = LinkSpec::new(1e-3, 1e6).unwrap();
+        assert!((l.comm_time(0) - 1e-3).abs() < 1e-15);
+        assert!((l.comm_time(1_000_000) - 1.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negligible_link_is_effectively_free() {
+        // The paper's "no network cost" trick: even a 1 MiB payload takes
+        // about a nanosecond.
+        let l = LinkSpec::negligible();
+        assert!(l.comm_time(1 << 20) < 1e-8);
+    }
+
+    #[test]
+    fn same_host_messages_free() {
+        let p = Platform::homogeneous_star("w", 2, 1.0, LinkSpec::fast());
+        assert_eq!(p.comm_time(1, 1, 1024), 0.0);
+        assert!(p.comm_time(0, 1, 1024) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "host out of range")]
+    fn comm_time_bounds_checked() {
+        Platform::homogeneous_star("w", 2, 1.0, LinkSpec::fast()).comm_time(0, 5, 1);
+    }
+
+    #[test]
+    fn platform_is_serde() {
+        fn assert_serde<T: serde::Serialize + for<'a> serde::Deserialize<'a>>() {}
+        assert_serde::<Platform>();
+        assert_serde::<LinkSpec>();
+        assert_serde::<Host>();
+    }
+}

@@ -1,0 +1,121 @@
+//! Option parsing for the `repro` binary, kept in the library so it can be
+//! unit-tested.
+
+use dls_core::Technique;
+
+/// Parsed command-line options shared by all `repro` subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Runs per configuration (Figures 5–9).
+    pub runs: u32,
+    /// Campaign worker threads.
+    pub threads: usize,
+    /// Campaign seed override.
+    pub seed: Option<u64>,
+    /// Directory for CSV output.
+    pub csv_dir: Option<String>,
+    /// PE sweep override (Figures 5–8).
+    pub pes: Option<Vec<usize>>,
+    /// Technique subset override (Figures 5–8).
+    pub techniques: Option<Vec<Technique>>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            runs: 1000,
+            threads: crate::runner::default_threads(),
+            seed: None,
+            csv_dir: None,
+            pes: None,
+            techniques: None,
+        }
+    }
+}
+
+/// Parses the option list that follows the subcommand.
+pub fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--runs" => o.runs = value("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?,
+            "--threads" => {
+                o.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--seed" => {
+                o.seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
+            }
+            "--csv" => o.csv_dir = Some(value("--csv")?),
+            "--pes" => {
+                let list = value("--pes")?;
+                let pes: Result<Vec<usize>, _> = list.split(',').map(|s| s.parse()).collect();
+                o.pes = Some(pes.map_err(|e| format!("--pes: {e}"))?);
+            }
+            "--techniques" => {
+                let list = value("--techniques")?;
+                let ts: Result<Vec<Technique>, _> = list.split(',').map(|s| s.parse()).collect();
+                o.techniques = Some(ts.map_err(|e| format!("--techniques: {e}"))?);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse_options(&[]).unwrap();
+        assert_eq!(o.runs, 1000);
+        assert!(o.seed.is_none() && o.pes.is_none() && o.techniques.is_none());
+    }
+
+    #[test]
+    fn full_option_set() {
+        let o = parse_options(&args(
+            "--runs 50 --threads 2 --seed 9 --csv out --pes 2,8 --techniques SS,BOLD",
+        ))
+        .unwrap();
+        assert_eq!(o.runs, 50);
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.seed, Some(9));
+        assert_eq!(o.csv_dir.as_deref(), Some("out"));
+        assert_eq!(o.pes, Some(vec![2, 8]));
+        assert_eq!(
+            o.techniques,
+            Some(vec![Technique::SS, Technique::Bold])
+        );
+    }
+
+    #[test]
+    fn parameterized_techniques() {
+        let o = parse_options(&args("--techniques GSS(80),CSS(1389),TSS")).unwrap();
+        let ts = o.techniques.unwrap();
+        assert_eq!(ts[0], Technique::Gss { min_chunk: 80 });
+        assert_eq!(ts[1], Technique::Css { k: 1389 });
+        assert_eq!(ts[2], Technique::Tss { first: None, last: None });
+        // A comma inside TSS(a,b) would be split by the list separator;
+        // the parser rejects it rather than misparsing (CLI limitation).
+        assert!(parse_options(&args("--techniques TSS(695,1)")).is_err());
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse_options(&args("--runs")).unwrap_err().contains("requires a value"));
+        assert!(parse_options(&args("--runs x")).unwrap_err().contains("--runs"));
+        assert!(parse_options(&args("--bogus 1")).unwrap_err().contains("unknown option"));
+        assert!(parse_options(&args("--pes 2,x")).unwrap_err().contains("--pes"));
+        assert!(parse_options(&args("--techniques XYZ")).unwrap_err().contains("--techniques"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Figures 5–8: reproducing the BOLD publication's experiment 1.
+//!
+//! Eight techniques (STAT, SS, FSC, GSS, TSS, FAC, FAC2, BOLD) schedule
+//! `n ∈ {1,024; 8,192; 65,536; 524,288}` tasks onto
+//! `p ∈ {2; 8; 64; 256; 1,024}` PEs; task times are exponential with
+//! µ = 1 s (σ = 1 s), the scheduling overhead is h = 0.5 s, and the sample
+//! mean of the *average wasted time* over 1,000 runs is reported
+//! (paper Table III).
+//!
+//! Per run, both simulators consume the **same** task-time realization:
+//!
+//! * `dls-msgsim` — the SimGrid-MSG analog (network zeroed out per §III-B:
+//!   "bandwidth to a very high value and the latency to a very low value");
+//! * `dls-hagerup` — the replica of Hagerup's own simulator, the oracle the
+//!   discrepancy columns (Figures 5c/d–8c/d) compare against.
+
+use crate::runner::run_campaign;
+use dls_core::{SetupError, Technique};
+use dls_hagerup::DirectSimulator;
+use dls_metrics::{discrepancy, relative_discrepancy_pct, OverheadModel, SummaryStats};
+use dls_msgsim::{simulate_with_tasks, SimSpec};
+use dls_platform::{LinkSpec, Platform};
+use dls_workload::Workload;
+
+/// How the replica oracle's workload realizations relate to msgsim's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleMode {
+    /// The replica draws its own realizations from a different seed stream
+    /// — mirroring the paper, whose comparison values came from Hagerup's
+    /// runs with an unreported seed. Discrepancies then reflect
+    /// finite-sample noise and shrink as `n` grows (the paper's headline
+    /// observation).
+    IndependentSeeds,
+    /// Both simulators consume identical realizations — the stronger
+    /// verification this workspace can do that the paper could not:
+    /// discrepancies isolate *simulator* differences and are ≈ 0.
+    SharedRealizations,
+}
+
+/// Campaign parameters for one figure.
+#[derive(Debug, Clone)]
+pub struct HagerupConfig {
+    /// Task count `n` (one of the four figure variants).
+    pub n: u64,
+    /// PE counts to sweep.
+    pub pes: Vec<usize>,
+    /// Independent runs per (technique, p) cell.
+    pub runs: u32,
+    /// Scheduling overhead `h`, seconds.
+    pub h: f64,
+    /// Mean task time µ, seconds (σ = µ for the exponential).
+    pub mean: f64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Worker threads for the campaign.
+    pub threads: usize,
+    /// Oracle seeding mode.
+    pub oracle: OracleMode,
+    /// Techniques to measure (default: the paper's eight).
+    pub techniques: Vec<Technique>,
+}
+
+impl HagerupConfig {
+    /// The paper's configuration for task count `n` (Table III),
+    /// with a configurable run count.
+    pub fn paper(n: u64, runs: u32) -> Self {
+        HagerupConfig {
+            n,
+            pes: vec![2, 8, 64, 256, 1024],
+            runs,
+            h: 0.5,
+            mean: 1.0,
+            seed: 0x20170529 ^ n,
+            threads: crate::runner::default_threads(),
+            oracle: OracleMode::IndependentSeeds,
+            techniques: Technique::hagerup_set().to_vec(),
+        }
+    }
+}
+
+/// Seed salt separating the oracle's realization stream from msgsim's.
+const ORACLE_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Aggregated result for one (technique, p) cell.
+#[derive(Debug, Clone)]
+pub struct WastedRow {
+    /// Technique name.
+    pub technique: String,
+    /// Number of PEs.
+    pub p: usize,
+    /// Sample mean of the average wasted time, SimGrid-MSG analog.
+    pub msgsim: f64,
+    /// Sample mean of the average wasted time, Hagerup replica (oracle).
+    pub replica: f64,
+    /// `msgsim − replica`, seconds (Figures 5c–8c).
+    pub discrepancy: f64,
+    /// `100·(msgsim − replica)/replica` (Figures 5d–8d).
+    pub relative_pct: f64,
+    /// Full statistics of the msgsim runs.
+    pub msgsim_stats: SummaryStats,
+    /// Full statistics of the replica runs.
+    pub replica_stats: SummaryStats,
+}
+
+/// Runs the full campaign for one figure (all techniques × all PE counts).
+pub fn run_figure(cfg: &HagerupConfig) -> Result<Vec<WastedRow>, SetupError> {
+    let techniques = &cfg.techniques;
+    let overhead = OverheadModel::PostHocTotal { h: cfg.h };
+    let workload = Workload::exponential(cfg.n, cfg.mean)
+        .map_err(|_| SetupError::BadMoment("exponential mean must be > 0"))?;
+    let mut rows = Vec::new();
+
+    for &p in &cfg.pes {
+        let platform = Platform::homogeneous_star("pe", p, 1.0, LinkSpec::negligible());
+        let sim = DirectSimulator::new(p, overhead);
+        // One campaign per p: each run generates a single realization and
+        // evaluates every technique on it, in both simulators.
+        let per_run: Vec<Vec<(f64, f64)>> =
+            run_campaign(cfg.runs, cfg.seed ^ (p as u64) << 32, cfg.threads, |_, run_seed| {
+                let tasks = workload.generate(run_seed);
+                let oracle_tasks = match cfg.oracle {
+                    OracleMode::SharedRealizations => None,
+                    OracleMode::IndependentSeeds => {
+                        Some(workload.generate(run_seed ^ ORACLE_SALT))
+                    }
+                };
+                let mut pairs = vec![(0.0, 0.0); techniques.len()];
+                for (slot, &technique) in pairs.iter_mut().zip(techniques) {
+                    let spec = SimSpec::new(technique, workload.clone(), platform.clone())
+                        .with_overhead(overhead);
+                    let setup = spec.loop_setup();
+                    let msg = simulate_with_tasks(&spec, &tasks)
+                        .expect("validated spec cannot fail")
+                        .average_wasted();
+                    let rep = sim
+                        .run(technique, &setup, oracle_tasks.as_ref().unwrap_or(&tasks))
+                        .expect("validated setup cannot fail")
+                        .average_wasted(overhead);
+                    *slot = (msg, rep);
+                }
+                pairs
+            });
+
+        for (ti, &technique) in techniques.iter().enumerate() {
+            let mut msg_stats = SummaryStats::new();
+            let mut rep_stats = SummaryStats::new();
+            for pair in &per_run {
+                msg_stats.push(pair[ti].0);
+                rep_stats.push(pair[ti].1);
+            }
+            let (m, r) = (msg_stats.mean(), rep_stats.mean());
+            rows.push(WastedRow {
+                technique: technique.name().to_string(),
+                p,
+                msgsim: m,
+                replica: r,
+                discrepancy: discrepancy(m, r),
+                relative_pct: if r != 0.0 { relative_discrepancy_pct(m, r) } else { 0.0 },
+                msgsim_stats: msg_stats,
+                replica_stats: rep_stats,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Maximum absolute relative discrepancy over all rows, excluding the
+/// FAC/2-PE heavy-tail outlier the paper also excludes (§IV-B4).
+pub fn max_relative_discrepancy_excluding_outlier(rows: &[WastedRow]) -> f64 {
+    rows.iter()
+        .filter(|r| !(r.technique == "FAC" && r.p == 2))
+        .map(|r| r.relative_pct.abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(oracle: OracleMode) -> HagerupConfig {
+        HagerupConfig {
+            n: 1024,
+            pes: vec![2, 8],
+            runs: 20,
+            h: 0.5,
+            mean: 1.0,
+            seed: 7,
+            threads: 1,
+            oracle,
+            techniques: Technique::hagerup_set().to_vec(),
+        }
+    }
+
+    #[test]
+    fn produces_all_cells() {
+        let rows = run_figure(&tiny_cfg(OracleMode::SharedRealizations)).unwrap();
+        assert_eq!(rows.len(), 8 * 2);
+        assert!(rows.iter().any(|r| r.technique == "BOLD" && r.p == 8));
+    }
+
+    #[test]
+    fn shared_realizations_verify_the_simulators_agree() {
+        // The stronger-than-paper verification: identical realizations and
+        // a zeroed network make the two simulators agree almost exactly.
+        let rows = run_figure(&tiny_cfg(OracleMode::SharedRealizations)).unwrap();
+        for r in &rows {
+            assert!(
+                r.relative_pct.abs() < 0.1,
+                "{} p={}: msgsim {} vs replica {} ({}%)",
+                r.technique,
+                r.p,
+                r.msgsim,
+                r.replica,
+                r.relative_pct
+            );
+        }
+    }
+
+    #[test]
+    fn independent_seeds_mirror_the_papers_comparison() {
+        // With independent realizations (the paper's situation) the means
+        // agree only up to sampling noise; at 20 runs the noisiest cell
+        // (STAT at p=2, whose per-run waste is itself heavy-tailed) can be
+        // tens of percent off. The 1,000-run campaigns in EXPERIMENTS.md
+        // show the paper's <=15 % behavior.
+        let rows = run_figure(&tiny_cfg(OracleMode::IndependentSeeds)).unwrap();
+        for r in &rows {
+            assert!(
+                r.relative_pct.abs() < 100.0,
+                "{} p={}: {}% off",
+                r.technique,
+                r.p,
+                r.relative_pct
+            );
+        }
+        // ... and are not bit-identical (otherwise the salt is broken).
+        assert!(rows.iter().any(|r| r.discrepancy != 0.0));
+    }
+
+    #[test]
+    fn ss_pays_the_overhead_bill() {
+        // SS makes n scheduling operations: h·n = 512 s dominates its
+        // wasted time at every p.
+        let rows = run_figure(&tiny_cfg(OracleMode::SharedRealizations)).unwrap();
+        for r in rows.iter().filter(|r| r.technique == "SS") {
+            assert!(r.msgsim > 500.0, "SS p={} wasted {}", r.p, r.msgsim);
+        }
+    }
+
+    #[test]
+    fn stat_has_minimal_overhead_at_small_p() {
+        let rows = run_figure(&tiny_cfg(OracleMode::SharedRealizations)).unwrap();
+        let stat2 = rows.iter().find(|r| r.technique == "STAT" && r.p == 2).unwrap();
+        let ss2 = rows.iter().find(|r| r.technique == "SS" && r.p == 2).unwrap();
+        assert!(stat2.msgsim < ss2.msgsim / 10.0);
+    }
+
+    #[test]
+    fn outlier_exclusion_helper() {
+        let rows = run_figure(&tiny_cfg(OracleMode::SharedRealizations)).unwrap();
+        let all_max =
+            rows.iter().map(|r| r.relative_pct.abs()).fold(0.0, f64::max);
+        let excl = max_relative_discrepancy_excluding_outlier(&rows);
+        assert!(excl <= all_max);
+    }
+
+    #[test]
+    fn paper_config_matches_table3() {
+        let c = HagerupConfig::paper(8192, 1000);
+        assert_eq!(c.pes, vec![2, 8, 64, 256, 1024]);
+        assert_eq!(c.h, 0.5);
+        assert_eq!(c.mean, 1.0);
+        assert_eq!(c.runs, 1000);
+    }
+}

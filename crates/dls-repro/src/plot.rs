@@ -1,0 +1,152 @@
+//! Terminal plots of the paper's figures.
+//!
+//! The paper presents its results as line charts (speedup vs p; wasted
+//! time vs p on a log axis). This module renders the same series as ASCII
+//! charts so `repro` output can be eyeballed against the publication
+//! without a plotting stack.
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Axis scaling for the y axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear y axis (Figures 3–4).
+    Linear,
+    /// Logarithmic y axis (Figures 5–8).
+    Log10,
+}
+
+/// Renders series as an ASCII chart of `width`×`height` characters
+/// (plus axes and legend). Each series is drawn with its own glyph.
+pub fn render(series: &[Series], scale: Scale, width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 4, "chart too small");
+    const GLYPHS: [char; 10] = ['*', 'o', '+', 'x', '#', '@', '%', '&', '=', '~'];
+
+    let all: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let tx = |x: f64| x;
+    let ty = |y: f64| match scale {
+        Scale::Linear => y,
+        Scale::Log10 => y.max(1e-300).log10(),
+    };
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x0 = x0.min(tx(x));
+        x1 = x1.max(tx(x));
+        y0 = y0.min(ty(y));
+        y1 = y1.max(ty(y));
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = (((tx(x) - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((ty(y) - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let ylab = |v: f64| -> String {
+        let raw = match scale {
+            Scale::Linear => v,
+            Scale::Log10 => 10f64.powf(v),
+        };
+        if raw.abs() >= 1000.0 {
+            format!("{raw:9.0}")
+        } else {
+            format!("{raw:9.2}")
+        }
+    };
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let frac = 1.0 - r as f64 / (height - 1) as f64;
+        let yv = y0 + frac * (y1 - y0);
+        // Label every few rows to keep the chart readable.
+        if r % (height / 4).max(1) == 0 || r == height - 1 {
+            out.push_str(&ylab(yv));
+        } else {
+            out.push_str("         ");
+        }
+        out.push_str(" |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("          +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("           x: {x0:.0} .. {x1:.0}\n"));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("           {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series { label: "A".into(), points: vec![(2.0, 1.0), (8.0, 10.0), (64.0, 100.0)] },
+            Series { label: "B".into(), points: vec![(2.0, 5.0), (8.0, 5.0), (64.0, 5.0)] },
+        ]
+    }
+
+    #[test]
+    fn renders_all_series_glyphs_and_legend() {
+        let chart = render(&sample(), Scale::Log10, 40, 12);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("* A"));
+        assert!(chart.contains("o B"));
+        assert!(chart.contains("x: 2 .. 64"));
+    }
+
+    #[test]
+    fn linear_and_log_scales_differ() {
+        let lin = render(&sample(), Scale::Linear, 40, 12);
+        let log = render(&sample(), Scale::Log10, 40, 12);
+        assert_ne!(lin, log);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        assert_eq!(render(&[], Scale::Linear, 40, 12), "(no data)\n");
+        let empty_series =
+            vec![Series { label: "E".into(), points: vec![] }];
+        assert_eq!(render(&empty_series, Scale::Linear, 40, 12), "(no data)\n");
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let s = vec![Series { label: "C".into(), points: vec![(1.0, 3.0), (2.0, 3.0)] }];
+        let chart = render(&s, Scale::Linear, 20, 6);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn tiny_chart_rejected() {
+        render(&sample(), Scale::Linear, 4, 2);
+    }
+}

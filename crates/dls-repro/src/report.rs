@@ -1,0 +1,160 @@
+//! Plain-text tables and CSV output for experiment results.
+
+use crate::hagerup_exp::WastedRow;
+use crate::outlier::OutlierAnalysis;
+use crate::tss_exp::SpeedupRow;
+use std::fmt::Write as _;
+
+/// Renders an aligned plain-text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Renders rows as CSV (RFC-4180-ish; cells are numeric or simple labels,
+/// so quoting is only applied when a cell contains a comma or quote).
+pub fn format_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let esc = |s: &str| -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats Figure 3/4 speedup rows.
+pub fn speedup_rows(rows: &[SpeedupRow]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec!["technique", "p", "simulated", "original", "note"];
+    let body = rows
+        .iter()
+        .map(|r| {
+            let orig = r.reference.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into());
+            let note = match r.reference {
+                Some(o) if r.simulated > 1.5 * o => "diverges (paper: not reproduced)",
+                Some(_) => "matches",
+                None => "",
+            };
+            vec![
+                r.label.clone(),
+                r.p.to_string(),
+                format!("{:.1}", r.simulated),
+                orig,
+                note.to_string(),
+            ]
+        })
+        .collect();
+    (headers, body)
+}
+
+/// Formats Figure 5–8 wasted-time rows.
+pub fn wasted_rows(rows: &[WastedRow]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers =
+        vec!["technique", "p", "msgsim[s]", "replica[s]", "discrepancy[s]", "relative[%]"];
+    let body = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.technique.clone(),
+                r.p.to_string(),
+                format!("{:.2}", r.msgsim),
+                format!("{:.2}", r.replica),
+                format!("{:+.2}", r.discrepancy),
+                format!("{:+.2}", r.relative_pct),
+            ]
+        })
+        .collect();
+    (headers, body)
+}
+
+/// Formats the Figure 9 analysis summary.
+pub fn outlier_summary(a: &OutlierAnalysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "runs:             {}", a.per_run.len());
+    let _ = writeln!(out, "mean wasted:      {:.2} s", a.mean);
+    let _ = writeln!(out, "max wasted:       {:.2} s", a.stats.max());
+    let _ = writeln!(
+        out,
+        "> {:.0} s:          {} runs ({:.1} %)",
+        a.threshold,
+        a.outliers,
+        100.0 * a.outliers as f64 / a.per_run.len().max(1) as f64
+    );
+    if let Some(tm) = a.trimmed_mean {
+        let _ = writeln!(out, "mean (<= {:.0} s):  {:.2} s", a.threshold, tm);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len() || l.starts_with('-')));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let c = format_csv(&["x"], &[vec!["a,b".into()], vec!["q\"q".into()]]);
+        assert!(c.contains("\"a,b\""));
+        assert!(c.contains("\"q\"\"q\""));
+    }
+
+    #[test]
+    fn csv_plain_cells_unquoted() {
+        let c = format_csv(&["x", "y"], &[vec!["1".into(), "2.5".into()]]);
+        assert_eq!(c, "x,y\n1,2.5\n");
+    }
+
+    #[test]
+    fn speedup_note_flags_divergence() {
+        let rows = vec![
+            SpeedupRow { label: "SS".into(), p: 80, simulated: 75.0, reference: Some(20.0) },
+            SpeedupRow { label: "TSS".into(), p: 80, simulated: 74.0, reference: Some(73.0) },
+        ];
+        let (_, body) = speedup_rows(&rows);
+        assert!(body[0][4].contains("diverges"));
+        assert_eq!(body[1][4], "matches");
+    }
+}

@@ -1,0 +1,239 @@
+//! General parameter sweeps beyond the paper's fixed grids.
+//!
+//! §II of the paper motivates simulation with "the use of a wider range of
+//! application and system parameters than measurements of real applications
+//! on real machines can offer" and "any probability distribution of the
+//! task execution times". This module delivers that: a cross-product sweep
+//! over loop sizes, PE counts, task-time distributions and techniques, with
+//! summary statistics per cell.
+
+use crate::runner::run_campaign;
+use dls_core::{SetupError, Technique};
+use dls_metrics::{OverheadModel, SummaryStats};
+use dls_msgsim::{simulate_with_tasks, SimSpec};
+use dls_platform::{LinkSpec, Platform};
+use dls_workload::{TimeModel, Workload};
+
+/// A named workload family for the sweep (the task count is supplied per
+/// grid point).
+#[derive(Debug, Clone)]
+pub struct WorkloadFamily {
+    /// Display name (e.g. `"exponential"`).
+    pub name: String,
+    /// The time model; its µ should be ~1 s so cells are comparable.
+    pub model: TimeModel,
+}
+
+impl WorkloadFamily {
+    /// The standard families: exponential, gamma, lognormal, uniform,
+    /// constant — all with mean 1 s.
+    pub fn standard() -> Vec<WorkloadFamily> {
+        vec![
+            WorkloadFamily {
+                name: "constant".into(),
+                model: TimeModel::Constant { time: 1.0 },
+            },
+            WorkloadFamily {
+                name: "uniform".into(),
+                model: TimeModel::Uniform { lo: 0.0, hi: 2.0 },
+            },
+            WorkloadFamily {
+                name: "exponential".into(),
+                model: TimeModel::Exponential { mean: 1.0 },
+            },
+            WorkloadFamily {
+                name: "gamma(k=2)".into(),
+                model: TimeModel::Gamma { shape: 2.0, scale: 0.5 },
+            },
+            WorkloadFamily {
+                name: "lognormal".into(),
+                model: TimeModel::LogNormal { mean: 1.0, std: 1.0 },
+            },
+        ]
+    }
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Loop sizes.
+    pub ns: Vec<u64>,
+    /// PE counts.
+    pub pes: Vec<usize>,
+    /// Workload families.
+    pub families: Vec<WorkloadFamily>,
+    /// Techniques.
+    pub techniques: Vec<Technique>,
+    /// Runs per cell (1 is enough for deterministic workloads).
+    pub runs: u32,
+    /// Scheduling overhead h.
+    pub h: f64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            ns: vec![4_096],
+            pes: vec![4, 16, 64],
+            families: WorkloadFamily::standard(),
+            techniques: Technique::hagerup_set().to_vec(),
+            runs: 20,
+            h: 0.01,
+            seed: 0x53EE9,
+            threads: crate::runner::default_threads(),
+        }
+    }
+}
+
+/// One sweep cell's summary.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Loop size.
+    pub n: u64,
+    /// PE count.
+    pub p: usize,
+    /// Workload family name.
+    pub workload: String,
+    /// Technique name.
+    pub technique: String,
+    /// Average wasted time statistics over the runs.
+    pub wasted: SummaryStats,
+    /// Speedup statistics over the runs.
+    pub speedup: SummaryStats,
+    /// Mean scheduling operations per run.
+    pub chunks_mean: f64,
+}
+
+/// Runs the sweep; the row order is the nesting order
+/// (n, p, family, technique).
+pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, SetupError> {
+    let overhead = OverheadModel::PostHocTotal { h: cfg.h };
+    let mut rows = Vec::new();
+    for &n in &cfg.ns {
+        for &p in &cfg.pes {
+            let platform = Platform::homogeneous_star("pe", p, 1.0, LinkSpec::negligible());
+            for family in &cfg.families {
+                let workload = Workload::new(n, family.model.clone())
+                    .map_err(|_| SetupError::BadParam("invalid sweep workload"))?;
+                for &technique in &cfg.techniques {
+                    let spec = SimSpec::new(technique, workload.clone(), platform.clone())
+                        .with_overhead(overhead);
+                    let cell_seed = cfg.seed ^ n ^ (p as u64) << 24;
+                    let per_run: Vec<(f64, f64, u64)> =
+                        run_campaign(cfg.runs, cell_seed, cfg.threads, |_, run_seed| {
+                            let tasks = spec.workload.generate(run_seed);
+                            let out = simulate_with_tasks(&spec, &tasks)
+                                .expect("validated spec cannot fail");
+                            (out.average_wasted(), out.speedup(), out.chunks)
+                        });
+                    let mut wasted = SummaryStats::new();
+                    let mut speedup = SummaryStats::new();
+                    let mut chunks = 0u64;
+                    for (w, s, c) in &per_run {
+                        wasted.push(*w);
+                        speedup.push(*s);
+                        chunks += c;
+                    }
+                    rows.push(SweepRow {
+                        n,
+                        p,
+                        workload: family.name.clone(),
+                        technique: technique.name().to_string(),
+                        wasted,
+                        speedup,
+                        chunks_mean: chunks as f64 / cfg.runs.max(1) as f64,
+                    });
+                }
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// For each (n, p, family) group, the technique with the lowest mean
+/// wasted time — the "who wins where" digest.
+pub fn winners(rows: &[SweepRow]) -> Vec<(u64, usize, String, String, f64)> {
+    let mut out: Vec<(u64, usize, String, String, f64)> = Vec::new();
+    for r in rows {
+        match out
+            .iter_mut()
+            .find(|(n, p, w, _, _)| *n == r.n && *p == r.p && *w == r.workload)
+        {
+            Some(entry) => {
+                if r.wasted.mean() < entry.4 {
+                    entry.3 = r.technique.clone();
+                    entry.4 = r.wasted.mean();
+                }
+            }
+            None => out.push((
+                r.n,
+                r.p,
+                r.workload.clone(),
+                r.technique.clone(),
+                r.wasted.mean(),
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepConfig {
+        SweepConfig {
+            ns: vec![512],
+            pes: vec![4],
+            families: vec![
+                WorkloadFamily { name: "constant".into(), model: TimeModel::Constant { time: 1.0 } },
+                WorkloadFamily {
+                    name: "exponential".into(),
+                    model: TimeModel::Exponential { mean: 1.0 },
+                },
+            ],
+            techniques: vec![Technique::Stat, Technique::SS, Technique::Fac2],
+            runs: 5,
+            h: 0.01,
+            seed: 1,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let rows = run_sweep(&tiny()).unwrap();
+        assert_eq!(rows.len(), 2 * 3);
+        assert!(rows.iter().all(|r| r.wasted.count() == 5));
+    }
+
+    #[test]
+    fn constant_workload_prefers_stat() {
+        // With zero variance and non-zero h, STAT's p chunks beat SS's n.
+        let rows = run_sweep(&tiny()).unwrap();
+        let win = winners(&rows);
+        let constant = win.iter().find(|(_, _, w, _, _)| w == "constant").unwrap();
+        assert_eq!(constant.3, "STAT");
+    }
+
+    #[test]
+    fn exponential_workload_prefers_dynamic() {
+        let rows = run_sweep(&tiny()).unwrap();
+        let win = winners(&rows);
+        let expo = win.iter().find(|(_, _, w, _, _)| w == "exponential").unwrap();
+        assert_ne!(expo.3, "SS", "SS pays n·h and cannot win");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = run_sweep(&tiny()).unwrap();
+        let b = run_sweep(&tiny()).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.wasted.mean(), y.wasted.mean());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The verification verdict: are the two simulator implementations of the
+//! DLS techniques equivalent?
+//!
+//! This is the workspace's version of the paper's *"verification via
+//! reproducibility"*: the SimGrid-MSG analog is verified against the
+//! replica of Hagerup's simulator on **identical** workload realizations,
+//! over a grid of loop sizes, PE counts and techniques. The paper could
+//! only compare against published numbers with an unknown seed (§III-B);
+//! with both simulators in one workspace the comparison is exact.
+
+use dls_core::{SetupError, Technique};
+use dls_hagerup::DirectSimulator;
+use dls_metrics::{OverheadModel, SummaryStats};
+use dls_msgsim::{simulate_with_tasks, SimSpec};
+use dls_platform::{LinkSpec, Platform};
+use dls_workload::Workload;
+
+/// One verification cell: a technique over a (n, p) grid point.
+#[derive(Debug, Clone)]
+pub struct VerifyRow {
+    /// Technique name.
+    pub technique: String,
+    /// Loop size.
+    pub n: u64,
+    /// PE count.
+    pub p: usize,
+    /// Max relative makespan deviation over the runs, percent.
+    pub max_makespan_dev_pct: f64,
+    /// Max relative wasted-time deviation over the runs, percent.
+    pub max_wasted_dev_pct: f64,
+    /// Whether chunk counts matched exactly in every run.
+    pub chunks_identical: bool,
+}
+
+/// Configuration of the verification grid.
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// Loop sizes to test.
+    pub ns: Vec<u64>,
+    /// PE counts to test.
+    pub pes: Vec<usize>,
+    /// Runs (realizations) per cell.
+    pub runs: u32,
+    /// Scheduling overhead h.
+    pub h: f64,
+    /// Campaign seed.
+    pub seed: u64,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            ns: vec![512, 4_096],
+            pes: vec![2, 8, 32],
+            runs: 10,
+            h: 0.5,
+            seed: 0x5EC0_11D5,
+        }
+    }
+}
+
+/// Runs the verification grid and returns per-cell verdicts.
+pub fn run_verification(cfg: &VerifyConfig) -> Result<Vec<VerifyRow>, SetupError> {
+    let overhead = OverheadModel::PostHocTotal { h: cfg.h };
+    let mut rows = Vec::new();
+    for &n in &cfg.ns {
+        let workload = Workload::exponential(n, 1.0)
+            .map_err(|_| SetupError::BadMoment("mean must be positive"))?;
+        for &p in &cfg.pes {
+            let platform = Platform::homogeneous_star("pe", p, 1.0, LinkSpec::negligible());
+            let direct = DirectSimulator::new(p, overhead);
+            for technique in Technique::hagerup_set() {
+                let mut mk_dev = SummaryStats::new();
+                let mut wt_dev = SummaryStats::new();
+                let mut chunks_identical = true;
+                for run in 0..cfg.runs {
+                    let tasks = workload.generate(cfg.seed ^ (run as u64) << 17 ^ n);
+                    let spec = SimSpec::new(technique, workload.clone(), platform.clone())
+                        .with_overhead(overhead);
+                    let setup = spec.loop_setup();
+                    let msg = simulate_with_tasks(&spec, &tasks)?;
+                    let rep = direct.run(technique, &setup, &tasks)?;
+                    let mdev =
+                        100.0 * (msg.makespan - rep.makespan).abs() / rep.makespan.max(1e-12);
+                    let mw = msg.average_wasted();
+                    let rw = rep.average_wasted(overhead);
+                    let wdev = 100.0 * (mw - rw).abs() / rw.max(1e-12);
+                    mk_dev.push(mdev);
+                    wt_dev.push(wdev);
+                    chunks_identical &= msg.chunks == rep.chunks;
+                }
+                rows.push(VerifyRow {
+                    technique: technique.name().to_string(),
+                    n,
+                    p,
+                    max_makespan_dev_pct: mk_dev.max(),
+                    max_wasted_dev_pct: wt_dev.max(),
+                    chunks_identical,
+                });
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// The overall verdict: the largest deviation anywhere in the grid.
+pub fn verdict(rows: &[VerifyRow]) -> (f64, bool) {
+    let worst = rows
+        .iter()
+        .map(|r| r.max_makespan_dev_pct.max(r.max_wasted_dev_pct))
+        .fold(0.0, f64::max);
+    let all_chunks = rows.iter().all(|r| r.chunks_identical);
+    (worst, all_chunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> VerifyConfig {
+        VerifyConfig { ns: vec![256], pes: vec![2, 4], runs: 4, h: 0.5, seed: 3 }
+    }
+
+    #[test]
+    fn verification_passes_on_the_small_grid() {
+        let rows = run_verification(&small()).unwrap();
+        assert_eq!(rows.len(), 2 * 8);
+        let (worst, chunks_ok) = verdict(&rows);
+        assert!(worst < 0.1, "worst deviation {worst}%");
+        assert!(chunks_ok, "chunk counts must match for non-adaptive techniques");
+    }
+
+    #[test]
+    fn rows_cover_the_grid() {
+        let rows = run_verification(&small()).unwrap();
+        assert!(rows.iter().any(|r| r.technique == "BOLD" && r.p == 4));
+        assert!(rows.iter().all(|r| r.n == 256));
+    }
+}

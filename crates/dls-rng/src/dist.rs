@@ -1,0 +1,519 @@
+//! Distribution samplers over any [`UniformSource`].
+//!
+//! These cover every task-execution-time distribution used in the paper and
+//! its two reproduction targets: constant workloads (TSS publication),
+//! exponential with mean µ (BOLD publication), plus the wider families the
+//! earlier DLS literature sweeps (uniform, normal, gamma, lognormal, weibull,
+//! bimodal). The exponential sampler uses the inverse CDF on an `erand48`
+//! deviate — exactly the construction available to Hagerup's simulator.
+
+use crate::UniformSource;
+
+/// Errors from constructing a distribution with invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A parameter that must be strictly positive was not.
+    NonPositive(&'static str),
+    /// A parameter that must be finite was not.
+    NonFinite(&'static str),
+    /// A probability parameter was outside `[0, 1]`.
+    NotAProbability(&'static str),
+    /// Interval bounds were inverted (`lo > hi`).
+    EmptyInterval,
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::NonPositive(p) => write!(f, "parameter `{p}` must be > 0"),
+            DistError::NonFinite(p) => write!(f, "parameter `{p}` must be finite"),
+            DistError::NotAProbability(p) => write!(f, "parameter `{p}` must lie in [0, 1]"),
+            DistError::EmptyInterval => write!(f, "interval is empty (lo > hi)"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+fn require_pos(v: f64, name: &'static str) -> Result<f64, DistError> {
+    if !v.is_finite() {
+        Err(DistError::NonFinite(name))
+    } else if v <= 0.0 {
+        Err(DistError::NonPositive(name))
+    } else {
+        Ok(v)
+    }
+}
+
+fn require_finite(v: f64, name: &'static str) -> Result<f64, DistError> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(DistError::NonFinite(name))
+    }
+}
+
+/// A continuous distribution that can be sampled and whose first two moments
+/// are known analytically.
+///
+/// The analytic moments matter: FSC, FAC, TSS and BOLD take µ and σ as
+/// *inputs* (paper Table II), and the experiment specs derive them from the
+/// declared workload distribution rather than from empirical samples.
+pub trait Distribution {
+    /// Draws one deviate.
+    fn sample<U: UniformSource + ?Sized>(&self, rng: &mut U) -> f64;
+
+    /// Analytic mean.
+    fn mean(&self) -> f64;
+
+    /// Analytic variance.
+    fn variance(&self) -> f64;
+
+    /// Analytic standard deviation.
+    fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Exponential distribution with the given mean (`rate = 1/mean`).
+///
+/// Sampled by inverse CDF: `-mean * ln(u)`, `u ~ U(0,1)` — the classical
+/// `erand48`-era construction used by the BOLD publication's workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with mean `mean > 0`.
+    pub fn new(mean: f64) -> Result<Self, DistError> {
+        Ok(Exponential {
+            mean: require_pos(mean, "mean")?,
+        })
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample<U: UniformSource + ?Sized>(&self, rng: &mut U) -> f64 {
+        -self.mean * rng.next_open01().ln()
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+    fn variance(&self) -> f64 {
+        self.mean * self.mean
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`, `lo <= hi`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, DistError> {
+        require_finite(lo, "lo")?;
+        require_finite(hi, "hi")?;
+        if lo > hi {
+            return Err(DistError::EmptyInterval);
+        }
+        Ok(Uniform { lo, hi })
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample<U: UniformSource + ?Sized>(&self, rng: &mut U) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.next_u01()
+    }
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+}
+
+/// Normal distribution (Box–Muller polar / Marsaglia method).
+///
+/// Task times must be non-negative; use [`Normal::sample_truncated`] when the
+/// deviate feeds a task execution time, matching how the DLS literature
+/// treats normal workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and `std > 0`.
+    pub fn new(mean: f64, std: f64) -> Result<Self, DistError> {
+        Ok(Normal {
+            mean: require_finite(mean, "mean")?,
+            std: require_pos(std, "std")?,
+        })
+    }
+
+    /// One standard-normal deviate by the Marsaglia polar method.
+    pub fn standard<U: UniformSource + ?Sized>(rng: &mut U) -> f64 {
+        loop {
+            let u = 2.0 * rng.next_u01() - 1.0;
+            let v = 2.0 * rng.next_u01() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Samples, clamping negatives to zero (for task-time generation).
+    pub fn sample_truncated<U: UniformSource + ?Sized>(&self, rng: &mut U) -> f64 {
+        self.sample(rng).max(0.0)
+    }
+}
+
+impl Distribution for Normal {
+    fn sample<U: UniformSource + ?Sized>(&self, rng: &mut U) -> f64 {
+        self.mean + self.std * Self::standard(rng)
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+    fn variance(&self) -> f64 {
+        self.std * self.std
+    }
+}
+
+/// Gamma distribution with shape `k > 0` and scale `θ > 0`
+/// (Marsaglia–Tsang squeeze method; shape < 1 via the boost trick).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution with `shape > 0`, `scale > 0`.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, DistError> {
+        Ok(Gamma {
+            shape: require_pos(shape, "shape")?,
+            scale: require_pos(scale, "scale")?,
+        })
+    }
+
+    fn sample_shape_ge1<U: UniformSource + ?Sized>(shape: f64, rng: &mut U) -> f64 {
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = Normal::standard(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u = rng.next_open01();
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+                return d * v3;
+            }
+        }
+    }
+}
+
+impl Distribution for Gamma {
+    fn sample<U: UniformSource + ?Sized>(&self, rng: &mut U) -> f64 {
+        if self.shape >= 1.0 {
+            self.scale * Self::sample_shape_ge1(self.shape, rng)
+        } else {
+            // Boost: Gamma(k) = Gamma(k+1) * U^(1/k) for k < 1.
+            let g = Self::sample_shape_ge1(self.shape + 1.0, rng);
+            self.scale * g * rng.next_open01().powf(1.0 / self.shape)
+        }
+    }
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+}
+
+/// Lognormal distribution parameterized by the *underlying* normal's µ and σ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal with underlying normal parameters (`sigma > 0`).
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        Ok(LogNormal {
+            mu: require_finite(mu, "mu")?,
+            sigma: require_pos(sigma, "sigma")?,
+        })
+    }
+
+    /// Builds a lognormal that has the given *target* mean and std-dev.
+    ///
+    /// Convenient for "same µ, σ as the exponential case" ablations.
+    pub fn from_mean_std(mean: f64, std: f64) -> Result<Self, DistError> {
+        require_pos(mean, "mean")?;
+        require_pos(std, "std")?;
+        let cv2 = (std / mean).powi(2);
+        let sigma2 = (1.0 + cv2).ln();
+        Ok(LogNormal {
+            mu: mean.ln() - 0.5 * sigma2,
+            sigma: sigma2.sqrt(),
+        })
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample<U: UniformSource + ?Sized>(&self, rng: &mut U) -> f64 {
+        (self.mu + self.sigma * Normal::standard(rng)).exp()
+    }
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        ((s2).exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+}
+
+/// Weibull distribution with shape `k > 0` and scale `λ > 0` (inverse CDF).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution with `shape > 0`, `scale > 0`.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, DistError> {
+        Ok(Weibull {
+            shape: require_pos(shape, "shape")?,
+            scale: require_pos(scale, "scale")?,
+        })
+    }
+}
+
+fn gamma_fn(x: f64) -> f64 {
+    // Lanczos approximation (g = 7, n = 9), sufficient for moment formulas.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_fn(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+impl Distribution for Weibull {
+    fn sample<U: UniformSource + ?Sized>(&self, rng: &mut U) -> f64 {
+        self.scale * (-rng.next_open01().ln()).powf(1.0 / self.shape)
+    }
+    fn mean(&self) -> f64 {
+        self.scale * gamma_fn(1.0 + 1.0 / self.shape)
+    }
+    fn variance(&self) -> f64 {
+        let g1 = gamma_fn(1.0 + 1.0 / self.shape);
+        let g2 = gamma_fn(1.0 + 2.0 / self.shape);
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+}
+
+/// Two-point mixture: value `a` with probability `p_a`, else value `b`.
+///
+/// Models the "mostly cheap tasks with occasional expensive ones" workloads
+/// that motivate adaptive DLS techniques.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bimodal {
+    a: f64,
+    b: f64,
+    p_a: f64,
+}
+
+impl Bimodal {
+    /// Creates the mixture `a` w.p. `p_a`, `b` w.p. `1 - p_a`.
+    pub fn new(a: f64, b: f64, p_a: f64) -> Result<Self, DistError> {
+        require_finite(a, "a")?;
+        require_finite(b, "b")?;
+        if !(0.0..=1.0).contains(&p_a) {
+            return Err(DistError::NotAProbability("p_a"));
+        }
+        Ok(Bimodal { a, b, p_a })
+    }
+}
+
+impl Distribution for Bimodal {
+    fn sample<U: UniformSource + ?Sized>(&self, rng: &mut U) -> f64 {
+        if rng.next_u01() < self.p_a {
+            self.a
+        } else {
+            self.b
+        }
+    }
+    fn mean(&self) -> f64 {
+        self.p_a * self.a + (1.0 - self.p_a) * self.b
+    }
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.p_a * (self.a - m).powi(2) + (1.0 - self.p_a) * (self.b - m).powi(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    const N: usize = 200_000;
+
+    /// Empirical mean/variance must track the analytic moments.
+    fn check_moments<D: Distribution>(d: &D, mean_tol: f64, var_tol: f64) {
+        let mut rng = SplitMix64::new(0xD15EA5E);
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..N {
+            let x = d.sample(&mut rng);
+            sum += x;
+            sumsq += x * x;
+        }
+        let m = sum / N as f64;
+        let v = sumsq / N as f64 - m * m;
+        assert!(
+            (m - d.mean()).abs() <= mean_tol,
+            "mean: empirical {m} vs analytic {}",
+            d.mean()
+        );
+        assert!(
+            (v - d.variance()).abs() <= var_tol,
+            "variance: empirical {v} vs analytic {}",
+            d.variance()
+        );
+    }
+
+    #[test]
+    fn exponential_moments() {
+        check_moments(&Exponential::new(1.0).unwrap(), 0.01, 0.05);
+        check_moments(&Exponential::new(2.5).unwrap(), 0.03, 0.3);
+    }
+
+    #[test]
+    fn uniform_moments() {
+        check_moments(&Uniform::new(0.0, 10.0).unwrap(), 0.03, 0.2);
+    }
+
+    #[test]
+    fn normal_moments() {
+        check_moments(&Normal::new(5.0, 2.0).unwrap(), 0.02, 0.08);
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        check_moments(&Gamma::new(3.0, 2.0).unwrap(), 0.05, 0.5);
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        check_moments(&Gamma::new(0.5, 1.0).unwrap(), 0.02, 0.05);
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        check_moments(&LogNormal::new(0.0, 0.5).unwrap(), 0.02, 0.1);
+    }
+
+    #[test]
+    fn lognormal_from_mean_std_targets_hit() {
+        let d = LogNormal::from_mean_std(1.0, 1.0).unwrap();
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+        assert!((d.variance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weibull_moments() {
+        check_moments(&Weibull::new(2.0, 1.0).unwrap(), 0.01, 0.03);
+    }
+
+    #[test]
+    fn weibull_shape1_is_exponential() {
+        let w = Weibull::new(1.0, 3.0).unwrap();
+        assert!((w.mean() - 3.0).abs() < 1e-9);
+        assert!((w.variance() - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bimodal_moments() {
+        check_moments(&Bimodal::new(1.0, 10.0, 0.9).unwrap(), 0.03, 0.3);
+    }
+
+    #[test]
+    fn exponential_nonnegative() {
+        let d = Exponential::new(1.0).unwrap();
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn truncated_normal_nonnegative() {
+        let d = Normal::new(0.1, 5.0).unwrap();
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..10_000 {
+            assert!(d.sample_truncated(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Gamma::new(-1.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, f64::INFINITY).is_err());
+        assert!(Bimodal::new(1.0, 2.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn gamma_function_known_values() {
+        assert!((gamma_fn(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma_fn(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma_fn(5.0) - 24.0).abs() < 1e-7);
+        assert!((gamma_fn(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rand48_exponential_stream_is_reproducible() {
+        use crate::Rand48;
+        let d = Exponential::new(1.0).unwrap();
+        let mut a = Rand48::from_seed(11);
+        let mut b = Rand48::from_seed(11);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! SplitMix64: a tiny, statistically strong 64-bit generator.
+//!
+//! Used for (a) deriving independent per-run seeds from one campaign seed and
+//! (b) fast uniform sampling in large parameter sweeps where bit-level
+//! `erand48` compatibility is not required. The update is Vigna's canonical
+//! SplitMix64 finalizer over a Weyl sequence.
+
+use crate::UniformSource;
+
+/// SplitMix64 generator state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the high 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` (Lemire rejection-free-ish widening
+    /// multiply, with rejection to remove the residual bias).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+impl UniformSource for SplitMix64 {
+    fn next_u01(&mut self) -> f64 {
+        self.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known-answer test: first three outputs for seed 0 (cross-checked with
+    /// the reference C implementation by Vigna).
+    #[test]
+    fn known_answer_seed0() {
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(sm.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut sm = SplitMix64::new(42);
+        for _ in 0..10_000 {
+            let x = sm.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut sm = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            assert!(sm.below(13) < 13);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the PRNG family and distribution samplers.
+
+use dls_rng::dist::{Distribution, Exponential, Gamma, LogNormal, Normal, Uniform, Weibull};
+use dls_rng::{Rand48, SplitMix64};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any erand48 stream stays in [0, 1) and is seed-reproducible.
+    #[test]
+    fn erand48_unit_interval_and_reproducible(seed in any::<u32>()) {
+        let mut a = Rand48::srand48(seed);
+        let mut b = Rand48::srand48(seed);
+        for _ in 0..256 {
+            let x = a.erand48();
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert_eq!(x, b.erand48());
+        }
+    }
+
+    /// nrand48 values fit in 31 bits for any seed.
+    #[test]
+    fn nrand48_is_31_bits(seed in any::<u32>()) {
+        let mut r = Rand48::srand48(seed);
+        for _ in 0..128 {
+            prop_assert!(r.nrand48() < (1 << 31));
+        }
+    }
+
+    /// Rejection sampling respects arbitrary bounds.
+    #[test]
+    fn below_in_range(seed in any::<u32>(), bound in 1u32..1_000_000) {
+        let mut r = Rand48::srand48(seed);
+        for _ in 0..64 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+
+    /// SplitMix64 streams differ for different seeds (collision over 64
+    /// draws would indicate a broken mixer).
+    #[test]
+    fn splitmix_streams_disjoint(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let mut x = SplitMix64::new(a);
+        let mut y = SplitMix64::new(b);
+        let same = (0..64).all(|_| x.next_u64() == y.next_u64());
+        prop_assert!(!same);
+    }
+
+    /// Every sampler produces finite, in-support values for arbitrary
+    /// (valid) parameters and seeds.
+    #[test]
+    fn samplers_stay_in_support(
+        seed in any::<u64>(),
+        mean in 0.01f64..100.0,
+        shape in 0.1f64..10.0,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let e = Exponential::new(mean).unwrap();
+        let g = Gamma::new(shape, mean).unwrap();
+        let w = Weibull::new(shape, mean).unwrap();
+        let l = LogNormal::from_mean_std(mean, mean).unwrap();
+        let u = Uniform::new(0.0, mean).unwrap();
+        for _ in 0..32 {
+            for v in [e.sample(&mut rng), g.sample(&mut rng), w.sample(&mut rng),
+                      l.sample(&mut rng), u.sample(&mut rng)] {
+                prop_assert!(v.is_finite() && v >= 0.0, "out of support: {v}");
+            }
+            let n = Normal::new(mean, mean).unwrap().sample_truncated(&mut rng);
+            prop_assert!(n >= 0.0);
+        }
+    }
+
+    /// Analytic moments are internally consistent: variance >= 0 and the
+    /// lognormal mean/std construction inverts correctly.
+    #[test]
+    fn lognormal_moment_inversion(mean in 0.05f64..50.0, std in 0.05f64..50.0) {
+        let l = LogNormal::from_mean_std(mean, std).unwrap();
+        prop_assert!((l.mean() - mean).abs() < 1e-9 * mean.max(1.0));
+        prop_assert!((l.variance() - std * std).abs() < 1e-6 * (std * std).max(1.0));
+    }
+}

@@ -1,0 +1,167 @@
+//! Processing-element availability / perturbation models.
+//!
+//! The paper's predecessors ([2], [3] in its bibliography) study DLS
+//! *robustness* and *resilience* by fluctuating PE speeds during execution.
+//! This module provides the systemic-variability substrate those follow-on
+//! experiments need: a per-PE, time-dependent speed multiplier.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic model of how a PE's effective speed varies over time.
+///
+/// A multiplier of `1.0` is nominal speed; `0.5` means the PE delivers half
+/// its nominal throughput (e.g. an external load spike); `0.0` models a
+/// fail-stop interval.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum PerturbationModel {
+    /// No perturbation — always nominal speed.
+    None,
+    /// Constant degradation to `factor` of nominal speed.
+    ConstantFactor {
+        /// Speed multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// Sinusoidal load: speed oscillates between `1-amplitude` and `1`.
+    Sinusoidal {
+        /// Peak-to-trough amplitude in `[0, 1)`.
+        amplitude: f64,
+        /// Oscillation period in seconds.
+        period: f64,
+    },
+    /// Step degradation: nominal until `at`, then `factor` forever.
+    Step {
+        /// Time of the perturbation onset (seconds).
+        at: f64,
+        /// Speed multiplier after onset, in `[0, 1]`.
+        factor: f64,
+    },
+}
+
+impl PerturbationModel {
+    /// Effective speed multiplier at simulated time `t` (seconds).
+    pub fn speed_factor(&self, t: f64) -> f64 {
+        match self {
+            PerturbationModel::None => 1.0,
+            PerturbationModel::ConstantFactor { factor } => *factor,
+            PerturbationModel::Sinusoidal { amplitude, period } => {
+                let phase = (t / period) * std::f64::consts::TAU;
+                1.0 - amplitude * 0.5 * (1.0 - phase.cos())
+            }
+            PerturbationModel::Step { at, factor } => {
+                if t < *at {
+                    1.0
+                } else {
+                    *factor
+                }
+            }
+        }
+    }
+
+    /// Average speed factor over the window `[t0, t1]`, by midpoint sampling.
+    ///
+    /// Chunk executions are charged with the average factor over their
+    /// duration; for the models here the midpoint rule is exact (constant,
+    /// step away from the boundary) or second-order accurate (sinusoid).
+    pub fn average_factor(&self, t0: f64, t1: f64) -> f64 {
+        match self {
+            PerturbationModel::None => 1.0,
+            PerturbationModel::ConstantFactor { factor } => *factor,
+            PerturbationModel::Sinusoidal { .. } => self.speed_factor(0.5 * (t0 + t1)),
+            PerturbationModel::Step { at, factor } => {
+                if t1 <= *at {
+                    1.0
+                } else if t0 >= *at {
+                    *factor
+                } else {
+                    let span = t1 - t0;
+                    if span <= 0.0 {
+                        self.speed_factor(t0)
+                    } else {
+                        ((at - t0) + factor * (t1 - at)) / span
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-PE availability description: nominal weight plus perturbation.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Availability {
+    /// Relative nominal speed (1.0 = reference PE).
+    pub weight: f64,
+    /// Time-dependent perturbation applied on top of the weight.
+    pub perturbation: PerturbationModel,
+}
+
+impl Availability {
+    /// Nominal, unperturbed availability.
+    pub fn nominal() -> Self {
+        Availability { weight: 1.0, perturbation: PerturbationModel::None }
+    }
+
+    /// Effective speed at time `t`.
+    pub fn speed_at(&self, t: f64) -> f64 {
+        self.weight * self.perturbation.speed_factor(t)
+    }
+}
+
+impl Default for Availability {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_unit() {
+        let p = PerturbationModel::None;
+        assert_eq!(p.speed_factor(0.0), 1.0);
+        assert_eq!(p.speed_factor(1e9), 1.0);
+        assert_eq!(p.average_factor(0.0, 10.0), 1.0);
+    }
+
+    #[test]
+    fn constant_factor() {
+        let p = PerturbationModel::ConstantFactor { factor: 0.25 };
+        assert_eq!(p.speed_factor(3.0), 0.25);
+        assert_eq!(p.average_factor(1.0, 2.0), 0.25);
+    }
+
+    #[test]
+    fn sinusoid_bounds() {
+        let p = PerturbationModel::Sinusoidal { amplitude: 0.4, period: 10.0 };
+        for i in 0..100 {
+            let f = p.speed_factor(i as f64 * 0.37);
+            assert!((0.6..=1.0 + 1e-12).contains(&f), "factor {f}");
+        }
+        // At t = 0 the sinusoid starts at nominal speed.
+        assert!((p.speed_factor(0.0) - 1.0).abs() < 1e-12);
+        // At half period it bottoms out at 1 - amplitude.
+        assert!((p.speed_factor(5.0) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_before_after() {
+        let p = PerturbationModel::Step { at: 5.0, factor: 0.5 };
+        assert_eq!(p.speed_factor(4.9), 1.0);
+        assert_eq!(p.speed_factor(5.0), 0.5);
+        // Window straddling the step averages linearly.
+        assert!((p.average_factor(4.0, 6.0) - 0.75).abs() < 1e-12);
+        assert_eq!(p.average_factor(0.0, 5.0), 1.0);
+        assert_eq!(p.average_factor(5.0, 9.0), 0.5);
+    }
+
+    #[test]
+    fn availability_combines_weight_and_perturbation() {
+        let a = Availability {
+            weight: 2.0,
+            perturbation: PerturbationModel::ConstantFactor { factor: 0.5 },
+        };
+        assert_eq!(a.speed_at(1.0), 1.0);
+        assert_eq!(Availability::nominal().speed_at(0.0), 1.0);
+    }
+}

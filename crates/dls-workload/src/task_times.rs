@@ -1,0 +1,115 @@
+//! Materialized per-task execution times with O(1) chunk sums.
+
+/// One sampled realization of a workload's per-task execution times.
+///
+/// Stores the raw times plus a prefix-sum array so that the cost of a chunk
+/// of consecutive tasks `[start, end)` is a single subtraction. Both
+/// simulators charge whole chunks, never single tasks, which keeps event
+/// counts proportional to scheduling operations rather than task counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskTimes {
+    times: Vec<f64>,
+    prefix: Vec<f64>,
+}
+
+impl TaskTimes {
+    /// Wraps raw per-task times (seconds), building the prefix sums.
+    pub fn new(times: Vec<f64>) -> Self {
+        let mut prefix = Vec::with_capacity(times.len() + 1);
+        let mut acc = 0.0f64;
+        prefix.push(0.0);
+        for &t in &times {
+            acc += t;
+            prefix.push(acc);
+        }
+        TaskTimes { times, prefix }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when there are no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Execution time of task `i` (unit-speed seconds).
+    pub fn time(&self, i: usize) -> f64 {
+        self.times[i]
+    }
+
+    /// Total execution time of all tasks (the serial time `T_1`).
+    pub fn total(&self) -> f64 {
+        self.prefix[self.times.len()]
+    }
+
+    /// Sum of task times in `[start, end)`, O(1).
+    ///
+    /// # Panics
+    /// If `start > end` or `end > len()`.
+    pub fn chunk_sum(&self, start: usize, end: usize) -> f64 {
+        assert!(start <= end && end <= self.times.len(), "chunk out of range");
+        self.prefix[end] - self.prefix[start]
+    }
+
+    /// Iterator over the raw times.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.times.iter().copied()
+    }
+
+    /// Empirical mean of this realization.
+    pub fn empirical_mean(&self) -> f64 {
+        if self.times.is_empty() {
+            0.0
+        } else {
+            self.total() / self.times.len() as f64
+        }
+    }
+
+    /// Empirical (population) variance of this realization.
+    pub fn empirical_variance(&self) -> f64 {
+        if self.times.is_empty() {
+            return 0.0;
+        }
+        let m = self.empirical_mean();
+        self.times.iter().map(|t| (t - m) * (t - m)).sum::<f64>() / self.times.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sums_match_naive() {
+        let t = TaskTimes::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.chunk_sum(0, 0), 0.0);
+        assert_eq!(t.chunk_sum(0, 4), 10.0);
+        assert_eq!(t.chunk_sum(1, 3), 5.0);
+        assert_eq!(t.total(), 10.0);
+    }
+
+    #[test]
+    fn empirical_moments() {
+        let t = TaskTimes::new(vec![2.0, 4.0, 6.0]);
+        assert!((t.empirical_mean() - 4.0).abs() < 1e-12);
+        assert!((t.empirical_variance() - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk out of range")]
+    fn chunk_bounds_checked() {
+        TaskTimes::new(vec![1.0]).chunk_sum(0, 2);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let t = TaskTimes::new(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.total(), 0.0);
+        assert_eq!(t.empirical_mean(), 0.0);
+        assert_eq!(t.empirical_variance(), 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Heterogeneous systems: weighted and adaptive techniques.
+//!
+//! The paper's lineage developed WF for clusters whose PEs differ in speed,
+//! and AWF/AF for speeds that *change* during execution. This example
+//! builds a 8-PE cluster where half the machines run at one quarter speed,
+//! then injects a mid-run slowdown, and compares how static, weighted and
+//! adaptive techniques cope.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_cluster
+//! ```
+
+use dls_suite::dls_core::AwfVariant;
+use dls_suite::dls_metrics::OverheadModel;
+use dls_suite::dls_platform::{Host, LinkSpec, Platform, Topology};
+use dls_suite::dls_workload::{Availability, PerturbationModel, Workload};
+use dls_suite::prelude::*;
+
+fn cluster(perturbed: bool) -> Platform {
+    let hosts = (0..8)
+        .map(|i| {
+            let speed = if i < 4 { 1.0 } else { 0.25 };
+            // Optionally, PE 0 degrades to 30 % speed at t = 100 s —
+            // systemic variance no fixed weight can anticipate.
+            let perturbation = if perturbed && i == 0 {
+                PerturbationModel::Step { at: 100.0, factor: 0.3 }
+            } else {
+                PerturbationModel::None
+            };
+            Host {
+                name: format!("node-{i}"),
+                speed,
+                cores: 1,
+                availability: Availability { weight: 1.0, perturbation },
+            }
+        })
+        .collect();
+    Platform::new(hosts, Topology::Star, LinkSpec::negligible()).unwrap()
+}
+
+fn main() {
+    let workload = Workload::exponential(20_000, 0.1).unwrap();
+    let techniques = [
+        Technique::Stat,
+        Technique::Fac2,
+        Technique::Wf,
+        Technique::Awf { variant: AwfVariant::Batch },
+        Technique::Awf { variant: AwfVariant::Chunk },
+        Technique::Af,
+    ];
+
+    for (title, perturbed) in
+        [("static heterogeneity (4 fast + 4 slow PEs)", false), ("+ PE0 degrades mid-run", true)]
+    {
+        println!("== {title} ==");
+        println!("{:<8} {:>12} {:>10} {:>12}", "DLS", "makespan[s]", "speedup", "wasted[s]");
+        for technique in techniques {
+            let spec = SimSpec::new(technique, workload.clone(), cluster(perturbed))
+                .with_overhead(OverheadModel::PostHocTotal { h: 1e-3 });
+            let out = simulate(&spec, 99).expect("valid spec");
+            println!(
+                "{:<8} {:>12.1} {:>10.2} {:>12.2}",
+                technique.to_string(),
+                out.makespan,
+                out.speedup(),
+                out.average_wasted(),
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "STAT ignores speed differences entirely; WF fixes the static gap\n\
+         via weights; AWF/AF also track the mid-run perturbation (the\n\
+         paper's future-work techniques, runnable on the verified substrate)."
+    );
+}

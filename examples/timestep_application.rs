@@ -1,0 +1,80 @@
+//! A time-stepping scientific application using AWF.
+//!
+//! AWF was designed for applications that execute the same parallel loop
+//! once per simulation time step (N-body, wave-packet, CFD). Between steps
+//! it re-weights PEs from their measured rates, so persistent speed
+//! differences are learned after the first step. This example runs a
+//! 10-step loop on a cluster with one straggler node through
+//! `dls_msgsim::simulate_time_steps` — the persistent-scheduler driver —
+//! and compares:
+//!
+//! * FAC2 — oblivious, same imbalance every step;
+//! * AWF  — learns weights between steps;
+//! * AWF-B — adapts at batch granularity, converging within the first step;
+//! * AF   — adapts per chunk from its µ̂/σ̂ estimates.
+//!
+//! ```text
+//! cargo run --release --example timestep_application
+//! ```
+
+use dls_suite::dls_core::AwfVariant;
+use dls_suite::dls_msgsim::simulate_time_steps;
+use dls_suite::dls_workload::Workload;
+use dls_suite::prelude::*;
+
+fn main() {
+    // One straggler at a fifth of nominal speed. The platform weights are
+    // "known" to WF-family techniques via the loop setup — so to make the
+    // learning visible we declare all hosts at speed 1.0 and model the
+    // straggler through its availability instead (unknown to the setup).
+    use dls_suite::dls_platform::{Host, Topology};
+    use dls_suite::dls_workload::{Availability, PerturbationModel};
+    let hosts = (0..4)
+        .map(|i| Host {
+            name: format!("node-{i}"),
+            speed: 1.0,
+            cores: 1,
+            availability: Availability {
+                weight: 1.0,
+                perturbation: if i == 3 {
+                    PerturbationModel::ConstantFactor { factor: 0.2 }
+                } else {
+                    PerturbationModel::None
+                },
+            },
+        })
+        .collect();
+    let platform =
+        dls_suite::dls_platform::Platform::new(hosts, Topology::Star, LinkSpec::negligible())
+            .unwrap();
+
+    let workload = Workload::exponential(8_000, 1e-3).unwrap();
+    let steps: Vec<u64> = (1000..1010).collect();
+
+    println!(
+        "4 PEs (one hidden straggler at 20 %), {} tasks/step, {} steps\n",
+        workload.n(),
+        steps.len()
+    );
+    println!("{:<8} per-step makespan [s]", "DLS");
+
+    for technique in [
+        Technique::Fac2,
+        Technique::Awf { variant: AwfVariant::TimeStep },
+        Technique::Awf { variant: AwfVariant::Batch },
+        Technique::Af,
+    ] {
+        let spec = SimSpec::new(technique, workload.clone(), platform.clone());
+        let outcomes = simulate_time_steps(&spec, &steps).expect("valid spec");
+        let series: Vec<String> =
+            outcomes.iter().map(|o| format!("{:.2}", o.makespan)).collect();
+        println!("{:<8} {}", technique.to_string(), series.join("  "));
+    }
+
+    println!(
+        "\nFAC2 repeats the same imbalance; AWF's step 1 matches FAC2 and\n\
+         later steps shrink as the straggler's measured rate enters the\n\
+         weights; AWF-B/AF adapt inside each step (the paper's future-work\n\
+         techniques, running on the verified substrate)."
+    );
+}

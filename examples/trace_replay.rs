@@ -1,0 +1,85 @@
+//! Replaying a recorded application profile through the DLS simulators.
+//!
+//! The paper's §III notes that reproducing real-application experiments
+//! requires "a trace file or similar information describing the behavior
+//! of the measured application". This example synthesizes such a trace —
+//! an N-body-style profile where per-particle costs follow local density
+//! (smooth ramps with hot spots) — parses it through the trace ingestion
+//! path, and compares techniques on the *recorded* (non-i.i.d.!) times.
+//!
+//! ```text
+//! cargo run --release --example trace_replay [path/to/trace.txt]
+//! ```
+//!
+//! With a path argument, your own whitespace-separated per-task times (in
+//! seconds, `#` comments allowed) are replayed instead.
+
+use dls_suite::dls_metrics::{cov, OverheadModel};
+use dls_suite::dls_workload::Workload;
+use dls_suite::prelude::*;
+
+/// A synthetic N-body sweep profile: cost ~ local density, with two dense
+/// clusters; deliberately autocorrelated, unlike the i.i.d. models.
+fn synthetic_trace() -> String {
+    let mut out = String::from("# synthetic N-body force-phase profile (seconds per particle)\n");
+    let n = 6_000;
+    for i in 0..n {
+        let x = i as f64 / n as f64;
+        // Baseline + two Gaussian density bumps.
+        let density = 1.0
+            + 8.0 * (-((x - 0.3) / 0.05).powi(2)).exp()
+            + 4.0 * (-((x - 0.75) / 0.1).powi(2)).exp();
+        let cost = 100e-6 * density;
+        out.push_str(&format!("{cost:.9}\n"));
+    }
+    out
+}
+
+fn main() {
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).expect("readable trace file"),
+        None => synthetic_trace(),
+    };
+    let workload = Workload::from_trace_text(&text).expect("valid trace");
+    let times = workload.generate(0);
+    println!(
+        "trace: {} tasks, total {:.3} s, mean {:.1} µs, cov {:.2}\n",
+        workload.n(),
+        times.total(),
+        workload.mean() * 1e6,
+        cov(&times.iter().collect::<Vec<_>>()),
+    );
+
+    let platform = Platform::homogeneous_star("pe", 12, 1.0, LinkSpec::negligible());
+    println!(
+        "{:<10} {:>8} {:>12} {:>10} {:>12}",
+        "DLS", "chunks", "makespan[ms]", "speedup", "wasted[ms]"
+    );
+    for technique in [
+        Technique::Stat,
+        Technique::Css { k: workload.n() / 12 },
+        Technique::Gss { min_chunk: 1 },
+        Technique::Tss { first: None, last: None },
+        Technique::Fac2,
+        Technique::Bold,
+        Technique::Af,
+    ] {
+        let spec = SimSpec::new(technique, workload.clone(), platform.clone())
+            .with_overhead(OverheadModel::PostHocTotal { h: 5e-6 });
+        let out = simulate(&spec, 0).expect("valid spec");
+        println!(
+            "{:<10} {:>8} {:>12.2} {:>10.2} {:>12.3}",
+            technique.to_string(),
+            out.chunks,
+            out.makespan * 1e3,
+            out.speedup(),
+            out.average_wasted() * 1e3,
+        );
+    }
+
+    println!(
+        "\nAutocorrelated hot spots are where static blocks fail: the PEs\n\
+         owning the dense clusters finish last. Decreasing-chunk techniques\n\
+         keep late-arriving work available to absorb the imbalance."
+    );
+}

@@ -1,0 +1,45 @@
+//! Reproduce the TSS publication's speedup experiments (paper Figures 3–4).
+//!
+//! Runs both experiments (100,000 × 110 µs and 10,000 × 2 ms constant
+//! workloads) over the PE sweep and prints simulated speedups next to the
+//! digitized originals — showing the paper's finding that SS and GSS(1)
+//! do *not* reproduce on a contention-free master–worker model, while CSS,
+//! GSS(k) and TSS do.
+//!
+//! ```text
+//! cargo run --release --example tss_speedup
+//! ```
+
+use dls_suite::dls_repro::report;
+use dls_suite::dls_repro::tss_exp::{run_fig3, run_fig4};
+
+fn main() {
+    for (fig, rows) in [("Figure 3 (experiment 1)", run_fig3()), ("Figure 4 (experiment 2)", run_fig4())]
+    {
+        let rows = rows.expect("experiment parameters are valid");
+        let (headers, body) = report::speedup_rows(&rows);
+        println!("== {fig} ==");
+        println!("{}", report::format_table(&headers, &body));
+
+        // Summarize the reproducibility verdict like the paper does.
+        let mut reproduced = Vec::new();
+        let mut diverged = Vec::new();
+        for label in ["SS", "CSS", "GSS(1)", "GSS(80)", "GSS(5)", "TSS"] {
+            let pts: Vec<_> = rows.iter().filter(|r| r.label == label).collect();
+            if pts.is_empty() {
+                continue;
+            }
+            let worst = pts
+                .iter()
+                .filter_map(|r| r.reference.map(|o| (r.simulated - o).abs() / o))
+                .fold(0.0f64, f64::max);
+            if worst < 0.25 {
+                reproduced.push(label);
+            } else {
+                diverged.push(label);
+            }
+        }
+        println!("reproduced: {reproduced:?}");
+        println!("diverged:   {diverged:?} (shared-memory contention the simulation lacks)\n");
+    }
+}

@@ -1,0 +1,64 @@
+//! # dls-suite
+//!
+//! A from-scratch Rust reproduction of *“Examining the Reproducibility of
+//! Using Dynamic Loop Scheduling Techniques in Scientific Applications”*
+//! (Hoffeins, Ciorba, Banicescu — IPDPSW/PDSEC 2017).
+//!
+//! The workspace implements everything the paper relies on:
+//!
+//! * [`dls_core`] — the dynamic loop scheduling techniques themselves
+//!   (STAT, SS, CSS, FSC, GSS, TSS, FAC, FAC2, BOLD, plus the adaptive
+//!   extensions TAP, WF, AWF, AWF-B/C, AF named in the paper's future work);
+//! * [`dls_des`] — a deterministic discrete-event simulation engine
+//!   (the SimGrid kernel substitute);
+//! * [`dls_platform`] — hosts, links and topologies (SimGrid platform files);
+//! * [`dls_msgsim`] — the SimGrid-MSG-style master–worker simulator
+//!   (paper Figure 1);
+//! * [`dls_hagerup`] — a replica of Hagerup's direct simulator, the
+//!   comparison oracle the paper's authors rebuilt for Figures 5–8;
+//! * [`dls_rng`] / [`dls_workload`] — `erand48`-compatible generators and
+//!   the task-execution-time workload models (paper Figure 2);
+//! * [`dls_metrics`] — speedup / overhead / imbalance (Tzen & Ni) and wasted
+//!   time (Hagerup) metrics with discrepancy reporting;
+//! * [`dls_repro`] — the experiment registry and campaign runners that
+//!   regenerate every figure and table of the paper.
+//!
+//! This facade crate re-exports all of the above and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dls_suite::prelude::*;
+//!
+//! // Schedule 10,000 constant-time tasks onto 16 workers with factoring.
+//! let workload = Workload::constant(10_000, 1e-3);
+//! let platform = Platform::homogeneous_star("pe", 16, 1.0, LinkSpec::fast());
+//! let spec = SimSpec::new(Technique::Fac2, workload, platform);
+//! let outcome = simulate(&spec, 42).unwrap();
+//! assert!(outcome.makespan > 0.0);
+//! assert!(outcome.speedup() <= 16.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dls_core;
+pub use dls_des;
+pub use dls_hagerup;
+pub use dls_metrics;
+pub use dls_msgsim;
+pub use dls_platform;
+pub use dls_repro;
+pub use dls_rng;
+pub use dls_workload;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use dls_core::{ChunkScheduler, LoopSetup, Technique};
+    pub use dls_hagerup::DirectSimulator;
+    pub use dls_metrics::{discrepancy, relative_discrepancy_pct, SummaryStats};
+    pub use dls_msgsim::{simulate, SimOutcome, SimSpec};
+    pub use dls_platform::{LinkSpec, Platform};
+    pub use dls_rng::{Rand48, SplitMix64, UniformSource};
+    pub use dls_workload::Workload;
+}

@@ -1,0 +1,122 @@
+//! Closed-form validation: where the expected wasted time has an analytic
+//! form, the simulators must land on it. This catches dynamics bugs that
+//! two-simulator agreement alone would miss (both could share the bug).
+
+use dls_suite::dls_core::Technique;
+use dls_suite::dls_metrics::{OverheadModel, SummaryStats};
+use dls_suite::dls_msgsim::{simulate, SimSpec};
+use dls_suite::dls_platform::{LinkSpec, Platform};
+use dls_suite::dls_workload::Workload;
+
+fn campaign(technique: Technique, n: u64, p: usize, h: f64, runs: u64) -> SummaryStats {
+    let workload = Workload::exponential(n, 1.0).unwrap();
+    let platform = Platform::homogeneous_star("pe", p, 1.0, LinkSpec::negligible());
+    let spec = SimSpec::new(technique, workload, platform)
+        .with_overhead(OverheadModel::PostHocTotal { h });
+    let mut stats = SummaryStats::new();
+    for seed in 0..runs {
+        stats.push(simulate(&spec, seed).unwrap().average_wasted());
+    }
+    stats
+}
+
+/// STAT on 2 PEs with exponential(1) tasks: the two block sums are
+/// approximately N(n/2, n/2), so their absolute difference has mean
+/// √(2n/π); the average wasted time is half that plus h·2 chunks.
+#[test]
+fn stat_two_pes_matches_clt_prediction() {
+    let n = 1024u64;
+    let h = 0.5;
+    let stats = campaign(Technique::Stat, n, 2, h, 400);
+    let expected = (2.0 * n as f64 / std::f64::consts::PI).sqrt() / 2.0 + 2.0 * h;
+    let err = (stats.mean() - expected).abs();
+    // 400 runs: standard error ≈ σ/√400 ≈ 0.5 s; allow 4 SEs.
+    assert!(
+        err < 4.0 * stats.std_error() + 0.5,
+        "measured {} vs CLT prediction {expected}",
+        stats.mean()
+    );
+}
+
+/// SS with n tasks makes exactly n scheduling operations: its wasted time
+/// is h·n plus a sub-second idle term (max task ≈ ln n at the end).
+#[test]
+fn ss_wasted_time_is_overhead_dominated() {
+    let n = 1024u64;
+    let h = 0.5;
+    let stats = campaign(Technique::SS, n, 8, h, 100);
+    let overhead = h * n as f64;
+    assert!(
+        stats.mean() > overhead && stats.mean() < overhead + 10.0,
+        "measured {} vs overhead floor {overhead}",
+        stats.mean()
+    );
+}
+
+/// STAT on a constant workload with p | n wastes exactly h·p (zero idle).
+#[test]
+fn stat_constant_wastes_only_overhead() {
+    let workload = Workload::constant(1000, 0.01);
+    let platform = Platform::homogeneous_star("pe", 10, 1.0, LinkSpec::negligible());
+    let spec = SimSpec::new(Technique::Stat, workload, platform)
+        .with_overhead(OverheadModel::PostHocTotal { h: 0.5 });
+    let out = simulate(&spec, 0).unwrap();
+    assert_eq!(out.chunks, 10);
+    assert!((out.average_wasted() - 5.0).abs() < 1e-6);
+}
+
+/// CSS(k) issues exactly ⌈n/k⌉ chunks.
+#[test]
+fn css_chunk_count_formula() {
+    for (n, k) in [(1000u64, 64u64), (1000, 1000), (1000, 1), (1001, 64)] {
+        let workload = Workload::constant(n, 1e-3);
+        let platform = Platform::homogeneous_star("pe", 4, 1.0, LinkSpec::negligible());
+        let spec = SimSpec::new(Technique::Css { k }, workload, platform);
+        let out = simulate(&spec, 0).unwrap();
+        assert_eq!(out.chunks, n.div_ceil(k), "n={n} k={k}");
+    }
+}
+
+/// GSS's scheduling-operation count follows p·ln(n/p) + O(p).
+#[test]
+fn gss_chunk_count_scaling() {
+    for p in [4usize, 16, 64] {
+        let n = 65_536u64;
+        let workload = Workload::constant(n, 1e-3);
+        let platform = Platform::homogeneous_star("pe", p, 1.0, LinkSpec::negligible());
+        let spec = SimSpec::new(Technique::Gss { min_chunk: 1 }, workload, platform);
+        let out = simulate(&spec, 0).unwrap();
+        let prediction = p as f64 * (n as f64 / p as f64).ln() + p as f64;
+        let ratio = out.chunks as f64 / prediction;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "p={p}: {} chunks vs predicted {prediction:.0}",
+            out.chunks
+        );
+    }
+}
+
+/// Makespan of SS on constant tasks with p | n is exactly (n/p)·t.
+#[test]
+fn ss_constant_makespan_exact() {
+    let workload = Workload::constant(1200, 0.25);
+    let platform = Platform::homogeneous_star("pe", 6, 1.0, LinkSpec::negligible());
+    let spec = SimSpec::new(Technique::SS, workload, platform);
+    let out = simulate(&spec, 0).unwrap();
+    assert!((out.makespan - 50.0).abs() < 1e-5, "makespan = {}", out.makespan);
+}
+
+/// FAC2's expected chunk count is ~2p·log2(n/(2p)): geometric halving in
+/// batches of p (plus the tail).
+#[test]
+fn fac2_chunk_count_scaling() {
+    let n = 65_536u64;
+    let p = 8usize;
+    let workload = Workload::constant(n, 1e-3);
+    let platform = Platform::homogeneous_star("pe", p, 1.0, LinkSpec::negligible());
+    let spec = SimSpec::new(Technique::Fac2, workload, platform);
+    let out = simulate(&spec, 0).unwrap();
+    let prediction = p as f64 * (n as f64 / (2.0 * p as f64)).log2();
+    let ratio = out.chunks as f64 / prediction;
+    assert!((0.8..=1.6).contains(&ratio), "{} chunks vs {prediction:.0}", out.chunks);
+}

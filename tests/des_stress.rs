@@ -1,0 +1,90 @@
+//! Stress and scale tests for the discrete-event engine — the substrate
+//! behind every 1,000-run campaign.
+
+use dls_suite::dls_des::{Actor, ActorId, Ctx, Engine, SimTime};
+
+/// A hub bouncing messages to n spokes (master-worker shaped load).
+struct Hub {
+    spokes: usize,
+    rounds: u32,
+}
+struct Spoke {
+    received: u64,
+}
+
+impl Actor<u32> for Hub {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        for s in 0..self.spokes {
+            ctx.send(s + 1, SimTime::from_nanos(5), self.rounds);
+        }
+    }
+    fn on_message(&mut self, from: ActorId, msg: u32, ctx: &mut Ctx<'_, u32>) {
+        if msg > 0 {
+            ctx.send(from, SimTime::from_nanos(5), msg - 1);
+        }
+    }
+}
+impl Actor<u32> for Spoke {
+    fn on_message(&mut self, from: ActorId, msg: u32, ctx: &mut Ctx<'_, u32>) {
+        self.received += 1;
+        ctx.send(from, SimTime::from_nanos(3), msg);
+    }
+}
+
+/// A wide fan (1,024 spokes — the paper's largest PE count) with deep
+/// message exchanges completes with the exact expected event count.
+#[test]
+fn wide_fan_event_count_is_exact() {
+    let spokes = 1024;
+    let rounds = 50u32;
+    let mut eng = Engine::new();
+    eng.add_actor(Box::new(Hub { spokes, rounds }));
+    for _ in 0..spokes {
+        eng.add_actor(Box::new(Spoke { received: 0 }));
+    }
+    let (_, stats) = eng.run();
+    // Per spoke, hub→spoke deliveries carry rounds, rounds−1, …, 0 — that
+    // is rounds+1 deliveries — and the spoke echoes each one back:
+    // 2·(rounds+1) events per spoke in total.
+    let expected = (spokes as u64) * (2 * (rounds as u64 + 1));
+    assert_eq!(stats.events, expected);
+    assert!(stats.max_queue >= spokes);
+}
+
+/// Virtual time in the fan advances deterministically: last event at
+/// (5+3)·rounds + 5 ns... pinned against drift.
+#[test]
+fn wide_fan_end_time_is_exact() {
+    let spokes = 64;
+    let rounds = 10u32;
+    let mut eng = Engine::new();
+    eng.add_actor(Box::new(Hub { spokes, rounds }));
+    for _ in 0..spokes {
+        eng.add_actor(Box::new(Spoke { received: 0 }));
+    }
+    let (_, stats) = eng.run();
+    // Round trip = 5 (out) + 3 (back); the chain is: out, (back,out)×rounds
+    // — the final "0" message goes out and is answered once more.
+    let expect = 5 + (3 + 5) * rounds as u64 + 3;
+    assert_eq!(stats.end_time, SimTime::from_nanos(expect));
+}
+
+/// Half a million events run in well under a second of wall time — the
+/// throughput the campaigns depend on (regression canary, generous bound).
+#[test]
+fn event_throughput_canary() {
+    let start = std::time::Instant::now();
+    let mut eng = Engine::new();
+    eng.add_actor(Box::new(Hub { spokes: 256, rounds: 1000 }));
+    for _ in 0..256 {
+        eng.add_actor(Box::new(Spoke { received: 0 }));
+    }
+    let (_, stats) = eng.run();
+    assert!(stats.events > 500_000);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 10.0,
+        "{} events took {elapsed:?}",
+        stats.events
+    );
+}

@@ -1,0 +1,133 @@
+//! Scaled-down checks of the paper's headline claims — the full-size runs
+//! live in EXPERIMENTS.md; these guard the *shape* in CI time.
+
+use dls_suite::dls_metrics::SummaryStats;
+use dls_suite::dls_platform::LinkSpec;
+use dls_suite::dls_repro::hagerup_exp::{
+    max_relative_discrepancy_excluding_outlier, run_figure, HagerupConfig, OracleMode,
+};
+use dls_suite::dls_repro::tss_exp::{run_experiment, TssExperiment};
+
+/// §IV-A: "a very similar performance of CSS and TSS. The SS and GSS plots
+/// have almost the same tendency, yet the values differ strongly."
+#[test]
+fn tss_reproduction_verdict() {
+    let rows = run_experiment(TssExperiment::Exp1, LinkSpec::fast(), &[48, 80]).unwrap();
+    let sim = |label: &str, p: u32| {
+        rows.iter().find(|r| r.label == label && r.p == p).unwrap()
+    };
+    // CSS/TSS/GSS(80) within 15 % of the digitized originals.
+    for label in ["CSS", "TSS", "GSS(80)"] {
+        for p in [48, 80] {
+            let r = sim(label, p);
+            let orig = r.reference.unwrap();
+            assert!(
+                (r.simulated - orig).abs() / orig < 0.15,
+                "{label} p={p}: {} vs original {}",
+                r.simulated,
+                orig
+            );
+        }
+    }
+    // SS and GSS(1) far above the contention-degraded originals.
+    for label in ["SS", "GSS(1)"] {
+        let r = sim(label, 80);
+        assert!(
+            r.simulated > 1.5 * r.reference.unwrap(),
+            "{label}: simulation should beat the degraded original ({} vs {:?})",
+            r.simulated,
+            r.reference
+        );
+    }
+}
+
+/// §IV-B1 at reduced run count: every technique's relative discrepancy is
+/// within the paper's 15 % band for n = 1,024 — against an *independent*
+/// oracle, as in the paper.
+#[test]
+fn hagerup_1k_within_paper_band() {
+    let mut cfg = HagerupConfig::paper(1024, 300);
+    cfg.pes = vec![2, 8, 64];
+    cfg.threads = 1;
+    cfg.oracle = OracleMode::IndependentSeeds;
+    let rows = run_figure(&cfg).unwrap();
+    let max_rel = max_relative_discrepancy_excluding_outlier(&rows);
+    assert!(
+        max_rel < 15.0,
+        "max relative discrepancy {max_rel}% exceeds the paper's 15% band"
+    );
+}
+
+/// §IV-B: the wasted-time ordering the BOLD publication reports — SS is
+/// the most wasteful at small p (h·n dominates), BOLD the least or close
+/// to it.
+#[test]
+fn hagerup_ordering_at_small_p() {
+    let mut cfg = HagerupConfig::paper(1024, 100);
+    cfg.pes = vec![2];
+    cfg.threads = 1;
+    cfg.oracle = OracleMode::SharedRealizations;
+    let rows = run_figure(&cfg).unwrap();
+    let value = |t: &str| rows.iter().find(|r| r.technique == t).unwrap().msgsim;
+    let ss = value("SS");
+    let bold = value("BOLD");
+    for t in ["STAT", "FSC", "GSS", "TSS", "FAC", "FAC2", "BOLD"] {
+        assert!(value(t) < ss, "{t} must waste less than SS ({} vs {ss})", value(t));
+    }
+    for t in ["SS", "FSC", "GSS", "TSS", "FAC2"] {
+        assert!(
+            bold <= value(t) * 1.05,
+            "BOLD should be at or near the minimum: {bold} vs {t} {}",
+            value(t)
+        );
+    }
+}
+
+/// §IV-B4 / Figure 9: FAC at p=2 has a heavy per-run tail; trimming the
+/// few outliers collapses the mean (paper: 1.5 % of runs, mean → 25.82 s).
+#[test]
+fn fac_two_pe_tail_collapses_under_trimming() {
+    use dls_suite::dls_repro::outlier::{run_outlier, OutlierConfig};
+    // n = 65,536 scales the paper's threshold 400 s by n: 400/8 = 50 s.
+    let a = run_outlier(&OutlierConfig::scaled(65_536, 200), 50.0).unwrap();
+    let tail_fraction = a.outliers as f64 / a.per_run.len() as f64;
+    assert!(
+        tail_fraction < 0.15,
+        "outliers must be rare: {:.1} %",
+        100.0 * tail_fraction
+    );
+    // When outliers exist, trimming reduces the mean noticeably.
+    if a.outliers > 0 {
+        let tm = a.trimmed_mean.unwrap();
+        assert!(tm < a.mean, "trimmed {tm} vs mean {}", a.mean);
+    }
+    // The trimmed mean is an order of magnitude below the max run.
+    if let Some(tm) = a.trimmed_mean {
+        assert!(a.stats.max() > 2.0 * tm);
+    }
+}
+
+/// §IV-B: with growing n the relative discrepancy shrinks (15 % → 0.9 %
+/// in the paper). Verified here at two sizes with proportional run counts.
+#[test]
+fn discrepancy_shrinks_with_n() {
+    let run = |n: u64, runs: u32| {
+        let mut cfg = HagerupConfig::paper(n, runs);
+        cfg.pes = vec![8];
+        cfg.threads = 1;
+        cfg.oracle = OracleMode::IndependentSeeds;
+        let rows = run_figure(&cfg).unwrap();
+        // Use the mean |relative| over techniques: single cells are noisy.
+        let mut s = SummaryStats::new();
+        for r in &rows {
+            s.push(r.relative_pct.abs());
+        }
+        s.mean()
+    };
+    let small = run(1_024, 150);
+    let large = run(32_768, 150);
+    assert!(
+        large < small,
+        "mean |relative discrepancy| must shrink with n: {small}% -> {large}%"
+    );
+}

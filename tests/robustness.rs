@@ -1,0 +1,140 @@
+//! Robustness under systemic variability — the territory of the paper's
+//! predecessor studies (flexibility [2] and resilience [3] of DLS), made
+//! runnable on this verified substrate.
+
+use dls_suite::dls_core::{AwfVariant, Technique};
+use dls_suite::dls_msgsim::{simulate, SimSpec};
+use dls_suite::dls_platform::{Host, LinkSpec, Platform, Topology};
+use dls_suite::dls_workload::{Availability, PerturbationModel, Workload};
+
+fn platform_with(perturbation: PerturbationModel, p: usize) -> Platform {
+    let hosts = (0..p)
+        .map(|i| Host {
+            name: format!("n{i}"),
+            speed: 1.0,
+            cores: 1,
+            availability: Availability {
+                weight: 1.0,
+                perturbation: if i == 0 { perturbation.clone() } else { PerturbationModel::None },
+            },
+        })
+        .collect();
+    Platform::new(hosts, Topology::Star, LinkSpec::negligible()).unwrap()
+}
+
+/// A PE slowdown must stretch the makespan of a static schedule by the
+/// slowdown factor, but dynamic techniques route around it.
+#[test]
+fn dynamic_techniques_absorb_a_degraded_pe() {
+    let workload = Workload::constant(8_000, 1e-3);
+    let degraded = PerturbationModel::ConstantFactor { factor: 0.25 };
+
+    let run = |technique, perturbed: bool| {
+        let platform = if perturbed {
+            platform_with(degraded.clone(), 8)
+        } else {
+            platform_with(PerturbationModel::None, 8)
+        };
+        simulate(&SimSpec::new(technique, workload.clone(), platform), 1).unwrap().makespan
+    };
+
+    // STAT: the slow PE executes its fixed block 4x slower — the makespan
+    // scales with the degradation.
+    let stat_base = run(Technique::Stat, false);
+    let stat_deg = run(Technique::Stat, true);
+    assert!(
+        stat_deg > 3.5 * stat_base,
+        "STAT must be hit by the full degradation: {stat_base} -> {stat_deg}"
+    );
+
+    // SS: work flows to the healthy PEs; with 1 of 8 PEs at quarter speed,
+    // the effective capacity is 7.25/8 — only a ~10 % slowdown.
+    let ss_base = run(Technique::SS, false);
+    let ss_deg = run(Technique::SS, true);
+    assert!(
+        ss_deg < 1.25 * ss_base,
+        "SS must absorb the degradation: {ss_base} -> {ss_deg}"
+    );
+
+    // GSS hands its large head chunk (r/p tasks) to whichever PE asks
+    // first — if that's the degraded PE, the makespan is pinned by that
+    // one chunk, so GSS is no better than STAT here, just never worse.
+    // (This head-chunk fragility is exactly why FAC batches and why AF
+    // adapts per PE.)
+    let gss_deg = run(Technique::Gss { min_chunk: 1 }, true);
+    assert!(gss_deg <= 1.05 * stat_deg);
+    // FAC2's half-sized head chunks halve the exposure.
+    let fac2_deg = run(Technique::Fac2, true);
+    assert!(fac2_deg < 0.7 * stat_deg, "FAC2 {fac2_deg} vs STAT {stat_deg}");
+}
+
+/// A step perturbation mid-run: techniques with large head chunks (FAC2's
+/// first batch) suffer more than chunk-adaptive AWF-C.
+#[test]
+fn step_perturbation_favors_adaptive_chunking() {
+    let workload = Workload::constant(16_000, 1e-3);
+    // PE 0 drops to 10 % speed at t = 0.5 s (mid-run: ideal makespan 2 s).
+    let step = PerturbationModel::Step { at: 0.5, factor: 0.1 };
+    let run = |technique| {
+        simulate(&SimSpec::new(technique, workload.clone(), platform_with(step.clone(), 8)), 2)
+            .unwrap()
+            .makespan
+    };
+    let stat = run(Technique::Stat);
+    let awf_c = run(Technique::Awf { variant: AwfVariant::Chunk });
+    let ss = run(Technique::SS);
+    // SS is the robustness gold standard; AWF-C must be far closer to SS
+    // than STAT is.
+    assert!(awf_c < 0.6 * stat, "AWF-C {awf_c} vs STAT {stat}");
+    assert!(awf_c < 2.0 * ss, "AWF-C {awf_c} vs SS {ss}");
+}
+
+/// Sinusoidal load: makespans stay finite and bounded by the worst-case
+/// trough capacity for every technique.
+#[test]
+fn sinusoidal_load_bounded() {
+    let workload = Workload::constant(4_000, 1e-3);
+    let sin = PerturbationModel::Sinusoidal { amplitude: 0.5, period: 0.3 };
+    for technique in [
+        Technique::Stat,
+        Technique::SS,
+        Technique::Fac2,
+        Technique::Gss { min_chunk: 1 },
+        Technique::Af,
+    ] {
+        let out = simulate(
+            &SimSpec::new(technique, workload.clone(), platform_with(sin.clone(), 4)),
+            3,
+        )
+        .unwrap();
+        let ideal = 1.0; // 4 s of work over 4 PEs
+        assert!(
+            out.makespan >= ideal * 0.99 && out.makespan <= ideal * 2.5,
+            "{technique}: makespan {} out of bounds",
+            out.makespan
+        );
+    }
+}
+
+/// Fail-stop (factor 0) on one PE after its first chunk: dynamic
+/// techniques still finish (the dead PE never requests again because its
+/// in-flight chunk never completes — remaining work flows to the others).
+#[test]
+fn failed_pe_does_not_deadlock_dynamic_schedules() {
+    let workload = Workload::constant(2_000, 1e-3);
+    let dead_after_start = PerturbationModel::Step { at: 0.05, factor: 1e-9 };
+    let out = simulate(
+        &SimSpec::new(
+            Technique::Gss { min_chunk: 1 },
+            workload,
+            platform_with(dead_after_start, 4),
+        ),
+        4,
+    )
+    .unwrap();
+    // The run completes; the makespan is dominated by the crawling PE's
+    // in-flight chunk... which with GSS's big first chunk is large, but
+    // finite and simulated without panicking.
+    assert!(out.makespan.is_finite());
+    assert_eq!(out.chunks_per_worker.iter().sum::<u64>(), out.chunks);
+}

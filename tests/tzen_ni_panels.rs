@@ -1,0 +1,84 @@
+//! The TSS publication's Figure 7/8 had three panels: speedup Γ, degree of
+//! scheduling overhead Θ and degree of load imbalance Λ. The paper
+//! reproduces only the speedup panel; these tests exercise the other two
+//! metrics end-to-end on the same experiment 1 configuration.
+
+use dls_suite::dls_core::Technique;
+use dls_suite::dls_metrics::OverheadModel;
+use dls_suite::dls_msgsim::{simulate, SimSpec};
+use dls_suite::dls_platform::{LinkSpec, Platform};
+use dls_suite::dls_workload::Workload;
+
+fn run(technique: Technique, p: usize, h: f64) -> dls_suite::dls_metrics::LoopMetrics {
+    let workload = Workload::constant(100_000, 110e-6);
+    let platform = Platform::homogeneous_star("pe", p, 1.0, LinkSpec::negligible());
+    let spec = SimSpec::new(technique, workload, platform)
+        .with_overhead(OverheadModel::PostHocTotal { h });
+    simulate(&spec, 0).unwrap().resource_split().metrics()
+}
+
+/// Γ + Θ + Λ ≤ p always; equality without contention (eq. 11–13).
+#[test]
+fn accounting_identity_holds() {
+    for p in [8usize, 24, 72] {
+        for technique in [
+            Technique::SS,
+            Technique::Css { k: 100_000 / p as u64 },
+            Technique::Gss { min_chunk: 1 },
+            Technique::Tss { first: None, last: None },
+        ] {
+            let m = run(technique, p, 2e-6);
+            let total = m.accounted_processors();
+            assert!(
+                total <= p as f64 + 1e-6,
+                "{technique} p={p}: Γ+Θ+Λ = {total}"
+            );
+            assert!(total > 0.9 * p as f64, "{technique} p={p}: {total} too low");
+            assert!(m.speedup > 0.0 && m.overhead_degree >= 0.0 && m.imbalance_degree >= 0.0);
+        }
+    }
+}
+
+/// Θ ranks techniques by scheduling-operation count: SS ≫ GSS(1) > CSS —
+/// the ordering of the original publication's overhead panel.
+#[test]
+fn overhead_degree_ordering_matches_the_original_panel() {
+    let p = 72;
+    let h = 2e-6; // 2 µs per scheduling operation
+    let ss = run(Technique::SS, p, h);
+    let gss = run(Technique::Gss { min_chunk: 1 }, p, h);
+    let css = run(Technique::Css { k: 100_000 / p as u64 }, p, h);
+    assert!(
+        ss.overhead_degree > 10.0 * gss.overhead_degree,
+        "SS Θ = {} vs GSS Θ = {}",
+        ss.overhead_degree,
+        gss.overhead_degree
+    );
+    assert!(gss.overhead_degree > css.overhead_degree);
+}
+
+/// Λ ranks them the other way: on a decreasing ramp, STAT's equal-count
+/// blocks carry unequal work and its waiting time dominates, while TSS's
+/// decreasing chunks absorb the ramp.
+#[test]
+fn imbalance_degree_reflects_chunk_granularity() {
+    let workload = dls_suite::dls_workload::Workload::new(
+        10_000,
+        dls_suite::dls_workload::TimeModel::LinearDecreasing { first: 2e-3, last: 1e-5 },
+    )
+    .unwrap();
+    let platform = Platform::homogeneous_star("pe", 16, 1.0, LinkSpec::negligible());
+    let metrics = |t: Technique| {
+        let spec = SimSpec::new(t, workload.clone(), platform.clone());
+        simulate(&spec, 0).unwrap().resource_split().metrics()
+    };
+    let stat = metrics(Technique::Stat);
+    let tss = metrics(Technique::Tss { first: None, last: None });
+    assert!(
+        stat.imbalance_degree > 3.0 * tss.imbalance_degree.max(0.01),
+        "STAT Λ = {} vs TSS Λ = {}",
+        stat.imbalance_degree,
+        tss.imbalance_degree
+    );
+    assert!(tss.speedup > stat.speedup);
+}
