@@ -78,14 +78,26 @@ type SchedulerFactory = Box<dyn Fn(&LoopSetup) -> Box<dyn ChunkScheduler>>;
 
 fn bold_reconstruction(c: &mut Criterion) {
     let variants: Vec<(&str, SchedulerFactory)> = vec![
-        ("fac-rate", Box::new(|s: &LoopSetup| {
-            let mut no_h = s.clone();
-            no_h.h = 0.0;
-            Technique::Bold.build(&no_h).unwrap()
-        })),
-        ("k-star", Box::new(|s: &LoopSetup| {
-            Box::new(KStarOnly { p: s.p as f64, h: s.h, sigma: s.sigma, n: s.n, remaining: s.n })
-        })),
+        (
+            "fac-rate",
+            Box::new(|s: &LoopSetup| {
+                let mut no_h = s.clone();
+                no_h.h = 0.0;
+                Technique::Bold.build(&no_h).unwrap()
+            }),
+        ),
+        (
+            "k-star",
+            Box::new(|s: &LoopSetup| {
+                Box::new(KStarOnly {
+                    p: s.p as f64,
+                    h: s.h,
+                    sigma: s.sigma,
+                    n: s.n,
+                    remaining: s.n,
+                })
+            }),
+        ),
         ("bold", Box::new(|s: &LoopSetup| Technique::Bold.build(s).unwrap())),
         ("fac2", Box::new(|s: &LoopSetup| Technique::Fac2.build(s).unwrap())),
     ];

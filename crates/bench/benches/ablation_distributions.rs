@@ -37,8 +37,7 @@ fn distributions(c: &mut Criterion) {
     for (name, w) in workloads() {
         eprint!("{:<12}", name);
         for t in Technique::hagerup_set() {
-            let spec =
-                SimSpec::new(t, w.clone(), platform.clone()).with_overhead(overhead);
+            let spec = SimSpec::new(t, w.clone(), platform.clone()).with_overhead(overhead);
             let wasted = simulate(&spec, 5).unwrap().average_wasted();
             eprint!(" {:>8.1}", wasted);
         }
@@ -49,8 +48,8 @@ fn distributions(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(4));
     for (name, w) in workloads() {
         g.bench_with_input(BenchmarkId::new("fac2", name), &w, |b, w| {
-            let spec = SimSpec::new(Technique::Fac2, w.clone(), platform.clone())
-                .with_overhead(overhead);
+            let spec =
+                SimSpec::new(Technique::Fac2, w.clone(), platform.clone()).with_overhead(overhead);
             b.iter(|| simulate(&spec, 5).unwrap().average_wasted())
         });
     }

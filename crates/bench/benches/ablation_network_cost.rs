@@ -31,8 +31,7 @@ fn network_cost(c: &mut Criterion) {
         let platform = Platform::homogeneous_star("pe", 8, 1.0, link);
         let mut row = Vec::new();
         for t in [Technique::SS, Technique::Fac2] {
-            let spec = SimSpec::new(t, workload.clone(), platform.clone())
-                .with_overhead(overhead);
+            let spec = SimSpec::new(t, workload.clone(), platform.clone()).with_overhead(overhead);
             row.push(simulate(&spec, 3).unwrap().average_wasted());
         }
         eprintln!("{:<14} {:>12.2} {:>12.2}", name, row[0], row[1]);
@@ -43,8 +42,8 @@ fn network_cost(c: &mut Criterion) {
     for (name, link) in links {
         g.bench_with_input(BenchmarkId::new("ss_sim", name), &link, |b, &link| {
             let platform = Platform::homogeneous_star("pe", 8, 1.0, link);
-            let spec = SimSpec::new(Technique::SS, workload.clone(), platform)
-                .with_overhead(overhead);
+            let spec =
+                SimSpec::new(Technique::SS, workload.clone(), platform).with_overhead(overhead);
             b.iter(|| simulate(&spec, 3).unwrap().average_wasted())
         });
     }

@@ -40,10 +40,9 @@ fn oracle_mode(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_oracle_mode");
     g.sample_size(10).measurement_time(Duration::from_secs(6));
-    for (name, mode) in [
-        ("independent", OracleMode::IndependentSeeds),
-        ("shared", OracleMode::SharedRealizations),
-    ] {
+    for (name, mode) in
+        [("independent", OracleMode::IndependentSeeds), ("shared", OracleMode::SharedRealizations)]
+    {
         g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
             b.iter(|| run_figure(&cfg(10, mode)).unwrap())
         });

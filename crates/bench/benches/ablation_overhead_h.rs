@@ -28,17 +28,13 @@ fn overhead_sweep(c: &mut Criterion) {
         let overhead = OverheadModel::PostHocTotal { h };
         let mut row = Vec::new();
         for t in [Technique::Stat, Technique::SS, Technique::Fac2, Technique::Bold] {
-            let spec = SimSpec::new(t, workload.clone(), platform.clone())
-                .with_overhead(overhead);
+            let spec = SimSpec::new(t, workload.clone(), platform.clone()).with_overhead(overhead);
             row.push(simulate(&spec, 11).unwrap().average_wasted());
         }
         if crossover.is_none() && row[1] > row[0] {
             crossover = Some(h);
         }
-        eprintln!(
-            "{:>8.3} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
-            h, row[0], row[1], row[2], row[3]
-        );
+        eprintln!("{:>8.3} {:>10.2} {:>10.2} {:>10.2} {:>10.2}", h, row[0], row[1], row[2], row[3]);
     }
     eprintln!("SS falls behind STAT at h ≈ {crossover:?}");
 

@@ -20,9 +20,7 @@ fn fig3(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_tss_exp1");
     g.sample_size(10).measurement_time(Duration::from_secs(5));
     g.bench_function("sweep_p8_p80", |b| {
-        b.iter(|| {
-            run_experiment(TssExperiment::Exp1, LinkSpec::fast(), &[8, 80]).unwrap()
-        })
+        b.iter(|| run_experiment(TssExperiment::Exp1, LinkSpec::fast(), &[8, 80]).unwrap())
     });
     g.finish();
 }

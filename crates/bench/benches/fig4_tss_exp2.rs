@@ -16,9 +16,7 @@ fn fig4(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_tss_exp2");
     g.sample_size(10).measurement_time(Duration::from_secs(5));
     g.bench_function("sweep_p8_p80", |b| {
-        b.iter(|| {
-            run_experiment(TssExperiment::Exp2, LinkSpec::fast(), &[8, 80]).unwrap()
-        })
+        b.iter(|| run_experiment(TssExperiment::Exp2, LinkSpec::fast(), &[8, 80]).unwrap())
     });
     g.finish();
 }

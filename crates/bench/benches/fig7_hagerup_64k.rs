@@ -16,9 +16,7 @@ fn bench(c: &mut Criterion) {
     let small = bench_config(65_536, vec![2, 64], 1);
     let mut g = c.benchmark_group("fig7_hagerup_64k");
     g.sample_size(10).measurement_time(Duration::from_secs(8));
-    g.bench_function("campaign_1run_p2_p64", |b| {
-        b.iter(|| run_figure(&small).unwrap())
-    });
+    g.bench_function("campaign_1run_p2_p64", |b| b.iter(|| run_figure(&small).unwrap()));
     g.finish();
 }
 

@@ -123,11 +123,8 @@ impl AdaptiveWeightedFactoring {
     /// Recomputes weights from measured rates: wᵢ ∝ tasksᵢ/timeᵢ,
     /// normalized so the mean weight is 1. PEs without data keep the mean.
     fn adapt_weights(&mut self) {
-        let rates: Vec<Option<f64>> = self
-            .stats
-            .iter()
-            .map(|s| s.mean_rate().map(|mu| 1.0 / mu))
-            .collect();
+        let rates: Vec<Option<f64>> =
+            self.stats.iter().map(|s| s.mean_rate().map(|mu| 1.0 / mu)).collect();
         let measured: Vec<f64> = rates.iter().flatten().copied().collect();
         if measured.is_empty() {
             return; // nothing observed yet — keep the current weights
@@ -350,10 +347,7 @@ mod tests {
         af.record_completion(1, 100, 400.0);
         let c_fast = af.next_chunk(0);
         let c_slow = af.next_chunk(1);
-        assert!(
-            c_fast > 2 * c_slow,
-            "fast PE should get ~4x the chunk: {c_fast} vs {c_slow}"
-        );
+        assert!(c_fast > 2 * c_slow, "fast PE should get ~4x the chunk: {c_fast} vs {c_slow}");
     }
 
     #[test]

@@ -139,7 +139,10 @@ mod tests {
             let mut fac2 = Factoring::new(&s, FactoringModel::FixedHalving).unwrap();
             let nb = drain_round_robin(&mut bold, p).len();
             let nf = drain_round_robin(&mut fac2, p).len();
-            assert!(nb <= nf, "BOLD must not schedule more chunks than FAC2 ({n},{p}): {nb} vs {nf}");
+            assert!(
+                nb <= nf,
+                "BOLD must not schedule more chunks than FAC2 ({n},{p}): {nb} vs {nf}"
+            );
         }
     }
 
@@ -158,10 +161,8 @@ mod tests {
         let s = hagerup_setup(524_288, 2);
         let mut bold = Bold::new(&s).unwrap();
         let mut fac2 = Factoring::new(&s, FactoringModel::FixedHalving).unwrap();
-        let ones_bold =
-            drain_round_robin(&mut bold, 2).iter().filter(|&&c| c == 1).count();
-        let ones_fac2 =
-            drain_round_robin(&mut fac2, 2).iter().filter(|&&c| c == 1).count();
+        let ones_bold = drain_round_robin(&mut bold, 2).iter().filter(|&&c| c == 1).count();
+        let ones_fac2 = drain_round_robin(&mut fac2, 2).iter().filter(|&&c| c == 1).count();
         assert!(
             ones_bold < ones_fac2,
             "BOLD must issue fewer single-task chunks: {ones_bold} vs {ones_fac2}"

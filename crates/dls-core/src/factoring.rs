@@ -232,10 +232,7 @@ mod tests {
         let s = LoopSetup::new(524_288, 2).with_moments(1.0, 1.0);
         let mut f = Factoring::new(&s, FactoringModel::KnownMoments).unwrap();
         let c0 = f.next_chunk(0);
-        assert!(
-            c0 > 250_000 && c0 < 262_144,
-            "first FAC chunk should be slightly below n/p: {c0}"
-        );
+        assert!(c0 > 250_000 && c0 < 262_144, "first FAC chunk should be slightly below n/p: {c0}");
     }
 
     #[test]

@@ -89,10 +89,9 @@ mod tests {
     #[test]
     fn formula_value_is_exact() {
         let s = LoopSetup::new(1024, 2).with_moments(1.0, 1.0).with_overhead(0.5);
-        let expect = (std::f64::consts::SQRT_2 * 1024.0 * 0.5
-            / (1.0 * 2.0 * (2.0f64).ln().sqrt()))
-        .powf(2.0 / 3.0)
-        .round() as u64;
+        let expect = (std::f64::consts::SQRT_2 * 1024.0 * 0.5 / (1.0 * 2.0 * (2.0f64).ln().sqrt()))
+            .powf(2.0 / 3.0)
+            .round() as u64;
         assert_eq!(FixedSizeChunking::optimal_chunk(&s), expect);
     }
 

@@ -31,12 +31,7 @@ impl GuidedSelfScheduling {
         if min_chunk == 0 {
             return Err(SetupError::BadParam("GSS minimum chunk must be >= 1"));
         }
-        Ok(GuidedSelfScheduling {
-            p: setup.p as u64,
-            min_chunk,
-            n: setup.n,
-            remaining: setup.n,
-        })
+        Ok(GuidedSelfScheduling { p: setup.p as u64, min_chunk, n: setup.n, remaining: setup.n })
     }
 }
 

@@ -169,9 +169,7 @@ impl Technique {
             Technique::SS => Box::new(SelfScheduling::new(setup)?),
             Technique::Css { k } => Box::new(ChunkSelfScheduling::new(setup, k)?),
             Technique::Fsc => Box::new(FixedSizeChunking::new(setup)?),
-            Technique::Gss { min_chunk } => {
-                Box::new(GuidedSelfScheduling::new(setup, min_chunk)?)
-            }
+            Technique::Gss { min_chunk } => Box::new(GuidedSelfScheduling::new(setup, min_chunk)?),
             Technique::Tss { first, last } => {
                 Box::new(TrapezoidSelfScheduling::new(setup, first, last)?)
             }
@@ -180,9 +178,7 @@ impl Technique {
             Technique::Tap { alpha } => Box::new(Taper::new(setup, alpha)?),
             Technique::Bold => Box::new(Bold::new(setup)?),
             Technique::Wf => Box::new(WeightedFactoring::new(setup)?),
-            Technique::Awf { variant } => {
-                Box::new(AdaptiveWeightedFactoring::new(setup, variant)?)
-            }
+            Technique::Awf { variant } => Box::new(AdaptiveWeightedFactoring::new(setup, variant)?),
             Technique::Af => Box::new(AdaptiveFactoring::new(setup)?),
         })
     }
@@ -225,9 +221,7 @@ impl std::str::FromStr for Technique {
         let err = || ParseTechniqueError(s.to_string());
         let upper = s.trim().to_ascii_uppercase();
         let (name, args) = match upper.find('(') {
-            Some(i) if upper.ends_with(')') => {
-                (&upper[..i], Some(&upper[i + 1..upper.len() - 1]))
-            }
+            Some(i) if upper.ends_with(')') => (&upper[..i], Some(&upper[i + 1..upper.len() - 1])),
             Some(_) => return Err(err()),
             None => (upper.as_str(), None),
         };
@@ -256,7 +250,11 @@ impl std::str::FromStr for Technique {
             "FAC" => Technique::Fac,
             "FAC2" => Technique::Fac2,
             "TAP" => Technique::Tap {
-                alpha: args.map(|a| a.trim().parse::<f64>()).transpose().map_err(|_| err())?.unwrap_or(1.3),
+                alpha: args
+                    .map(|a| a.trim().parse::<f64>())
+                    .transpose()
+                    .map_err(|_| err())?
+                    .unwrap_or(1.3),
             },
             "BOLD" => Technique::Bold,
             "WF" => Technique::Wf,
@@ -348,10 +346,7 @@ mod tests {
         assert_eq!(Technique::SS.required_params(), &[] as &[Param]);
         assert_eq!(Technique::Fsc.required_params(), &[P, N, H, Sigma]);
         assert_eq!(Technique::Gss { min_chunk: 1 }.required_params(), &[P, R]);
-        assert_eq!(
-            Technique::Tss { first: None, last: None }.required_params(),
-            &[P, N, F, L]
-        );
+        assert_eq!(Technique::Tss { first: None, last: None }.required_params(), &[P, N, F, L]);
         assert_eq!(Technique::Fac.required_params(), &[P, R, Mu, Sigma]);
         assert_eq!(Technique::Fac2.required_params(), &[P, R]);
         assert_eq!(Technique::Bold.required_params(), &[P, N, H, Mu, Sigma, M]);
@@ -361,10 +356,8 @@ mod tests {
     fn table2_x_counts_match_paper() {
         // The paper's Table II marks 2, 0, 4, 2, 4, 4, 2 and 6 parameters
         // for STAT, SS, FSC, GSS, TSS, FAC, FAC2 and BOLD respectively.
-        let counts: Vec<usize> = Technique::hagerup_set()
-            .iter()
-            .map(|t| t.required_params().len())
-            .collect();
+        let counts: Vec<usize> =
+            Technique::hagerup_set().iter().map(|t| t.required_params().len()).collect();
         assert_eq!(counts, vec![2, 0, 4, 2, 4, 4, 2, 6]);
     }
 
@@ -373,10 +366,7 @@ mod tests {
         assert_eq!(Technique::Gss { min_chunk: 80 }.to_string(), "GSS(80)");
         assert_eq!(Technique::Css { k: 1389 }.to_string(), "CSS(1389)");
         assert_eq!(Technique::Fac2.to_string(), "FAC2");
-        assert_eq!(
-            Technique::Tss { first: Some(100), last: Some(1) }.to_string(),
-            "TSS(100,1)"
-        );
+        assert_eq!(Technique::Tss { first: Some(100), last: Some(1) }.to_string(), "TSS(100,1)");
     }
 
     #[test]
@@ -411,10 +401,7 @@ mod tests {
     #[test]
     fn parse_accepts_bare_and_defaulted_forms() {
         assert_eq!("gss".parse::<Technique>().unwrap(), Technique::Gss { min_chunk: 1 });
-        assert_eq!(
-            "tss".parse::<Technique>().unwrap(),
-            Technique::Tss { first: None, last: None }
-        );
+        assert_eq!("tss".parse::<Technique>().unwrap(), Technique::Tss { first: None, last: None });
         assert_eq!("tap".parse::<Technique>().unwrap(), Technique::Tap { alpha: 1.3 });
         assert_eq!(
             "awf-c".parse::<Technique>().unwrap(),

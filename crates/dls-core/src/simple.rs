@@ -31,9 +31,7 @@ impl StaticChunking {
         let p = setup.p as u64;
         let base = setup.n / p;
         let extra = (setup.n % p) as usize;
-        let block_sizes = (0..setup.p)
-            .map(|i| base + u64::from(i < extra))
-            .collect();
+        let block_sizes = (0..setup.p).map(|i| base + u64::from(i < extra)).collect();
         Ok(StaticChunking {
             block_sizes,
             served: vec![false; setup.p],

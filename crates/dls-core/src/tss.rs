@@ -54,11 +54,7 @@ impl TrapezoidSelfScheduling {
             return Err(SetupError::BadParam("TSS first chunk must not exceed n"));
         }
         let n_chunks = (2 * setup.n).div_ceil(f + l).max(1);
-        let delta = if n_chunks > 1 {
-            (f - l) as f64 / (n_chunks - 1) as f64
-        } else {
-            0.0
-        };
+        let delta = if n_chunks > 1 { (f - l) as f64 / (n_chunks - 1) as f64 } else { 0.0 };
         Ok(TrapezoidSelfScheduling {
             first: f as f64,
             delta,

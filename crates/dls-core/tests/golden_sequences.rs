@@ -54,10 +54,7 @@ fn gss1_golden() {
 
 #[test]
 fn gss5_golden() {
-    assert_eq!(
-        golden(Technique::Gss { min_chunk: 5 }),
-        vec![25, 19, 14, 11, 8, 6, 5, 5, 5, 2]
-    );
+    assert_eq!(golden(Technique::Gss { min_chunk: 5 }), vec![25, 19, 14, 11, 8, 6, 5, 5, 5, 2]);
 }
 
 #[test]
@@ -89,18 +86,15 @@ fn tap_golden() {
     assert_eq!(
         golden(Technique::Tap { alpha: 1.3 }),
         vec![
-            17, 13, 11, 8, 7, 6, 5, 4, 3, 3, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
-            1, 1, 1, 1
+            17, 13, 11, 8, 7, 6, 5, 4, 3, 3, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1,
+            1, 1
         ]
     );
 }
 
 #[test]
 fn bold_golden() {
-    assert_eq!(
-        golden(Technique::Bold),
-        vec![16, 14, 13, 11, 10, 8, 7, 6, 5, 4, 3, 2, 1]
-    );
+    assert_eq!(golden(Technique::Bold), vec![16, 14, 13, 11, 10, 8, 7, 6, 5, 4, 3, 2, 1]);
 }
 
 #[test]

@@ -1,11 +1,19 @@
-//! The event loop: actors, messages, timers.
+//! The event loop: actors, messages, timers, faults.
 
 use crate::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::collections::HashSet;
 
 /// Identifies an actor within one [`Engine`].
 pub type ActorId = usize;
+
+/// Handle to a pending cancellable timer (see [`Ctx::set_cancellable_timer`]).
+///
+/// Ids are unique for the lifetime of one engine and never reused, so a
+/// stale handle can never cancel a timer it does not own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
 
 /// An event-driven simulated process.
 ///
@@ -24,9 +32,52 @@ pub trait Actor<M> {
     fn on_timer(&mut self, _key: u64, _ctx: &mut Ctx<'_, M>) {}
 }
 
+/// Metadata describing one in-flight message, shown to the [`Interceptor`]
+/// before the delivery event is enqueued.
+///
+/// The payload itself is *not* exposed: fault decisions must depend only on
+/// topology (who talks to whom), timing and the interceptor's own seeded
+/// state, which keeps the hook object-safe over any message type and keeps
+/// fault plans deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryMeta {
+    /// Sending actor.
+    pub from: ActorId,
+    /// Receiving actor.
+    pub to: ActorId,
+    /// Virtual time at which the send was issued.
+    pub sent_at: SimTime,
+    /// Virtual time at which the message would normally arrive.
+    pub deliver_at: SimTime,
+    /// Sequence number the delivery event will receive (unique, monotone).
+    pub seq: u64,
+}
+
+/// An [`Interceptor`]'s decision for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver normally at `deliver_at`.
+    Deliver,
+    /// Silently discard the message (models a lossy link).
+    Drop,
+    /// Deliver late, at `deliver_at + delay` (models a latency spike).
+    Delay(SimTime),
+}
+
+/// A pluggable hook consulted for every message send.
+///
+/// Installed via [`Engine::set_interceptor`]; `dls-faults` implements this
+/// to realise loss, partition and latency-spike plans. The engine calls it
+/// exactly once per send, in deterministic (command-issue) order, so a
+/// seeded interceptor yields bit-identical runs.
+pub trait Interceptor {
+    /// Decides the fate of one message.
+    fn intercept(&mut self, meta: &DeliveryMeta) -> Verdict;
+}
+
 enum EventKind<M> {
     Deliver { from: ActorId, to: ActorId, msg: M },
-    Timer { actor: ActorId, key: u64 },
+    Timer { actor: ActorId, key: u64, id: Option<TimerId> },
 }
 
 struct Event<M> {
@@ -49,16 +100,15 @@ impl<M> PartialOrd for Event<M> {
 impl<M> Ord for Event<M> {
     // Reversed: BinaryHeap is a max-heap, we need earliest-first.
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
 enum Command<M> {
     Send { to: ActorId, delay: SimTime, msg: M },
-    Timer { delay: SimTime, key: u64 },
+    Timer { delay: SimTime, key: u64, id: Option<TimerId> },
+    CancelTimer { id: TimerId },
+    Kill { victim: ActorId },
     Stop,
 }
 
@@ -68,6 +118,7 @@ pub struct Ctx<'a, M> {
     self_id: ActorId,
     num_actors: usize,
     commands: &'a mut Vec<Command<M>>,
+    next_timer_id: &'a mut u64,
 }
 
 impl<M> Ctx<'_, M> {
@@ -92,7 +143,37 @@ impl<M> Ctx<'_, M> {
 
     /// Schedules an `on_timer(key)` callback on this actor after `delay`.
     pub fn set_timer(&mut self, delay: SimTime, key: u64) {
-        self.commands.push(Command::Timer { delay, key });
+        self.commands.push(Command::Timer { delay, key, id: None });
+    }
+
+    /// Like [`Ctx::set_timer`], but returns a handle that can later be
+    /// passed to [`Ctx::cancel_timer`]. Used for watchdogs that are armed
+    /// per outstanding chunk and disarmed when the result arrives.
+    pub fn set_cancellable_timer(&mut self, delay: SimTime, key: u64) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.commands.push(Command::Timer { delay, key, id: Some(id) });
+        id
+    }
+
+    /// Cancels a pending cancellable timer.
+    ///
+    /// Cancelling a timer that already fired (or was already cancelled) is
+    /// a no-op — ids are never reused, so no later timer can be affected.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.commands.push(Command::CancelTimer { id });
+    }
+
+    /// Fail-stops `victim` at the current instant.
+    ///
+    /// The victim's state is left in place (it can be inspected after the
+    /// run) but it receives no further callbacks: queued and future
+    /// deliveries and timers addressed to it become dead letters, counted
+    /// in [`EngineStats::dead_letters`]. Killing an already-dead actor is
+    /// a no-op; an actor may kill itself.
+    pub fn kill(&mut self, victim: ActorId) {
+        assert!(victim < self.num_actors, "kill of unknown actor {victim}");
+        self.commands.push(Command::Kill { victim });
     }
 
     /// Halts the simulation after the current callback returns; queued
@@ -113,14 +194,24 @@ pub struct EngineStats {
     pub end_time: SimTime,
     /// Whether the run ended via [`Ctx::stop`] (vs. queue exhaustion).
     pub stopped: bool,
+    /// Messages discarded by the interceptor ([`Verdict::Drop`]).
+    pub dropped_sends: u64,
+    /// Messages postponed by the interceptor ([`Verdict::Delay`]).
+    pub delayed_sends: u64,
+    /// Deliveries and timers discarded because the target was killed.
+    pub dead_letters: u64,
 }
 
 /// The discrete-event engine: owns actors and the event queue.
 pub struct Engine<M> {
     actors: Vec<Box<dyn Actor<M>>>,
+    dead: Vec<bool>,
     heap: BinaryHeap<Event<M>>,
     now: SimTime,
     seq: u64,
+    next_timer_id: u64,
+    cancelled: HashSet<TimerId>,
+    interceptor: Option<Box<dyn Interceptor>>,
     commands: Vec<Command<M>>,
     stats: EngineStats,
 }
@@ -136,9 +227,13 @@ impl<M> Engine<M> {
     pub fn new() -> Self {
         Engine {
             actors: Vec::new(),
+            dead: Vec::new(),
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
+            next_timer_id: 0,
+            cancelled: HashSet::new(),
+            interceptor: None,
             commands: Vec::new(),
             stats: EngineStats::default(),
         }
@@ -147,12 +242,22 @@ impl<M> Engine<M> {
     /// Registers an actor, returning its id (ids are dense, start at 0).
     pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
         self.actors.push(actor);
+        self.dead.push(false);
         self.actors.len() - 1
     }
 
     /// Number of registered actors.
     pub fn num_actors(&self) -> usize {
         self.actors.len()
+    }
+
+    /// Installs the delivery interceptor consulted for every send.
+    ///
+    /// Without one, every message is delivered (the verdict is always
+    /// [`Verdict::Deliver`]) and the event stream is byte-identical to an
+    /// engine built before this hook existed.
+    pub fn set_interceptor(&mut self, interceptor: Box<dyn Interceptor>) {
+        self.interceptor = Some(interceptor);
     }
 
     fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
@@ -166,20 +271,46 @@ impl<M> Engine<M> {
         let mut stop = false;
         // Swap out to appease the borrow checker without reallocating.
         let mut cmds = std::mem::take(&mut self.commands);
+        let mut interceptor = self.interceptor.take();
         for cmd in cmds.drain(..) {
             match cmd {
                 Command::Send { to, delay, msg } => {
                     let at = self.now.saturating_add(delay);
-                    self.push_event(at, EventKind::Deliver { from: issuer, to, msg });
+                    let verdict = match interceptor.as_mut() {
+                        Some(hook) => hook.intercept(&DeliveryMeta {
+                            from: issuer,
+                            to,
+                            sent_at: self.now,
+                            deliver_at: at,
+                            seq: self.seq,
+                        }),
+                        None => Verdict::Deliver,
+                    };
+                    match verdict {
+                        Verdict::Deliver => {
+                            self.push_event(at, EventKind::Deliver { from: issuer, to, msg });
+                        }
+                        Verdict::Drop => self.stats.dropped_sends += 1,
+                        Verdict::Delay(extra) => {
+                            self.stats.delayed_sends += 1;
+                            let late = at.saturating_add(extra);
+                            self.push_event(late, EventKind::Deliver { from: issuer, to, msg });
+                        }
+                    }
                 }
-                Command::Timer { delay, key } => {
+                Command::Timer { delay, key, id } => {
                     let at = self.now.saturating_add(delay);
-                    self.push_event(at, EventKind::Timer { actor: issuer, key });
+                    self.push_event(at, EventKind::Timer { actor: issuer, key, id });
                 }
+                Command::CancelTimer { id } => {
+                    self.cancelled.insert(id);
+                }
+                Command::Kill { victim } => self.dead[victim] = true,
                 Command::Stop => stop = true,
             }
         }
         self.commands = cmds;
+        self.interceptor = interceptor;
         stop
     }
 
@@ -192,11 +323,19 @@ impl<M> Engine<M> {
         // Start phase: give every actor a chance to seed the queue.
         for id in 0..num_actors {
             let mut commands = std::mem::take(&mut self.commands);
+            let mut tid = self.next_timer_id;
             {
-                let mut ctx = Ctx { now: self.now, self_id: id, num_actors, commands: &mut commands };
+                let mut ctx = Ctx {
+                    now: self.now,
+                    self_id: id,
+                    num_actors,
+                    commands: &mut commands,
+                    next_timer_id: &mut tid,
+                };
                 self.actors[id].on_start(&mut ctx);
             }
             self.commands = commands;
+            self.next_timer_id = tid;
             if self.drain_commands(id) {
                 self.stats.stopped = true;
                 self.stats.end_time = self.now;
@@ -206,35 +345,62 @@ impl<M> Engine<M> {
 
         while let Some(ev) = self.heap.pop() {
             debug_assert!(ev.time >= self.now, "time must be monotone");
+            // Cancelled timers and traffic to killed actors are skipped
+            // without advancing the clock or the event counter — a fault-free
+            // plan leaves both sets empty, so that path is untouched.
+            match &ev.kind {
+                EventKind::Timer { id: Some(id), .. } if self.cancelled.contains(id) => {
+                    self.cancelled.remove(id);
+                    continue;
+                }
+                EventKind::Timer { actor, .. } if self.dead[*actor] => {
+                    self.stats.dead_letters += 1;
+                    continue;
+                }
+                EventKind::Deliver { to, .. } if self.dead[*to] => {
+                    self.stats.dead_letters += 1;
+                    continue;
+                }
+                _ => {}
+            }
             self.now = ev.time;
             self.stats.events += 1;
-            let (actor_id, stop) = match ev.kind {
+            let actor_id = match ev.kind {
                 EventKind::Deliver { from, to, msg } => {
                     let mut commands = std::mem::take(&mut self.commands);
+                    let mut tid = self.next_timer_id;
                     {
-                        let mut ctx =
-                            Ctx { now: self.now, self_id: to, num_actors, commands: &mut commands };
+                        let mut ctx = Ctx {
+                            now: self.now,
+                            self_id: to,
+                            num_actors,
+                            commands: &mut commands,
+                            next_timer_id: &mut tid,
+                        };
                         self.actors[to].on_message(from, msg, &mut ctx);
                     }
                     self.commands = commands;
-                    (to, false)
+                    self.next_timer_id = tid;
+                    to
                 }
-                EventKind::Timer { actor, key } => {
+                EventKind::Timer { actor, key, id: _ } => {
                     let mut commands = std::mem::take(&mut self.commands);
+                    let mut tid = self.next_timer_id;
                     {
                         let mut ctx = Ctx {
                             now: self.now,
                             self_id: actor,
                             num_actors,
                             commands: &mut commands,
+                            next_timer_id: &mut tid,
                         };
                         self.actors[actor].on_timer(key, &mut ctx);
                     }
                     self.commands = commands;
-                    (actor, false)
+                    self.next_timer_id = tid;
+                    actor
                 }
             };
-            let _ = stop;
             if self.drain_commands(actor_id) {
                 self.stats.stopped = true;
                 break;
@@ -380,5 +546,161 @@ mod tests {
             (stats.events, stats.end_time)
         };
         assert_eq!(run(), run());
+    }
+
+    /// A cancelled timer never fires; an uncancelled sibling still does.
+    struct CancelUser {
+        fired: Vec<u64>,
+        handle: Option<TimerId>,
+    }
+    impl Actor<()> for CancelUser {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            self.handle = Some(ctx.set_cancellable_timer(SimTime::from_nanos(50), 1));
+            ctx.set_cancellable_timer(SimTime::from_nanos(80), 2);
+            ctx.set_timer(SimTime::from_nanos(10), 0);
+        }
+        fn on_message(&mut self, _f: ActorId, _m: (), _c: &mut Ctx<'_, ()>) {}
+        fn on_timer(&mut self, key: u64, ctx: &mut Ctx<'_, ()>) {
+            self.fired.push(key);
+            if key == 0 {
+                ctx.cancel_timer(self.handle.take().expect("armed in on_start"));
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut eng = Engine::new();
+        eng.add_actor(Box::new(CancelUser { fired: vec![], handle: None }));
+        let (actors, stats) = eng.run();
+        let user = &actors[0];
+        let _ = user;
+        // Key 1's timer was cancelled at t=10ns; keys 0 and 2 fire.
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.end_time, SimTime::from_nanos(80));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        struct LateCancel {
+            handle: Option<TimerId>,
+        }
+        impl Actor<()> for LateCancel {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                self.handle = Some(ctx.set_cancellable_timer(SimTime::from_nanos(10), 1));
+                ctx.set_timer(SimTime::from_nanos(20), 2);
+            }
+            fn on_message(&mut self, _f: ActorId, _m: (), _c: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, key: u64, ctx: &mut Ctx<'_, ()>) {
+                if key == 2 {
+                    // Timer 1 already fired; cancelling its handle is inert.
+                    ctx.cancel_timer(self.handle.take().expect("armed"));
+                }
+            }
+        }
+        let mut eng = Engine::new();
+        eng.add_actor(Box::new(LateCancel { handle: None }));
+        let (_, stats) = eng.run();
+        assert_eq!(stats.events, 2);
+    }
+
+    /// Killing an actor turns its queued and future traffic into dead letters.
+    struct Assassin {
+        victim: ActorId,
+    }
+    impl Actor<u32> for Assassin {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            // Two messages racing the kill: one lands before, one after.
+            ctx.send(self.victim, SimTime::from_nanos(5), 1);
+            ctx.send(self.victim, SimTime::from_nanos(50), 2);
+            ctx.set_timer(SimTime::from_nanos(20), 0);
+        }
+        fn on_message(&mut self, _f: ActorId, _m: u32, _c: &mut Ctx<'_, u32>) {}
+        fn on_timer(&mut self, _key: u64, ctx: &mut Ctx<'_, u32>) {
+            ctx.kill(self.victim);
+        }
+    }
+    struct Victim {
+        got: Vec<u32>,
+    }
+    impl Actor<u32> for Victim {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            // A timer that would fire after the kill.
+            ctx.set_timer(SimTime::from_nanos(100), 9);
+        }
+        fn on_message(&mut self, _f: ActorId, msg: u32, _c: &mut Ctx<'_, u32>) {
+            self.got.push(msg);
+        }
+        fn on_timer(&mut self, _key: u64, _ctx: &mut Ctx<'_, u32>) {
+            panic!("dead actor's timer must not fire");
+        }
+    }
+
+    #[test]
+    fn killed_actor_receives_nothing_further() {
+        let mut eng = Engine::new();
+        eng.add_actor(Box::new(Assassin { victim: 1 }));
+        eng.add_actor(Box::new(Victim { got: vec![] }));
+        let (actors, stats) = eng.run();
+        // Events: first delivery (t=5), kill timer (t=20). The second
+        // delivery and the victim's own timer become dead letters.
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.dead_letters, 2);
+        assert!(!stats.stopped);
+        let _ = actors;
+    }
+
+    /// An interceptor that drops every Nth message and delays the rest.
+    struct EveryOther {
+        n: u64,
+        extra: SimTime,
+    }
+    impl Interceptor for EveryOther {
+        fn intercept(&mut self, _meta: &DeliveryMeta) -> Verdict {
+            self.n += 1;
+            if self.n.is_multiple_of(2) {
+                Verdict::Drop
+            } else {
+                Verdict::Delay(self.extra)
+            }
+        }
+    }
+
+    #[test]
+    fn interceptor_drops_and_delays() {
+        let mut eng = Engine::new();
+        eng.add_actor(Box::new(Burst));
+        eng.add_actor(Box::new(Recorder { log: vec![] }));
+        eng.set_interceptor(Box::new(EveryOther { n: 0, extra: SimTime::from_nanos(7) }));
+        let (_, stats) = eng.run();
+        // 16 sends: 8 dropped, 8 delayed-but-delivered.
+        assert_eq!(stats.dropped_sends, 8);
+        assert_eq!(stats.delayed_sends, 8);
+        assert_eq!(stats.events, 8);
+        assert_eq!(stats.end_time, SimTime::from_nanos(1007));
+    }
+
+    /// No interceptor and a pass-through interceptor produce identical runs.
+    struct PassThrough;
+    impl Interceptor for PassThrough {
+        fn intercept(&mut self, _meta: &DeliveryMeta) -> Verdict {
+            Verdict::Deliver
+        }
+    }
+
+    #[test]
+    fn pass_through_interceptor_is_invisible() {
+        let run = |hook: bool| {
+            let lat = SimTime::from_nanos(123);
+            let mut eng = Engine::new();
+            eng.add_actor(Box::new(Pinger { peer: 1, rounds: 50, latency: lat, done_at: None }));
+            eng.add_actor(Box::new(Pinger { peer: 0, rounds: 50, latency: lat, done_at: None }));
+            if hook {
+                eng.set_interceptor(Box::new(PassThrough));
+            }
+            let (_, stats) = eng.run();
+            stats
+        };
+        assert_eq!(run(false), run(true));
     }
 }

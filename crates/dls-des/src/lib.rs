@@ -24,5 +24,7 @@
 mod engine;
 mod time;
 
-pub use engine::{Actor, ActorId, Ctx, Engine, EngineStats};
+pub use engine::{
+    Actor, ActorId, Ctx, DeliveryMeta, Engine, EngineStats, Interceptor, TimerId, Verdict,
+};
 pub use time::SimTime;

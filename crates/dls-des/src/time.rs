@@ -65,11 +65,7 @@ impl SimTime {
 impl std::ops::Add for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("SimTime addition overflowed"),
-        )
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime addition overflowed"))
     }
 }
 
@@ -82,11 +78,7 @@ impl std::ops::AddAssign for SimTime {
 impl std::ops::Sub for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("SimTime subtraction underflowed"),
-        )
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflowed"))
     }
 }
 
@@ -104,10 +96,7 @@ mod tests {
     fn round_trip_seconds() {
         for secs in [0.0, 1.0, 110e-6, 2e-3, 0.5, 1.3e5] {
             let t = SimTime::from_secs_f64(secs);
-            assert!(
-                (t.as_secs_f64() - secs).abs() < 1e-9,
-                "secs {secs} -> {t}"
-            );
+            assert!((t.as_secs_f64() - secs).abs() < 1e-9, "secs {secs} -> {t}");
         }
     }
 

@@ -1,0 +1,467 @@
+//! Deterministic fault-injection plans for the MSG simulator.
+//!
+//! A [`FaultPlan`] is a declarative, serializable description of everything
+//! that goes wrong during one simulated run:
+//!
+//! * **fail-stop** — a worker dies at virtual time *t* and never recovers
+//!   (crash-stop model, no Byzantine behaviour),
+//! * **partition** — the link to one worker drops every message in a window
+//!   `[from, until)`, in both directions,
+//! * **message loss** — every message is independently lost with a fixed
+//!   probability, decided by a [`SplitMix64`] stream seeded from the plan,
+//! * **latency spike** — messages crossing one worker's link during a window
+//!   arrive late by a fixed extra delay.
+//!
+//! Everything is a pure function of `(plan, seed)`: the loss stream is
+//! seeded from [`FaultPlan::seed`], windows are closed-open in integer
+//! nanoseconds, and the engine consults the compiled interceptor in
+//! deterministic command order. Two runs of the same scenario under the
+//! same plan are therefore byte-identical — the property the reproducibility
+//! harness tests enforce.
+//!
+//! The plan speaks in *worker indices* (0-based, as reported in
+//! `SimOutcome::chunks_per_worker`); compiling it for an engine translates
+//! those to actor ids via a caller-supplied mapping, so this crate does not
+//! hard-code the master/worker actor layout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dls_des::{ActorId, DeliveryMeta, Interceptor, SimTime, Verdict};
+use dls_rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// One worker crashing permanently at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailStop {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Crash time in simulated seconds.
+    pub at: f64,
+}
+
+/// A transient two-way partition of one worker's link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Worker index (0-based) whose link is cut.
+    pub worker: usize,
+    /// Window start in simulated seconds (inclusive).
+    pub from: f64,
+    /// Window end in simulated seconds (exclusive).
+    pub until: f64,
+}
+
+/// Extra latency applied to messages crossing one worker's link in a window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySpike {
+    /// Worker index (0-based) whose link is slow.
+    pub worker: usize,
+    /// Window start in simulated seconds (inclusive).
+    pub from: f64,
+    /// Window end in simulated seconds (exclusive).
+    pub until: f64,
+    /// Added one-way delay in seconds for affected messages.
+    pub extra_secs: f64,
+}
+
+/// A complete, seedable description of the faults injected into one run.
+///
+/// The JSON form is what `repro faults --fault-plan <file>` consumes; all
+/// fields default so partial plans parse:
+///
+/// ```json
+/// {
+///   "seed": 7,
+///   "fail_stops": [{ "worker": 2, "at": 40.0 }],
+///   "partitions": [{ "worker": 0, "from": 10.0, "until": 12.5 }],
+///   "loss_probability": 0.01,
+///   "latency_spikes": [{ "worker": 1, "from": 5.0, "until": 6.0, "extra_secs": 0.25 }]
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the per-message loss stream (irrelevant when
+    /// `loss_probability` is zero).
+    #[serde(default)]
+    pub seed: u64,
+    /// Permanent worker crashes.
+    #[serde(default)]
+    pub fail_stops: Vec<FailStop>,
+    /// Transient link partitions.
+    #[serde(default)]
+    pub partitions: Vec<Partition>,
+    /// Independent per-message loss probability in `[0, 1)`.
+    #[serde(default)]
+    pub loss_probability: f64,
+    /// Windowed latency injections.
+    #[serde(default)]
+    pub latency_spikes: Vec<LatencySpike>,
+}
+
+/// Why a [`FaultPlan`] was rejected by [`FaultPlan::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// `loss_probability` outside `[0, 1)` or not finite.
+    InvalidLossProbability(f64),
+    /// A fail-stop time is negative or not finite.
+    InvalidFailStopTime(f64),
+    /// A window has `until <= from`, or a bound is negative / not finite.
+    InvalidWindow {
+        /// Window start as given.
+        from: f64,
+        /// Window end as given.
+        until: f64,
+    },
+    /// A latency spike's extra delay is non-positive or not finite.
+    InvalidSpikeDelay(f64),
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::InvalidLossProbability(p) => {
+                write!(f, "loss_probability {p} must be finite and in [0, 1)")
+            }
+            FaultPlanError::InvalidFailStopTime(t) => {
+                write!(f, "fail-stop time {t} must be finite and non-negative")
+            }
+            FaultPlanError::InvalidWindow { from, until } => {
+                write!(f, "window [{from}, {until}) must be finite, non-negative and non-empty")
+            }
+            FaultPlanError::InvalidSpikeDelay(d) => {
+                write!(f, "latency spike delay {d} must be finite and positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+fn check_window(from: f64, until: f64) -> Result<(), FaultPlanError> {
+    if !from.is_finite() || !until.is_finite() || from < 0.0 || until <= from {
+        return Err(FaultPlanError::InvalidWindow { from, until });
+    }
+    Ok(())
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing fails. Running under it must be byte-identical
+    /// to running with no fault machinery at all.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.fail_stops.is_empty()
+            && self.partitions.is_empty()
+            && self.loss_probability == 0.0
+            && self.latency_spikes.is_empty()
+    }
+
+    /// Sets the loss-stream seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds a fail-stop (builder style).
+    pub fn with_fail_stop(mut self, worker: usize, at: f64) -> Self {
+        self.fail_stops.push(FailStop { worker, at });
+        self
+    }
+
+    /// Adds a link partition (builder style).
+    pub fn with_partition(mut self, worker: usize, from: f64, until: f64) -> Self {
+        self.partitions.push(Partition { worker, from, until });
+        self
+    }
+
+    /// Sets the per-message loss probability (builder style).
+    pub fn with_loss(mut self, probability: f64) -> Self {
+        self.loss_probability = probability;
+        self
+    }
+
+    /// Adds a latency spike (builder style).
+    pub fn with_latency_spike(
+        mut self,
+        worker: usize,
+        from: f64,
+        until: f64,
+        extra_secs: f64,
+    ) -> Self {
+        self.latency_spikes.push(LatencySpike { worker, from, until, extra_secs });
+        self
+    }
+
+    /// Checks every numeric field for physical plausibility.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        if !self.loss_probability.is_finite()
+            || self.loss_probability < 0.0
+            || self.loss_probability >= 1.0
+        {
+            return Err(FaultPlanError::InvalidLossProbability(self.loss_probability));
+        }
+        for fs in &self.fail_stops {
+            if !fs.at.is_finite() || fs.at < 0.0 {
+                return Err(FaultPlanError::InvalidFailStopTime(fs.at));
+            }
+        }
+        for p in &self.partitions {
+            check_window(p.from, p.until)?;
+        }
+        for s in &self.latency_spikes {
+            check_window(s.from, s.until)?;
+            if !s.extra_secs.is_finite() || s.extra_secs <= 0.0 {
+                return Err(FaultPlanError::InvalidSpikeDelay(s.extra_secs));
+            }
+        }
+        Ok(())
+    }
+
+    /// The largest worker index the plan mentions, if any — callers use it
+    /// to reject plans referencing workers the platform does not have.
+    pub fn max_worker(&self) -> Option<usize> {
+        let fails = self.fail_stops.iter().map(|f| f.worker);
+        let parts = self.partitions.iter().map(|p| p.worker);
+        let spikes = self.latency_spikes.iter().map(|s| s.worker);
+        fails.chain(parts).chain(spikes).max()
+    }
+
+    /// Fail-stop schedule as `(worker, time)` pairs, earliest first (ties
+    /// broken by worker index for determinism).
+    pub fn fail_stop_schedule(&self) -> Vec<(usize, SimTime)> {
+        let mut v: Vec<(usize, SimTime)> =
+            self.fail_stops.iter().map(|f| (f.worker, SimTime::from_secs_f64(f.at))).collect();
+        v.sort_by_key(|&(w, t)| (t, w));
+        v
+    }
+
+    /// Compiles the link-level faults (partitions, loss, spikes) into an
+    /// engine [`Interceptor`]. `worker_actor` maps a worker index to its
+    /// actor id; fail-stops are *not* handled here (they are actor kills,
+    /// see [`FaultPlan::fail_stop_schedule`]).
+    pub fn link_faults(&self, worker_actor: impl Fn(usize) -> ActorId) -> LinkFaults {
+        let windows =
+            |from: f64, until: f64| (SimTime::from_secs_f64(from), SimTime::from_secs_f64(until));
+        LinkFaults {
+            partitions: self
+                .partitions
+                .iter()
+                .map(|p| {
+                    let (from, until) = windows(p.from, p.until);
+                    (worker_actor(p.worker), from, until)
+                })
+                .collect(),
+            spikes: self
+                .latency_spikes
+                .iter()
+                .map(|s| {
+                    let (from, until) = windows(s.from, s.until);
+                    (worker_actor(s.worker), from, until, SimTime::from_secs_f64(s.extra_secs))
+                })
+                .collect(),
+            loss_probability: self.loss_probability,
+            rng: SplitMix64::new(self.seed),
+        }
+    }
+}
+
+/// The compiled, stateful link-fault interceptor (see
+/// [`FaultPlan::link_faults`]).
+///
+/// Verdict precedence per message: partition drop, then probabilistic loss,
+/// then latency spike, then normal delivery. The loss stream draws exactly
+/// one deviate per message (when `loss_probability > 0`), so verdicts are a
+/// pure function of the plan and the interception order — which the engine
+/// guarantees is deterministic.
+pub struct LinkFaults {
+    partitions: Vec<(ActorId, SimTime, SimTime)>,
+    spikes: Vec<(ActorId, SimTime, SimTime, SimTime)>,
+    loss_probability: f64,
+    rng: SplitMix64,
+}
+
+impl Interceptor for LinkFaults {
+    fn intercept(&mut self, meta: &DeliveryMeta) -> Verdict {
+        // Loss is drawn first and unconditionally (when enabled) so the
+        // stream position depends only on the message count, not on which
+        // windows happen to be open.
+        let lost = self.loss_probability > 0.0 && self.rng.next_f64() < self.loss_probability;
+        let on_link = |actor: ActorId| meta.from == actor || meta.to == actor;
+        for &(actor, from, until) in &self.partitions {
+            if on_link(actor) && meta.sent_at >= from && meta.sent_at < until {
+                return Verdict::Drop;
+            }
+        }
+        if lost {
+            return Verdict::Drop;
+        }
+        for &(actor, from, until, extra) in &self.spikes {
+            if on_link(actor) && meta.sent_at >= from && meta.sent_at < until {
+                return Verdict::Delay(extra);
+            }
+        }
+        Verdict::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(from: ActorId, to: ActorId, at_ns: u64) -> DeliveryMeta {
+        DeliveryMeta {
+            from,
+            to,
+            sent_at: SimTime::from_nanos(at_ns),
+            deliver_at: SimTime::from_nanos(at_ns + 100),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn none_plan_is_none_and_valid() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.max_worker(), None);
+        assert!(plan.fail_stop_schedule().is_empty());
+    }
+
+    #[test]
+    fn builder_round_trips_through_json() {
+        let plan = FaultPlan::none()
+            .with_seed(7)
+            .with_fail_stop(2, 40.0)
+            .with_partition(0, 10.0, 12.5)
+            .with_loss(0.01)
+            .with_latency_spike(1, 5.0, 6.0, 0.25);
+        let json = serde_json::to_string_pretty(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+        assert!(!back.is_none());
+        assert_eq!(back.max_worker(), Some(2));
+    }
+
+    #[test]
+    fn partial_json_uses_defaults() {
+        let plan: FaultPlan =
+            serde_json::from_str(r#"{ "fail_stops": [{ "worker": 3, "at": 1.5 }] }"#).unwrap();
+        assert_eq!(plan.seed, 0);
+        assert_eq!(plan.loss_probability, 0.0);
+        assert_eq!(plan.fail_stops, vec![FailStop { worker: 3, at: 1.5 }]);
+        assert!(plan.partitions.is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_bad_numbers() {
+        assert!(matches!(
+            FaultPlan::none().with_loss(1.0).validate(),
+            Err(FaultPlanError::InvalidLossProbability(_))
+        ));
+        assert!(matches!(
+            FaultPlan::none().with_loss(f64::NAN).validate(),
+            Err(FaultPlanError::InvalidLossProbability(_))
+        ));
+        assert!(matches!(
+            FaultPlan::none().with_fail_stop(0, -1.0).validate(),
+            Err(FaultPlanError::InvalidFailStopTime(_))
+        ));
+        assert!(matches!(
+            FaultPlan::none().with_partition(0, 5.0, 5.0).validate(),
+            Err(FaultPlanError::InvalidWindow { .. })
+        ));
+        assert!(matches!(
+            FaultPlan::none().with_latency_spike(0, 1.0, 2.0, 0.0).validate(),
+            Err(FaultPlanError::InvalidSpikeDelay(_))
+        ));
+        assert!(FaultPlan::none()
+            .with_loss(0.5)
+            .with_fail_stop(1, 0.0)
+            .with_partition(0, 0.0, 1.0)
+            .with_latency_spike(0, 1.0, 2.0, 0.1)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn fail_stop_schedule_sorted_by_time_then_worker() {
+        let plan =
+            FaultPlan::none().with_fail_stop(5, 2.0).with_fail_stop(1, 1.0).with_fail_stop(0, 2.0);
+        let sched = plan.fail_stop_schedule();
+        assert_eq!(
+            sched,
+            vec![
+                (1, SimTime::from_secs_f64(1.0)),
+                (0, SimTime::from_secs_f64(2.0)),
+                (5, SimTime::from_secs_f64(2.0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn partition_drops_both_directions_inside_window_only() {
+        let plan = FaultPlan::none().with_partition(0, 1.0, 2.0);
+        // Worker 0 is actor 1 in the usual layout.
+        let mut hook = plan.link_faults(|w| w + 1);
+        let ns = |s: f64| SimTime::from_secs_f64(s).as_nanos();
+        assert_eq!(hook.intercept(&meta(0, 1, ns(1.5))), Verdict::Drop);
+        assert_eq!(hook.intercept(&meta(1, 0, ns(1.5))), Verdict::Drop);
+        assert_eq!(hook.intercept(&meta(0, 1, ns(0.5))), Verdict::Deliver);
+        assert_eq!(hook.intercept(&meta(0, 1, ns(2.0))), Verdict::Deliver);
+        // A different worker's link is untouched.
+        assert_eq!(hook.intercept(&meta(0, 2, ns(1.5))), Verdict::Deliver);
+    }
+
+    #[test]
+    fn latency_spike_delays_inside_window() {
+        let plan = FaultPlan::none().with_latency_spike(1, 10.0, 11.0, 0.5);
+        let mut hook = plan.link_faults(|w| w + 1);
+        let ns = |s: f64| SimTime::from_secs_f64(s).as_nanos();
+        assert_eq!(
+            hook.intercept(&meta(0, 2, ns(10.25))),
+            Verdict::Delay(SimTime::from_secs_f64(0.5))
+        );
+        assert_eq!(hook.intercept(&meta(0, 2, ns(9.0))), Verdict::Deliver);
+    }
+
+    #[test]
+    fn loss_stream_is_deterministic_and_seed_sensitive() {
+        let verdicts = |seed: u64| {
+            let plan = FaultPlan::none().with_loss(0.5).with_seed(seed);
+            let mut hook = plan.link_faults(|w| w + 1);
+            (0..64)
+                .map(|i| hook.intercept(&meta(0, 1, i * 1000)) == Verdict::Drop)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(verdicts(42), verdicts(42));
+        assert_ne!(verdicts(42), verdicts(43));
+        // p = 0.5 over 64 draws: both outcomes must occur.
+        let v = verdicts(42);
+        assert!(v.iter().any(|&b| b) && v.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn loss_stream_position_independent_of_windows() {
+        // The same seed must produce the same loss decisions whether or not
+        // a partition also fires, so partition windows cannot shift which
+        // later messages are lost.
+        let plan_a = FaultPlan::none().with_loss(0.3).with_seed(9);
+        let plan_b = plan_a.clone().with_partition(0, 0.0, 1e-3);
+        let mut a = plan_a.link_faults(|w| w + 1);
+        let mut b = plan_b.link_faults(|w| w + 1);
+        // Messages after the partition window: verdicts must agree.
+        for i in 0..64u64 {
+            let m = meta(0, 1, 2_000_000 + i * 1000);
+            assert_eq!(a.intercept(&m), b.intercept(&m));
+        }
+    }
+
+    #[test]
+    fn display_of_errors_mentions_offending_value() {
+        let err = FaultPlan::none().with_loss(2.0).validate().unwrap_err();
+        assert!(err.to_string().contains('2'));
+    }
+}

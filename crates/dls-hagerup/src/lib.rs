@@ -140,9 +140,8 @@ impl DirectSimulator {
         tasks: &TaskTimes,
     ) -> DirectOutcome {
         let in_sim_h = self.overhead.in_sim_h();
-        let mut heap: BinaryHeap<Reverse<(Avail, usize)>> = (0..self.p)
-            .map(|pe| Reverse((Avail(0.0), pe)))
-            .collect();
+        let mut heap: BinaryHeap<Reverse<(Avail, usize)>> =
+            (0..self.p).map(|pe| Reverse((Avail(0.0), pe))).collect();
         let mut compute = vec![0.0f64; self.p];
         let mut chunks_per_pe = vec![0u64; self.p];
         let mut tasks_per_pe = vec![0u64; self.p];
@@ -319,15 +318,10 @@ mod tests {
     fn time_stepping_with_persistent_scheduler() {
         use dls_core::AwfVariant;
         // One straggler at 1/5 speed, unknown to the technique.
-        let sim = DirectSimulator::with_speeds(
-            vec![1.0, 1.0, 1.0, 0.2],
-            OverheadModel::None,
-        );
+        let sim = DirectSimulator::with_speeds(vec![1.0, 1.0, 1.0, 0.2], OverheadModel::None);
         let workload = Workload::constant(4_000, 1e-3);
         let setup = LoopSetup::new(4_000, 4).with_moments(1e-3, 0.0);
-        let mut sched = Technique::Awf { variant: AwfVariant::TimeStep }
-            .build(&setup)
-            .unwrap();
+        let mut sched = Technique::Awf { variant: AwfVariant::TimeStep }.build(&setup).unwrap();
         let mut makespans = Vec::new();
         for step in 0..5 {
             sched.start_time_step();
@@ -335,9 +329,6 @@ mod tests {
             makespans.push(sim.run_with_ref(sched.as_mut(), &tasks).makespan);
         }
         // Step 1 is uniform-weighted (imbalanced); later steps learn.
-        assert!(
-            makespans[4] < 0.75 * makespans[0],
-            "AWF must improve across steps: {makespans:?}"
-        );
+        assert!(makespans[4] < 0.75 * makespans[0], "AWF must improve across steps: {makespans:?}");
     }
 }

@@ -12,18 +12,22 @@
 //!   (paper Figures 5c/5d … 8c/8d).
 //! * **Summary statistics** — Welford online mean/variance, percentiles,
 //!   trimmed means (used for the Figure 9 outlier analysis).
+//! * **Robustness metrics** — makespan degradation, flexibility and the
+//!   wasted-work fraction of fault-injected executions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod compare;
 mod fairness;
+mod robustness;
 mod stats;
 mod tzen_ni;
 mod wasted;
 
 pub use compare::{ks_test, welch_t_test, TestResult};
 pub use fairness::{cov, jain_fairness, max_mean_imbalance, percent_imbalance};
+pub use robustness::{flexibility, makespan_degradation, wasted_work_fraction};
 pub use stats::{mean_below_threshold, percentile, trimmed_mean, Histogram, SummaryStats};
 pub use tzen_ni::{LoopMetrics, ResourceSplit};
 pub use wasted::{average_wasted_time, wasted_times, OverheadModel, RunCost};

@@ -1,0 +1,74 @@
+//! Robustness metrics for fault-injected executions.
+//!
+//! The related DLS robustness literature (e.g. the flexibility metric used
+//! with SimGrid-based DLS studies) quantifies how well a technique tolerates
+//! perturbations by comparing a degraded execution against its fault-free
+//! baseline. Three views are provided:
+//!
+//! * **Makespan degradation** — `T_faulty / T_baseline`; 1.0 means the
+//!   faults cost nothing, 2.0 means the run took twice as long.
+//! * **Flexibility** — the reciprocal, `T_baseline / T_faulty` ∈ (0, 1];
+//!   1.0 is perfectly robust, values near 0 mean the faults dominated.
+//! * **Wasted-work fraction** — compute time burned on re-executed chunks
+//!   (work lost to dead workers or lost completion reports) relative to the
+//!   useful serial work.
+
+/// Makespan-degradation ratio `faulty / baseline`.
+///
+/// Both makespans must be positive; a fault-free run has ratio 1.0 and a
+/// run that recovery could not fully hide has ratio > 1.0.
+pub fn makespan_degradation(baseline: f64, faulty: f64) -> f64 {
+    assert!(baseline > 0.0, "baseline makespan must be > 0");
+    assert!(faulty > 0.0, "faulty makespan must be > 0");
+    faulty / baseline
+}
+
+/// Flexibility `baseline / faulty`: the fraction of fault-free performance
+/// retained under faults. 1.0 = fully robust; → 0 = faults dominate.
+pub fn flexibility(baseline: f64, faulty: f64) -> f64 {
+    1.0 / makespan_degradation(baseline, faulty)
+}
+
+/// Fraction of the useful (serial) work that was re-executed because of
+/// failures: `wasted_work / serial_time`.
+///
+/// `wasted_work` is total per-worker compute beyond the serial time (see
+/// the simulator's `SimOutcome::wasted_work`); 0.0 means every task ran
+/// exactly once.
+pub fn wasted_work_fraction(wasted_work: f64, serial_time: f64) -> f64 {
+    assert!(serial_time > 0.0, "serial time must be > 0");
+    (wasted_work / serial_time).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degradation_and_flexibility_are_reciprocal() {
+        assert!((makespan_degradation(10.0, 15.0) - 1.5).abs() < 1e-12);
+        assert!((flexibility(10.0, 15.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(makespan_degradation(10.0, 10.0), 1.0);
+        assert_eq!(flexibility(10.0, 10.0), 1.0);
+    }
+
+    #[test]
+    fn faster_under_faults_is_allowed() {
+        // Statistically possible with perturbed workloads: ratio < 1.
+        assert!(makespan_degradation(10.0, 9.0) < 1.0);
+        assert!(flexibility(10.0, 9.0) > 1.0);
+    }
+
+    #[test]
+    fn wasted_work_fraction_is_relative_to_serial() {
+        assert!((wasted_work_fraction(5.0, 100.0) - 0.05).abs() < 1e-12);
+        assert_eq!(wasted_work_fraction(0.0, 100.0), 0.0);
+        assert_eq!(wasted_work_fraction(-1.0, 100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be > 0")]
+    fn degradation_rejects_zero_baseline() {
+        makespan_degradation(0.0, 1.0);
+    }
+}

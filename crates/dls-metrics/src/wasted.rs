@@ -115,9 +115,12 @@ mod tests {
         // Paper: "The scheduling overhead time h is multiplied with the
         // number of chunks ... and this value is added to the average
         // wasted time" — h·chunks is NOT divided by p.
-        let w = average_wasted_time(1.0, &[1.0, 1.0, 1.0, 1.0], 10, OverheadModel::PostHocTotal {
-            h: 0.5,
-        });
+        let w = average_wasted_time(
+            1.0,
+            &[1.0, 1.0, 1.0, 1.0],
+            10,
+            OverheadModel::PostHocTotal { h: 0.5 },
+        );
         assert!((w - 5.0).abs() < 1e-12);
     }
 

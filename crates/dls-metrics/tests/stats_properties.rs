@@ -1,9 +1,8 @@
 //! Property tests for the statistics utilities.
 
 use dls_metrics::{
-    average_wasted_time, cov, discrepancy, jain_fairness, max_mean_imbalance,
-    mean_below_threshold, percentile, relative_discrepancy_pct, trimmed_mean, OverheadModel,
-    SummaryStats,
+    average_wasted_time, cov, discrepancy, jain_fairness, max_mean_imbalance, mean_below_threshold,
+    percentile, relative_discrepancy_pct, trimmed_mean, OverheadModel, SummaryStats,
 };
 use proptest::prelude::*;
 

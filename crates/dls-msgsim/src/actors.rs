@@ -1,11 +1,15 @@
-//! The master and worker actors of the MSG execution model (Figure 1).
+//! The master and worker actors of the MSG execution model (Figure 1),
+//! plus the fault-tolerance machinery (watchdogs, re-requests, reassignment)
+//! that activates only when the spec carries a non-empty fault plan.
 
-use crate::spec::SimSpec;
+use crate::outcome::FaultStats;
+use crate::spec::{Recovery, SimSpec};
 use dls_core::ChunkScheduler;
-use dls_des::{Actor, ActorId, Ctx, SimTime};
+use dls_des::{Actor, ActorId, Ctx, SimTime, TimerId};
 use dls_platform::LinkSpec;
 use dls_workload::{Availability, TaskTimes};
 use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 /// Messages exchanged between master and workers.
@@ -20,6 +24,10 @@ pub enum Msg {
     /// Master → worker: execute `count` tasks totalling `work_secs` of
     /// unit-speed work.
     Work {
+        /// Assignment id, echoed back in the completion report so the
+        /// master can pair replies with outstanding chunks (and discard
+        /// stale duplicates after a retry or reassignment).
+        id: u64,
         /// Number of tasks in the chunk.
         count: u64,
         /// Sum of the chunk's task times at unit speed, seconds.
@@ -32,6 +40,8 @@ pub enum Msg {
 /// A worker's report about its last chunk.
 #[derive(Debug, Clone, Copy)]
 pub struct Completion {
+    /// The assignment id from the [`Msg::Work`] message.
+    pub id: u64,
     /// Tasks in the chunk.
     pub chunk: u64,
     /// Wall time the chunk took on the worker, seconds.
@@ -66,6 +76,9 @@ pub struct SharedStats {
     pub last_finish: f64,
     /// Chunk trace (populated only when the spec requests it).
     pub chunk_trace: Option<Vec<ChunkRecord>>,
+    /// Fault and recovery counters (engine-level fields are filled in by
+    /// the driver after the run).
+    pub faults: FaultStats,
 }
 
 impl SharedStats {
@@ -78,17 +91,63 @@ impl SharedStats {
             assigned_tasks: 0,
             last_finish: 0.0,
             chunk_trace: None,
+            faults: FaultStats::default(),
         }
     }
 }
 
 const MASTER: ActorId = 0;
 
+/// Worker timer keys (the master uses assignment ids as keys instead).
+const TIMER_CHUNK_DONE: u64 = 0;
+const TIMER_REQUEST_RETRY: u64 = 1;
+
+/// A chunk's identity independent of who executes it: the task range and
+/// its total unit-speed work. Re-queued on failure, re-dispatched verbatim.
+#[derive(Debug, Clone, Copy)]
+struct ChunkJob {
+    start: u64,
+    count: u64,
+    work_secs: f64,
+}
+
+/// One chunk the master has dispatched and not yet seen completed.
+#[derive(Debug)]
+struct Outstanding {
+    worker: usize,
+    job: ChunkJob,
+    /// Timeout expiries so far (0 while the first watchdog is armed).
+    attempts: u32,
+    /// The armed watchdog, cancelled when the completion arrives.
+    timer: TimerId,
+    /// Base timeout in seconds; retries arm `base × backoff^attempts`.
+    base_timeout: f64,
+}
+
+/// Master-side fault-tolerance state; present only when the spec's fault
+/// plan is non-empty, so fault-free runs take the exact legacy code path.
+#[derive(Debug)]
+struct Ft {
+    next_id: u64,
+    outstanding: BTreeMap<u64, Outstanding>,
+    /// Per-worker outstanding assignment id (at most one chunk per worker).
+    worker_chunk: Vec<Option<u64>>,
+    /// Workers the master has given up on.
+    dead: Vec<bool>,
+    /// Idle workers waiting because the scheduler is drained but chunks are
+    /// still outstanding — a failure would re-queue work for them, so they
+    /// must not be finalized yet.
+    parked: VecDeque<usize>,
+    /// Chunks recovered from declared-dead workers, awaiting reassignment.
+    requeue: VecDeque<ChunkJob>,
+}
+
 /// The master: owns the scheduler and the task-time realization.
 pub struct Master {
     scheduler: Rc<RefCell<Box<dyn ChunkScheduler>>>,
     tasks: TaskTimes,
     link: LinkSpec,
+    request_bytes: u64,
     work_bytes: u64,
     finalize_bytes: u64,
     /// Per-request service time (0 = instantaneous master).
@@ -96,6 +155,12 @@ pub struct Master {
     /// Time until which the master's single scheduling "core" is busy.
     busy_until: SimTime,
     next_task: usize,
+    /// Effective per-worker speed (host speed × availability weight), used
+    /// to estimate chunk execution times for watchdog timeouts.
+    eff_speed: Vec<f64>,
+    in_sim_h: f64,
+    recovery: Recovery,
+    ft: Option<Ft>,
     stats: Rc<RefCell<SharedStats>>,
 }
 
@@ -108,15 +173,35 @@ impl Master {
         spec: &SimSpec,
         stats: Rc<RefCell<SharedStats>>,
     ) -> Self {
+        let p = spec.num_workers();
+        let eff_speed = (0..p)
+            .map(|w| {
+                let host = spec.platform.host(w);
+                (host.speed * host.availability.weight).max(f64::MIN_POSITIVE)
+            })
+            .collect();
+        let ft = (!spec.faults.is_none()).then(|| Ft {
+            next_id: 0,
+            outstanding: BTreeMap::new(),
+            worker_chunk: vec![None; p],
+            dead: vec![false; p],
+            parked: VecDeque::new(),
+            requeue: VecDeque::new(),
+        });
         Master {
             scheduler,
             tasks,
             link: spec.platform.link(),
+            request_bytes: spec.messages.request,
             work_bytes: spec.messages.work,
             finalize_bytes: spec.messages.finalize,
             service: SimTime::from_secs_f64(spec.master_service),
             busy_until: SimTime::ZERO,
             next_task: 0,
+            eff_speed,
+            in_sim_h: spec.overhead.in_sim_h(),
+            recovery: spec.recovery,
+            ft,
             stats,
         }
     }
@@ -132,29 +217,115 @@ impl Master {
         self.busy_until = done;
         done - now
     }
-}
 
-impl Actor<Msg> for Master {
-    fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
-        let Msg::Request { prev } = msg else {
-            unreachable!("master only receives work requests");
-        };
-        let worker = from - 1; // actor ids: master 0, worker w at w+1
+    fn work_comm(&self) -> SimTime {
+        SimTime::from_secs_f64(self.link.comm_time(self.work_bytes))
+    }
+
+    fn finalize_comm(&self) -> SimTime {
+        SimTime::from_secs_f64(self.link.comm_time(self.finalize_bytes))
+    }
+
+    /// Watchdog budget for one chunk on one worker: the estimated round
+    /// trip (work message + execution + overhead + report) stretched by the
+    /// recovery grace factor, floored at the configured minimum.
+    fn base_timeout(&self, job: &ChunkJob, worker: usize) -> f64 {
+        let exec = job.work_secs / self.eff_speed[worker];
+        let comm = self.link.comm_time(self.work_bytes) + self.link.comm_time(self.request_bytes);
+        (self.recovery.grace * (exec + self.in_sim_h + comm)).max(self.recovery.min_timeout)
+    }
+
+    /// Dispatches `job` to `worker` under a fresh assignment id and arms
+    /// its watchdog. Fault-tolerant mode only.
+    fn dispatch(
+        &mut self,
+        worker: usize,
+        job: ChunkJob,
+        queueing: SimTime,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
+        let base_timeout = self.base_timeout(&job, worker);
+        let comm = self.work_comm();
+        let ft = self.ft.as_mut().expect("dispatch is fault-tolerant-only");
+        let id = ft.next_id;
+        ft.next_id += 1;
+        ctx.send(
+            worker + 1,
+            queueing.saturating_add(comm),
+            Msg::Work { id, count: job.count, work_secs: job.work_secs },
+        );
+        let delay = queueing.saturating_add(SimTime::from_secs_f64(base_timeout));
+        let timer = ctx.set_cancellable_timer(delay, id);
+        ft.outstanding.insert(id, Outstanding { worker, job, attempts: 0, timer, base_timeout });
+        ft.worker_chunk[worker] = Some(id);
+    }
+
+    /// Pulls the next fresh chunk from the scheduler, if any, updating the
+    /// assignment statistics exactly as the legacy path does.
+    fn fresh_chunk(&mut self, worker: usize, now: SimTime) -> Option<ChunkJob> {
+        let count = self.scheduler.borrow_mut().next_chunk(worker);
+        if count == 0 {
+            return None;
+        }
+        let start = self.next_task as u64;
+        let end = self.next_task + count as usize;
+        let work_secs = self.tasks.chunk_sum(self.next_task, end);
+        self.next_task = end;
+        let mut s = self.stats.borrow_mut();
+        s.chunks += 1;
+        s.chunks_per_worker[worker] += 1;
+        s.assigned_tasks += count;
+        if let Some(trace) = &mut s.chunk_trace {
+            trace.push(ChunkRecord { assigned_at: now.as_secs_f64(), worker, start, count });
+        }
+        Some(ChunkJob { start, count, work_secs })
+    }
+
+    /// Counts a reassignment and records it in the chunk trace (the same
+    /// task range appears a second time, under the surviving worker).
+    fn note_reassignment(&self, worker: usize, job: &ChunkJob, now: SimTime) {
+        let mut s = self.stats.borrow_mut();
+        s.faults.reassigned_chunks += 1;
+        s.faults.reassigned_tasks += job.count;
+        if let Some(trace) = &mut s.chunk_trace {
+            trace.push(ChunkRecord {
+                assigned_at: now.as_secs_f64(),
+                worker,
+                start: job.start,
+                count: job.count,
+            });
+        }
+    }
+
+    /// Sends Finalize to `worker` (actor `worker + 1`).
+    fn finalize_worker(&self, worker: usize, queueing: SimTime, ctx: &mut Ctx<'_, Msg>) {
+        ctx.send(worker + 1, queueing.saturating_add(self.finalize_comm()), Msg::Finalize);
+    }
+
+    /// The legacy, fault-oblivious request handler — byte-identical
+    /// behaviour to the pre-fault-tolerance master.
+    fn on_request_simple(
+        &mut self,
+        worker: usize,
+        prev: Option<Completion>,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
         let queueing = self.serve(ctx.now());
         let mut scheduler = self.scheduler.borrow_mut();
         if let Some(c) = prev {
             scheduler.record_completion(worker, c.chunk, c.elapsed);
+            self.stats.borrow_mut().faults.completed_tasks += c.chunk;
         }
         let count = scheduler.next_chunk(worker);
         if count == 0 {
-            let delay =
-                queueing.saturating_add(SimTime::from_secs_f64(self.link.comm_time(self.finalize_bytes)));
-            ctx.send(from, delay, Msg::Finalize);
+            drop(scheduler);
+            self.finalize_worker(worker, queueing, ctx);
             return;
         }
         let end = self.next_task + count as usize;
         let work_secs = self.tasks.chunk_sum(self.next_task, end);
         self.next_task = end;
+        drop(scheduler);
         {
             let mut s = self.stats.borrow_mut();
             s.chunks += 1;
@@ -169,9 +340,140 @@ impl Actor<Msg> for Master {
                 });
             }
         }
-        let delay =
-            queueing.saturating_add(SimTime::from_secs_f64(self.link.comm_time(self.work_bytes)));
-        ctx.send(from, delay, Msg::Work { count, work_secs });
+        let delay = queueing.saturating_add(self.work_comm());
+        ctx.send(worker + 1, delay, Msg::Work { id: 0, count, work_secs });
+    }
+
+    /// The fault-tolerant request handler: dedup completions, serve the
+    /// re-queue before the scheduler, park idle workers while chunks are
+    /// still in flight.
+    fn on_request_ft(&mut self, worker: usize, prev: Option<Completion>, ctx: &mut Ctx<'_, Msg>) {
+        let queueing = self.serve(ctx.now());
+
+        // 1. Completion handling with duplicate/stale detection: only the
+        // report matching the worker's outstanding assignment id counts.
+        if let Some(c) = prev {
+            let ft = self.ft.as_mut().expect("ft handler");
+            if ft.worker_chunk[worker] == Some(c.id) {
+                let o = ft.outstanding.remove(&c.id).expect("tracked chunk");
+                ctx.cancel_timer(o.timer);
+                ft.worker_chunk[worker] = None;
+                self.scheduler.borrow_mut().record_completion(worker, c.chunk, c.elapsed);
+                self.stats.borrow_mut().faults.completed_tasks += o.job.count;
+            } else {
+                self.stats.borrow_mut().faults.duplicate_completions += 1;
+            }
+        }
+
+        let ft = self.ft.as_mut().expect("ft handler");
+
+        // 2. A worker declared dead gets finalized if it turns out to still
+        // be alive (e.g. it was only partitioned): its chunk has already
+        // been re-queued, so there is nothing else to tell it.
+        if ft.dead[worker] {
+            self.finalize_worker(worker, queueing, ctx);
+            return;
+        }
+
+        // 3. The worker retransmitted its request while its chunk is still
+        // tracked (our Work reply was lost or is in flight): resend the same
+        // assignment; the armed watchdog keeps running.
+        if let Some(id) = ft.worker_chunk[worker] {
+            let o = &ft.outstanding[&id];
+            let msg = Msg::Work { id, count: o.job.count, work_secs: o.job.work_secs };
+            let comm = self.work_comm();
+            ctx.send(worker + 1, queueing.saturating_add(comm), msg);
+            return;
+        }
+
+        // 4. Recovered chunks take priority over fresh scheduler output so
+        // a failure cannot starve behind a long tail of small chunks.
+        if let Some(job) = ft.requeue.pop_front() {
+            self.note_reassignment(worker, &job, ctx.now());
+            self.dispatch(worker, job, queueing, ctx);
+            return;
+        }
+
+        if let Some(job) = self.fresh_chunk(worker, ctx.now()) {
+            self.dispatch(worker, job, queueing, ctx);
+            return;
+        }
+
+        // 5. Scheduler drained. Finalize only when nothing is in flight or
+        // awaiting reassignment — otherwise a failure could re-queue work
+        // with no survivor left to take it.
+        let ft = self.ft.as_mut().expect("ft handler");
+        if ft.outstanding.is_empty() && ft.requeue.is_empty() {
+            let parked: Vec<usize> = ft.parked.drain(..).collect();
+            self.finalize_worker(worker, queueing, ctx);
+            for w in parked {
+                if w != worker {
+                    self.finalize_worker(w, queueing, ctx);
+                }
+            }
+        } else if !ft.parked.contains(&worker) {
+            ft.parked.push_back(worker);
+        }
+    }
+}
+
+impl Actor<Msg> for Master {
+    fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let Msg::Request { prev } = msg else {
+            unreachable!("master only receives work requests");
+        };
+        let worker = from - 1; // actor ids: master 0, worker w at w+1
+        if self.ft.is_some() {
+            self.on_request_ft(worker, prev, ctx);
+        } else {
+            self.on_request_simple(worker, prev, ctx);
+        }
+    }
+
+    /// Watchdog expiry for assignment `key`: re-request with exponential
+    /// backoff, then declare the worker dead and re-queue its chunk.
+    fn on_timer(&mut self, key: u64, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        let queueing = self.serve(now);
+        let comm = self.work_comm();
+        let backoff = self.recovery.backoff;
+        let max_attempts = self.recovery.max_attempts;
+        let ft = self.ft.as_mut().expect("master timers exist only in ft mode");
+        let Some(o) = ft.outstanding.get_mut(&key) else {
+            // Completion raced the expiry inside one instant; nothing to do.
+            return;
+        };
+        o.attempts += 1;
+        if o.attempts <= max_attempts {
+            // Re-request: resend the identical assignment and re-arm the
+            // watchdog with an exponentially stretched budget.
+            let msg = Msg::Work { id: key, count: o.job.count, work_secs: o.job.work_secs };
+            ctx.send(o.worker + 1, queueing.saturating_add(comm), msg);
+            let stretched = o.base_timeout * backoff.powi(o.attempts as i32);
+            let delay = queueing.saturating_add(SimTime::from_secs_f64(stretched));
+            o.timer = ctx.set_cancellable_timer(delay, key);
+            self.stats.borrow_mut().faults.master_retries += 1;
+            return;
+        }
+        // Out of patience: declare the worker dead, recover the chunk and
+        // hand it to a parked survivor if one is waiting.
+        let o = ft.outstanding.remove(&key).expect("still tracked");
+        ft.dead[o.worker] = true;
+        ft.worker_chunk[o.worker] = None;
+        ft.requeue.push_back(o.job);
+        self.stats.borrow_mut().faults.detected_failures.push((o.worker, now.as_secs_f64()));
+        let survivor = loop {
+            match ft.parked.pop_front() {
+                Some(w) if ft.dead[w] => continue,
+                other => break other,
+            }
+        };
+        if let Some(w) = survivor {
+            let job =
+                self.ft.as_mut().expect("ft handler").requeue.pop_front().expect("just pushed");
+            self.note_reassignment(w, &job, now);
+            self.dispatch(w, job, queueing, ctx);
+        }
     }
 }
 
@@ -182,9 +484,18 @@ pub struct Worker {
     availability: Availability,
     link: LinkSpec,
     request_bytes: u64,
+    work_bytes: u64,
     in_sim_h: f64,
     /// The chunk currently executing (set between Work and the timer).
     executing: Option<Completion>,
+    /// Fault-tolerant mode: retransmit unanswered requests.
+    ft: bool,
+    recovery: Recovery,
+    /// The request awaiting a master reply (payload kept for retransmits).
+    outbox: Option<Option<Completion>>,
+    retry_timer: Option<TimerId>,
+    /// Current retransmit budget in seconds (grows by the backoff factor).
+    retry_delay: f64,
     stats: Rc<RefCell<SharedStats>>,
 }
 
@@ -198,15 +509,41 @@ impl Worker {
             availability: host.availability.clone(),
             link: spec.platform.link(),
             request_bytes: spec.messages.request,
+            work_bytes: spec.messages.work,
             in_sim_h: spec.overhead.in_sim_h(),
             executing: None,
+            ft: !spec.faults.is_none(),
+            recovery: spec.recovery,
+            outbox: None,
+            retry_timer: None,
+            retry_delay: 0.0,
             stats,
         }
     }
 
-    fn send_request(&self, prev: Option<Completion>, ctx: &mut Ctx<'_, Msg>) {
+    fn send_request(&mut self, prev: Option<Completion>, ctx: &mut Ctx<'_, Msg>) {
         let delay = SimTime::from_secs_f64(self.link.comm_time(self.request_bytes));
         ctx.send(MASTER, delay, Msg::Request { prev });
+        if self.ft {
+            // Arm the request-retransmit watchdog: a lost request (or lost
+            // reply) would otherwise idle this worker forever.
+            let rtt =
+                self.link.comm_time(self.request_bytes) + self.link.comm_time(self.work_bytes);
+            self.retry_delay = (self.recovery.grace * rtt).max(self.recovery.min_timeout);
+            self.outbox = Some(prev);
+            self.retry_timer = Some(ctx.set_cancellable_timer(
+                SimTime::from_secs_f64(self.retry_delay),
+                TIMER_REQUEST_RETRY,
+            ));
+        }
+    }
+
+    /// Disarms the retransmit watchdog once the master has replied.
+    fn reply_received(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if let Some(t) = self.retry_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.outbox = None;
     }
 }
 
@@ -217,7 +554,13 @@ impl Actor<Msg> for Worker {
 
     fn on_message(&mut self, _from: ActorId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
         match msg {
-            Msg::Work { count, work_secs } => {
+            Msg::Work { id, count, work_secs } => {
+                self.reply_received(ctx);
+                if self.executing.is_some() {
+                    // A master re-request raced our still-running execution;
+                    // we will report the chunk when the timer fires.
+                    return;
+                }
                 let now = ctx.now().as_secs_f64();
                 // Nominal execution at the host's rated speed, corrected by
                 // the availability model averaged over the execution window.
@@ -225,17 +568,31 @@ impl Actor<Msg> for Worker {
                 let factor = self.availability.perturbation.average_factor(now, now + nominal);
                 let exec = nominal / factor.max(f64::MIN_POSITIVE);
                 self.stats.borrow_mut().compute[self.index] += exec;
-                self.executing = Some(Completion { chunk: count, elapsed: exec });
-                ctx.set_timer(SimTime::from_secs_f64(self.in_sim_h + exec), 0);
+                self.executing = Some(Completion { id, chunk: count, elapsed: exec });
+                ctx.set_timer(SimTime::from_secs_f64(self.in_sim_h + exec), TIMER_CHUNK_DONE);
             }
             Msg::Finalize => {
                 // Idle worker shuts down; nothing to schedule.
+                self.reply_received(ctx);
             }
             Msg::Request { .. } => unreachable!("workers never receive requests"),
         }
     }
 
-    fn on_timer(&mut self, _key: u64, ctx: &mut Ctx<'_, Msg>) {
+    fn on_timer(&mut self, key: u64, ctx: &mut Ctx<'_, Msg>) {
+        if key == TIMER_REQUEST_RETRY {
+            // Still waiting for the master: retransmit with backoff.
+            let Some(prev) = self.outbox else { return };
+            self.stats.borrow_mut().faults.worker_retries += 1;
+            let delay = SimTime::from_secs_f64(self.link.comm_time(self.request_bytes));
+            ctx.send(MASTER, delay, Msg::Request { prev });
+            self.retry_delay *= self.recovery.backoff;
+            self.retry_timer = Some(ctx.set_cancellable_timer(
+                SimTime::from_secs_f64(self.retry_delay),
+                TIMER_REQUEST_RETRY,
+            ));
+            return;
+        }
         let done = self.executing.take().expect("timer fires only while executing");
         {
             let mut s = self.stats.borrow_mut();
@@ -245,5 +602,38 @@ impl Actor<Msg> for Worker {
             }
         }
         self.send_request(Some(done), ctx);
+    }
+}
+
+/// Injects the plan's fail-stops: one timer per crash, killing the worker's
+/// actor when it fires. Added to the engine only when the plan has
+/// fail-stops, so fault-free runs carry no extra actor or events.
+pub struct FaultInjector {
+    /// `(worker, time)` pairs, index = timer key.
+    schedule: Vec<(usize, SimTime)>,
+}
+
+impl FaultInjector {
+    /// Builds the injector from a sorted fail-stop schedule
+    /// (see `FaultPlan::fail_stop_schedule`).
+    pub fn new(schedule: Vec<(usize, SimTime)>) -> Self {
+        FaultInjector { schedule }
+    }
+}
+
+impl Actor<Msg> for FaultInjector {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        for (i, &(_, at)) in self.schedule.iter().enumerate() {
+            ctx.set_timer(at, i as u64);
+        }
+    }
+
+    fn on_message(&mut self, _from: ActorId, _msg: Msg, _ctx: &mut Ctx<'_, Msg>) {
+        unreachable!("nobody addresses the fault injector");
+    }
+
+    fn on_timer(&mut self, key: u64, ctx: &mut Ctx<'_, Msg>) {
+        let (worker, _) = self.schedule[key as usize];
+        ctx.kill(worker + 1);
     }
 }

@@ -39,10 +39,10 @@ mod outcome;
 mod spec;
 
 pub use actors::ChunkRecord;
-pub use outcome::SimOutcome;
-pub use spec::{MessageSizes, SimSpec};
+pub use outcome::{FaultStats, SimOutcome};
+pub use spec::{MessageSizes, Recovery, SimSpec};
 
-use actors::{Master, SharedStats, Worker};
+use actors::{FaultInjector, Master, SharedStats, Worker};
 use dls_core::SetupError;
 use dls_des::Engine;
 use dls_workload::TaskTimes;
@@ -84,6 +84,14 @@ pub fn simulate_with_scheduler(
     }
     let p = spec.platform.num_hosts();
 
+    let plan = &spec.faults;
+    if plan.validate().is_err() {
+        return Err(SetupError::BadParam("invalid fault plan"));
+    }
+    if plan.max_worker().is_some_and(|w| w >= p) {
+        return Err(SetupError::BadParam("fault plan references a worker the platform lacks"));
+    }
+
     let stats = Rc::new(RefCell::new(SharedStats::new(p)));
     if spec.record_chunks {
         stats.borrow_mut().chunk_trace = Some(Vec::new());
@@ -95,13 +103,26 @@ pub fn simulate_with_scheduler(
     for w in 0..p {
         engine.add_actor(Box::new(Worker::new(w, spec, Rc::clone(&stats))));
     }
+    // Fault machinery is attached only for the features the plan actually
+    // uses, so a FaultPlan::none() run is byte-identical to the legacy path.
+    if !plan.partitions.is_empty() || plan.loss_probability > 0.0 || !plan.latency_spikes.is_empty()
+    {
+        engine.set_interceptor(Box::new(plan.link_faults(|w| w + 1)));
+    }
+    if !plan.fail_stops.is_empty() {
+        engine.add_actor(Box::new(FaultInjector::new(plan.fail_stop_schedule())));
+    }
     let (_actors, engine_stats) = engine.run();
 
     let mut s = stats.borrow_mut();
-    debug_assert_eq!(
-        s.assigned_tasks, setup.n,
-        "all tasks must be assigned exactly once"
-    );
+    debug_assert_eq!(s.assigned_tasks, setup.n, "all tasks must be assigned exactly once");
+    if plan.is_none() {
+        debug_assert_eq!(s.faults.completed_tasks, setup.n, "fault-free runs complete every task");
+    }
+    let mut faults = std::mem::take(&mut s.faults);
+    faults.lost_messages = engine_stats.dropped_sends;
+    faults.delayed_messages = engine_stats.delayed_sends;
+    faults.dead_letters = engine_stats.dead_letters;
     Ok(SimOutcome {
         makespan: s.last_finish,
         sim_end: engine_stats.end_time.as_secs_f64(),
@@ -112,6 +133,7 @@ pub fn simulate_with_scheduler(
         events: engine_stats.events,
         overhead: spec.overhead,
         chunk_trace: s.chunk_trace.take(),
+        faults,
     })
 }
 
@@ -207,8 +229,7 @@ mod tests {
     fn speedup_degrades_with_slow_network() {
         let fast = spec(Technique::SS, 2000, 8);
         let mut slow = fast.clone();
-        slow.platform =
-            Platform::homogeneous_star("w", 8, 1.0, LinkSpec::new(0.5, 1e6).unwrap());
+        slow.platform = Platform::homogeneous_star("w", 8, 1.0, LinkSpec::new(0.5, 1e6).unwrap());
         let s_fast = simulate(&fast, 1).unwrap().speedup();
         let s_slow = simulate(&slow, 1).unwrap().speedup();
         assert!(s_fast > 7.5, "fast = {s_fast}");
@@ -234,12 +255,8 @@ mod tests {
         let mut sp = spec(Technique::Fac2, 128, 4);
         sp.overhead = OverheadModel::PostHocTotal { h: 0.5 };
         let out = simulate(&sp, 0).unwrap();
-        let manual = dls_metrics::average_wasted_time(
-            out.makespan,
-            &out.compute,
-            out.chunks,
-            sp.overhead,
-        );
+        let manual =
+            dls_metrics::average_wasted_time(out.makespan, &out.compute, out.chunks, sp.overhead);
         assert!((out.average_wasted() - manual).abs() < 1e-12);
     }
 
@@ -249,12 +266,7 @@ mod tests {
         let mut sp = spec(Technique::SS, 100, 2);
         sp.overhead = OverheadModel::InDynamics { h: 0.5 };
         let with_h = simulate(&sp, 0).unwrap();
-        assert!(
-            with_h.makespan > base.makespan + 20.0,
-            "{} vs {}",
-            with_h.makespan,
-            base.makespan
-        );
+        assert!(with_h.makespan > base.makespan + 20.0, "{} vs {}", with_h.makespan, base.makespan);
     }
 
     #[test]
@@ -289,10 +301,7 @@ mod tests {
         // After learning, AWF's later steps beat FAC2's.
         let awf_late: f64 = awf[3..].iter().map(|o| o.makespan).sum();
         let fac2_late: f64 = fac2[3..].iter().map(|o| o.makespan).sum();
-        assert!(
-            awf_late < 0.95 * fac2_late,
-            "AWF late steps {awf_late} vs FAC2 {fac2_late}"
-        );
+        assert!(awf_late < 0.95 * fac2_late, "AWF late steps {awf_late} vs FAC2 {fac2_late}");
     }
 
     #[test]
@@ -347,18 +356,116 @@ mod tests {
         // CSS(n/p) sends p requests total: serialization is invisible.
         let workload = Workload::constant(20_000, 110e-6);
         let platform = Platform::homogeneous_star("w", 64, 1.0, LinkSpec::negligible());
-        let base = SimSpec::new(
-            Technique::Css { k: 20_000 / 64 },
-            workload,
-            platform,
-        );
+        let base = SimSpec::new(Technique::Css { k: 20_000 / 64 }, workload, platform);
         let free = simulate(&base, 0).unwrap().speedup();
-        let contended =
-            simulate(&base.clone().with_master_service(5e-6), 0).unwrap().speedup();
-        assert!(
-            (free - contended).abs() / free < 0.02,
-            "free {free} vs contended {contended}"
-        );
+        let contended = simulate(&base.clone().with_master_service(5e-6), 0).unwrap().speedup();
+        assert!((free - contended).abs() / free < 0.02, "free {free} vs contended {contended}");
+    }
+
+    #[test]
+    fn none_plan_is_bit_identical_to_legacy_path() {
+        use dls_faults::FaultPlan;
+        let base = spec(Technique::Fac2, 1000, 8);
+        let a = simulate(&base, 3).unwrap();
+        let b = simulate(&base.clone().with_faults(FaultPlan::none()), 3).unwrap();
+        assert_eq!(a, b);
+        assert!(a.faults.quiet());
+        assert_eq!(a.faults.completed_tasks, 1000);
+    }
+
+    #[test]
+    fn fail_stop_mid_run_completes_on_survivors() {
+        use dls_faults::FaultPlan;
+        // 400 one-second tasks on 4 workers: worker 0 dies at t = 10 s,
+        // deep inside the run.
+        let sp =
+            spec(Technique::Fac2, 400, 4).with_faults(FaultPlan::none().with_fail_stop(0, 10.0));
+        let out = simulate(&sp, 1).unwrap();
+        // Every task completes exactly once despite the failure.
+        assert_eq!(out.faults.completed_tasks, 400);
+        assert_eq!(out.chunks_per_worker.len(), 4);
+        // The dead worker's chunk was recovered and reassigned.
+        assert!(out.faults.reassigned_chunks >= 1, "{:?}", out.faults);
+        assert!(out.faults.reassigned_tasks >= 1);
+        assert_eq!(out.faults.detected_failures.len(), 1);
+        let (dead, when) = out.faults.detected_failures[0];
+        assert_eq!(dead, 0);
+        assert!(when >= 10.0, "detection happens after the crash, got {when}");
+        // The failed chunk's partial execution shows up as wasted work.
+        assert!(out.faults.dead_letters > 0);
+        // Degraded but finite: 3 survivors need at least n/3 seconds.
+        let baseline = simulate(&spec(Technique::Fac2, 400, 4), 1).unwrap();
+        assert!(out.makespan > baseline.makespan);
+        assert!(out.makespan.is_finite());
+    }
+
+    #[test]
+    fn fail_stop_after_all_work_leaves_makespan_unchanged() {
+        use dls_faults::FaultPlan;
+        let base = spec(Technique::Gss { min_chunk: 1 }, 200, 4);
+        let baseline = simulate(&base, 2).unwrap();
+        let crash_at = baseline.sim_end + 5.0;
+        let sp = base.with_faults(FaultPlan::none().with_fail_stop(2, crash_at));
+        let out = simulate(&sp, 2).unwrap();
+        assert_eq!(out.makespan, baseline.makespan);
+        assert_eq!(out.faults.completed_tasks, 200);
+        assert!(out.faults.reassigned_chunks == 0);
+        assert!(out.faults.detected_failures.is_empty());
+    }
+
+    #[test]
+    fn lossy_link_still_completes_via_retransmits() {
+        use dls_faults::FaultPlan;
+        let sp = spec(Technique::Fac2, 200, 4)
+            .with_faults(FaultPlan::none().with_loss(0.10).with_seed(11));
+        let out = simulate(&sp, 1).unwrap();
+        assert_eq!(out.faults.completed_tasks, 200);
+        assert!(out.faults.lost_messages > 0, "{:?}", out.faults);
+        // Some recovery action (either side's retransmits) must have fired.
+        assert!(out.faults.master_retries + out.faults.worker_retries > 0);
+    }
+
+    #[test]
+    fn transient_partition_recovers() {
+        use dls_faults::FaultPlan;
+        // FAC2's first batch (4 × 50 one-second tasks) completes at t = 50;
+        // cut worker 1's link across that exchange so its report is lost
+        // and only its post-window retransmits get through.
+        let sp = spec(Technique::Fac2, 400, 4)
+            .with_faults(FaultPlan::none().with_partition(1, 49.0, 60.0));
+        let out = simulate(&sp, 1).unwrap();
+        assert_eq!(out.faults.completed_tasks, 400);
+        assert!(out.faults.lost_messages > 0);
+    }
+
+    #[test]
+    fn latency_spike_delays_but_completes() {
+        use dls_faults::FaultPlan;
+        let sp = spec(Technique::Fac2, 200, 4)
+            .with_faults(FaultPlan::none().with_latency_spike(0, 0.0, 1e4, 0.5));
+        let out = simulate(&sp, 1).unwrap();
+        assert_eq!(out.faults.completed_tasks, 200);
+        assert!(out.faults.delayed_messages > 0);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        use dls_faults::FaultPlan;
+        let plan = FaultPlan::none().with_fail_stop(1, 8.0).with_loss(0.05).with_seed(17);
+        let sp = spec(Technique::Gss { min_chunk: 1 }, 300, 4).with_faults(plan);
+        let a = simulate(&sp, 9).unwrap();
+        let b = simulate(&sp, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_fault_plans_are_rejected() {
+        use dls_faults::FaultPlan;
+        let bad_loss = spec(Technique::SS, 10, 2).with_faults(FaultPlan::none().with_loss(1.5));
+        assert!(simulate(&bad_loss, 0).is_err());
+        let unknown_worker =
+            spec(Technique::SS, 10, 2).with_faults(FaultPlan::none().with_fail_stop(7, 1.0));
+        assert!(simulate(&unknown_worker, 0).is_err());
     }
 
     #[test]

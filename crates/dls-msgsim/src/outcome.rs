@@ -2,6 +2,51 @@
 
 use dls_metrics::{average_wasted_time, OverheadModel, ResourceSplit, RunCost};
 
+/// Fault-injection and recovery counters for one run.
+///
+/// All-zero (the `Default`) for fault-free runs. Message-level counters come
+/// from the engine; protocol-level counters from the fault-tolerant master
+/// and workers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultStats {
+    /// Messages dropped by the fault plan (loss draws + partitions).
+    pub lost_messages: u64,
+    /// Messages delivered late because of latency spikes.
+    pub delayed_messages: u64,
+    /// Deliveries and timers discarded because their target was killed.
+    pub dead_letters: u64,
+    /// Work re-requests the master sent after a chunk watchdog expired.
+    pub master_retries: u64,
+    /// Request retransmits workers sent after a reply watchdog expired.
+    pub worker_retries: u64,
+    /// Chunks recovered from declared-dead workers and re-dispatched.
+    pub reassigned_chunks: u64,
+    /// Tasks inside those reassigned chunks.
+    pub reassigned_tasks: u64,
+    /// Completion reports discarded as duplicates or stale (the chunk had
+    /// already completed elsewhere, or the report was retransmitted).
+    pub duplicate_completions: u64,
+    /// Tasks whose completion the master accepted exactly once. Equals the
+    /// loop size `n` whenever at least one worker survives.
+    pub completed_tasks: u64,
+    /// `(worker, time)` pairs for each worker the master declared dead.
+    pub detected_failures: Vec<(usize, f64)>,
+}
+
+impl FaultStats {
+    /// True when no fault manifested and no recovery action was taken.
+    pub fn quiet(&self) -> bool {
+        self.lost_messages == 0
+            && self.delayed_messages == 0
+            && self.dead_letters == 0
+            && self.master_retries == 0
+            && self.worker_retries == 0
+            && self.reassigned_chunks == 0
+            && self.duplicate_completions == 0
+            && self.detected_failures.is_empty()
+    }
+}
+
 /// The measurements produced by one simulated execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
@@ -25,6 +70,8 @@ pub struct SimOutcome {
     pub overhead: OverheadModel,
     /// Per-chunk assignment trace (when the spec enabled recording).
     pub chunk_trace: Option<Vec<crate::ChunkRecord>>,
+    /// Fault-injection and recovery counters (all zero when fault-free).
+    pub faults: FaultStats,
 }
 
 impl SimOutcome {
@@ -42,6 +89,16 @@ impl SimOutcome {
     /// (paper Figures 5–8).
     pub fn average_wasted(&self) -> f64 {
         average_wasted_time(self.makespan, &self.compute, self.chunks, self.overhead)
+    }
+
+    /// Compute time spent beyond the useful serial work, seconds.
+    ///
+    /// Fault recovery re-executes chunks (a lost completion report, or a
+    /// chunk started by a worker that then died), so the summed per-worker
+    /// compute can exceed the serial time; the excess is the work wasted to
+    /// failures. Zero for fault-free runs (up to rounding).
+    pub fn wasted_work(&self) -> f64 {
+        (self.compute.iter().sum::<f64>() - self.serial_time).max(0.0)
     }
 
     /// Converts to the metric crate's [`RunCost`].
@@ -89,6 +146,7 @@ mod tests {
             events: 100,
             overhead: OverheadModel::PostHocTotal { h: 0.5 },
             chunk_trace: None,
+            faults: FaultStats::default(),
         }
     }
 

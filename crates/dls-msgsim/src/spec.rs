@@ -2,9 +2,36 @@
 //! a DLS simulation" of paper Figure 2.
 
 use dls_core::{LoopSetup, Technique};
+use dls_faults::FaultPlan;
 use dls_metrics::OverheadModel;
 use dls_platform::Platform;
 use dls_workload::Workload;
+
+/// Recovery-protocol tuning for the fault-tolerant master and workers.
+///
+/// Only consulted when the spec's [`FaultPlan`] is non-empty; a fault-free
+/// run never arms a watchdog, so these values cannot perturb it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recovery {
+    /// Multiplier on the estimated chunk round-trip time (work message +
+    /// execution + overhead + report) when arming a chunk watchdog, and on
+    /// the request round-trip for worker retransmits. Values well above 1
+    /// tolerate perturbation-slowed executions without spurious retries.
+    pub grace: f64,
+    /// Floor for any watchdog, seconds (protects negligible-latency links).
+    pub min_timeout: f64,
+    /// Exponential factor stretching the budget after each expiry.
+    pub backoff: f64,
+    /// Watchdog expiries tolerated per chunk before the master declares the
+    /// worker dead and re-queues its chunk for reassignment.
+    pub max_attempts: u32,
+}
+
+impl Default for Recovery {
+    fn default() -> Self {
+        Recovery { grace: 3.0, min_timeout: 1e-3, backoff: 2.0, max_attempts: 3 }
+    }
+}
 
 /// Control-message sizes in bytes (paper: data is replicated, so messages
 /// carry only scheduling control information).
@@ -51,6 +78,11 @@ pub struct SimSpec {
     /// cause of the failed SS/GSS(1) reproduction. With it, the degraded
     /// curves of Figures 3a/4a re-emerge (see `dls-repro::tss_exp`).
     pub master_service: f64,
+    /// Faults injected into the run ([`FaultPlan::none`] = fault-free; the
+    /// simulation is then byte-identical to one without fault machinery).
+    pub faults: FaultPlan,
+    /// Recovery-protocol tuning (watchdog grace, backoff, retry budget).
+    pub recovery: Recovery,
 }
 
 impl SimSpec {
@@ -64,7 +96,22 @@ impl SimSpec {
             messages: MessageSizes::default(),
             record_chunks: false,
             master_service: 0.0,
+            faults: FaultPlan::none(),
+            recovery: Recovery::default(),
         }
+    }
+
+    /// Sets the fault plan (builder style). A non-empty plan switches the
+    /// master and workers into fault-tolerant mode.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the recovery-protocol tuning (builder style).
+    pub fn with_recovery(mut self, recovery: Recovery) -> Self {
+        self.recovery = recovery;
+        self
     }
 
     /// Enables per-chunk trace recording (builder style).
@@ -161,10 +208,7 @@ mod tests {
             base.clone().with_overhead(OverheadModel::PostHocTotal { h: 0.5 }).overhead_h(),
             0.5
         );
-        assert_eq!(
-            base.with_overhead(OverheadModel::InDynamics { h: 0.25 }).overhead_h(),
-            0.25
-        );
+        assert_eq!(base.with_overhead(OverheadModel::InDynamics { h: 0.25 }).overhead_h(), 0.25);
     }
 
     #[test]

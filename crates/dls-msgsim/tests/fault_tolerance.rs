@@ -1,0 +1,95 @@
+//! Property tests for the fault-injection layer.
+//!
+//! Two invariants the ISSUE pins down:
+//! * a simulation is a pure function of `(SimSpec, FaultPlan, seed)` — two
+//!   runs with identical inputs produce byte-identical outcomes;
+//! * a fail-stop that arrives after a worker has already finished its last
+//!   chunk (and the run has ended) cannot change the makespan.
+
+use dls_core::Technique;
+use dls_faults::FaultPlan;
+use dls_msgsim::{simulate, SimSpec};
+use dls_platform::{LinkSpec, Platform};
+use dls_workload::Workload;
+use proptest::prelude::*;
+
+fn spec(technique: Technique, n: u64, p: usize) -> SimSpec {
+    SimSpec::new(
+        technique,
+        Workload::exponential(n, 1.0).unwrap(),
+        Platform::homogeneous_star("pe", p, 1.0, LinkSpec::negligible()),
+    )
+}
+
+fn technique_from(idx: u8) -> Technique {
+    match idx % 4 {
+        0 => Technique::SS,
+        1 => Technique::Fac2,
+        2 => Technique::Gss { min_chunk: 1 },
+        _ => Technique::Tss { first: None, last: None },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Identical (SimSpec, FaultPlan, seed) → byte-identical SimOutcomes,
+    /// across fail-stops, loss, partitions and latency spikes.
+    #[test]
+    fn identical_inputs_give_identical_outcomes(
+        tech in 0u8..4,
+        seed in any::<u64>(),
+        plan_seed in any::<u64>(),
+        victim in 0usize..4,
+        at in 1.0f64..60.0,
+        loss in 0.0f64..0.2,
+        window in 0.0f64..40.0,
+    ) {
+        let plan = FaultPlan::none()
+            .with_seed(plan_seed)
+            .with_fail_stop(victim, at)
+            .with_loss(loss)
+            .with_partition((victim + 1) % 4, window, window + 5.0)
+            .with_latency_spike((victim + 2) % 4, window, window + 5.0, 0.01);
+        let s = spec(technique_from(tech), 200, 4).with_faults(plan);
+        let a = simulate(&s, seed).unwrap();
+        let b = simulate(&s, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// A fail-stop scheduled after the fault-free run has ended never
+    /// changes the makespan: the victim has already executed its last chunk
+    /// and been finalized, so the kill only produces dead letters (if
+    /// anything).
+    #[test]
+    fn late_fail_stop_leaves_makespan_unchanged(
+        tech in 0u8..4,
+        seed in any::<u64>(),
+        victim in 0usize..4,
+        slack in 0.001f64..100.0,
+    ) {
+        let base = spec(technique_from(tech), 200, 4);
+        let clean = simulate(&base, seed).unwrap();
+        let plan = FaultPlan::none().with_fail_stop(victim, clean.sim_end + slack);
+        let faulty = simulate(&base.with_faults(plan), seed).unwrap();
+        prop_assert_eq!(faulty.makespan, clean.makespan);
+        prop_assert_eq!(faulty.faults.completed_tasks, 200);
+        prop_assert!(faulty.faults.detected_failures.is_empty());
+        prop_assert_eq!(faulty.faults.reassigned_chunks, 0);
+    }
+
+    /// Every task completes exactly once on the survivors whenever at
+    /// least one worker outlives a mid-run fail-stop.
+    #[test]
+    fn mid_run_fail_stop_still_completes_everything(
+        tech in 0u8..4,
+        seed in any::<u64>(),
+        victim in 0usize..4,
+        at in 0.5f64..50.0,
+    ) {
+        let plan = FaultPlan::none().with_fail_stop(victim, at);
+        let s = spec(technique_from(tech), 200, 4).with_faults(plan);
+        let out = simulate(&s, seed).unwrap();
+        prop_assert_eq!(out.faults.completed_tasks, 200);
+    }
+}

@@ -9,6 +9,7 @@
 //! repro fig5 [--runs N] [--csv DIR]  # wasted time, n=1,024
 //! repro fig6|fig7|fig8 ...           # wasted time, larger n
 //! repro fig9 [--runs N] [--csv DIR]  # FAC outlier analysis
+//! repro faults [--fault-plan F.json] # robustness under injected faults
 //! repro all  [--runs N]              # everything, in paper order
 //! ```
 //!
@@ -44,10 +45,7 @@ fn cmd_list() {
             vec![e.id.into(), e.artifact.into(), e.section.into(), e.summary.into(), e.bench.into()]
         })
         .collect();
-    println!(
-        "{}",
-        report::format_table(&["id", "artifact", "section", "summary", "bench"], &rows)
-    );
+    println!("{}", report::format_table(&["id", "artifact", "section", "summary", "bench"], &rows));
 }
 
 fn cmd_table2() {
@@ -68,9 +66,15 @@ fn cmd_table2() {
     for t in Technique::hagerup_set() {
         let req = t.required_params();
         let mut row = vec![t.name().to_string()];
-        row.extend(
-            cols.iter().map(|c| if req.contains(c) { "X".to_string() } else { "".to_string() }),
-        );
+        row.extend(cols.iter().map(
+            |c| {
+                if req.contains(c) {
+                    "X".to_string()
+                } else {
+                    "".to_string()
+                }
+            },
+        ));
         rows.push(row);
     }
     let mut headers = vec!["DLS"];
@@ -231,9 +235,7 @@ fn cmd_spec(o: &Options) -> Result<(), String> {
             seed: 0,
         });
     }
-    for (fig, n) in
-        [("fig5", 1_024u64), ("fig6", 8_192), ("fig7", 65_536), ("fig8", 524_288)]
-    {
+    for (fig, n) in [("fig5", 1_024u64), ("fig6", 8_192), ("fig7", 65_536), ("fig8", 524_288)] {
         specs.push(ExperimentSpec {
             id: fig.into(),
             artifact: format!("Figure {}", &fig[3..]),
@@ -318,6 +320,84 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_faults(o: &Options) -> Result<(), String> {
+    use dls_repro::faults::{self, FaultScenario, FaultSweepConfig};
+    let mut cfg = FaultSweepConfig::default();
+    if o.runs != 1000 {
+        cfg.runs = o.runs;
+    }
+    if let Some(p) = &o.pes {
+        let &[p] = p.as_slice() else {
+            return Err("faults takes a single --pes value".into());
+        };
+        cfg.p = p;
+        cfg.scenarios = faults::default_scenarios(cfg.n, cfg.p);
+    }
+    if let Some(ts) = &o.techniques {
+        cfg.techniques = ts.clone();
+    }
+    if let Some(s) = o.seed {
+        cfg.seed = s;
+    }
+    cfg.threads = o.threads;
+    if let Some(path) = &o.fault_plan {
+        let plan = faults::load_plan(path)?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        cfg.scenarios = vec![FaultScenario { name, plan }];
+    }
+    eprintln!(
+        "faults: n={}, p={}, {} techniques x {} scenarios, runs={} — running...",
+        cfg.n,
+        cfg.p,
+        cfg.techniques.len(),
+        cfg.scenarios.len(),
+        cfg.runs
+    );
+    let rows = faults::run_fault_sweep(&cfg).map_err(|e| e.to_string())?;
+    let headers = [
+        "technique",
+        "scenario",
+        "baseline[s]",
+        "faulty[s]",
+        "degradation",
+        "flexibility",
+        "wasted work",
+        "lost msgs",
+        "retries",
+        "reassigned",
+        "completed",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.technique.clone(),
+                r.scenario.clone(),
+                format!("{:.1}", r.baseline_makespan),
+                format!("{:.1}", r.faulty_makespan.mean()),
+                format!("{:.3}", r.degradation),
+                format!("{:.3}", r.flexibility),
+                format!("{:.1} %", 100.0 * r.wasted_work_frac),
+                format!("{:.1}", r.lost_mean),
+                format!("{:.1}", r.master_retries_mean),
+                format!("{:.1}", r.reassigned_mean),
+                if r.all_completed { "yes" } else { "NO" }.into(),
+            ]
+        })
+        .collect();
+    println!("{}", report::format_table(&headers, &body));
+    if rows.iter().any(|r| !r.all_completed) {
+        return Err("some runs did not complete all tasks".into());
+    }
+    if let Some(dir) = &o.csv_dir {
+        write_csv(dir, "faults", &headers, &body);
+    }
+    Ok(())
+}
+
 fn cmd_verify(o: &Options) -> Result<(), String> {
     use dls_repro::verify::{run_verification, verdict, VerifyConfig};
     let mut cfg = VerifyConfig::default();
@@ -348,8 +428,7 @@ fn cmd_verify(o: &Options) -> Result<(), String> {
             ]
         })
         .collect();
-    let headers =
-        ["technique", "n", "p", "max mk dev[%]", "max wt dev[%]", "chunks identical"];
+    let headers = ["technique", "n", "p", "max mk dev[%]", "max wt dev[%]", "chunks identical"];
     println!("{}", report::format_table(&headers, &body));
     let (worst, chunks_ok) = verdict(&rows);
     println!(
@@ -364,11 +443,13 @@ fn cmd_verify(o: &Options) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: repro <list|table2|fig3|fig3a|fig4|fig4a|fig5|fig6|fig7|fig8|fig9|spec|verify|sweep|all> \
+    "usage: repro <list|table2|fig3|fig3a|fig4|fig4a|fig5|fig6|fig7|fig8|fig9|spec|verify|sweep|faults|all> \
      [--runs N] [--threads N] [--seed S] [--csv DIR] [--pes a,b,c] \
-     [--techniques SS,FAC2,BOLD]\n\
+     [--techniques SS,FAC2,BOLD] [--fault-plan FILE]\n\
      fig3a/fig4a: rerun figures 3/4 with the BBN GP-1000 contention model\n\
-     spec:        write Figure-2 style JSON experiment specs (to --csv DIR or specs/)"
+     spec:        write Figure-2 style JSON experiment specs (to --csv DIR or specs/)\n\
+     faults:      fault-injection sweep (techniques x scenarios, or one\n\
+                  --fault-plan FILE with a JSON FaultPlan)"
         .into()
 }
 
@@ -400,6 +481,7 @@ fn main() -> ExitCode {
         "spec" => cmd_spec(&opts),
         "verify" => cmd_verify(&opts),
         "sweep" => cmd_sweep(&opts),
+        "faults" => cmd_faults(&opts),
         "all" => {
             cmd_list();
             cmd_table2();

@@ -18,6 +18,8 @@ pub struct Options {
     pub pes: Option<Vec<usize>>,
     /// Technique subset override (Figures 5–8).
     pub techniques: Option<Vec<Technique>>,
+    /// Path to a fault-plan JSON file (`faults` subcommand).
+    pub fault_plan: Option<String>,
 }
 
 impl Default for Options {
@@ -29,6 +31,7 @@ impl Default for Options {
             csv_dir: None,
             pes: None,
             techniques: None,
+            fault_plan: None,
         }
     }
 }
@@ -38,9 +41,8 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut o = Options::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
         match a.as_str() {
             "--runs" => o.runs = value("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?,
             "--threads" => {
@@ -50,6 +52,7 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.seed = Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?)
             }
             "--csv" => o.csv_dir = Some(value("--csv")?),
+            "--fault-plan" => o.fault_plan = Some(value("--fault-plan")?),
             "--pes" => {
                 let list = value("--pes")?;
                 let pes: Result<Vec<usize>, _> = list.split(',').map(|s| s.parse()).collect();
@@ -84,18 +87,17 @@ mod tests {
     #[test]
     fn full_option_set() {
         let o = parse_options(&args(
-            "--runs 50 --threads 2 --seed 9 --csv out --pes 2,8 --techniques SS,BOLD",
+            "--runs 50 --threads 2 --seed 9 --csv out --pes 2,8 --techniques SS,BOLD \
+             --fault-plan plan.json",
         ))
         .unwrap();
         assert_eq!(o.runs, 50);
         assert_eq!(o.threads, 2);
         assert_eq!(o.seed, Some(9));
         assert_eq!(o.csv_dir.as_deref(), Some("out"));
+        assert_eq!(o.fault_plan.as_deref(), Some("plan.json"));
         assert_eq!(o.pes, Some(vec![2, 8]));
-        assert_eq!(
-            o.techniques,
-            Some(vec![Technique::SS, Technique::Bold])
-        );
+        assert_eq!(o.techniques, Some(vec![Technique::SS, Technique::Bold]));
     }
 
     #[test]

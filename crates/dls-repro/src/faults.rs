@@ -1,0 +1,277 @@
+//! Fault-injection sweep: techniques × fault scenarios.
+//!
+//! The paper's simulator assumes a fault-free platform; this module asks
+//! the complementary robustness question — how much makespan does each DLS
+//! technique lose when workers fail-stop, links lose messages, or the
+//! network partitions mid-run? Each (technique, scenario) cell is compared
+//! against the same technique's fault-free baseline over identical
+//! task-time realizations, so the reported degradation isolates the fault
+//! response from workload noise.
+
+use crate::runner::run_campaign;
+use dls_core::{SetupError, Technique};
+use dls_faults::FaultPlan;
+use dls_metrics::{flexibility, makespan_degradation, wasted_work_fraction, SummaryStats};
+use dls_msgsim::{simulate_with_tasks, SimSpec};
+use dls_platform::{LinkSpec, Platform};
+use dls_workload::{TimeModel, Workload};
+
+/// A named fault plan for the sweep.
+#[derive(Debug, Clone)]
+pub struct FaultScenario {
+    /// Display name (e.g. `"fail-stop@25%"`).
+    pub name: String,
+    /// The plan injected into every run of the scenario.
+    pub plan: FaultPlan,
+}
+
+/// Fault-sweep configuration.
+#[derive(Debug, Clone)]
+pub struct FaultSweepConfig {
+    /// Loop size.
+    pub n: u64,
+    /// Worker count.
+    pub p: usize,
+    /// Techniques under test.
+    pub techniques: Vec<Technique>,
+    /// Fault scenarios (the fault-free baseline is always run in addition).
+    pub scenarios: Vec<FaultScenario>,
+    /// Runs per cell.
+    pub runs: u32,
+    /// Scheduling overhead h.
+    pub h: f64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for FaultSweepConfig {
+    fn default() -> Self {
+        let n = 4_096;
+        let p = 8;
+        FaultSweepConfig {
+            n,
+            p,
+            techniques: vec![
+                Technique::Stat,
+                Technique::SS,
+                Technique::Fac2,
+                Technique::Gss { min_chunk: 1 },
+                Technique::Tss { first: None, last: None },
+            ],
+            scenarios: default_scenarios(n, p),
+            runs: 25,
+            h: 0.01,
+            seed: 0xFA17,
+            threads: crate::runner::default_threads(),
+        }
+    }
+}
+
+/// The standard scenario set, timed relative to the expected fault-free
+/// makespan `n · µ / p` (µ = 1 s): one worker dies a quarter of the way in,
+/// a lossy interconnect, a transient partition, and all three combined.
+pub fn default_scenarios(n: u64, p: usize) -> Vec<FaultScenario> {
+    let est = n as f64 / p.max(1) as f64;
+    vec![
+        FaultScenario {
+            name: "fail-stop@25%".into(),
+            plan: FaultPlan::none().with_fail_stop(0, 0.25 * est),
+        },
+        FaultScenario { name: "loss(2%)".into(), plan: FaultPlan::none().with_loss(0.02) },
+        FaultScenario {
+            name: "partition@50%".into(),
+            plan: FaultPlan::none().with_partition(1 % p.max(1), 0.50 * est, 0.60 * est),
+        },
+        FaultScenario {
+            name: "combined".into(),
+            plan: FaultPlan::none().with_fail_stop(0, 0.25 * est).with_loss(0.01).with_partition(
+                1 % p.max(1),
+                0.50 * est,
+                0.60 * est,
+            ),
+        },
+    ]
+}
+
+/// Loads a [`FaultPlan`] from a JSON file (the `--fault-plan` CLI path).
+pub fn load_plan(path: &str) -> Result<FaultPlan, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let plan: FaultPlan =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid fault plan: {e}"))?;
+    plan.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(plan)
+}
+
+/// One (technique, scenario) cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Technique name.
+    pub technique: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Mean fault-free makespan over the runs, seconds.
+    pub baseline_makespan: f64,
+    /// Mean makespan under the scenario's faults, seconds.
+    pub faulty_makespan: SummaryStats,
+    /// Makespan degradation `faulty / baseline` (of the means).
+    pub degradation: f64,
+    /// Flexibility `baseline / faulty` (of the means).
+    pub flexibility: f64,
+    /// Mean wasted-work fraction (re-executed compute / serial work).
+    pub wasted_work_frac: f64,
+    /// Mean messages lost per run.
+    pub lost_mean: f64,
+    /// Mean master-side chunk re-requests per run.
+    pub master_retries_mean: f64,
+    /// Mean chunks reassigned from dead workers per run.
+    pub reassigned_mean: f64,
+    /// True when every run completed all `n` tasks exactly once.
+    pub all_completed: bool,
+}
+
+fn cell_spec(cfg: &FaultSweepConfig, technique: Technique) -> Result<SimSpec, SetupError> {
+    let platform = Platform::homogeneous_star("pe", cfg.p, 1.0, LinkSpec::negligible());
+    let workload = Workload::new(cfg.n, TimeModel::Exponential { mean: 1.0 })
+        .map_err(|_| SetupError::BadParam("invalid fault-sweep workload"))?;
+    Ok(SimSpec::new(technique, workload, platform)
+        .with_overhead(dls_metrics::OverheadModel::PostHocTotal { h: cfg.h }))
+}
+
+/// Runs the sweep. Row order is (technique, scenario); every technique's
+/// baseline uses the same per-run task realizations as its fault rows.
+pub fn run_fault_sweep(cfg: &FaultSweepConfig) -> Result<Vec<FaultRow>, SetupError> {
+    for s in &cfg.scenarios {
+        s.plan.validate().map_err(|_| SetupError::BadParam("invalid fault plan"))?;
+        if s.plan.max_worker().is_some_and(|w| w >= cfg.p) {
+            return Err(SetupError::BadParam("fault plan references a worker the platform lacks"));
+        }
+    }
+    let mut rows = Vec::new();
+    for &technique in &cfg.techniques {
+        let spec = cell_spec(cfg, technique)?;
+        let cell_seed = cfg.seed ^ cfg.n ^ (cfg.p as u64) << 24;
+        let baseline: Vec<f64> = run_campaign(cfg.runs, cell_seed, cfg.threads, |_, run_seed| {
+            let tasks = spec.workload.generate(run_seed);
+            simulate_with_tasks(&spec, &tasks).expect("validated spec cannot fail").makespan
+        });
+        let baseline_mean = baseline.iter().sum::<f64>() / baseline.len().max(1) as f64;
+        for scenario in &cfg.scenarios {
+            let spec = spec.clone().with_faults(scenario.plan.clone());
+            let per_run: Vec<(f64, f64, f64, u64, u64, u64, bool)> =
+                run_campaign(cfg.runs, cell_seed, cfg.threads, |_, run_seed| {
+                    let tasks = spec.workload.generate(run_seed);
+                    let out =
+                        simulate_with_tasks(&spec, &tasks).expect("validated spec cannot fail");
+                    (
+                        out.makespan,
+                        out.wasted_work(),
+                        out.serial_time,
+                        out.faults.lost_messages,
+                        out.faults.master_retries,
+                        out.faults.reassigned_chunks,
+                        out.faults.completed_tasks == cfg.n,
+                    )
+                });
+            let mut mk = SummaryStats::new();
+            let (mut wf, mut lost, mut retries, mut reassigned) = (0.0, 0u64, 0u64, 0u64);
+            let mut all_completed = true;
+            for (m, w, s, l, r, a, ok) in &per_run {
+                mk.push(*m);
+                wf += wasted_work_fraction(*w, *s);
+                lost += l;
+                retries += r;
+                reassigned += a;
+                all_completed &= ok;
+            }
+            let runs = per_run.len().max(1) as f64;
+            rows.push(FaultRow {
+                technique: technique.name().to_string(),
+                scenario: scenario.name.clone(),
+                baseline_makespan: baseline_mean,
+                degradation: makespan_degradation(baseline_mean, mk.mean()),
+                flexibility: flexibility(baseline_mean, mk.mean()),
+                faulty_makespan: mk,
+                wasted_work_frac: wf / runs,
+                lost_mean: lost as f64 / runs,
+                master_retries_mean: retries as f64 / runs,
+                reassigned_mean: reassigned as f64 / runs,
+                all_completed,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FaultSweepConfig {
+        let n = 240;
+        let p = 4;
+        FaultSweepConfig {
+            n,
+            p,
+            techniques: vec![Technique::Fac2, Technique::SS],
+            scenarios: default_scenarios(n, p),
+            runs: 3,
+            h: 0.01,
+            seed: 7,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_techniques_times_scenarios() {
+        let rows = run_fault_sweep(&tiny()).unwrap();
+        assert_eq!(rows.len(), 2 * 4);
+        assert!(rows.iter().all(|r| r.all_completed), "a survivor must finish every task");
+        assert!(rows.iter().all(|r| r.faulty_makespan.count() == 3));
+    }
+
+    #[test]
+    fn fail_stop_costs_makespan_and_reassigns() {
+        let rows = run_fault_sweep(&tiny()).unwrap();
+        let fs =
+            rows.iter().find(|r| r.technique == "FAC2" && r.scenario == "fail-stop@25%").unwrap();
+        assert!(fs.degradation > 1.0, "losing a quarter-way worker must cost time");
+        assert!(fs.flexibility < 1.0 && fs.flexibility > 0.0);
+        assert!(fs.reassigned_mean > 0.0 || fs.wasted_work_frac >= 0.0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = run_fault_sweep(&tiny()).unwrap();
+        let b = run_fault_sweep(&tiny()).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.faulty_makespan.mean(), y.faulty_makespan.mean());
+            assert_eq!(x.lost_mean, y.lost_mean);
+        }
+    }
+
+    #[test]
+    fn out_of_range_worker_is_rejected() {
+        let mut cfg = tiny();
+        cfg.scenarios = vec![FaultScenario {
+            name: "bad".into(),
+            plan: FaultPlan::none().with_fail_stop(99, 1.0),
+        }];
+        assert!(run_fault_sweep(&cfg).is_err());
+    }
+
+    #[test]
+    fn load_plan_round_trips_and_validates() {
+        let dir = std::env::temp_dir().join("dls-repro-fault-plan-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        let plan = FaultPlan::none().with_fail_stop(0, 5.0).with_loss(0.1);
+        std::fs::write(&good, serde_json::to_string(&plan).unwrap()).unwrap();
+        assert_eq!(load_plan(good.to_str().unwrap()).unwrap(), plan);
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, r#"{"loss_probability": 2.0}"#).unwrap();
+        assert!(load_plan(bad.to_str().unwrap()).is_err());
+        assert!(load_plan("/nonexistent/plan.json").is_err());
+    }
+}

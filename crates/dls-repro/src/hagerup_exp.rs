@@ -120,9 +120,7 @@ pub fn run_figure(cfg: &HagerupConfig) -> Result<Vec<WastedRow>, SetupError> {
                 let tasks = workload.generate(run_seed);
                 let oracle_tasks = match cfg.oracle {
                     OracleMode::SharedRealizations => None,
-                    OracleMode::IndependentSeeds => {
-                        Some(workload.generate(run_seed ^ ORACLE_SALT))
-                    }
+                    OracleMode::IndependentSeeds => Some(workload.generate(run_seed ^ ORACLE_SALT)),
                 };
                 let mut pairs = vec![(0.0, 0.0); techniques.len()];
                 for (slot, &technique) in pairs.iter_mut().zip(techniques) {
@@ -258,8 +256,7 @@ mod tests {
     #[test]
     fn outlier_exclusion_helper() {
         let rows = run_figure(&tiny_cfg(OracleMode::SharedRealizations)).unwrap();
-        let all_max =
-            rows.iter().map(|r| r.relative_pct.abs()).fold(0.0, f64::max);
+        let all_max = rows.iter().map(|r| r.relative_pct.abs()).fold(0.0, f64::max);
         let excl = max_relative_discrepancy_excluding_outlier(&rows);
         assert!(excl <= all_max);
     }

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod faults;
 pub mod hagerup_exp;
 pub mod outlier;
 pub mod plot;

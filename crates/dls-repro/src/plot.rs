@@ -29,8 +29,7 @@ pub fn render(series: &[Series], scale: Scale, width: usize, height: usize) -> S
     assert!(width >= 8 && height >= 4, "chart too small");
     const GLYPHS: [char; 10] = ['*', 'o', '+', 'x', '#', '@', '%', '&', '=', '~'];
 
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
     if all.is_empty() {
         return String::from("(no data)\n");
     }
@@ -132,8 +131,7 @@ mod tests {
     #[test]
     fn empty_input_is_safe() {
         assert_eq!(render(&[], Scale::Linear, 40, 12), "(no data)\n");
-        let empty_series =
-            vec![Series { label: "E".into(), points: vec![] }];
+        let empty_series = vec![Series { label: "E".into(), points: vec![] }];
         assert_eq!(render(&empty_series, Scale::Linear, 40, 12), "(no data)\n");
     }
 

@@ -120,12 +120,8 @@ pub fn fig4_reference() -> Vec<ReferenceSeries> {
 /// The paper's reported maximum absolute relative discrepancies between its
 /// SimGrid-MSG values and the BOLD publication's values, per task count
 /// (§IV-B1–4), excluding the FAC/2-PE outlier.
-pub const PAPER_DISCREPANCY_BOUNDS: [(u64, f64); 4] = [
-    (1_024, 15.0),
-    (8_192, 11.4),
-    (65_536, 10.0),
-    (524_288, 0.9),
-];
+pub const PAPER_DISCREPANCY_BOUNDS: [(u64, f64); 4] =
+    [(1_024, 15.0), (8_192, 11.4), (65_536, 10.0), (524_288, 0.9)];
 
 /// Paper Figure 9 analysis constants: FAC, 2 PEs, 524,288 tasks.
 pub mod fig9 {

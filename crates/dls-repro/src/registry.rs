@@ -90,17 +90,13 @@ mod tests {
     #[test]
     fn covers_every_paper_artifact() {
         let ids: Vec<&str> = experiments().iter().map(|e| e.id).collect();
-        assert_eq!(
-            ids,
-            vec!["table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]
-        );
+        assert_eq!(ids, vec!["table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]);
     }
 
     #[test]
     fn table3_task_counts_present() {
         // Table III's four task counts appear in the figure summaries.
-        let all: String =
-            experiments().iter().map(|e| e.summary).collect::<Vec<_>>().join(" ");
+        let all: String = experiments().iter().map(|e| e.summary).collect::<Vec<_>>().join(" ");
         for n in ["1,024", "8,192", "65,536", "524,288"] {
             assert!(all.contains(n), "missing {n}");
         }

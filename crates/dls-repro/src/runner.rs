@@ -23,11 +23,7 @@ where
     let threads = threads.max(1).min(runs.max(1) as usize);
 
     if threads == 1 {
-        return seeds
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| f(i as u32, s))
-            .collect();
+        return seeds.iter().enumerate().map(|(i, &s)| f(i as u32, s)).collect();
     }
 
     let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();

@@ -29,10 +29,7 @@ impl WorkloadFamily {
     /// constant — all with mean 1 s.
     pub fn standard() -> Vec<WorkloadFamily> {
         vec![
-            WorkloadFamily {
-                name: "constant".into(),
-                model: TimeModel::Constant { time: 1.0 },
-            },
+            WorkloadFamily { name: "constant".into(), model: TimeModel::Constant { time: 1.0 } },
             WorkloadFamily {
                 name: "uniform".into(),
                 model: TimeModel::Uniform { lo: 0.0, hi: 2.0 },
@@ -159,23 +156,14 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, SetupError> {
 pub fn winners(rows: &[SweepRow]) -> Vec<(u64, usize, String, String, f64)> {
     let mut out: Vec<(u64, usize, String, String, f64)> = Vec::new();
     for r in rows {
-        match out
-            .iter_mut()
-            .find(|(n, p, w, _, _)| *n == r.n && *p == r.p && *w == r.workload)
-        {
+        match out.iter_mut().find(|(n, p, w, _, _)| *n == r.n && *p == r.p && *w == r.workload) {
             Some(entry) => {
                 if r.wasted.mean() < entry.4 {
                     entry.3 = r.technique.clone();
                     entry.4 = r.wasted.mean();
                 }
             }
-            None => out.push((
-                r.n,
-                r.p,
-                r.workload.clone(),
-                r.technique.clone(),
-                r.wasted.mean(),
-            )),
+            None => out.push((r.n, r.p, r.workload.clone(), r.technique.clone(), r.wasted.mean())),
         }
     }
     out
@@ -190,7 +178,10 @@ mod tests {
             ns: vec![512],
             pes: vec![4],
             families: vec![
-                WorkloadFamily { name: "constant".into(), model: TimeModel::Constant { time: 1.0 } },
+                WorkloadFamily {
+                    name: "constant".into(),
+                    model: TimeModel::Constant { time: 1.0 },
+                },
                 WorkloadFamily {
                     name: "exponential".into(),
                     model: TimeModel::Exponential { mean: 1.0 },

@@ -105,10 +105,8 @@ pub fn run_verification(cfg: &VerifyConfig) -> Result<Vec<VerifyRow>, SetupError
 
 /// The overall verdict: the largest deviation anywhere in the grid.
 pub fn verdict(rows: &[VerifyRow]) -> (f64, bool) {
-    let worst = rows
-        .iter()
-        .map(|r| r.max_makespan_dev_pct.max(r.max_wasted_dev_pct))
-        .fold(0.0, f64::max);
+    let worst =
+        rows.iter().map(|r| r.max_makespan_dev_pct.max(r.max_wasted_dev_pct)).fold(0.0, f64::max);
     let all_chunks = rows.iter().all(|r| r.chunks_identical);
     (worst, all_chunks)
 }

@@ -87,9 +87,7 @@ pub struct Exponential {
 impl Exponential {
     /// Creates an exponential distribution with mean `mean > 0`.
     pub fn new(mean: f64) -> Result<Self, DistError> {
-        Ok(Exponential {
-            mean: require_pos(mean, "mean")?,
-        })
+        Ok(Exponential { mean: require_pos(mean, "mean")? })
     }
 }
 
@@ -151,10 +149,7 @@ pub struct Normal {
 impl Normal {
     /// Creates a normal distribution with the given mean and `std > 0`.
     pub fn new(mean: f64, std: f64) -> Result<Self, DistError> {
-        Ok(Normal {
-            mean: require_finite(mean, "mean")?,
-            std: require_pos(std, "std")?,
-        })
+        Ok(Normal { mean: require_finite(mean, "mean")?, std: require_pos(std, "std")? })
     }
 
     /// One standard-normal deviate by the Marsaglia polar method.
@@ -198,10 +193,7 @@ pub struct Gamma {
 impl Gamma {
     /// Creates a gamma distribution with `shape > 0`, `scale > 0`.
     pub fn new(shape: f64, scale: f64) -> Result<Self, DistError> {
-        Ok(Gamma {
-            shape: require_pos(shape, "shape")?,
-            scale: require_pos(scale, "scale")?,
-        })
+        Ok(Gamma { shape: require_pos(shape, "shape")?, scale: require_pos(scale, "scale")? })
     }
 
     fn sample_shape_ge1<U: UniformSource + ?Sized>(shape: f64, rng: &mut U) -> f64 {
@@ -250,10 +242,7 @@ pub struct LogNormal {
 impl LogNormal {
     /// Creates a lognormal with underlying normal parameters (`sigma > 0`).
     pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
-        Ok(LogNormal {
-            mu: require_finite(mu, "mu")?,
-            sigma: require_pos(sigma, "sigma")?,
-        })
+        Ok(LogNormal { mu: require_finite(mu, "mu")?, sigma: require_pos(sigma, "sigma")? })
     }
 
     /// Builds a lognormal that has the given *target* mean and std-dev.
@@ -264,10 +253,7 @@ impl LogNormal {
         require_pos(std, "std")?;
         let cv2 = (std / mean).powi(2);
         let sigma2 = (1.0 + cv2).ln();
-        Ok(LogNormal {
-            mu: mean.ln() - 0.5 * sigma2,
-            sigma: sigma2.sqrt(),
-        })
+        Ok(LogNormal { mu: mean.ln() - 0.5 * sigma2, sigma: sigma2.sqrt() })
     }
 }
 
@@ -294,10 +280,7 @@ pub struct Weibull {
 impl Weibull {
     /// Creates a Weibull distribution with `shape > 0`, `scale > 0`.
     pub fn new(shape: f64, scale: f64) -> Result<Self, DistError> {
-        Ok(Weibull {
-            shape: require_pos(shape, "shape")?,
-            scale: require_pos(scale, "scale")?,
-        })
+        Ok(Weibull { shape: require_pos(shape, "shape")?, scale: require_pos(scale, "scale")? })
     }
 }
 
@@ -401,11 +384,7 @@ mod tests {
         }
         let m = sum / N as f64;
         let v = sumsq / N as f64 - m * m;
-        assert!(
-            (m - d.mean()).abs() <= mean_tol,
-            "mean: empirical {m} vs analytic {}",
-            d.mean()
-        );
+        assert!((m - d.mean()).abs() <= mean_tol, "mean: empirical {m} vs analytic {}", d.mean());
         assert!(
             (v - d.variance()).abs() <= var_tol,
             "variance: empirical {v} vs analytic {}",

@@ -28,16 +28,12 @@ pub struct Rand48 {
 impl Rand48 {
     /// Seeds like C `srand48(seedval)`: `X = seedval << 16 | 0x330E`.
     pub fn srand48(seedval: u32) -> Self {
-        Rand48 {
-            state: ((seedval as u64) << 16 | 0x330E) & MASK48,
-        }
+        Rand48 { state: ((seedval as u64) << 16 | 0x330E) & MASK48 }
     }
 
     /// Seeds like C `seed48(seed16v)`: words are least-significant first.
     pub fn seed48(seed16v: [u16; 3]) -> Self {
-        let state = (seed16v[0] as u64)
-            | (seed16v[1] as u64) << 16
-            | (seed16v[2] as u64) << 32;
+        let state = (seed16v[0] as u64) | (seed16v[1] as u64) << 16 | (seed16v[2] as u64) << 32;
         Rand48 { state }
     }
 
@@ -176,10 +172,7 @@ mod tests {
             counts[r.below(7) as usize] += 1;
         }
         for (i, &c) in counts.iter().enumerate() {
-            assert!(
-                (c as f64 - 10_000.0).abs() < 600.0,
-                "bucket {i} count {c} deviates"
-            );
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "bucket {i} count {c} deviates");
         }
     }
 

@@ -23,7 +23,7 @@
 mod perturb;
 mod task_times;
 
-pub use perturb::{Availability, PerturbationModel};
+pub use perturb::{Availability, PerturbError, PerturbationModel};
 pub use task_times::TaskTimes;
 
 use dls_rng::dist::{
@@ -296,9 +296,7 @@ impl Workload {
             TimeModel::Bimodal { a, b, p_a } => {
                 Bimodal::new(*a, *b, *p_a).expect("validated").mean()
             }
-            TimeModel::Trace { times } => {
-                times.iter().sum::<f64>() / times.len() as f64
-            }
+            TimeModel::Trace { times } => times.iter().sum::<f64>() / times.len() as f64,
         }
     }
 
@@ -318,9 +316,7 @@ impl Workload {
                 let w = (first - last).abs();
                 w * w / 12.0
             }
-            TimeModel::Uniform { lo, hi } => {
-                Uniform::new(*lo, *hi).expect("validated").variance()
-            }
+            TimeModel::Uniform { lo, hi } => Uniform::new(*lo, *hi).expect("validated").variance(),
             TimeModel::Exponential { mean } => mean * mean,
             TimeModel::Normal { std, .. } => std * std,
             TimeModel::Gamma { shape, scale } => shape * scale * scale,
@@ -381,9 +377,7 @@ impl Workload {
                 let d = Bimodal::new(*a, *b, *p_a).expect("validated");
                 (0..n).map(|_| d.sample(rng)).collect()
             }
-            TimeModel::Trace { times } => {
-                (0..n).map(|i| times[i % times.len()]).collect()
-            }
+            TimeModel::Trace { times } => (0..n).map(|i| times[i % times.len()]).collect(),
         };
         TaskTimes::new(times)
     }
@@ -469,11 +463,7 @@ mod tests {
 
     #[test]
     fn trace_workload_cycles() {
-        let w = Workload::new(
-            5,
-            TimeModel::Trace { times: Arc::new(vec![1.0, 2.0]) },
-        )
-        .unwrap();
+        let w = Workload::new(5, TimeModel::Trace { times: Arc::new(vec![1.0, 2.0]) }).unwrap();
         let v: Vec<f64> = w.generate(0).iter().collect();
         assert_eq!(v, vec![1.0, 2.0, 1.0, 2.0, 1.0]);
     }

@@ -7,6 +7,40 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Errors from invalid perturbation-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PerturbError {
+    /// A speed factor outside `(0, 1]` or not finite.
+    BadFactor(f64),
+    /// A sinusoid amplitude outside `[0, 1)` or not finite.
+    BadAmplitude(f64),
+    /// A sinusoid period that is not finite and positive.
+    BadPeriod(f64),
+    /// A step onset time that is negative or not finite.
+    BadOnset(f64),
+}
+
+impl std::fmt::Display for PerturbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerturbError::BadFactor(v) => {
+                write!(f, "speed factor must be finite and in (0, 1], got {v}")
+            }
+            PerturbError::BadAmplitude(v) => {
+                write!(f, "amplitude must be finite and in [0, 1), got {v}")
+            }
+            PerturbError::BadPeriod(v) => {
+                write!(f, "period must be finite and > 0, got {v}")
+            }
+            PerturbError::BadOnset(v) => {
+                write!(f, "onset time must be finite and >= 0, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PerturbError {}
+
 /// A deterministic model of how a PE's effective speed varies over time.
 ///
 /// A multiplier of `1.0` is nominal speed; `0.5` means the PE delivers half
@@ -38,6 +72,64 @@ pub enum PerturbationModel {
 }
 
 impl PerturbationModel {
+    /// Checked [`PerturbationModel::ConstantFactor`]: `factor` must be
+    /// finite and in `(0, 1]` — zero or negative speed would stall a PE
+    /// forever and NaN would poison every derived makespan.
+    pub fn constant_factor(factor: f64) -> Result<Self, PerturbError> {
+        let m = PerturbationModel::ConstantFactor { factor };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Checked [`PerturbationModel::Sinusoidal`]: `amplitude` in `[0, 1)`,
+    /// `period` finite and `> 0` (a non-positive period makes the phase
+    /// undefined).
+    pub fn sinusoidal(amplitude: f64, period: f64) -> Result<Self, PerturbError> {
+        let m = PerturbationModel::Sinusoidal { amplitude, period };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Checked [`PerturbationModel::Step`]: `at` finite and `>= 0`,
+    /// `factor` finite and in `[0, 1]` (zero models a permanent stall).
+    pub fn step(at: f64, factor: f64) -> Result<Self, PerturbError> {
+        let m = PerturbationModel::Step { at, factor };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Validates the model's parameters (the checked constructors call
+    /// this; call it directly on deserialized or literal-built models).
+    pub fn validate(&self) -> Result<(), PerturbError> {
+        match *self {
+            PerturbationModel::None => Ok(()),
+            PerturbationModel::ConstantFactor { factor } => {
+                if !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
+                    return Err(PerturbError::BadFactor(factor));
+                }
+                Ok(())
+            }
+            PerturbationModel::Sinusoidal { amplitude, period } => {
+                if !amplitude.is_finite() || !(0.0..1.0).contains(&amplitude) {
+                    return Err(PerturbError::BadAmplitude(amplitude));
+                }
+                if !period.is_finite() || period <= 0.0 {
+                    return Err(PerturbError::BadPeriod(period));
+                }
+                Ok(())
+            }
+            PerturbationModel::Step { at, factor } => {
+                if !at.is_finite() || at < 0.0 {
+                    return Err(PerturbError::BadOnset(at));
+                }
+                if !factor.is_finite() || !(0.0..=1.0).contains(&factor) {
+                    return Err(PerturbError::BadFactor(factor));
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Effective speed multiplier at simulated time `t` (seconds).
     pub fn speed_factor(&self, t: f64) -> f64 {
         match self {
@@ -153,6 +245,66 @@ mod tests {
         assert!((p.average_factor(4.0, 6.0) - 0.75).abs() < 1e-12);
         assert_eq!(p.average_factor(0.0, 5.0), 1.0);
         assert_eq!(p.average_factor(5.0, 9.0), 0.5);
+    }
+
+    #[test]
+    fn checked_constructors_accept_valid_parameters() {
+        assert!(PerturbationModel::constant_factor(0.5).is_ok());
+        assert!(PerturbationModel::constant_factor(1.0).is_ok());
+        assert!(PerturbationModel::sinusoidal(0.0, 10.0).is_ok());
+        assert!(PerturbationModel::sinusoidal(0.99, 1e-6).is_ok());
+        assert!(PerturbationModel::step(0.0, 0.0).is_ok());
+        assert!(PerturbationModel::None.validate().is_ok());
+    }
+
+    #[test]
+    fn constant_factor_rejects_zero_negative_and_nan() {
+        for bad in [0.0, -0.5, f64::NAN, f64::INFINITY, 1.5] {
+            let e = PerturbationModel::constant_factor(bad).unwrap_err();
+            assert!(matches!(e, PerturbError::BadFactor(_)), "{bad} -> {e}");
+        }
+    }
+
+    #[test]
+    fn sinusoidal_rejects_bad_period_and_amplitude() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let e = PerturbationModel::sinusoidal(0.5, bad).unwrap_err();
+            assert!(matches!(e, PerturbError::BadPeriod(_)), "{bad} -> {e}");
+        }
+        assert!(matches!(
+            PerturbationModel::sinusoidal(1.0, 10.0).unwrap_err(),
+            PerturbError::BadAmplitude(_)
+        ));
+        assert!(matches!(
+            PerturbationModel::sinusoidal(-0.1, 10.0).unwrap_err(),
+            PerturbError::BadAmplitude(_)
+        ));
+    }
+
+    #[test]
+    fn step_rejects_bad_onset_and_factor() {
+        assert!(matches!(
+            PerturbationModel::step(-1.0, 0.5).unwrap_err(),
+            PerturbError::BadOnset(_)
+        ));
+        assert!(matches!(
+            PerturbationModel::step(f64::NAN, 0.5).unwrap_err(),
+            PerturbError::BadOnset(_)
+        ));
+        assert!(matches!(
+            PerturbationModel::step(1.0, 1.1).unwrap_err(),
+            PerturbError::BadFactor(_)
+        ));
+        assert!(matches!(
+            PerturbationModel::step(1.0, -0.1).unwrap_err(),
+            PerturbError::BadFactor(_)
+        ));
+    }
+
+    #[test]
+    fn errors_render_the_offending_value() {
+        let msg = PerturbationModel::constant_factor(-2.0).unwrap_err().to_string();
+        assert!(msg.contains("-2"), "{msg}");
     }
 
     #[test]

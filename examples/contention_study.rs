@@ -20,9 +20,7 @@
 
 use dls_suite::dls_platform::LinkSpec;
 use dls_suite::dls_repro::reference::TSS_PES;
-use dls_suite::dls_repro::tss_exp::{
-    run_experiment_contended, ContentionModel, TssExperiment,
-};
+use dls_suite::dls_repro::tss_exp::{run_experiment_contended, ContentionModel, TssExperiment};
 
 fn main() {
     let pes = &TSS_PES[..];
@@ -68,7 +66,10 @@ fn main() {
                 count += 1;
             }
         }
-        println!("\n{name}: mean |relative error| vs originals = {:.1} %", 100.0 * err / count as f64);
+        println!(
+            "\n{name}: mean |relative error| vs originals = {:.1} %",
+            100.0 * err / count as f64
+        );
     }
     println!(
         "\nThe serialized critical section alone recovers the original\n\

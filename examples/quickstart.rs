@@ -5,10 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use dls_suite::prelude::*;
 use dls_suite::dls_metrics::OverheadModel;
 use dls_suite::dls_workload::TimeModel;
 use dls_suite::dls_workload::Workload;
+use dls_suite::prelude::*;
 
 fn main() {
     // An irregular loop: 10,000 tasks whose execution times are exponential
@@ -19,8 +19,12 @@ fn main() {
     // A 16-PE homogeneous cluster with an effectively free network.
     let platform = Platform::homogeneous_star("pe", 16, 1.0, LinkSpec::negligible());
 
-    println!("workload: {} tasks, mu = {:.1} ms, sigma = {:.1} ms", workload.n(),
-             workload.mean() * 1e3, workload.std_dev() * 1e3);
+    println!(
+        "workload: {} tasks, mu = {:.1} ms, sigma = {:.1} ms",
+        workload.n(),
+        workload.mean() * 1e3,
+        workload.std_dev() * 1e3
+    );
     println!("platform: {} PEs\n", platform.num_hosts());
     println!(
         "{:<8} {:>8} {:>12} {:>12} {:>10}",

@@ -11,10 +11,8 @@ use dls_suite::prelude::*;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let technique: Technique = args
-        .next()
-        .map(|s| s.parse().expect("unknown technique"))
-        .unwrap_or(Technique::Fac2);
+    let technique: Technique =
+        args.next().map(|s| s.parse().expect("unknown technique")).unwrap_or(Technique::Fac2);
     let n: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2_000);
     let p: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
 

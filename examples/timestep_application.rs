@@ -66,8 +66,7 @@ fn main() {
     ] {
         let spec = SimSpec::new(technique, workload.clone(), platform.clone());
         let outcomes = simulate_time_steps(&spec, &steps).expect("valid spec");
-        let series: Vec<String> =
-            outcomes.iter().map(|o| format!("{:.2}", o.makespan)).collect();
+        let series: Vec<String> = outcomes.iter().map(|o| format!("{:.2}", o.makespan)).collect();
         println!("{:<8} {}", technique.to_string(), series.join("  "));
     }
 

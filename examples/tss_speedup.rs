@@ -14,7 +14,8 @@ use dls_suite::dls_repro::report;
 use dls_suite::dls_repro::tss_exp::{run_fig3, run_fig4};
 
 fn main() {
-    for (fig, rows) in [("Figure 3 (experiment 1)", run_fig3()), ("Figure 4 (experiment 2)", run_fig4())]
+    for (fig, rows) in
+        [("Figure 3 (experiment 1)", run_fig3()), ("Figure 4 (experiment 2)", run_fig4())]
     {
         let rows = rows.expect("experiment parameters are valid");
         let (headers, body) = report::speedup_rows(&rows);

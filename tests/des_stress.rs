@@ -82,9 +82,5 @@ fn event_throughput_canary() {
     let (_, stats) = eng.run();
     assert!(stats.events > 500_000);
     let elapsed = start.elapsed();
-    assert!(
-        elapsed.as_secs_f64() < 10.0,
-        "{} events took {elapsed:?}",
-        stats.events
-    );
+    assert!(elapsed.as_secs_f64() < 10.0, "{} events took {elapsed:?}", stats.events);
 }

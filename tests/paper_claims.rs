@@ -13,9 +13,7 @@ use dls_suite::dls_repro::tss_exp::{run_experiment, TssExperiment};
 #[test]
 fn tss_reproduction_verdict() {
     let rows = run_experiment(TssExperiment::Exp1, LinkSpec::fast(), &[48, 80]).unwrap();
-    let sim = |label: &str, p: u32| {
-        rows.iter().find(|r| r.label == label && r.p == p).unwrap()
-    };
+    let sim = |label: &str, p: u32| rows.iter().find(|r| r.label == label && r.p == p).unwrap();
     // CSS/TSS/GSS(80) within 15 % of the digitized originals.
     for label in ["CSS", "TSS", "GSS(80)"] {
         for p in [48, 80] {
@@ -52,10 +50,7 @@ fn hagerup_1k_within_paper_band() {
     cfg.oracle = OracleMode::IndependentSeeds;
     let rows = run_figure(&cfg).unwrap();
     let max_rel = max_relative_discrepancy_excluding_outlier(&rows);
-    assert!(
-        max_rel < 15.0,
-        "max relative discrepancy {max_rel}% exceeds the paper's 15% band"
-    );
+    assert!(max_rel < 15.0, "max relative discrepancy {max_rel}% exceeds the paper's 15% band");
 }
 
 /// §IV-B: the wasted-time ordering the BOLD publication reports — SS is
@@ -91,11 +86,7 @@ fn fac_two_pe_tail_collapses_under_trimming() {
     // n = 65,536 scales the paper's threshold 400 s by n: 400/8 = 50 s.
     let a = run_outlier(&OutlierConfig::scaled(65_536, 200), 50.0).unwrap();
     let tail_fraction = a.outliers as f64 / a.per_run.len() as f64;
-    assert!(
-        tail_fraction < 0.15,
-        "outliers must be rare: {:.1} %",
-        100.0 * tail_fraction
-    );
+    assert!(tail_fraction < 0.15, "outliers must be rare: {:.1} %", 100.0 * tail_fraction);
     // When outliers exist, trimming reduces the mean noticeably.
     if a.outliers > 0 {
         let tm = a.trimmed_mean.unwrap();
@@ -126,8 +117,5 @@ fn discrepancy_shrinks_with_n() {
     };
     let small = run(1_024, 150);
     let large = run(32_768, 150);
-    assert!(
-        large < small,
-        "mean |relative discrepancy| must shrink with n: {small}% -> {large}%"
-    );
+    assert!(large < small, "mean |relative discrepancy| must shrink with n: {small}% -> {large}%");
 }

@@ -51,10 +51,7 @@ fn dynamic_techniques_absorb_a_degraded_pe() {
     // the effective capacity is 7.25/8 — only a ~10 % slowdown.
     let ss_base = run(Technique::SS, false);
     let ss_deg = run(Technique::SS, true);
-    assert!(
-        ss_deg < 1.25 * ss_base,
-        "SS must absorb the degradation: {ss_base} -> {ss_deg}"
-    );
+    assert!(ss_deg < 1.25 * ss_base, "SS must absorb the degradation: {ss_base} -> {ss_deg}");
 
     // GSS hands its large head chunk (r/p tasks) to whichever PE asks
     // first — if that's the degraded PE, the makespan is pinned by that
@@ -102,11 +99,9 @@ fn sinusoidal_load_bounded() {
         Technique::Gss { min_chunk: 1 },
         Technique::Af,
     ] {
-        let out = simulate(
-            &SimSpec::new(technique, workload.clone(), platform_with(sin.clone(), 4)),
-            3,
-        )
-        .unwrap();
+        let out =
+            simulate(&SimSpec::new(technique, workload.clone(), platform_with(sin.clone(), 4)), 3)
+                .unwrap();
         let ideal = 1.0; // 4 s of work over 4 PEs
         assert!(
             out.makespan >= ideal * 0.99 && out.makespan <= ideal * 2.5,

@@ -79,10 +79,7 @@ fn makespans_agree_across_techniques_and_workloads() {
                         rep.chunks
                     );
                 } else {
-                    assert_eq!(
-                        msg.chunks, rep.chunks,
-                        "{technique} p={p}: chunk counts differ"
-                    );
+                    assert_eq!(msg.chunks, rep.chunks, "{technique} p={p}: chunk counts differ");
                 }
             }
         }
@@ -123,8 +120,8 @@ fn wasted_time_agrees_with_posthoc_overhead() {
     let workload = Workload::exponential(1_024, 1.0).unwrap();
     for technique in Technique::hagerup_set() {
         let tasks = workload.generate(21);
-        let spec = SimSpec::new(technique, workload.clone(), platform.clone())
-            .with_overhead(overhead);
+        let spec =
+            SimSpec::new(technique, workload.clone(), platform.clone()).with_overhead(overhead);
         let msg = simulate_with_tasks(&spec, &tasks).unwrap().average_wasted();
         let rep =
             direct.run(technique, &spec.loop_setup(), &tasks).unwrap().average_wasted(overhead);
@@ -139,8 +136,7 @@ fn wasted_time_agrees_with_posthoc_overhead() {
 #[test]
 fn heterogeneous_speeds_agree() {
     let speeds = vec![1.0, 2.0, 0.5];
-    let platform =
-        Platform::weighted_star("pe", &speeds, 1.0, LinkSpec::negligible()).unwrap();
+    let platform = Platform::weighted_star("pe", &speeds, 1.0, LinkSpec::negligible()).unwrap();
     let direct = DirectSimulator::with_speeds(speeds, OverheadModel::None);
     let workload = Workload::exponential(2_000, 0.5).unwrap();
     for technique in [Technique::SS, Technique::Wf, Technique::Fac2] {

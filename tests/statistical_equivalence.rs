@@ -21,8 +21,7 @@ fn campaign(
     let overhead = OverheadModel::PostHocTotal { h: 0.5 };
     let workload = Workload::exponential(n, 1.0).unwrap();
     let platform = Platform::homogeneous_star("pe", p, 1.0, LinkSpec::negligible());
-    let spec =
-        SimSpec::new(technique, workload.clone(), platform).with_overhead(overhead);
+    let spec = SimSpec::new(technique, workload.clone(), platform).with_overhead(overhead);
     let setup = spec.loop_setup();
     let direct = DirectSimulator::new(p, overhead);
     (0..runs)

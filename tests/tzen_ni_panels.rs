@@ -29,10 +29,7 @@ fn accounting_identity_holds() {
         ] {
             let m = run(technique, p, 2e-6);
             let total = m.accounted_processors();
-            assert!(
-                total <= p as f64 + 1e-6,
-                "{technique} p={p}: Γ+Θ+Λ = {total}"
-            );
+            assert!(total <= p as f64 + 1e-6, "{technique} p={p}: Γ+Θ+Λ = {total}");
             assert!(total > 0.9 * p as f64, "{technique} p={p}: {total} too low");
             assert!(m.speedup > 0.0 && m.overhead_degree >= 0.0 && m.imbalance_degree >= 0.0);
         }

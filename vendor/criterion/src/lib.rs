@@ -1,0 +1,193 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! this minimal replacement. It keeps the `criterion_group!`/
+//! `criterion_main!`/`bench_function` surface compiling and executes each
+//! bench body a small fixed number of iterations, printing the mean wall
+//! time — a smoke-test harness, not a statistics engine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (accepted, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A bench identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Parameter-only id (the group name provides the rest).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] runs the measured routine.
+pub struct Bencher {
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured iteration count, recording wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(group: &str, id: &str, iters: u32, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    if b.elapsed.is_zero() {
+        println!("bench {label}: no measurement (iter not called)");
+    } else {
+        let per_iter = b.elapsed / b.iters.max(1);
+        println!("bench {label}: {per_iter:?}/iter over {} iters", b.iters);
+    }
+}
+
+/// A named set of related benches.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u32,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness runs a fixed iteration
+    /// count instead of a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is not bounded.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one bench.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&self.name, &id.into().id, self.iters, f);
+        self
+    }
+
+    /// Runs one bench with an input handle.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.id, self.iters, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The bench harness handle.
+pub struct Criterion {
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 3 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), iters: self.iters, _criterion: self }
+    }
+
+    /// Runs one ungrouped bench.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one("", &id.into().id, self.iters, f);
+        self
+    }
+}
+
+/// Declares a bench group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).measurement_time(Duration::from_secs(1));
+        g.throughput(Throughput::Elements(5));
+        g.bench_function("f", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("w", 3), &3u32, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(2) * 2));
+    }
+}

@@ -1,0 +1,325 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! this minimal replacement. Instead of serde's visitor-based data model it
+//! uses one concrete, JSON-shaped [`Value`] tree: serializing means
+//! producing a `Value`, deserializing means reading one. The derive macros
+//! (re-exported from the vendored `serde_derive`) emit the same *externally
+//! tagged* representation real serde_json produces, so the JSON artifacts
+//! under `specs/` remain readable and writable byte-for-byte-compatibly in
+//! structure.
+//!
+//! Only the surface the workspace uses is implemented; unsupported shapes
+//! fail to compile rather than silently misbehave.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value: the single data model of this serde stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion-ordered key/value pairs (no dedup).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(u) => Some(*u as f64),
+            Value::I64(i) => Some(*i as f64),
+            Value::F64(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| object_get(o, key))
+    }
+}
+
+/// Looks up `key` in an object's entry list (derive-generated code calls
+/// this).
+pub fn object_get<'a>(object: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    object.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Serialization/deserialization error: a message plus optional context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Free-form error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// "Expected TYPE while deserializing WHO".
+    pub fn expected(what: &str, who: &str) -> Self {
+        Error { msg: format!("expected {what} while deserializing {who}") }
+    }
+
+    /// A required field was missing.
+    pub fn missing_field(path: &str) -> Self {
+        Error { msg: format!("missing field `{path}`") }
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+        Error { msg: format!("unknown variant `{tag}` for {ty}") }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model.
+///
+/// The lifetime parameter exists only for signature compatibility with real
+/// serde bounds like `for<'a> Deserialize<'a>`; this stand-in always owns
+/// its data.
+pub trait Deserialize<'de>: Sized {
+    /// Reads `Self` out of a [`Value`] tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Called when a field is absent from an object. `Option` overrides
+    /// this to `None`; everything else errors.
+    fn absent(path: &str) -> Result<Self, Error> {
+        Err(Error::missing_field(path))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::U64(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error::custom(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::I64(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(format!("{i} out of range for {}", stringify!($t)))),
+                    _ => Err(Error::expected("unsigned integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::U64(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error::custom(format!("{u} out of range for {}", stringify!($t)))),
+                    Value::I64(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(format!("{i} out of range for {}", stringify!($t)))),
+                    _ => Err(Error::expected("integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_f64()
+                    .map(|f| f as $t)
+                    .ok_or_else(|| Error::expected("number", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("boolean", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_str().map(str::to_string).ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+    fn absent(_path: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn option_absent_is_none() {
+        assert_eq!(<Option<u64>>::absent("x").unwrap(), None);
+        assert!(u64::absent("x").is_err());
+        assert_eq!(<Option<u64>>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(<Option<u64>>::from_value(&Value::U64(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn numbers_cross_convert() {
+        // A "1.0" parsed as F64 must still deserialize into f64 fields and
+        // a "3" parsed as U64 into floats.
+        assert_eq!(f64::from_value(&Value::U64(3)).unwrap(), 3.0);
+        assert!(u64::from_value(&Value::F64(3.0)).is_err());
+    }
+}

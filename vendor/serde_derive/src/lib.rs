@@ -1,0 +1,366 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal `serde` whose data model is a single JSON-like [`Value`] tree.
+//! This proc-macro crate derives that model's `Serialize`/`Deserialize`
+//! traits for the shapes the workspace actually uses:
+//!
+//! * structs with named fields;
+//! * enums whose variants are units or carry named fields
+//!   (serde's *externally tagged* representation);
+//! * the `#[serde(skip)]` and `#[serde(default)]` field attributes.
+//!
+//! Anything else (tuple structs, generics, renames, ...) is rejected with a
+//! compile error naming the unsupported construct, so a future change that
+//! needs more of serde's surface fails loudly instead of silently
+//! mis-serializing.
+
+#![allow(clippy::type_complexity)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A named field, plus the serde attributes we honor.
+struct Field {
+    name: String,
+    /// `#[serde(skip)]`: not serialized; deserialized via `Default`.
+    skip: bool,
+    /// `#[serde(default)]`: missing on the wire ⇒ `Default::default()`.
+    default: bool,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    /// Variant name plus `None` for a unit variant or its named fields.
+    Enum(Vec<(String, Option<Vec<Field>>)>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code =
+        if serialize { gen_serialize(&name, &shape) } else { gen_deserialize(&name, &shape) };
+    code.parse().expect("derive produced invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { tokens: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes leading `#[...]` attributes, returning the serde flags seen.
+    fn skip_attributes(&mut self) -> (bool, bool) {
+        let (mut skip, mut default) = (false, false);
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(i)) = inner.next() {
+                    if i.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            let text = args.stream().to_string();
+                            for part in text.split(',') {
+                                match part.trim() {
+                                    "skip" => skip = true,
+                                    "default" => default = true,
+                                    other => panic!(
+                                        "unsupported serde attribute `{other}` \
+                                         (vendored derive handles only skip/default)"
+                                    ),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (skip, default)
+    }
+
+    /// Consumes `pub`, `pub(...)` if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kind = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("`{name}`: generic types are not supported by the vendored derive"));
+    }
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "`{name}`: only brace-bodied structs/enums are supported by the vendored derive"
+            ))
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok((name, Shape::Struct(parse_fields(body)?))),
+        "enum" => Ok((name, Shape::Enum(parse_variants(body)?))),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let (skip, default) = c.skip_attributes();
+        c.skip_visibility();
+        let name = c.expect_ident()?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("field `{name}`: expected `:` (tuple fields unsupported)")),
+        }
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    c.next();
+                    break;
+                }
+                _ => {}
+            }
+            c.next();
+        }
+        fields.push(Field { name, skip, default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Option<Vec<Field>>)>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attributes();
+        let name = c.expect_ident()?;
+        match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream())?;
+                c.next();
+                variants.push((name, Some(fields)));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "variant `{name}`: tuple variants are not supported by the vendored derive"
+                ));
+            }
+            _ => variants.push((name, None)),
+        }
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == ',' {
+                c.next();
+            }
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from(
+                "#[allow(unused_mut)] let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__fields)");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n"
+                    )),
+                    Some(fields) => {
+                        let pat: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "__fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pat} }} => {{\n\
+                             #[allow(unused_mut)] let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(__fields))])\n\
+                             }}\n",
+                            pat = pat.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("#[allow(unused_variables)]\nmatch self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn field_extraction(owner: &str, fields: &[Field], object: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{n}: ::std::default::Default::default(),\n", n = f.name));
+        } else if f.default {
+            inits.push_str(&format!(
+                "{n}: match ::serde::object_get({object}, \"{n}\") {{\n\
+                   Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                   None => ::std::default::Default::default(),\n\
+                 }},\n",
+                n = f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{n}: match ::serde::object_get({object}, \"{n}\") {{\n\
+                   Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                   None => ::serde::Deserialize::absent(\"{owner}.{n}\")?,\n\
+                 }},\n",
+                n = f.name
+            ));
+        }
+    }
+    inits
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let inits = field_extraction(name, fields, "__obj");
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    None => {
+                        unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+                        tagged_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+                    }
+                    Some(fields) => {
+                        let inits = field_extraction(&format!("{name}::{v}"), fields, "__obj");
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::expected(\"object\", \"{name}::{v}\"))?;\n\
+                             Ok({name}::{v} {{\n{inits}}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::Error::unknown_variant(__other, \"{name}\")),\n\
+                 }},\n\
+                 ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__o[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => Err(::serde::Error::unknown_variant(__other, \"{name}\")),\n\
+                 }}\n\
+                 }}\n\
+                 _ => Err(::serde::Error::expected(\"string or single-key object\", \"{name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n\
+         }}\n"
+    )
+}
