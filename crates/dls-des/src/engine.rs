@@ -1,6 +1,7 @@
 //! The event loop: actors, messages, timers, faults.
 
 use crate::SimTime;
+use dls_trace::{TraceKind, Tracer};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
@@ -212,6 +213,7 @@ pub struct Engine<M> {
     next_timer_id: u64,
     cancelled: HashSet<TimerId>,
     interceptor: Option<Box<dyn Interceptor>>,
+    tracer: Tracer,
     commands: Vec<Command<M>>,
     stats: EngineStats,
 }
@@ -234,6 +236,7 @@ impl<M> Engine<M> {
             next_timer_id: 0,
             cancelled: HashSet::new(),
             interceptor: None,
+            tracer: Tracer::disabled(),
             commands: Vec::new(),
             stats: EngineStats::default(),
         }
@@ -258,6 +261,17 @@ impl<M> Engine<M> {
     /// engine built before this hook existed.
     pub fn set_interceptor(&mut self, interceptor: Box<dyn Interceptor>) {
         self.interceptor = Some(interceptor);
+    }
+
+    /// Attaches a trace sink through its [`Tracer`] handle.
+    ///
+    /// The engine then emits message-level events (send, deliver, drop,
+    /// delay), timer firings, kills and dead letters. A disabled tracer
+    /// (the default) costs one branch per hook and constructs nothing, so
+    /// untraced runs are bit-identical to an engine built before this hook
+    /// existed.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
@@ -288,10 +302,33 @@ impl<M> Engine<M> {
                     };
                     match verdict {
                         Verdict::Deliver => {
+                            self.tracer.emit_with(|| dls_trace::TraceEvent {
+                                at: self.now.as_secs_f64(),
+                                kind: TraceKind::MsgSent {
+                                    from: issuer,
+                                    to,
+                                    deliver_at: at.as_secs_f64(),
+                                    seq: self.seq,
+                                },
+                            });
                             self.push_event(at, EventKind::Deliver { from: issuer, to, msg });
                         }
-                        Verdict::Drop => self.stats.dropped_sends += 1,
+                        Verdict::Drop => {
+                            self.tracer.emit(
+                                self.now.as_secs_f64(),
+                                TraceKind::MsgDropped { from: issuer, to },
+                            );
+                            self.stats.dropped_sends += 1;
+                        }
                         Verdict::Delay(extra) => {
+                            self.tracer.emit(
+                                self.now.as_secs_f64(),
+                                TraceKind::MsgDelayed {
+                                    from: issuer,
+                                    to,
+                                    extra: extra.as_secs_f64(),
+                                },
+                            );
                             self.stats.delayed_sends += 1;
                             let late = at.saturating_add(extra);
                             self.push_event(late, EventKind::Deliver { from: issuer, to, msg });
@@ -305,7 +342,10 @@ impl<M> Engine<M> {
                 Command::CancelTimer { id } => {
                     self.cancelled.insert(id);
                 }
-                Command::Kill { victim } => self.dead[victim] = true,
+                Command::Kill { victim } => {
+                    self.tracer.emit(self.now.as_secs_f64(), TraceKind::ActorKilled { victim });
+                    self.dead[victim] = true;
+                }
                 Command::Stop => stop = true,
             }
         }
@@ -354,10 +394,12 @@ impl<M> Engine<M> {
                     continue;
                 }
                 EventKind::Timer { actor, .. } if self.dead[*actor] => {
+                    self.tracer.emit(ev.time.as_secs_f64(), TraceKind::DeadLetter { to: *actor });
                     self.stats.dead_letters += 1;
                     continue;
                 }
                 EventKind::Deliver { to, .. } if self.dead[*to] => {
+                    self.tracer.emit(ev.time.as_secs_f64(), TraceKind::DeadLetter { to: *to });
                     self.stats.dead_letters += 1;
                     continue;
                 }
@@ -367,6 +409,7 @@ impl<M> Engine<M> {
             self.stats.events += 1;
             let actor_id = match ev.kind {
                 EventKind::Deliver { from, to, msg } => {
+                    self.tracer.emit(self.now.as_secs_f64(), TraceKind::MsgDelivered { from, to });
                     let mut commands = std::mem::take(&mut self.commands);
                     let mut tid = self.next_timer_id;
                     {
@@ -384,6 +427,7 @@ impl<M> Engine<M> {
                     to
                 }
                 EventKind::Timer { actor, key, id: _ } => {
+                    self.tracer.emit(self.now.as_secs_f64(), TraceKind::TimerFired { actor, key });
                     let mut commands = std::mem::take(&mut self.commands);
                     let mut tid = self.next_timer_id;
                     {

@@ -28,6 +28,7 @@
 
 use dls_core::{ChunkScheduler, LoopSetup, SetupError, Technique};
 use dls_metrics::{OverheadModel, RunCost};
+use dls_trace::{TraceKind, Tracer};
 use dls_workload::TaskTimes;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -122,6 +123,29 @@ impl DirectSimulator {
         Ok(self.run_with(scheduler, tasks))
     }
 
+    /// Like [`DirectSimulator::run`], but streams chunk-lifecycle events
+    /// (assign, start, complete) into the given [`Tracer`]. A disabled
+    /// tracer makes this identical to `run`.
+    ///
+    /// The tracer is a per-call argument (not simulator state) so the
+    /// simulator itself stays `Sync` and shareable across campaign threads.
+    pub fn run_traced(
+        &self,
+        technique: Technique,
+        setup: &LoopSetup,
+        tasks: &TaskTimes,
+        tracer: &Tracer,
+    ) -> Result<DirectOutcome, SetupError> {
+        if setup.p != self.p {
+            return Err(SetupError::BadParam("setup.p must match the simulator's PE count"));
+        }
+        if setup.n != tasks.len() as u64 {
+            return Err(SetupError::BadParam("setup.n must match the workload length"));
+        }
+        let mut scheduler = technique.build(setup)?;
+        Ok(self.run_with_ref_traced(scheduler.as_mut(), tasks, tracer))
+    }
+
     /// Runs with a pre-built scheduler (for custom techniques).
     pub fn run_with(
         &self,
@@ -138,6 +162,17 @@ impl DirectSimulator {
         &self,
         scheduler: &mut dyn ChunkScheduler,
         tasks: &TaskTimes,
+    ) -> DirectOutcome {
+        self.run_with_ref_traced(scheduler, tasks, &Tracer::disabled())
+    }
+
+    /// [`DirectSimulator::run_with_ref`] with a trace sink attached (see
+    /// [`DirectSimulator::run_traced`]).
+    pub fn run_with_ref_traced(
+        &self,
+        scheduler: &mut dyn ChunkScheduler,
+        tasks: &TaskTimes,
+        tracer: &Tracer,
     ) -> DirectOutcome {
         let in_sim_h = self.overhead.in_sim_h();
         let mut heap: BinaryHeap<Reverse<(Avail, usize)>> =
@@ -168,12 +203,33 @@ impl DirectSimulator {
             }
             let c = c as usize;
             debug_assert!(next_task + c <= tasks.len(), "scheduler over-assigned");
-            let work = tasks.chunk_sum(next_task, next_task + c) / self.speeds[pe];
+            let work_secs = tasks.chunk_sum(next_task, next_task + c);
+            let work = work_secs / self.speeds[pe];
+            let done = t + in_sim_h + work;
+            if tracer.is_enabled() {
+                // The direct simulator has no messages: a chunk is assigned,
+                // started and (virtually) completed in one dispatch.
+                let (id, count) = (chunks, c as u64);
+                tracer.emit(
+                    t,
+                    TraceKind::ChunkAssigned {
+                        worker: pe,
+                        id,
+                        start: next_task as u64,
+                        count,
+                        work_secs,
+                    },
+                );
+                tracer.emit(
+                    t,
+                    TraceKind::ChunkStarted { worker: pe, id, count, exec_secs: in_sim_h + work },
+                );
+                tracer.emit(done, TraceKind::ChunkCompleted { worker: pe, id, count });
+            }
             next_task += c;
             chunks += 1;
             chunks_per_pe[pe] += 1;
             tasks_per_pe[pe] += c as u64;
-            let done = t + in_sim_h + work;
             compute[pe] += work;
             finish[pe] = done;
             pending[pe] = Some((c as u64, work));

@@ -1,4 +1,17 @@
 //! Summary statistics: Welford accumulation, percentiles, trimmed means.
+//!
+//! # NaN policy
+//!
+//! The order statistics in this module ([`percentile`], [`trimmed_mean`],
+//! [`mean_below_threshold`]) **reject NaN observations with a panic**: NaN
+//! has no place in an order statistic (it is unordered), and the historical
+//! behaviours were inconsistent silent misclassifications — `percentile`
+//! interpolated garbage, `trimmed_mean` panicked mid-sort, and
+//! `mean_below_threshold` silently treated NaN as above-threshold. A
+//! campaign that produces a NaN wasted time is a bug upstream and must
+//! surface, not skew a figure. [`Histogram`] instead counts NaN
+//! observations separately (see [`Histogram::nan`]), because histograms
+//! are also used on raw, unvalidated streams.
 
 /// Online mean/variance accumulator (Welford), plus min/max.
 ///
@@ -123,9 +136,12 @@ impl SummaryStats {
 
 /// Percentile of a sample by linear interpolation (Hyndman–Fan type 7,
 /// the default of R / NumPy). `q` in `[0, 100]`.
+///
+/// Panics on NaN observations (see the module-level NaN policy).
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&q), "q must be in [0, 100]");
+    assert!(sorted.iter().all(|x| !x.is_nan()), "percentile: NaN observation");
     debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
     let n = sorted.len();
     if n == 1 {
@@ -140,7 +156,11 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
 
 /// Mean after removing every observation strictly greater than `threshold`
 /// (the paper's Figure 9 analysis: dropping the 15 runs above 400 s).
+///
+/// Panics on NaN observations (see the module-level NaN policy; previously
+/// NaN was silently discarded as if it were above the threshold).
 pub fn mean_below_threshold(xs: &[f64], threshold: f64) -> Option<f64> {
+    assert!(xs.iter().all(|x| !x.is_nan()), "mean_below_threshold: NaN observation");
     let kept: Vec<f64> = xs.iter().copied().filter(|&x| x <= threshold).collect();
     if kept.is_empty() {
         None
@@ -150,8 +170,11 @@ pub fn mean_below_threshold(xs: &[f64], threshold: f64) -> Option<f64> {
 }
 
 /// Symmetric trimmed mean: drops `trim_frac` of the mass from each tail.
+///
+/// Panics on NaN observations (see the module-level NaN policy).
 pub fn trimmed_mean(xs: &[f64], trim_frac: f64) -> Option<f64> {
     assert!((0.0..0.5).contains(&trim_frac), "trim fraction in [0, 0.5)");
+    assert!(xs.iter().all(|x| !x.is_nan()), "trimmed_mean: NaN observation");
     if xs.is_empty() {
         return None;
     }
@@ -163,31 +186,43 @@ pub fn trimmed_mean(xs: &[f64], trim_frac: f64) -> Option<f64> {
 }
 
 /// A fixed-width histogram over `[lo, hi)` with out-of-range counters.
+///
+/// NaN observations are counted in their own [`Histogram::nan`] bucket:
+/// NaN fails both range guards, and the bucket-index cast `(NaN / w) as
+/// usize` evaluates to 0, so NaN used to be silently counted as the
+/// *lowest* bin — exactly the kind of misclassification that skews a
+/// wasted-time distribution plot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
+    /// Reciprocal bucket width, precomputed once — `record` is called per
+    /// campaign run, the division does not belong in that loop.
+    inv_width: f64,
     buckets: Vec<u64>,
     below: u64,
     above: u64,
+    nan: u64,
 }
 
 impl Histogram {
     /// Creates a histogram with `buckets` equal-width bins over `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
         assert!(hi > lo && buckets > 0, "invalid histogram spec");
-        Histogram { lo, hi, buckets: vec![0; buckets], below: 0, above: 0 }
+        let inv_width = buckets as f64 / (hi - lo);
+        Histogram { lo, hi, inv_width, buckets: vec![0; buckets], below: 0, above: 0, nan: 0 }
     }
 
     /// Records one observation.
     pub fn record(&mut self, x: f64) {
-        if x < self.lo {
+        if x.is_nan() {
+            self.nan += 1;
+        } else if x < self.lo {
             self.below += 1;
         } else if x >= self.hi {
             self.above += 1;
         } else {
-            let w = (self.hi - self.lo) / self.buckets.len() as f64;
-            let idx = (((x - self.lo) / w) as usize).min(self.buckets.len() - 1);
+            let idx = (((x - self.lo) * self.inv_width) as usize).min(self.buckets.len() - 1);
             self.buckets[idx] += 1;
         }
     }
@@ -207,9 +242,14 @@ impl Histogram {
         self.above
     }
 
-    /// Total recorded observations.
+    /// NaN observations (never assigned to a bin).
+    pub fn nan(&self) -> u64 {
+        self.nan
+    }
+
+    /// Total recorded observations, NaN included.
     pub fn total(&self) -> u64 {
-        self.below + self.above + self.buckets.iter().sum::<u64>()
+        self.below + self.above + self.nan + self.buckets.iter().sum::<u64>()
     }
 }
 
@@ -299,5 +339,36 @@ mod tests {
         assert_eq!(h.above(), 2);
         assert_eq!(h.buckets(), &[2, 1, 0, 0, 1]);
         assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_counts_nan_separately() {
+        // Regression: NaN fails both range guards and `(NaN/w) as usize`
+        // is 0, so NaN used to inflate the first bucket.
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(f64::NAN);
+        h.record(5.0);
+        assert_eq!(h.nan(), 1);
+        assert_eq!(h.buckets(), &[0, 0, 1, 0, 0], "NaN must not land in bucket 0");
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN observation")]
+    fn percentile_rejects_nan() {
+        percentile(&[1.0, f64::NAN], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN observation")]
+    fn trimmed_mean_rejects_nan() {
+        trimmed_mean(&[1.0, f64::NAN, 2.0], 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN observation")]
+    fn mean_below_threshold_rejects_nan() {
+        // Previously NaN was silently dropped as if above-threshold.
+        mean_below_threshold(&[1.0, f64::NAN], 400.0);
     }
 }

@@ -7,6 +7,7 @@ use crate::spec::{Recovery, SimSpec};
 use dls_core::ChunkScheduler;
 use dls_des::{Actor, ActorId, Ctx, SimTime, TimerId};
 use dls_platform::LinkSpec;
+use dls_trace::{TraceKind, Tracer};
 use dls_workload::{Availability, TaskTimes};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
@@ -162,6 +163,7 @@ pub struct Master {
     recovery: Recovery,
     ft: Option<Ft>,
     stats: Rc<RefCell<SharedStats>>,
+    tracer: Tracer,
 }
 
 impl Master {
@@ -172,6 +174,7 @@ impl Master {
         tasks: TaskTimes,
         spec: &SimSpec,
         stats: Rc<RefCell<SharedStats>>,
+        tracer: Tracer,
     ) -> Self {
         let p = spec.num_workers();
         let eff_speed = (0..p)
@@ -203,6 +206,7 @@ impl Master {
             recovery: spec.recovery,
             ft,
             stats,
+            tracer,
         }
     }
 
@@ -249,6 +253,16 @@ impl Master {
         let ft = self.ft.as_mut().expect("dispatch is fault-tolerant-only");
         let id = ft.next_id;
         ft.next_id += 1;
+        self.tracer.emit(
+            ctx.now().as_secs_f64(),
+            TraceKind::ChunkAssigned {
+                worker,
+                id,
+                start: job.start,
+                count: job.count,
+                work_secs: job.work_secs,
+            },
+        );
         ctx.send(
             worker + 1,
             queueing.saturating_add(comm),
@@ -284,6 +298,10 @@ impl Master {
     /// Counts a reassignment and records it in the chunk trace (the same
     /// task range appears a second time, under the surviving worker).
     fn note_reassignment(&self, worker: usize, job: &ChunkJob, now: SimTime) {
+        self.tracer.emit(
+            now.as_secs_f64(),
+            TraceKind::ChunkReassigned { worker, start: job.start, count: job.count },
+        );
         let mut s = self.stats.borrow_mut();
         s.faults.reassigned_chunks += 1;
         s.faults.reassigned_tasks += job.count;
@@ -340,6 +358,16 @@ impl Master {
                 });
             }
         }
+        self.tracer.emit(
+            ctx.now().as_secs_f64(),
+            TraceKind::ChunkAssigned {
+                worker,
+                id: 0,
+                start: (end - count as usize) as u64,
+                count,
+                work_secs,
+            },
+        );
         let delay = queueing.saturating_add(self.work_comm());
         ctx.send(worker + 1, delay, Msg::Work { id: 0, count, work_secs });
     }
@@ -452,6 +480,9 @@ impl Actor<Msg> for Master {
             let stretched = o.base_timeout * backoff.powi(o.attempts as i32);
             let delay = queueing.saturating_add(SimTime::from_secs_f64(stretched));
             o.timer = ctx.set_cancellable_timer(delay, key);
+            let (w, attempt) = (o.worker, o.attempts);
+            self.tracer
+                .emit(now.as_secs_f64(), TraceKind::MasterRetry { worker: w, id: key, attempt });
             self.stats.borrow_mut().faults.master_retries += 1;
             return;
         }
@@ -461,6 +492,7 @@ impl Actor<Msg> for Master {
         ft.dead[o.worker] = true;
         ft.worker_chunk[o.worker] = None;
         ft.requeue.push_back(o.job);
+        self.tracer.emit(now.as_secs_f64(), TraceKind::WorkerDeclaredDead { worker: o.worker });
         self.stats.borrow_mut().faults.detected_failures.push((o.worker, now.as_secs_f64()));
         let survivor = loop {
             match ft.parked.pop_front() {
@@ -497,11 +529,17 @@ pub struct Worker {
     /// Current retransmit budget in seconds (grows by the backoff factor).
     retry_delay: f64,
     stats: Rc<RefCell<SharedStats>>,
+    tracer: Tracer,
 }
 
 impl Worker {
     /// Builds worker `index` (platform host `index`, actor id `index + 1`).
-    pub fn new(index: usize, spec: &SimSpec, stats: Rc<RefCell<SharedStats>>) -> Self {
+    pub fn new(
+        index: usize,
+        spec: &SimSpec,
+        stats: Rc<RefCell<SharedStats>>,
+        tracer: Tracer,
+    ) -> Self {
         let host = spec.platform.host(index);
         Worker {
             index,
@@ -518,6 +556,7 @@ impl Worker {
             retry_timer: None,
             retry_delay: 0.0,
             stats,
+            tracer,
         }
     }
 
@@ -569,10 +608,23 @@ impl Actor<Msg> for Worker {
                 let exec = nominal / factor.max(f64::MIN_POSITIVE);
                 self.stats.borrow_mut().compute[self.index] += exec;
                 self.executing = Some(Completion { id, chunk: count, elapsed: exec });
+                self.tracer.emit(
+                    now,
+                    TraceKind::ChunkStarted {
+                        worker: self.index,
+                        id,
+                        count,
+                        exec_secs: self.in_sim_h + exec,
+                    },
+                );
                 ctx.set_timer(SimTime::from_secs_f64(self.in_sim_h + exec), TIMER_CHUNK_DONE);
             }
             Msg::Finalize => {
                 // Idle worker shuts down; nothing to schedule.
+                self.tracer.emit(
+                    ctx.now().as_secs_f64(),
+                    TraceKind::WorkerFinalized { worker: self.index },
+                );
                 self.reply_received(ctx);
             }
             Msg::Request { .. } => unreachable!("workers never receive requests"),
@@ -583,6 +635,8 @@ impl Actor<Msg> for Worker {
         if key == TIMER_REQUEST_RETRY {
             // Still waiting for the master: retransmit with backoff.
             let Some(prev) = self.outbox else { return };
+            self.tracer
+                .emit(ctx.now().as_secs_f64(), TraceKind::WorkerRetry { worker: self.index });
             self.stats.borrow_mut().faults.worker_retries += 1;
             let delay = SimTime::from_secs_f64(self.link.comm_time(self.request_bytes));
             ctx.send(MASTER, delay, Msg::Request { prev });
@@ -594,6 +648,10 @@ impl Actor<Msg> for Worker {
             return;
         }
         let done = self.executing.take().expect("timer fires only while executing");
+        self.tracer.emit(
+            ctx.now().as_secs_f64(),
+            TraceKind::ChunkCompleted { worker: self.index, id: done.id, count: done.chunk },
+        );
         {
             let mut s = self.stats.borrow_mut();
             let now = ctx.now().as_secs_f64();
@@ -611,13 +669,14 @@ impl Actor<Msg> for Worker {
 pub struct FaultInjector {
     /// `(worker, time)` pairs, index = timer key.
     schedule: Vec<(usize, SimTime)>,
+    tracer: Tracer,
 }
 
 impl FaultInjector {
     /// Builds the injector from a sorted fail-stop schedule
     /// (see `FaultPlan::fail_stop_schedule`).
-    pub fn new(schedule: Vec<(usize, SimTime)>) -> Self {
-        FaultInjector { schedule }
+    pub fn new(schedule: Vec<(usize, SimTime)>, tracer: Tracer) -> Self {
+        FaultInjector { schedule, tracer }
     }
 }
 
@@ -634,6 +693,7 @@ impl Actor<Msg> for FaultInjector {
 
     fn on_timer(&mut self, key: u64, ctx: &mut Ctx<'_, Msg>) {
         let (worker, _) = self.schedule[key as usize];
+        self.tracer.emit(ctx.now().as_secs_f64(), TraceKind::WorkerFailStop { worker });
         ctx.kill(worker + 1);
     }
 }

@@ -45,14 +45,27 @@ pub use spec::{MessageSizes, Recovery, SimSpec};
 use actors::{FaultInjector, Master, SharedStats, Worker};
 use dls_core::SetupError;
 use dls_des::Engine;
+use dls_trace::Tracer;
 use dls_workload::TaskTimes;
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Runs one simulation, generating the workload realization from `seed`.
 pub fn simulate(spec: &SimSpec, seed: u64) -> Result<SimOutcome, SetupError> {
+    simulate_traced(spec, seed, &Tracer::disabled())
+}
+
+/// Like [`simulate`], but streams chunk-lifecycle and message events into
+/// the given [`Tracer`]. A disabled tracer makes this identical to
+/// [`simulate`] — the no-op hooks cost one branch each and the outcome is
+/// bit-identical (enforced by the workspace `trace_determinism` tests).
+pub fn simulate_traced(
+    spec: &SimSpec,
+    seed: u64,
+    tracer: &Tracer,
+) -> Result<SimOutcome, SetupError> {
     let tasks = spec.workload.generate(seed);
-    simulate_with_tasks(spec, &tasks)
+    simulate_with_tasks_traced(spec, &tasks, tracer)
 }
 
 /// Runs one simulation over a caller-provided task-time realization.
@@ -61,9 +74,19 @@ pub fn simulate(spec: &SimSpec, seed: u64) -> Result<SimOutcome, SetupError> {
 /// isolates *simulator* differences from sampling noise — the comparison
 /// at the heart of the paper's Figures 5–8.
 pub fn simulate_with_tasks(spec: &SimSpec, tasks: &TaskTimes) -> Result<SimOutcome, SetupError> {
+    simulate_with_tasks_traced(spec, tasks, &Tracer::disabled())
+}
+
+/// [`simulate_with_tasks`] with a trace sink attached (see
+/// [`simulate_traced`]).
+pub fn simulate_with_tasks_traced(
+    spec: &SimSpec,
+    tasks: &TaskTimes,
+    tracer: &Tracer,
+) -> Result<SimOutcome, SetupError> {
     let setup = spec.loop_setup();
     let scheduler = Rc::new(RefCell::new(spec.technique.build(&setup)?));
-    simulate_with_scheduler(spec, tasks, scheduler)
+    simulate_with_scheduler_traced(spec, tasks, scheduler, tracer)
 }
 
 /// Runs one simulation with a caller-owned scheduler handle.
@@ -76,6 +99,17 @@ pub fn simulate_with_scheduler(
     spec: &SimSpec,
     tasks: &TaskTimes,
     scheduler: Rc<RefCell<Box<dyn dls_core::ChunkScheduler>>>,
+) -> Result<SimOutcome, SetupError> {
+    simulate_with_scheduler_traced(spec, tasks, scheduler, &Tracer::disabled())
+}
+
+/// [`simulate_with_scheduler`] with a trace sink attached (see
+/// [`simulate_traced`]).
+pub fn simulate_with_scheduler_traced(
+    spec: &SimSpec,
+    tasks: &TaskTimes,
+    scheduler: Rc<RefCell<Box<dyn dls_core::ChunkScheduler>>>,
+    tracer: &Tracer,
 ) -> Result<SimOutcome, SetupError> {
     let setup = spec.loop_setup();
     setup.validate()?;
@@ -97,11 +131,12 @@ pub fn simulate_with_scheduler(
         stats.borrow_mut().chunk_trace = Some(Vec::new());
     }
     let mut engine = Engine::new();
+    engine.set_tracer(tracer.clone());
     // Actor 0 is the master; workers are 1..=p on platform hosts 0..p.
-    let master = Master::new(scheduler, tasks.clone(), spec, Rc::clone(&stats));
+    let master = Master::new(scheduler, tasks.clone(), spec, Rc::clone(&stats), tracer.clone());
     engine.add_actor(Box::new(master));
     for w in 0..p {
-        engine.add_actor(Box::new(Worker::new(w, spec, Rc::clone(&stats))));
+        engine.add_actor(Box::new(Worker::new(w, spec, Rc::clone(&stats), tracer.clone())));
     }
     // Fault machinery is attached only for the features the plan actually
     // uses, so a FaultPlan::none() run is byte-identical to the legacy path.
@@ -110,7 +145,7 @@ pub fn simulate_with_scheduler(
         engine.set_interceptor(Box::new(plan.link_faults(|w| w + 1)));
     }
     if !plan.fail_stops.is_empty() {
-        engine.add_actor(Box::new(FaultInjector::new(plan.fail_stop_schedule())));
+        engine.add_actor(Box::new(FaultInjector::new(plan.fail_stop_schedule(), tracer.clone())));
     }
     let (_actors, engine_stats) = engine.run();
 

@@ -10,6 +10,7 @@
 //! repro fig6|fig7|fig8 ...           # wasted time, larger n
 //! repro fig9 [--runs N] [--csv DIR]  # FAC outlier analysis
 //! repro faults [--fault-plan F.json] # robustness under injected faults
+//! repro trace TSS [--out DIR]        # chunk-lifecycle trace of one run
 //! repro all  [--runs N]              # everything, in paper order
 //! ```
 //!
@@ -26,6 +27,37 @@ use dls_repro::report;
 use dls_repro::spec::{ExperimentSpec, MeasuredValue, OverheadSpec};
 use dls_repro::{registry, tss_exp};
 use std::process::ExitCode;
+
+/// Writes one recorded run's artifacts and prints where they went.
+fn emit_trace(a: &dls_repro::trace::TraceArtifacts, dir: &str) -> Result<(), String> {
+    let paths = dls_repro::trace::write_artifacts(a, std::path::Path::new(dir))
+        .map_err(|e| format!("{dir}: {e}"))?;
+    for p in &paths {
+        println!("wrote {}", p.display());
+    }
+    if a.evicted > 0 {
+        eprintln!(
+            "warning: trace ring evicted {} events; the exports cover only the tail of the run",
+            a.evicted
+        );
+    }
+    println!(
+        "trace `{}`: {} events, {} PEs, makespan {:.2} s \
+         (open the .trace.json in chrome://tracing or ui.perfetto.dev)",
+        a.label,
+        a.events.len(),
+        a.p,
+        a.makespan
+    );
+    Ok(())
+}
+
+fn cmd_trace(target: &str, o: &Options) -> Result<(), String> {
+    let seed = o.seed.unwrap_or(1);
+    let a = dls_repro::trace::run_scenario(target, seed)?;
+    let dir = o.out_dir.clone().unwrap_or_else(|| "traces".into());
+    emit_trace(&a, &dir)
+}
 
 fn write_csv(dir: &str, name: &str, headers: &[&str], rows: &[Vec<String>]) {
     let path = std::path::Path::new(dir).join(format!("{name}.csv"));
@@ -179,6 +211,10 @@ fn cmd_hagerup(fig: &str, o: &Options) -> Result<(), String> {
     if let Some(dir) = &o.csv_dir {
         write_csv(dir, fig, &headers, &body);
     }
+    if let Some(dir) = &o.trace_dir {
+        let a = dls_repro::trace::trace_figure_cell(&cfg, fig).map_err(|e| e.to_string())?;
+        emit_trace(&a, dir)?;
+    }
     Ok(())
 }
 
@@ -317,6 +353,10 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
     if let Some(dir) = &o.csv_dir {
         write_csv(dir, "sweep", &headers, &body);
     }
+    if let Some(dir) = &o.trace_dir {
+        let a = dls_repro::trace::trace_sweep_cell(&cfg).map_err(|e| e.to_string())?;
+        emit_trace(&a, dir)?;
+    }
     Ok(())
 }
 
@@ -395,6 +435,10 @@ fn cmd_faults(o: &Options) -> Result<(), String> {
     if let Some(dir) = &o.csv_dir {
         write_csv(dir, "faults", &headers, &body);
     }
+    if let Some(dir) = &o.trace_dir {
+        let a = dls_repro::trace::trace_fault_cell(&cfg).map_err(|e| e.to_string())?;
+        emit_trace(&a, dir)?;
+    }
     Ok(())
 }
 
@@ -443,13 +487,18 @@ fn cmd_verify(o: &Options) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: repro <list|table2|fig3|fig3a|fig4|fig4a|fig5|fig6|fig7|fig8|fig9|spec|verify|sweep|faults|all> \
+    "usage: repro <list|table2|fig3|fig3a|fig4|fig4a|fig5|fig6|fig7|fig8|fig9|spec|verify|sweep|faults|trace|all> \
      [--runs N] [--threads N] [--seed S] [--csv DIR] [--pes a,b,c] \
-     [--techniques SS,FAC2,BOLD] [--fault-plan FILE]\n\
+     [--techniques SS,FAC2,BOLD] [--fault-plan FILE] [--trace DIR]\n\
      fig3a/fig4a: rerun figures 3/4 with the BBN GP-1000 contention model\n\
      spec:        write Figure-2 style JSON experiment specs (to --csv DIR or specs/)\n\
      faults:      fault-injection sweep (techniques x scenarios, or one\n\
-                  --fault-plan FILE with a JSON FaultPlan)"
+                  --fault-plan FILE with a JSON FaultPlan)\n\
+     trace:       repro trace <hagerup|faults|TECHNIQUE> [--seed S] [--out DIR]\n\
+                  record one run; write Chrome trace_event JSON + per-PE\n\
+                  timeline/utilization/chunk-size CSVs (default dir: traces/)\n\
+     --trace DIR on fig5-fig8/sweep/faults additionally records one\n\
+                  representative run of the campaign"
         .into()
 }
 
@@ -459,7 +508,19 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let opts = match parse_options(&args[1..]) {
+    // `trace` takes a positional target before the options.
+    let (trace_target, opt_args) = if cmd == "trace" {
+        match args.get(1).filter(|a| !a.starts_with("--")) {
+            Some(t) => (Some(t.clone()), &args[2..]),
+            None => {
+                eprintln!("error: trace requires a target\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        (None, &args[1..])
+    };
+    let opts = match parse_options(opt_args) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n{}", usage());
@@ -482,6 +543,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(&opts),
         "sweep" => cmd_sweep(&opts),
         "faults" => cmd_faults(&opts),
+        "trace" => cmd_trace(trace_target.as_deref().unwrap_or_default(), &opts),
         "all" => {
             cmd_list();
             cmd_table2();

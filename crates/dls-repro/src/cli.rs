@@ -20,6 +20,11 @@ pub struct Options {
     pub techniques: Option<Vec<Technique>>,
     /// Path to a fault-plan JSON file (`faults` subcommand).
     pub fault_plan: Option<String>,
+    /// Output directory for trace artifacts (`trace` subcommand).
+    pub out_dir: Option<String>,
+    /// When set on fig5–fig8/sweep/faults: also trace one representative
+    /// run and write its artifacts into this directory.
+    pub trace_dir: Option<String>,
 }
 
 impl Default for Options {
@@ -32,6 +37,8 @@ impl Default for Options {
             pes: None,
             techniques: None,
             fault_plan: None,
+            out_dir: None,
+            trace_dir: None,
         }
     }
 }
@@ -53,6 +60,8 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--csv" => o.csv_dir = Some(value("--csv")?),
             "--fault-plan" => o.fault_plan = Some(value("--fault-plan")?),
+            "--out" => o.out_dir = Some(value("--out")?),
+            "--trace" => o.trace_dir = Some(value("--trace")?),
             "--pes" => {
                 let list = value("--pes")?;
                 let pes: Result<Vec<usize>, _> = list.split(',').map(|s| s.parse()).collect();
@@ -88,7 +97,7 @@ mod tests {
     fn full_option_set() {
         let o = parse_options(&args(
             "--runs 50 --threads 2 --seed 9 --csv out --pes 2,8 --techniques SS,BOLD \
-             --fault-plan plan.json",
+             --fault-plan plan.json --out traces --trace tdir",
         ))
         .unwrap();
         assert_eq!(o.runs, 50);
@@ -96,6 +105,8 @@ mod tests {
         assert_eq!(o.seed, Some(9));
         assert_eq!(o.csv_dir.as_deref(), Some("out"));
         assert_eq!(o.fault_plan.as_deref(), Some("plan.json"));
+        assert_eq!(o.out_dir.as_deref(), Some("traces"));
+        assert_eq!(o.trace_dir.as_deref(), Some("tdir"));
         assert_eq!(o.pes, Some(vec![2, 8]));
         assert_eq!(o.techniques, Some(vec![Technique::SS, Technique::Bold]));
     }

@@ -8,7 +8,7 @@
 //! task-time realizations, so the reported degradation isolates the fault
 //! response from workload noise.
 
-use crate::runner::run_campaign;
+use crate::runner::{cell_seed, run_campaign};
 use dls_core::{SetupError, Technique};
 use dls_faults::FaultPlan;
 use dls_metrics::{flexibility, makespan_degradation, wasted_work_fraction, SummaryStats};
@@ -131,7 +131,10 @@ pub struct FaultRow {
     pub all_completed: bool,
 }
 
-fn cell_spec(cfg: &FaultSweepConfig, technique: Technique) -> Result<SimSpec, SetupError> {
+pub(crate) fn cell_spec(
+    cfg: &FaultSweepConfig,
+    technique: Technique,
+) -> Result<SimSpec, SetupError> {
     let platform = Platform::homogeneous_star("pe", cfg.p, 1.0, LinkSpec::negligible());
     let workload = Workload::new(cfg.n, TimeModel::Exponential { mean: 1.0 })
         .map_err(|_| SetupError::BadParam("invalid fault-sweep workload"))?;
@@ -149,18 +152,22 @@ pub fn run_fault_sweep(cfg: &FaultSweepConfig) -> Result<Vec<FaultRow>, SetupErr
         }
     }
     let mut rows = Vec::new();
-    for &technique in &cfg.techniques {
+    for (ti, &technique) in cfg.techniques.iter().enumerate() {
         let spec = cell_spec(cfg, technique)?;
-        let cell_seed = cfg.seed ^ cfg.n ^ (cfg.p as u64) << 24;
-        let baseline: Vec<f64> = run_campaign(cfg.runs, cell_seed, cfg.threads, |_, run_seed| {
-            let tasks = spec.workload.generate(run_seed);
-            simulate_with_tasks(&spec, &tasks).expect("validated spec cannot fail").makespan
-        });
+        // Stream-derived per-technique seeds (see `runner::cell_seed`); the
+        // old `seed ^ n ^ (p << 24)` mixing was precedence-fragile and
+        // could collide across configurations.
+        let campaign_seed = cell_seed(cfg.seed, ti as u64);
+        let baseline: Vec<f64> =
+            run_campaign(cfg.runs, campaign_seed, cfg.threads, |_, run_seed| {
+                let tasks = spec.workload.generate(run_seed);
+                simulate_with_tasks(&spec, &tasks).expect("validated spec cannot fail").makespan
+            });
         let baseline_mean = baseline.iter().sum::<f64>() / baseline.len().max(1) as f64;
         for scenario in &cfg.scenarios {
             let spec = spec.clone().with_faults(scenario.plan.clone());
             let per_run: Vec<(f64, f64, f64, u64, u64, u64, bool)> =
-                run_campaign(cfg.runs, cell_seed, cfg.threads, |_, run_seed| {
+                run_campaign(cfg.runs, campaign_seed, cfg.threads, |_, run_seed| {
                     let tasks = spec.workload.generate(run_seed);
                     let out =
                         simulate_with_tasks(&spec, &tasks).expect("validated spec cannot fail");

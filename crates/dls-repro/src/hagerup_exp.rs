@@ -14,7 +14,7 @@
 //! * `dls-hagerup` — the replica of Hagerup's own simulator, the oracle the
 //!   discrepancy columns (Figures 5c/d–8c/d) compare against.
 
-use crate::runner::run_campaign;
+use crate::runner::{cell_seed, run_campaign};
 use dls_core::{SetupError, Technique};
 use dls_hagerup::DirectSimulator;
 use dls_metrics::{discrepancy, relative_discrepancy_pct, OverheadModel, SummaryStats};
@@ -110,13 +110,23 @@ pub fn run_figure(cfg: &HagerupConfig) -> Result<Vec<WastedRow>, SetupError> {
         .map_err(|_| SetupError::BadMoment("exponential mean must be > 0"))?;
     let mut rows = Vec::new();
 
-    for &p in &cfg.pes {
+    for (pi, &p) in cfg.pes.iter().enumerate() {
         let platform = Platform::homogeneous_star("pe", p, 1.0, LinkSpec::negligible());
         let sim = DirectSimulator::new(p, overhead);
+        // Validate every technique's setup once, before the campaign: a bad
+        // configuration must surface as Err here, not as a panic inside a
+        // worker thread.
+        for &technique in techniques {
+            let setup = SimSpec::new(technique, workload.clone(), platform.clone())
+                .with_overhead(overhead)
+                .loop_setup();
+            setup.validate()?;
+            technique.build(&setup)?;
+        }
         // One campaign per p: each run generates a single realization and
         // evaluates every technique on it, in both simulators.
         let per_run: Vec<Vec<(f64, f64)>> =
-            run_campaign(cfg.runs, cfg.seed ^ (p as u64) << 32, cfg.threads, |_, run_seed| {
+            run_campaign(cfg.runs, cell_seed(cfg.seed, pi as u64), cfg.threads, |_, run_seed| {
                 let tasks = workload.generate(run_seed);
                 let oracle_tasks = match cfg.oracle {
                     OracleMode::SharedRealizations => None,

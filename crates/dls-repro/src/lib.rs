@@ -29,5 +29,6 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 pub mod sweep;
+pub mod trace;
 pub mod tss_exp;
 pub mod verify;

@@ -76,9 +76,15 @@ pub fn run_outlier(cfg: &OutlierConfig, threshold: f64) -> Result<OutlierAnalysi
     let platform = Platform::homogeneous_star("pe", cfg.p, 1.0, LinkSpec::negligible());
     let spec = SimSpec::new(Technique::Fac, workload, platform)
         .with_overhead(OverheadModel::PostHocTotal { h: cfg.h });
+    // Validate the spec once, up front: a bad configuration must come back
+    // as Err from this function, not panic a campaign worker thread (where
+    // the expect below would otherwise be the first to see it).
+    let setup = spec.loop_setup();
+    setup.validate()?;
+    spec.technique.build(&setup)?;
 
     let per_run: Vec<f64> = run_campaign(cfg.runs, cfg.seed, cfg.threads, |_, run_seed| {
-        simulate(&spec, run_seed).expect("validated spec cannot fail").average_wasted()
+        simulate(&spec, run_seed).expect("spec validated before the campaign").average_wasted()
     });
 
     let stats = SummaryStats::from_slice(&per_run);

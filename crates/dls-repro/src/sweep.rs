@@ -7,7 +7,7 @@
 //! over loop sizes, PE counts, task-time distributions and techniques, with
 //! summary statistics per cell.
 
-use crate::runner::run_campaign;
+use crate::runner::{cell_seed, run_campaign};
 use dls_core::{SetupError, Technique};
 use dls_metrics::{OverheadModel, SummaryStats};
 use dls_msgsim::{simulate_with_tasks, SimSpec};
@@ -110,6 +110,9 @@ pub struct SweepRow {
 pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, SetupError> {
     let overhead = OverheadModel::PostHocTotal { h: cfg.h };
     let mut rows = Vec::new();
+    // Cells are seeded by their position in the nesting order, so two cells
+    // can never share a campaign seed (the old xor mixing could collide).
+    let mut cell = 0u64;
     for &n in &cfg.ns {
         for &p in &cfg.pes {
             let platform = Platform::homogeneous_star("pe", p, 1.0, LinkSpec::negligible());
@@ -119,9 +122,13 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, SetupError> {
                 for &technique in &cfg.techniques {
                     let spec = SimSpec::new(technique, workload.clone(), platform.clone())
                         .with_overhead(overhead);
-                    let cell_seed = cfg.seed ^ n ^ (p as u64) << 24;
+                    let setup = spec.loop_setup();
+                    setup.validate()?;
+                    technique.build(&setup)?;
+                    let seed = cell_seed(cfg.seed, cell);
+                    cell += 1;
                     let per_run: Vec<(f64, f64, u64)> =
-                        run_campaign(cfg.runs, cell_seed, cfg.threads, |_, run_seed| {
+                        run_campaign(cfg.runs, seed, cfg.threads, |_, run_seed| {
                             let tasks = spec.workload.generate(run_seed);
                             let out = simulate_with_tasks(&spec, &tasks)
                                 .expect("validated spec cannot fail");

@@ -1,0 +1,236 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! The output is the JSON-object flavour of the [trace event format] that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly: one process, one thread ("track") per PE plus a `master` track
+//! and a `network` track.
+//!
+//! * Chunk executions become complete (`"ph": "X"`) duration events on the
+//!   executing PE's track.
+//! * Scheduling operations (chunk assigned / reassigned), retries,
+//!   fail-stops and finalizations become instant (`"ph": "i"`) events.
+//! * Message drops and delays land on the `network` track; per-message
+//!   send/deliver events are intentionally *not* exported (an SS run has
+//!   millions — they would drown the visualization) but remain available
+//!   to programmatic consumers of the raw event stream.
+//!
+//! Timestamps are microseconds of virtual time, as the format requires.
+//!
+//! [trace event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::timeline::busy_intervals;
+use crate::{TraceEvent, TraceKind};
+use serde::Value;
+
+const PID: u64 = 0;
+/// Master events go to tid 0; PE `w` to tid `w + 1`.
+const TID_MASTER: u64 = 0;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn s(text: impl Into<String>) -> Value {
+    Value::String(text.into())
+}
+
+fn us(seconds: f64) -> Value {
+    Value::F64(seconds * 1e6)
+}
+
+fn meta(name: &str, tid: u64, value: &str) -> Value {
+    obj(vec![
+        ("name", s(name)),
+        ("ph", s("M")),
+        ("pid", Value::U64(PID)),
+        ("tid", Value::U64(tid)),
+        ("args", obj(vec![("name", s(value))])),
+    ])
+}
+
+fn instant(name: &str, at: f64, tid: u64, args: Vec<(&str, Value)>) -> Value {
+    obj(vec![
+        ("name", s(name)),
+        ("ph", s("i")),
+        ("s", s("t")),
+        ("pid", Value::U64(PID)),
+        ("tid", Value::U64(tid)),
+        ("ts", us(at)),
+        ("args", obj(args)),
+    ])
+}
+
+/// Builds the trace-event document for `p` PEs as a [`Value`] tree.
+///
+/// `label` names the process in the viewer (e.g. the scenario name).
+pub fn chrome_trace_value(events: &[TraceEvent], p: usize, label: &str) -> Value {
+    let tid_network = p as u64 + 1;
+    let mut items: Vec<Value> = Vec::new();
+    items.push(meta("process_name", TID_MASTER, label));
+    items.push(meta("thread_name", TID_MASTER, "master"));
+    for w in 0..p {
+        items.push(meta("thread_name", w as u64 + 1, &format!("PE {w}")));
+    }
+    items.push(meta("thread_name", tid_network, "network"));
+
+    // Duration events: one "X" slice per chunk execution.
+    for iv in busy_intervals(events) {
+        items.push(obj(vec![
+            ("name", s(format!("chunk[{}]", iv.count))),
+            ("ph", s("X")),
+            ("pid", Value::U64(PID)),
+            ("tid", Value::U64(iv.pe as u64 + 1)),
+            ("ts", us(iv.start)),
+            ("dur", us(iv.end - iv.start)),
+            (
+                "args",
+                obj(vec![
+                    ("tasks", Value::U64(iv.count)),
+                    ("assignment_id", Value::U64(iv.id)),
+                    ("completed", Value::Bool(iv.completed)),
+                ]),
+            ),
+        ]));
+    }
+
+    // Instant events for the control plane.
+    for ev in events {
+        match ev.kind {
+            TraceKind::ChunkAssigned { worker, id, start, count, .. } => {
+                items.push(instant(
+                    "assign",
+                    ev.at,
+                    TID_MASTER,
+                    vec![
+                        ("worker", Value::U64(worker as u64)),
+                        ("assignment_id", Value::U64(id)),
+                        ("start", Value::U64(start)),
+                        ("tasks", Value::U64(count)),
+                    ],
+                ));
+            }
+            TraceKind::ChunkReassigned { worker, start, count } => {
+                items.push(instant(
+                    "reassign",
+                    ev.at,
+                    TID_MASTER,
+                    vec![
+                        ("worker", Value::U64(worker as u64)),
+                        ("start", Value::U64(start)),
+                        ("tasks", Value::U64(count)),
+                    ],
+                ));
+            }
+            TraceKind::MasterRetry { worker, id, attempt } => {
+                items.push(instant(
+                    "master_retry",
+                    ev.at,
+                    TID_MASTER,
+                    vec![
+                        ("worker", Value::U64(worker as u64)),
+                        ("assignment_id", Value::U64(id)),
+                        ("attempt", Value::U64(attempt as u64)),
+                    ],
+                ));
+            }
+            TraceKind::WorkerDeclaredDead { worker } => {
+                items.push(instant(
+                    "declared_dead",
+                    ev.at,
+                    TID_MASTER,
+                    vec![("worker", Value::U64(worker as u64))],
+                ));
+            }
+            TraceKind::WorkerRetry { worker } => {
+                items.push(instant("request_retry", ev.at, worker as u64 + 1, vec![]));
+            }
+            TraceKind::WorkerFailStop { worker } => {
+                items.push(instant("fail_stop", ev.at, worker as u64 + 1, vec![]));
+            }
+            TraceKind::WorkerFinalized { worker } => {
+                items.push(instant("finalize", ev.at, worker as u64 + 1, vec![]));
+            }
+            TraceKind::MsgDropped { from, to } => {
+                items.push(instant(
+                    "drop",
+                    ev.at,
+                    tid_network,
+                    vec![("from", Value::U64(from as u64)), ("to", Value::U64(to as u64))],
+                ));
+            }
+            TraceKind::MsgDelayed { from, to, extra } => {
+                items.push(instant(
+                    "delay",
+                    ev.at,
+                    tid_network,
+                    vec![
+                        ("from", Value::U64(from as u64)),
+                        ("to", Value::U64(to as u64)),
+                        ("extra_s", Value::F64(extra)),
+                    ],
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    obj(vec![("traceEvents", Value::Array(items)), ("displayTimeUnit", s("ms"))])
+}
+
+/// Renders the trace-event document to a JSON string.
+pub fn chrome_trace_json(events: &[TraceEvent], p: usize, label: &str) -> String {
+    serde_json::to_string_pretty(&chrome_trace_value(events, p, label))
+        .expect("value serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                at: 0.0,
+                kind: TraceKind::ChunkAssigned {
+                    worker: 0,
+                    id: 1,
+                    start: 0,
+                    count: 4,
+                    work_secs: 4.0,
+                },
+            },
+            TraceEvent {
+                at: 0.1,
+                kind: TraceKind::ChunkStarted { worker: 0, id: 1, count: 4, exec_secs: 4.0 },
+            },
+            TraceEvent { at: 4.1, kind: TraceKind::ChunkCompleted { worker: 0, id: 1, count: 4 } },
+            TraceEvent { at: 5.0, kind: TraceKind::MsgDropped { from: 1, to: 0 } },
+            TraceEvent { at: 6.0, kind: TraceKind::WorkerFinalized { worker: 0 } },
+        ]
+    }
+
+    #[test]
+    fn document_round_trips_as_json() {
+        let json = chrome_trace_json(&sample(), 2, "test");
+        let v: serde::Value = serde_json::from_str(&json).expect("exporter must emit valid JSON");
+        let evs = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 4 metadata (process + master + 2 PEs + network = 5) ... count:
+        // process_name, master, PE0, PE1, network = 5 metadata entries.
+        let metas = evs.iter().filter(|e| e.get("ph").unwrap().as_str() == Some("M")).count();
+        assert_eq!(metas, 5);
+        let slices: Vec<_> =
+            evs.iter().filter(|e| e.get("ph").unwrap().as_str() == Some("X")).collect();
+        assert_eq!(slices.len(), 1);
+        assert_eq!(slices[0].get("tid"), Some(&Value::U64(1)));
+        let dur = slices[0].get("dur").unwrap().as_f64().unwrap();
+        assert!((dur - 4e6).abs() < 1.0, "duration in microseconds, got {dur}");
+    }
+
+    #[test]
+    fn instants_cover_control_plane() {
+        let json = chrome_trace_json(&sample(), 1, "t");
+        assert!(json.contains("\"assign\""));
+        assert!(json.contains("\"drop\""));
+        assert!(json.contains("\"finalize\""));
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-PE timeline extraction and CSV export.
+
+use crate::{TraceEvent, TraceKind};
+
+/// One busy interval on one PE: a chunk execution from start to completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeInterval {
+    /// Executing PE index.
+    pub pe: usize,
+    /// Execution start, virtual seconds.
+    pub start: f64,
+    /// Execution end, virtual seconds.
+    pub end: f64,
+    /// Tasks in the chunk.
+    pub count: u64,
+    /// Assignment id (0 in the fault-oblivious path).
+    pub id: u64,
+    /// False when no completion was observed (the worker was killed
+    /// mid-chunk, or the ring recorder evicted it); `end` is then the
+    /// *scheduled* completion time.
+    pub completed: bool,
+}
+
+/// Extracts the busy intervals (chunk executions) from an event stream.
+///
+/// At most one chunk executes per worker at a time, so pairing is by
+/// worker: each [`TraceKind::ChunkStarted`] closes at the next
+/// [`TraceKind::ChunkCompleted`] on the same worker. Intervals are returned
+/// in `(pe, start)` order.
+pub fn busy_intervals(events: &[TraceEvent]) -> Vec<PeInterval> {
+    let mut open: Vec<(usize, PeInterval)> = Vec::new(); // (worker, pending)
+    let mut done: Vec<PeInterval> = Vec::new();
+    for ev in events {
+        match ev.kind {
+            TraceKind::ChunkStarted { worker, id, count, exec_secs } => {
+                // A still-open interval here means its completion never
+                // arrived (killed worker); flush it as incomplete.
+                if let Some(pos) = open.iter().position(|(w, _)| *w == worker) {
+                    done.push(open.swap_remove(pos).1);
+                }
+                open.push((
+                    worker,
+                    PeInterval {
+                        pe: worker,
+                        start: ev.at,
+                        end: ev.at + exec_secs,
+                        count,
+                        id,
+                        completed: false,
+                    },
+                ));
+            }
+            TraceKind::ChunkCompleted { worker, .. } => {
+                if let Some(pos) = open.iter().position(|(w, _)| *w == worker) {
+                    let (_, mut iv) = open.swap_remove(pos);
+                    iv.end = ev.at;
+                    iv.completed = true;
+                    done.push(iv);
+                }
+            }
+            _ => {}
+        }
+    }
+    done.extend(open.into_iter().map(|(_, iv)| iv));
+    done.sort_by(|a, b| (a.pe, a.start).partial_cmp(&(b.pe, b.start)).expect("times are finite"));
+    done
+}
+
+/// Renders the busy intervals as a per-PE timeline CSV
+/// (`pe,start_s,end_s,tasks,assignment_id,completed`).
+pub fn timeline_csv(events: &[TraceEvent]) -> String {
+    let mut out = String::from("pe,start_s,end_s,tasks,assignment_id,completed\n");
+    for iv in busy_intervals(events) {
+        out.push_str(&format!(
+            "{},{:.9},{:.9},{},{},{}\n",
+            iv.pe,
+            iv.start,
+            iv.end,
+            iv.count,
+            iv.id,
+            if iv.completed { "yes" } else { "no" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn started(at: f64, worker: usize, id: u64, count: u64, exec: f64) -> TraceEvent {
+        TraceEvent { at, kind: TraceKind::ChunkStarted { worker, id, count, exec_secs: exec } }
+    }
+    fn completed(at: f64, worker: usize, id: u64, count: u64) -> TraceEvent {
+        TraceEvent { at, kind: TraceKind::ChunkCompleted { worker, id, count } }
+    }
+
+    #[test]
+    fn pairs_per_worker() {
+        let events = [
+            started(0.0, 0, 1, 10, 5.0),
+            started(0.0, 1, 2, 10, 7.0),
+            completed(5.0, 0, 1, 10),
+            completed(7.0, 1, 2, 10),
+            started(5.0, 0, 3, 4, 2.0),
+            completed(7.0, 0, 3, 4),
+        ];
+        let ivs = busy_intervals(&events);
+        assert_eq!(ivs.len(), 3);
+        assert_eq!((ivs[0].pe, ivs[0].start, ivs[0].end), (0, 0.0, 5.0));
+        assert_eq!((ivs[1].pe, ivs[1].start, ivs[1].end), (0, 5.0, 7.0));
+        assert_eq!((ivs[2].pe, ivs[2].start, ivs[2].end), (1, 0.0, 7.0));
+        assert!(ivs.iter().all(|iv| iv.completed));
+    }
+
+    #[test]
+    fn unfinished_chunk_keeps_scheduled_end() {
+        let events = [started(1.0, 0, 9, 8, 4.0)];
+        let ivs = busy_intervals(&events);
+        assert_eq!(ivs.len(), 1);
+        assert!(!ivs[0].completed);
+        assert!((ivs[0].end - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let events = [started(0.0, 0, 1, 10, 5.0), completed(5.0, 0, 1, 10)];
+        let csv = timeline_csv(&events);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "pe,start_s,end_s,tasks,assignment_id,completed");
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("0,0.000000000,5.000000000,10,1,yes"), "{row}");
+    }
+}

@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! The build environment has no crates.io access, so the workspace vendors a
-//! minimal `serde` whose data model is a single JSON-like [`Value`] tree.
+//! minimal `serde` whose data model is a single JSON-like `Value` tree.
 //! This proc-macro crate derives that model's `Serialize`/`Deserialize`
 //! traits for the shapes the workspace actually uses:
 //!
