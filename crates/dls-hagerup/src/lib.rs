@@ -28,6 +28,7 @@
 
 use dls_core::{ChunkScheduler, LoopSetup, SetupError, Technique};
 use dls_metrics::{OverheadModel, RunCost};
+use dls_telemetry::Telemetry;
 use dls_trace::{TraceKind, Tracer};
 use dls_workload::TaskTimes;
 use std::cmp::Reverse;
@@ -144,6 +145,30 @@ impl DirectSimulator {
         }
         let mut scheduler = technique.build(setup)?;
         Ok(self.run_with_ref_traced(scheduler.as_mut(), tasks, tracer))
+    }
+
+    /// Like [`DirectSimulator::run_traced`], but additionally records
+    /// host-side `hagerup.*` metrics (wall time, chunk counts) into the
+    /// given [`Telemetry`] registry.
+    ///
+    /// Telemetry is recorded only after the dispatch loop finishes, so the
+    /// outcome is bit-identical to [`DirectSimulator::run`] (enforced by
+    /// the workspace `telemetry_determinism` tests).
+    pub fn run_metered(
+        &self,
+        technique: Technique,
+        setup: &LoopSetup,
+        tasks: &TaskTimes,
+        tracer: &Tracer,
+        telemetry: &Telemetry,
+    ) -> Result<DirectOutcome, SetupError> {
+        let wall = telemetry.span("hagerup.run_wall_s");
+        let out = self.run_traced(technique, setup, tasks, tracer)?;
+        wall.finish();
+        telemetry.counter_inc("hagerup.run_calls");
+        telemetry.counter_add("hagerup.chunks", out.chunks);
+        telemetry.counter_add("hagerup.tasks", setup.n);
+        Ok(out)
     }
 
     /// Runs with a pre-built scheduler (for custom techniques).
@@ -362,6 +387,23 @@ mod tests {
         let out = sim.run(Technique::Gss { min_chunk: 1 }, &setup(1000, 4), &tasks).unwrap();
         assert_eq!(out.chunks_per_pe.iter().sum::<u64>(), out.chunks);
         assert!(out.chunks < 100);
+    }
+
+    #[test]
+    fn metered_run_is_identical_and_records_host_metrics() {
+        let tasks = constant_tasks(1000, 0.001);
+        let sim = DirectSimulator::new(4, OverheadModel::None);
+        let s = setup(1000, 4);
+        let plain = sim.run(Technique::Fac2, &s, &tasks).unwrap();
+        let tel = Telemetry::enabled();
+        let metered =
+            sim.run_metered(Technique::Fac2, &s, &tasks, &Tracer::disabled(), &tel).unwrap();
+        assert_eq!(plain, metered);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("hagerup.run_calls"), Some(1));
+        assert_eq!(snap.counter("hagerup.chunks"), Some(plain.chunks));
+        assert_eq!(snap.counter("hagerup.tasks"), Some(1000));
+        assert_eq!(snap.histogram("hagerup.run_wall_s").unwrap().count, 1);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub use spec::{MessageSizes, Recovery, SimSpec};
 use actors::{FaultInjector, Master, SharedStats, Worker};
 use dls_core::SetupError;
 use dls_des::Engine;
+use dls_telemetry::Telemetry;
 use dls_trace::Tracer;
 use dls_workload::TaskTimes;
 use std::cell::RefCell;
@@ -64,8 +65,26 @@ pub fn simulate_traced(
     seed: u64,
     tracer: &Tracer,
 ) -> Result<SimOutcome, SetupError> {
+    simulate_metered(spec, seed, tracer, &Telemetry::disabled())
+}
+
+/// Like [`simulate_traced`], but additionally records host-side `msgsim.*`
+/// metrics (wall time, engine event counts, delivery-fault counters) into
+/// the given [`Telemetry`] registry.
+///
+/// Telemetry observes only *host-side* cost, and only after the engine has
+/// finished, so it cannot perturb the virtual-time outcome: a run with an
+/// enabled registry is bit-identical to [`simulate`] (enforced by the
+/// workspace `telemetry_determinism` tests). A disabled handle makes every
+/// hook a single branch.
+pub fn simulate_metered(
+    spec: &SimSpec,
+    seed: u64,
+    tracer: &Tracer,
+    telemetry: &Telemetry,
+) -> Result<SimOutcome, SetupError> {
     let tasks = spec.workload.generate(seed);
-    simulate_with_tasks_traced(spec, &tasks, tracer)
+    simulate_with_tasks_metered(spec, &tasks, tracer, telemetry)
 }
 
 /// Runs one simulation over a caller-provided task-time realization.
@@ -84,9 +103,20 @@ pub fn simulate_with_tasks_traced(
     tasks: &TaskTimes,
     tracer: &Tracer,
 ) -> Result<SimOutcome, SetupError> {
+    simulate_with_tasks_metered(spec, tasks, tracer, &Telemetry::disabled())
+}
+
+/// [`simulate_with_tasks`] with both a trace sink and a telemetry registry
+/// attached (see [`simulate_metered`]).
+pub fn simulate_with_tasks_metered(
+    spec: &SimSpec,
+    tasks: &TaskTimes,
+    tracer: &Tracer,
+    telemetry: &Telemetry,
+) -> Result<SimOutcome, SetupError> {
     let setup = spec.loop_setup();
     let scheduler = Rc::new(RefCell::new(spec.technique.build(&setup)?));
-    simulate_with_scheduler_traced(spec, tasks, scheduler, tracer)
+    simulate_with_scheduler_metered(spec, tasks, scheduler, tracer, telemetry)
 }
 
 /// Runs one simulation with a caller-owned scheduler handle.
@@ -111,6 +141,19 @@ pub fn simulate_with_scheduler_traced(
     scheduler: Rc<RefCell<Box<dyn dls_core::ChunkScheduler>>>,
     tracer: &Tracer,
 ) -> Result<SimOutcome, SetupError> {
+    simulate_with_scheduler_metered(spec, tasks, scheduler, tracer, &Telemetry::disabled())
+}
+
+/// The fully-instrumented core every `simulate*` entry point funnels into:
+/// caller-owned scheduler, trace sink and telemetry registry.
+pub fn simulate_with_scheduler_metered(
+    spec: &SimSpec,
+    tasks: &TaskTimes,
+    scheduler: Rc<RefCell<Box<dyn dls_core::ChunkScheduler>>>,
+    tracer: &Tracer,
+    telemetry: &Telemetry,
+) -> Result<SimOutcome, SetupError> {
+    let _wall = telemetry.span("msgsim.simulate_wall_s");
     let setup = spec.loop_setup();
     setup.validate()?;
     if tasks.len() as u64 != setup.n {
@@ -149,11 +192,21 @@ pub fn simulate_with_scheduler_traced(
     }
     let (_actors, engine_stats) = engine.run();
 
+    // Telemetry reads only host-side data, only after the engine has
+    // returned — it cannot perturb the virtual-time outcome.
+    telemetry.counter_inc("msgsim.simulate_calls");
+    telemetry.counter_add("msgsim.events", engine_stats.events);
+    telemetry.counter_add("msgsim.dead_letters", engine_stats.dead_letters);
+    telemetry.counter_add("msgsim.dropped_sends", engine_stats.dropped_sends);
+    telemetry.counter_add("msgsim.delayed_sends", engine_stats.delayed_sends);
+    telemetry.observe_secs("msgsim.max_queue", engine_stats.max_queue as f64);
+
     let mut s = stats.borrow_mut();
     debug_assert_eq!(s.assigned_tasks, setup.n, "all tasks must be assigned exactly once");
     if plan.is_none() {
         debug_assert_eq!(s.faults.completed_tasks, setup.n, "fault-free runs complete every task");
     }
+    telemetry.counter_add("msgsim.chunks", s.chunks);
     let mut faults = std::mem::take(&mut s.faults);
     faults.lost_messages = engine_stats.dropped_sends;
     faults.delayed_messages = engine_stats.delayed_sends;
@@ -501,6 +554,20 @@ mod tests {
         let unknown_worker =
             spec(Technique::SS, 10, 2).with_faults(FaultPlan::none().with_fail_stop(7, 1.0));
         assert!(simulate(&unknown_worker, 0).is_err());
+    }
+
+    #[test]
+    fn metered_run_is_identical_and_records_host_metrics() {
+        let sp = spec(Technique::Fac2, 500, 4);
+        let plain = simulate(&sp, 3).unwrap();
+        let tel = Telemetry::enabled();
+        let metered = simulate_metered(&sp, 3, &Tracer::disabled(), &tel).unwrap();
+        assert_eq!(plain, metered);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("msgsim.simulate_calls"), Some(1));
+        assert_eq!(snap.counter("msgsim.events"), Some(plain.events));
+        assert_eq!(snap.counter("msgsim.chunks"), Some(plain.chunks));
+        assert_eq!(snap.histogram("msgsim.simulate_wall_s").unwrap().count, 1);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! repro fig9 [--runs N] [--csv DIR]  # FAC outlier analysis
 //! repro faults [--fault-plan F.json] # robustness under injected faults
 //! repro trace TSS [--out DIR]        # chunk-lifecycle trace of one run
+//! repro bench --quick --out B.json   # timed standardized campaigns
+//! repro bench --compare A.json B.json  # regression gate between two files
 //! repro all  [--runs N]              # everything, in paper order
 //! ```
 //!
@@ -18,6 +20,7 @@
 //! `--seed S`, `--csv DIR` (write CSV files next to the printed tables),
 //! `--pes a,b,c` (override the PE sweep for fig5–fig8).
 
+use dls_repro::bench;
 use dls_repro::cli::{parse_options, Options};
 use dls_repro::hagerup_exp::{self, HagerupConfig};
 use dls_repro::outlier::{self, OutlierConfig};
@@ -26,7 +29,90 @@ use dls_repro::reference;
 use dls_repro::report;
 use dls_repro::spec::{ExperimentSpec, MeasuredValue, OverheadSpec};
 use dls_repro::{registry, tss_exp};
+use dls_telemetry::{Snapshot, Telemetry};
 use std::process::ExitCode;
+
+/// A registry when `--telemetry`/`--telemetry-json` asked for one, else
+/// the zero-cost disabled handle.
+fn telemetry_for(o: &Options) -> Telemetry {
+    if o.telemetry || o.telemetry_json.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    }
+}
+
+/// Renders a snapshot as the `--telemetry` summary tables.
+fn telemetry_tables(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        let rows: Vec<Vec<String>> =
+            snap.counters.iter().map(|c| vec![c.name.clone(), c.value.to_string()]).collect();
+        out.push_str(&report::format_table(&["counter", "value"], &rows));
+        out.push('\n');
+    }
+    if !snap.gauges.is_empty() {
+        let rows: Vec<Vec<String>> =
+            snap.gauges.iter().map(|g| vec![g.name.clone(), format!("{}", g.value)]).collect();
+        out.push_str(&report::format_table(&["gauge", "value"], &rows));
+        out.push('\n');
+    }
+    if !snap.histograms.is_empty() {
+        let rows: Vec<Vec<String>> = snap
+            .histograms
+            .iter()
+            .map(|h| {
+                vec![
+                    h.name.clone(),
+                    h.count.to_string(),
+                    format!("{:.6}", h.mean),
+                    format!("{:.6}", h.p50),
+                    format!("{:.6}", h.p90),
+                    format!("{:.6}", h.max),
+                ]
+            })
+            .collect();
+        out.push_str(&report::format_table(
+            &["histogram", "count", "mean", "p50", "p90", "max"],
+            &rows,
+        ));
+    }
+    if snap.is_empty() {
+        out.push_str("telemetry: no metrics recorded\n");
+    }
+    out
+}
+
+/// Prints/writes the snapshot per the `--telemetry`/`--telemetry-json`
+/// options (no-op for a disabled handle).
+fn emit_telemetry(o: &Options, telemetry: &Telemetry) -> Result<(), String> {
+    if !telemetry.is_enabled() {
+        return Ok(());
+    }
+    let snap = telemetry.snapshot();
+    if o.telemetry {
+        println!("telemetry:");
+        println!("{}", telemetry_tables(&snap));
+    }
+    if let Some(path) = &o.telemetry_json {
+        std::fs::write(path, snap.to_json() + "\n").map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// One-line engine summary from a snapshot's `msgsim.*` counters.
+fn engine_summary(snap: &Snapshot) -> String {
+    format!(
+        "engine: {} simulate call(s), {} events, {} dead letters, {} dropped sends, \
+         {} delayed sends",
+        snap.counter("msgsim.simulate_calls").unwrap_or(0),
+        snap.counter("msgsim.events").unwrap_or(0),
+        snap.counter("msgsim.dead_letters").unwrap_or(0),
+        snap.counter("msgsim.dropped_sends").unwrap_or(0),
+        snap.counter("msgsim.delayed_sends").unwrap_or(0),
+    )
+}
 
 /// Writes one recorded run's artifacts and prints where they went.
 fn emit_trace(a: &dls_repro::trace::TraceArtifacts, dir: &str) -> Result<(), String> {
@@ -49,6 +135,15 @@ fn emit_trace(a: &dls_repro::trace::TraceArtifacts, dir: &str) -> Result<(), Str
         a.p,
         a.makespan
     );
+    if a.telemetry.counter("msgsim.simulate_calls").unwrap_or(0) > 0 {
+        println!("{}", engine_summary(&a.telemetry));
+    } else if let Some(calls) = a.telemetry.counter("hagerup.run_calls") {
+        println!(
+            "engine: {} direct-simulator run(s), {} chunks (no messages)",
+            calls,
+            a.telemetry.counter("hagerup.chunks").unwrap_or(0)
+        );
+    }
     Ok(())
 }
 
@@ -56,7 +151,16 @@ fn cmd_trace(target: &str, o: &Options) -> Result<(), String> {
     let seed = o.seed.unwrap_or(1);
     let a = dls_repro::trace::run_scenario(target, seed)?;
     let dir = o.out_dir.clone().unwrap_or_else(|| "traces".into());
-    emit_trace(&a, &dir)
+    emit_trace(&a, &dir)?;
+    if o.telemetry {
+        println!("telemetry:");
+        println!("{}", telemetry_tables(&a.telemetry));
+    }
+    if let Some(path) = &o.telemetry_json {
+        std::fs::write(path, a.telemetry.to_json() + "\n").map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
 }
 
 fn write_csv(dir: &str, name: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -181,7 +285,8 @@ fn cmd_hagerup(fig: &str, o: &Options) -> Result<(), String> {
         "{fig}: n={n}, pes={:?}, runs={}, h={}, exp(mu=1s) — running...",
         cfg.pes, cfg.runs, cfg.h
     );
-    let rows = hagerup_exp::run_figure(&cfg).map_err(|e| e.to_string())?;
+    let telemetry = telemetry_for(o);
+    let rows = hagerup_exp::run_figure_metered(&cfg, &telemetry).map_err(|e| e.to_string())?;
     let (headers, body) = report::wasted_rows(&rows);
     println!("{fig}: sample mean of the average wasted time over {} runs", cfg.runs);
     println!("{}", report::format_table(&headers, &body));
@@ -215,6 +320,7 @@ fn cmd_hagerup(fig: &str, o: &Options) -> Result<(), String> {
         let a = dls_repro::trace::trace_figure_cell(&cfg, fig).map_err(|e| e.to_string())?;
         emit_trace(&a, dir)?;
     }
+    emit_telemetry(o, &telemetry)?;
     Ok(())
 }
 
@@ -396,7 +502,10 @@ fn cmd_faults(o: &Options) -> Result<(), String> {
         cfg.scenarios.len(),
         cfg.runs
     );
-    let rows = faults::run_fault_sweep(&cfg).map_err(|e| e.to_string())?;
+    // Always metered: the sweep's engine statistics (events, dead letters,
+    // dropped/delayed sends) are part of its human-readable summary.
+    let telemetry = Telemetry::enabled();
+    let rows = faults::run_fault_sweep_metered(&cfg, &telemetry).map_err(|e| e.to_string())?;
     let headers = [
         "technique",
         "scenario",
@@ -429,6 +538,7 @@ fn cmd_faults(o: &Options) -> Result<(), String> {
         })
         .collect();
     println!("{}", report::format_table(&headers, &body));
+    println!("{}", engine_summary(&telemetry.snapshot()));
     if rows.iter().any(|r| !r.all_completed) {
         return Err("some runs did not complete all tasks".into());
     }
@@ -439,6 +549,83 @@ fn cmd_faults(o: &Options) -> Result<(), String> {
         let a = dls_repro::trace::trace_fault_cell(&cfg).map_err(|e| e.to_string())?;
         emit_trace(&a, dir)?;
     }
+    emit_telemetry(o, &telemetry)?;
+    Ok(())
+}
+
+fn cmd_bench(o: &Options) -> Result<(), String> {
+    // `--validate FILE`: schema-check an existing bench file and stop.
+    if let Some(path) = &o.validate {
+        let file = bench::load(path)?;
+        bench::validate(&file)?;
+        println!(
+            "{path}: valid {} file (tag `{}`, {} entries, {} reps)",
+            bench::SCHEMA,
+            file.tag,
+            file.entries.len(),
+            file.reps
+        );
+        return Ok(());
+    }
+    // `--compare BASELINE CURRENT`: regression gate between two files.
+    if let Some((baseline_path, current_path)) = &o.compare {
+        let baseline = bench::load(baseline_path)?;
+        let current = bench::load(current_path)?;
+        let cmp = bench::compare(&baseline, &current, o.tolerance_pct);
+        println!("bench compare: `{baseline_path}` (baseline) vs `{current_path}` (current)");
+        println!("{}", bench::comparison_report(&cmp));
+        if !cmp.is_ok() {
+            if o.warn_only {
+                eprintln!("warning: regressions detected (ignored: --warn-only)");
+                return Ok(());
+            }
+            return Err(format!(
+                "{} entry(ies) regressed beyond {:.1} % or went missing",
+                cmp.regressions().len() + cmp.missing.len(),
+                cmp.tolerance_pct
+            ));
+        }
+        return Ok(());
+    }
+    // Default: run the suite and write a BENCH_<tag>.json.
+    let mut cfg = bench::BenchConfig::new(o.quick);
+    cfg.threads = o.threads;
+    if let Some(r) = o.reps {
+        cfg.reps = r;
+    }
+    if let Some(t) = &o.tag {
+        cfg.tag = t.clone();
+    }
+    if let Some(s) = o.seed {
+        cfg.seed = s;
+    }
+    eprintln!(
+        "bench: {} suite, {} reps, {} threads — running...",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.reps,
+        cfg.threads
+    );
+    let file = bench::run_bench(&cfg)?;
+    let headers = ["case", "runs/rep", "median[s]", "p10[s]", "p90[s]", "runs/s", "sim events"];
+    let body: Vec<Vec<String>> = file
+        .entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.id.clone(),
+                e.runs_per_rep.to_string(),
+                format!("{:.4}", e.wall_s_median),
+                format!("{:.4}", e.wall_s_p10),
+                format!("{:.4}", e.wall_s_p90),
+                format!("{:.1}", e.runs_per_sec),
+                e.sim_events.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", report::format_table(&headers, &body));
+    let path = o.out_dir.clone().unwrap_or_else(|| format!("BENCH_{}.json", file.tag));
+    bench::save(&file, &path)?;
+    println!("wrote {path} (git {}, host {} cpus)", file.git_rev, file.host.logical_cpus);
     Ok(())
 }
 
@@ -487,7 +674,7 @@ fn cmd_verify(o: &Options) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: repro <list|table2|fig3|fig3a|fig4|fig4a|fig5|fig6|fig7|fig8|fig9|spec|verify|sweep|faults|trace|all> \
+    "usage: repro <list|table2|fig3|fig3a|fig4|fig4a|fig5|fig6|fig7|fig8|fig9|spec|verify|sweep|faults|trace|bench|all> \
      [--runs N] [--threads N] [--seed S] [--csv DIR] [--pes a,b,c] \
      [--techniques SS,FAC2,BOLD] [--fault-plan FILE] [--trace DIR]\n\
      fig3a/fig4a: rerun figures 3/4 with the BBN GP-1000 contention model\n\
@@ -497,6 +684,12 @@ fn usage() -> String {
      trace:       repro trace <hagerup|faults|TECHNIQUE> [--seed S] [--out DIR]\n\
                   record one run; write Chrome trace_event JSON + per-PE\n\
                   timeline/utilization/chunk-size CSVs (default dir: traces/)\n\
+     bench:       timed standardized campaigns -> BENCH_<tag>.json\n\
+                  [--quick] [--reps N] [--tag T] [--out FILE]\n\
+                  [--compare BASELINE CURRENT [--tolerance PCT] [--warn-only]]\n\
+                  [--validate FILE]\n\
+     --telemetry / --telemetry-json FILE on fig5-fig8/faults/trace print or\n\
+                  dump the host-side metrics registry snapshot\n\
      --trace DIR on fig5-fig8/sweep/faults additionally records one\n\
                   representative run of the campaign"
         .into()
@@ -544,6 +737,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&opts),
         "faults" => cmd_faults(&opts),
         "trace" => cmd_trace(trace_target.as_deref().unwrap_or_default(), &opts),
+        "bench" => cmd_bench(&opts),
         "all" => {
             cmd_list();
             cmd_table2();

@@ -25,6 +25,25 @@ pub struct Options {
     /// When set on fig5–fig8/sweep/faults: also trace one representative
     /// run and write its artifacts into this directory.
     pub trace_dir: Option<String>,
+    /// Print a host-side telemetry summary after the command.
+    pub telemetry: bool,
+    /// Also dump the telemetry snapshot as JSON to this path.
+    pub telemetry_json: Option<String>,
+    /// Use the reduced bench suite sizes (`bench` subcommand).
+    pub quick: bool,
+    /// Timed repetitions per bench entry (`bench`; default 3 quick/5 full).
+    pub reps: Option<u32>,
+    /// Tag written into the bench file name and metadata (`bench`).
+    pub tag: Option<String>,
+    /// Compare two bench files instead of running (`bench`): (baseline,
+    /// current).
+    pub compare: Option<(String, String)>,
+    /// Regression tolerance band for `--compare`, percent.
+    pub tolerance_pct: f64,
+    /// Report regressions but exit successfully (`bench --compare`).
+    pub warn_only: bool,
+    /// Validate a bench file's schema instead of running (`bench`).
+    pub validate: Option<String>,
 }
 
 impl Default for Options {
@@ -39,6 +58,15 @@ impl Default for Options {
             fault_plan: None,
             out_dir: None,
             trace_dir: None,
+            telemetry: false,
+            telemetry_json: None,
+            quick: false,
+            reps: None,
+            tag: None,
+            compare: None,
+            tolerance_pct: crate::bench::DEFAULT_TOLERANCE_PCT,
+            warn_only: false,
+            validate: None,
         }
     }
 }
@@ -72,6 +100,27 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                 let ts: Result<Vec<Technique>, _> = list.split(',').map(|s| s.parse()).collect();
                 o.techniques = Some(ts.map_err(|e| format!("--techniques: {e}"))?);
             }
+            "--telemetry" => o.telemetry = true,
+            "--telemetry-json" => o.telemetry_json = Some(value("--telemetry-json")?),
+            "--quick" => o.quick = true,
+            "--reps" => {
+                o.reps = Some(value("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?)
+            }
+            "--tag" => o.tag = Some(value("--tag")?),
+            "--compare" => {
+                let baseline = value("--compare")?;
+                let current = value("--compare (second file)")?;
+                o.compare = Some((baseline, current));
+            }
+            "--tolerance" => {
+                o.tolerance_pct =
+                    value("--tolerance")?.parse().map_err(|e| format!("--tolerance: {e}"))?;
+                if !(o.tolerance_pct.is_finite() && o.tolerance_pct >= 0.0) {
+                    return Err("--tolerance must be a non-negative percentage".into());
+                }
+            }
+            "--warn-only" => o.warn_only = true,
+            "--validate" => o.validate = Some(value("--validate")?),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -121,6 +170,36 @@ mod tests {
         // A comma inside TSS(a,b) would be split by the list separator;
         // the parser rejects it rather than misparsing (CLI limitation).
         assert!(parse_options(&args("--techniques TSS(695,1)")).is_err());
+    }
+
+    #[test]
+    fn telemetry_and_bench_options() {
+        let o = parse_options(&args(
+            "--telemetry --telemetry-json tel.json --quick --reps 7 --tag pr3 \
+             --tolerance 10 --warn-only --validate B.json",
+        ))
+        .unwrap();
+        assert!(o.telemetry && o.quick && o.warn_only);
+        assert_eq!(o.telemetry_json.as_deref(), Some("tel.json"));
+        assert_eq!(o.reps, Some(7));
+        assert_eq!(o.tag.as_deref(), Some("pr3"));
+        assert_eq!(o.tolerance_pct, 10.0);
+        assert_eq!(o.validate.as_deref(), Some("B.json"));
+    }
+
+    #[test]
+    fn compare_takes_two_files() {
+        let o = parse_options(&args("--compare A.json B.json")).unwrap();
+        assert_eq!(o.compare, Some(("A.json".into(), "B.json".into())));
+        let err = parse_options(&args("--compare A.json")).unwrap_err();
+        assert!(err.contains("second file"));
+    }
+
+    #[test]
+    fn bad_tolerance_is_rejected() {
+        assert!(parse_options(&args("--tolerance -5")).is_err());
+        assert!(parse_options(&args("--tolerance nan")).is_err());
+        assert!(parse_options(&args("--tolerance x")).unwrap_err().contains("--tolerance"));
     }
 
     #[test]

@@ -8,12 +8,14 @@
 //! task-time realizations, so the reported degradation isolates the fault
 //! response from workload noise.
 
-use crate::runner::{cell_seed, run_campaign};
+use crate::runner::{cell_seed, run_campaign_metered};
 use dls_core::{SetupError, Technique};
 use dls_faults::FaultPlan;
 use dls_metrics::{flexibility, makespan_degradation, wasted_work_fraction, SummaryStats};
-use dls_msgsim::{simulate_with_tasks, SimSpec};
+use dls_msgsim::{simulate_with_tasks_metered, SimSpec};
 use dls_platform::{LinkSpec, Platform};
+use dls_telemetry::Telemetry;
+use dls_trace::Tracer;
 use dls_workload::{TimeModel, Workload};
 
 /// A named fault plan for the sweep.
@@ -145,6 +147,17 @@ pub(crate) fn cell_spec(
 /// Runs the sweep. Row order is (technique, scenario); every technique's
 /// baseline uses the same per-run task realizations as its fault rows.
 pub fn run_fault_sweep(cfg: &FaultSweepConfig) -> Result<Vec<FaultRow>, SetupError> {
+    run_fault_sweep_metered(cfg, &Telemetry::disabled())
+}
+
+/// [`run_fault_sweep`] with a telemetry registry attached (campaign
+/// counters, per-run wall times, and the simulator's `msgsim.*` engine
+/// metrics — dead letters, dropped/delayed sends — for the summary).
+pub fn run_fault_sweep_metered(
+    cfg: &FaultSweepConfig,
+    telemetry: &Telemetry,
+) -> Result<Vec<FaultRow>, SetupError> {
+    let _wall = telemetry.span("faults.wall_s");
     for s in &cfg.scenarios {
         s.plan.validate().map_err(|_| SetupError::BadParam("invalid fault plan"))?;
         if s.plan.max_worker().is_some_and(|w| w >= cfg.p) {
@@ -159,18 +172,25 @@ pub fn run_fault_sweep(cfg: &FaultSweepConfig) -> Result<Vec<FaultRow>, SetupErr
         // could collide across configurations.
         let campaign_seed = cell_seed(cfg.seed, ti as u64);
         let baseline: Vec<f64> =
-            run_campaign(cfg.runs, campaign_seed, cfg.threads, |_, run_seed| {
+            run_campaign_metered(cfg.runs, campaign_seed, cfg.threads, telemetry, |_, run_seed| {
                 let tasks = spec.workload.generate(run_seed);
-                simulate_with_tasks(&spec, &tasks).expect("validated spec cannot fail").makespan
+                simulate_with_tasks_metered(&spec, &tasks, &Tracer::disabled(), telemetry)
+                    .expect("validated spec cannot fail")
+                    .makespan
             });
         let baseline_mean = baseline.iter().sum::<f64>() / baseline.len().max(1) as f64;
         for scenario in &cfg.scenarios {
             let spec = spec.clone().with_faults(scenario.plan.clone());
-            let per_run: Vec<(f64, f64, f64, u64, u64, u64, bool)> =
-                run_campaign(cfg.runs, campaign_seed, cfg.threads, |_, run_seed| {
+            let per_run: Vec<(f64, f64, f64, u64, u64, u64, bool)> = run_campaign_metered(
+                cfg.runs,
+                campaign_seed,
+                cfg.threads,
+                telemetry,
+                |_, run_seed| {
                     let tasks = spec.workload.generate(run_seed);
                     let out =
-                        simulate_with_tasks(&spec, &tasks).expect("validated spec cannot fail");
+                        simulate_with_tasks_metered(&spec, &tasks, &Tracer::disabled(), telemetry)
+                            .expect("validated spec cannot fail");
                     (
                         out.makespan,
                         out.wasted_work(),
@@ -180,7 +200,8 @@ pub fn run_fault_sweep(cfg: &FaultSweepConfig) -> Result<Vec<FaultRow>, SetupErr
                         out.faults.reassigned_chunks,
                         out.faults.completed_tasks == cfg.n,
                     )
-                });
+                },
+            );
             let mut mk = SummaryStats::new();
             let (mut wf, mut lost, mut retries, mut reassigned) = (0.0, 0u64, 0u64, 0u64);
             let mut all_completed = true;

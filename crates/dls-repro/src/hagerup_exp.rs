@@ -14,12 +14,14 @@
 //! * `dls-hagerup` — the replica of Hagerup's own simulator, the oracle the
 //!   discrepancy columns (Figures 5c/d–8c/d) compare against.
 
-use crate::runner::{cell_seed, run_campaign};
+use crate::runner::{cell_seed, run_campaign_metered};
 use dls_core::{SetupError, Technique};
 use dls_hagerup::DirectSimulator;
 use dls_metrics::{discrepancy, relative_discrepancy_pct, OverheadModel, SummaryStats};
-use dls_msgsim::{simulate_with_tasks, SimSpec};
+use dls_msgsim::{simulate_with_tasks_metered, SimSpec};
 use dls_platform::{LinkSpec, Platform};
+use dls_telemetry::Telemetry;
+use dls_trace::Tracer;
 use dls_workload::Workload;
 
 /// How the replica oracle's workload realizations relate to msgsim's.
@@ -104,6 +106,19 @@ pub struct WastedRow {
 
 /// Runs the full campaign for one figure (all techniques × all PE counts).
 pub fn run_figure(cfg: &HagerupConfig) -> Result<Vec<WastedRow>, SetupError> {
+    run_figure_metered(cfg, &Telemetry::disabled())
+}
+
+/// [`run_figure`] with a telemetry registry attached: campaign-level
+/// counters and wall-time histograms plus the `msgsim.*` / `hagerup.*`
+/// engine metrics recorded by the instrumented simulator entry points.
+/// Telemetry never changes the rows (pinned by the workspace
+/// `telemetry_determinism` tests).
+pub fn run_figure_metered(
+    cfg: &HagerupConfig,
+    telemetry: &Telemetry,
+) -> Result<Vec<WastedRow>, SetupError> {
+    let _wall = telemetry.span("figure.wall_s");
     let techniques = &cfg.techniques;
     let overhead = OverheadModel::PostHocTotal { h: cfg.h };
     let workload = Workload::exponential(cfg.n, cfg.mean)
@@ -125,8 +140,12 @@ pub fn run_figure(cfg: &HagerupConfig) -> Result<Vec<WastedRow>, SetupError> {
         }
         // One campaign per p: each run generates a single realization and
         // evaluates every technique on it, in both simulators.
-        let per_run: Vec<Vec<(f64, f64)>> =
-            run_campaign(cfg.runs, cell_seed(cfg.seed, pi as u64), cfg.threads, |_, run_seed| {
+        let per_run: Vec<Vec<(f64, f64)>> = run_campaign_metered(
+            cfg.runs,
+            cell_seed(cfg.seed, pi as u64),
+            cfg.threads,
+            telemetry,
+            |_, run_seed| {
                 let tasks = workload.generate(run_seed);
                 let oracle_tasks = match cfg.oracle {
                     OracleMode::SharedRealizations => None,
@@ -137,17 +156,26 @@ pub fn run_figure(cfg: &HagerupConfig) -> Result<Vec<WastedRow>, SetupError> {
                     let spec = SimSpec::new(technique, workload.clone(), platform.clone())
                         .with_overhead(overhead);
                     let setup = spec.loop_setup();
-                    let msg = simulate_with_tasks(&spec, &tasks)
-                        .expect("validated spec cannot fail")
-                        .average_wasted();
+                    let msg =
+                        simulate_with_tasks_metered(&spec, &tasks, &Tracer::disabled(), telemetry)
+                            .expect("validated spec cannot fail")
+                            .average_wasted();
                     let rep = sim
-                        .run(technique, &setup, oracle_tasks.as_ref().unwrap_or(&tasks))
+                        .run_metered(
+                            technique,
+                            &setup,
+                            oracle_tasks.as_ref().unwrap_or(&tasks),
+                            &Tracer::disabled(),
+                            telemetry,
+                        )
                         .expect("validated setup cannot fail")
                         .average_wasted(overhead);
                     *slot = (msg, rep);
                 }
                 pairs
-            });
+            },
+        );
+        telemetry.counter_inc("figure.campaigns");
 
         for (ti, &technique) in techniques.iter().enumerate() {
             let mut msg_stats = SummaryStats::new();

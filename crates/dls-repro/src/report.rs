@@ -21,12 +21,14 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             if i > 0 {
                 out.push_str("  ");
             }
-            let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+            let _ = write!(out, "{:>width$}", cell, width = widths.get(i).copied().unwrap_or(0));
         }
         out.push('\n');
     };
     line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    // saturating_sub: zero headers means zero separators, not an underflow
+    // panic (telemetry summaries can legitimately render empty sections).
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
     out.push_str(&"-".repeat(total));
     out.push('\n');
     for row in rows {
@@ -132,6 +134,26 @@ mod tests {
         assert_eq!(lines.len(), 4);
         // All rows have equal width.
         assert!(lines.iter().all(|l| l.len() == lines[0].len() || l.starts_with('-')));
+    }
+
+    #[test]
+    fn empty_headers_do_not_panic() {
+        let t = format_table(&[], &[]);
+        // Header line + (empty) rule line, no separator padding.
+        assert_eq!(t, "\n\n");
+        // Rows beyond the header width are tolerated too.
+        let t = format_table(&[], &[vec!["ignored".into()]]);
+        assert!(t.ends_with('\n'));
+    }
+
+    #[test]
+    fn single_column_table_has_no_separator_padding() {
+        let t = format_table(&["col"], &[vec!["value".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // The rule is exactly as wide as the widest cell.
+        assert_eq!(lines[1], "-----");
+        assert_eq!(lines[2], "value");
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! reproducible regardless of the thread interleaving.
 
 use dls_rng::seed_stream;
+use dls_telemetry::Telemetry;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Runs `runs` independent evaluations of `f(run_index, run_seed)` and
 /// collects the results in run order.
@@ -19,31 +21,77 @@ where
     T: Send,
     F: Fn(u32, u64) -> T + Sync,
 {
+    run_campaign_metered(runs, campaign_seed, threads, &Telemetry::disabled(), f)
+}
+
+/// [`run_campaign`] with a telemetry registry attached: records
+/// `campaign.runs_started` / `campaign.runs_completed` counters and the
+/// per-run wall time into the `campaign.run_wall_s` histogram.
+///
+/// Workers claim runs by **work-stealing** — an atomic next-run-index that
+/// each thread `fetch_add`s — instead of static block chunking. With the
+/// heavy-tailed run times the paper's campaigns produce (FAC outlier runs,
+/// Figure 9), static blocks leave threads idle behind one unlucky block;
+/// stealing keeps every core busy to the last run. Results are still
+/// returned in run-index order and each run's seed depends only on its
+/// index, so the output is element-identical to `threads = 1` (pinned by
+/// tests below).
+pub fn run_campaign_metered<T, F>(
+    runs: u32,
+    campaign_seed: u64,
+    threads: usize,
+    telemetry: &Telemetry,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u32, u64) -> T + Sync,
+{
     let seeds: Vec<u64> = seed_stream(campaign_seed).take(runs as usize).collect();
     let threads = threads.max(1).min(runs.max(1) as usize);
 
+    let timed = |i: u32| {
+        telemetry.counter_inc("campaign.runs_started");
+        let span = telemetry.span("campaign.run_wall_s");
+        let out = f(i, seeds[i as usize]);
+        span.finish();
+        telemetry.counter_inc("campaign.runs_completed");
+        out
+    };
+
     if threads == 1 {
-        return seeds.iter().enumerate().map(|(i, &s)| f(i as u32, s)).collect();
+        return (0..runs).map(timed).collect();
     }
 
-    let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
-    let chunk = runs.div_ceil(threads as u32) as usize;
-    std::thread::scope(|scope| {
-        for (slot_block, seed_block) in
-            results.chunks_mut(chunk).zip(seeds.chunks(chunk)).enumerate().map(|(b, (r, s))| {
-                let base = b * chunk;
-                ((base, r), s)
+    let next = AtomicU64::new(0);
+    let mut partials: Vec<Vec<(u32, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let timed = &timed;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= runs as u64 {
+                            break;
+                        }
+                        let i = i as u32;
+                        local.push((i, timed(i)));
+                    }
+                    local
+                })
             })
-        {
-            let ((base, slots), seeds) = (slot_block, seed_block);
-            let f = &f;
-            scope.spawn(move || {
-                for (off, (slot, &seed)) in slots.iter_mut().zip(seeds).enumerate() {
-                    *slot = Some(f((base + off) as u32, seed));
-                }
-            });
-        }
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("campaign worker panicked")).collect()
     });
+
+    let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+    for part in &mut partials {
+        for (i, v) in part.drain(..) {
+            results[i as usize] = Some(v);
+        }
+    }
     results.into_iter().map(|r| r.expect("every run completed")).collect()
 }
 
@@ -102,6 +150,38 @@ mod tests {
     fn more_threads_than_runs_is_fine() {
         let v = run_campaign(3, 1, 64, |i, _| i);
         assert_eq!(v, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn metered_campaign_matches_plain_and_counts_runs() {
+        let tel = Telemetry::enabled();
+        let plain = run_campaign(25, 7, 1, |i, s| (i, s));
+        let metered = run_campaign_metered(25, 7, 4, &tel, |i, s| (i, s));
+        assert_eq!(plain, metered);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("campaign.runs_started"), Some(25));
+        assert_eq!(snap.counter("campaign.runs_completed"), Some(25));
+        assert_eq!(snap.histogram("campaign.run_wall_s").unwrap().count, 25);
+    }
+
+    /// Work-stealing must stay element-identical to the sequential path
+    /// even when run times are wildly uneven (the Figure 9 outlier shape
+    /// that motivated stealing over static blocks).
+    #[test]
+    fn work_stealing_is_element_identical_under_skew() {
+        let skewed = |i: u32, s: u64| {
+            // Make run 0 of each block far heavier than the rest.
+            let spins = if i.is_multiple_of(8) { 20_000 } else { 50 };
+            let mut acc = s;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            (i, acc)
+        };
+        let seq = run_campaign(64, 11, 1, skewed);
+        for threads in [2, 3, 8, 16] {
+            assert_eq!(run_campaign(64, 11, threads, skewed), seq, "threads = {threads}");
+        }
     }
 
     /// Golden values pinning the per-cell seed derivation. Changing these

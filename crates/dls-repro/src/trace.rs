@@ -25,8 +25,9 @@ use dls_core::{SetupError, Technique};
 use dls_faults::FaultPlan;
 use dls_hagerup::DirectSimulator;
 use dls_metrics::{breakdown_csv, chunk_size_series, pe_breakdowns, OverheadModel};
-use dls_msgsim::{simulate_traced, simulate_with_tasks_traced, SimSpec};
+use dls_msgsim::{simulate_metered, simulate_with_tasks_metered, SimSpec};
 use dls_platform::{LinkSpec, Platform};
+use dls_telemetry::{Snapshot, Telemetry};
 use dls_trace::{chrome::chrome_trace_json, timeline::timeline_csv, TraceEvent, Tracer};
 use dls_workload::Workload;
 use std::path::{Path, PathBuf};
@@ -52,12 +53,17 @@ pub struct TraceArtifacts {
     /// In-dynamics per-chunk overhead `h`, seconds (0 under post-hoc
     /// accounting, where overhead is invisible to the timeline).
     pub in_sim_h: f64,
+    /// Host-side telemetry of the traced run — the engine statistics
+    /// (`msgsim.events`, `msgsim.dead_letters`, `msgsim.dropped_sends`, …)
+    /// surfaced in the CLI's trace summary.
+    pub telemetry: Snapshot,
 }
 
 /// Traces one run of `spec` through the SimGrid-MSG analog.
 pub fn trace_msgsim(spec: &SimSpec, seed: u64, label: &str) -> Result<TraceArtifacts, SetupError> {
     let (tracer, recorder) = Tracer::ring(RING_CAPACITY);
-    let out = simulate_traced(spec, seed, &tracer)?;
+    let telemetry = Telemetry::enabled();
+    let out = simulate_metered(spec, seed, &tracer, &telemetry)?;
     let rec = recorder.borrow();
     Ok(TraceArtifacts {
         label: label.into(),
@@ -66,6 +72,7 @@ pub fn trace_msgsim(spec: &SimSpec, seed: u64, label: &str) -> Result<TraceArtif
         evicted: rec.evicted(),
         makespan: out.makespan,
         in_sim_h: spec.overhead.in_sim_h(),
+        telemetry: telemetry.snapshot(),
     })
 }
 
@@ -77,7 +84,8 @@ pub fn trace_msgsim_with_tasks(
     label: &str,
 ) -> Result<TraceArtifacts, SetupError> {
     let (tracer, recorder) = Tracer::ring(RING_CAPACITY);
-    let out = simulate_with_tasks_traced(spec, tasks, &tracer)?;
+    let telemetry = Telemetry::enabled();
+    let out = simulate_with_tasks_metered(spec, tasks, &tracer, &telemetry)?;
     let rec = recorder.borrow();
     Ok(TraceArtifacts {
         label: label.into(),
@@ -86,6 +94,7 @@ pub fn trace_msgsim_with_tasks(
         evicted: rec.evicted(),
         makespan: out.makespan,
         in_sim_h: spec.overhead.in_sim_h(),
+        telemetry: telemetry.snapshot(),
     })
 }
 
@@ -108,7 +117,8 @@ pub fn trace_hagerup(
     let tasks = spec.workload.generate(seed);
     let sim = DirectSimulator::new(p, overhead);
     let (tracer, recorder) = Tracer::ring(RING_CAPACITY);
-    let out = sim.run_traced(technique, &setup, &tasks, &tracer)?;
+    let telemetry = Telemetry::enabled();
+    let out = sim.run_metered(technique, &setup, &tasks, &tracer, &telemetry)?;
     let rec = recorder.borrow();
     Ok(TraceArtifacts {
         label: label.into(),
@@ -117,6 +127,7 @@ pub fn trace_hagerup(
         evicted: rec.evicted(),
         makespan: out.makespan,
         in_sim_h: h,
+        telemetry: telemetry.snapshot(),
     })
 }
 
@@ -305,6 +316,19 @@ mod tests {
         let a = run_scenario("faults", 7).unwrap();
         assert!(a.events.iter().any(|e| matches!(e.kind, TraceKind::WorkerFailStop { .. })));
         assert!(a.events.iter().any(|e| matches!(e.kind, TraceKind::ChunkReassigned { .. })));
+    }
+
+    #[test]
+    fn trace_surfaces_engine_stats() {
+        let a = run_scenario("FAC2", 7).unwrap();
+        assert_eq!(a.telemetry.counter("msgsim.simulate_calls"), Some(1));
+        assert!(a.telemetry.counter("msgsim.events").unwrap() > 0);
+        assert_eq!(a.telemetry.counter("msgsim.dead_letters"), Some(0));
+        let h = run_scenario("hagerup", 7).unwrap();
+        assert_eq!(h.telemetry.counter("hagerup.run_calls"), Some(1));
+        // The fault scenario loses messages: dead letters / drops surface.
+        let f = run_scenario("faults", 7).unwrap();
+        assert!(f.telemetry.counter("msgsim.dropped_sends").unwrap() > 0);
     }
 
     #[test]

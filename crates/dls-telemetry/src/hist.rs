@@ -1,0 +1,185 @@
+//! Histogram storage: fixed log-spaced buckets plus the raw observations
+//! (for exact percentiles at export time).
+
+/// Number of finite histogram buckets. Bucket `i` covers
+/// `(bucket_le(i-1), bucket_le(i)]`; one extra overflow bucket catches
+/// everything above [`bucket_le`]`(BUCKETS - 1)`.
+pub const BUCKETS: usize = 40;
+
+/// Lowest finite bucket upper bound, seconds (1 µs).
+const BASE: f64 = 1e-6;
+/// Log-spacing growth factor: four buckets per decade, so 40 buckets span
+/// 1 µs … 10 ks — wider than any wall time this workspace produces.
+const GROWTH: f64 = 1.778_279_410_038_922_8; // 10^(1/4)
+
+/// Upper bound (inclusive) of finite bucket `i`, seconds.
+///
+/// The overflow bucket (index [`BUCKETS`]) reports `f64::INFINITY`.
+pub fn bucket_le(i: usize) -> f64 {
+    if i >= BUCKETS {
+        f64::INFINITY
+    } else {
+        BASE * GROWTH.powi(i as i32)
+    }
+}
+
+/// Bucket index for observation `v` (NaN must be filtered by the caller).
+pub(crate) fn bucket_index(v: f64) -> usize {
+    if v <= BASE {
+        return 0;
+    }
+    // ceil(log_GROWTH(v / BASE)), clamped into the overflow bucket.
+    let idx = (v / BASE).log10() * 4.0;
+    let idx = idx.ceil();
+    if idx >= BUCKETS as f64 {
+        BUCKETS
+    } else {
+        // Guard against log/pow rounding putting v just past its bound.
+        let mut i = idx.max(0.0) as usize;
+        while i > 0 && v <= bucket_le(i - 1) {
+            i -= 1;
+        }
+        while v > bucket_le(i) {
+            i += 1;
+        }
+        i
+    }
+}
+
+/// Exact percentile (linear interpolation between closest ranks) of a
+/// sorted, NaN-free sample — the same semantics as
+/// `dls_metrics::percentile`, reimplemented here so the telemetry crate
+/// stays dependency-free.
+///
+/// # Panics
+/// On an empty slice or `q` outside `[0, 100]`.
+pub fn exact_percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&q), "q must be in [0, 100]");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (q / 100.0) * (n as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// One histogram's shard-local state.
+#[derive(Debug, Clone)]
+pub(crate) struct HistData {
+    pub count: u64,
+    pub nan_count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Finite buckets plus one overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Raw observations (NaN excluded) for exact percentiles at export.
+    pub samples: Vec<f64>,
+}
+
+impl Default for HistData {
+    fn default() -> Self {
+        HistData {
+            count: 0,
+            nan_count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; BUCKETS + 1],
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl HistData {
+    pub fn record(&mut self, v: f64) {
+        if v.is_nan() {
+            self.nan_count = self.nan_count.saturating_add(1);
+            return;
+        }
+        self.count = self.count.saturating_add(1);
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+        self.samples.push(v);
+    }
+
+    /// Merges another shard's state into this one.
+    pub fn merge(&mut self, other: &HistData) {
+        self.count = self.count.saturating_add(other.count);
+        self.nan_count = self.nan_count.saturating_add(other.nan_count);
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_log_spaced() {
+        assert!((bucket_le(0) - 1e-6).abs() < 1e-18);
+        // Four buckets per decade: bound 4 is one decade up.
+        assert!((bucket_le(4) / bucket_le(0) - 10.0).abs() < 1e-9);
+        assert!(bucket_le(BUCKETS).is_infinite());
+        for i in 1..BUCKETS {
+            assert!(bucket_le(i) > bucket_le(i - 1));
+        }
+    }
+
+    #[test]
+    fn bucket_index_respects_bounds() {
+        for i in 0..BUCKETS {
+            let bound = bucket_le(i);
+            assert_eq!(bucket_index(bound), i, "bound of bucket {i} must land in it");
+            assert!(bucket_index(bound * 1.000001) > i || i == BUCKETS - 1);
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(f64::INFINITY), BUCKETS);
+        assert_eq!(bucket_index(1e9), BUCKETS);
+    }
+
+    #[test]
+    fn percentile_matches_metrics_crate_semantics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(exact_percentile(&xs, 0.0), 1.0);
+        assert_eq!(exact_percentile(&xs, 100.0), 4.0);
+        assert!((exact_percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert_eq!(exact_percentile(&[42.0], 73.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        exact_percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = HistData::default();
+        let mut b = HistData::default();
+        a.record(1.0);
+        a.record(f64::NAN);
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.nan_count, 1);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 3.0);
+        assert_eq!(a.samples.len(), 2);
+        assert_eq!(a.buckets.iter().sum::<u64>(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! The sharded registry: one shard per recording thread, merged at
+//! snapshot time.
+//!
+//! Recording locks only the calling thread's own shard — an uncontended
+//! mutex, i.e. one compare-and-swap — so campaign worker threads never
+//! serialize on a shared line. The snapshot path takes the registry lock
+//! plus each shard lock briefly, which is fine for its once-per-command
+//! call frequency.
+
+use crate::hist::HistData;
+use crate::snapshot::{CounterSnapshot, GaugeSnapshot, Snapshot};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+/// Process-wide registry id source, used to key the thread-local shard
+/// cache (several registries can be live at once, e.g. in tests).
+static NEXT_REGISTRY_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// This thread's shard per live registry: `(registry id, shard)`.
+    /// Weak, so dropping a registry frees its shards even while threads
+    /// that recorded into it are still alive.
+    static TLS_SHARDS: RefCell<Vec<(u64, Weak<Shard>)>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Default)]
+pub(crate) struct Shard {
+    data: Mutex<ShardData>,
+}
+
+#[derive(Default)]
+pub(crate) struct ShardData {
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge value tagged with a registry-global sequence number so the
+    /// cross-shard merge is genuinely last-write-wins.
+    pub gauges: BTreeMap<&'static str, (u64, f64)>,
+    pub histograms: BTreeMap<&'static str, HistData>,
+}
+
+pub(crate) struct Registry {
+    id: u64,
+    shards: Mutex<Vec<Arc<Shard>>>,
+    gauge_seq: AtomicU64,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry {
+            id: NEXT_REGISTRY_ID.fetch_add(1, Ordering::Relaxed),
+            shards: Mutex::new(Vec::new()),
+            gauge_seq: AtomicU64::new(0),
+        }
+    }
+
+    pub fn next_gauge_seq(&self) -> u64 {
+        self.gauge_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Runs `f` on the calling thread's shard, creating and registering it
+    /// on first use.
+    pub fn with_shard<R>(&self, f: impl FnOnce(&mut ShardData) -> R) -> R {
+        TLS_SHARDS.with(|cell| {
+            let mut cache = cell.borrow_mut();
+            if let Some((_, weak)) = cache.iter().find(|(id, _)| *id == self.id) {
+                if let Some(shard) = weak.upgrade() {
+                    return f(&mut shard.data.lock().expect("shard lock"));
+                }
+            }
+            // First record from this thread (or the registry of a stale
+            // entry died): prune dead entries, create and register a shard.
+            cache.retain(|(_, weak)| weak.strong_count() > 0);
+            let shard = Arc::new(Shard::default());
+            self.shards.lock().expect("registry lock").push(Arc::clone(&shard));
+            cache.push((self.id, Arc::downgrade(&shard)));
+            let mut guard = shard.data.lock().expect("shard lock");
+            f(&mut guard)
+        })
+    }
+
+    /// Merges all shards into one deterministic, name-sorted snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let shards = self.shards.lock().expect("registry lock");
+        let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<&'static str, (u64, f64)> = BTreeMap::new();
+        let mut hists: BTreeMap<&'static str, HistData> = BTreeMap::new();
+        for shard in shards.iter() {
+            let data = shard.data.lock().expect("shard lock");
+            for (name, v) in &data.counters {
+                let c = counters.entry(name).or_insert(0);
+                *c = c.saturating_add(*v);
+            }
+            for (name, (seq, v)) in &data.gauges {
+                match gauges.get(name) {
+                    Some((best, _)) if best > seq => {}
+                    _ => {
+                        gauges.insert(name, (*seq, *v));
+                    }
+                }
+            }
+            for (name, h) in &data.histograms {
+                hists.entry(name).or_default().merge(h);
+            }
+        }
+        Snapshot {
+            counters: counters
+                .into_iter()
+                .map(|(name, value)| CounterSnapshot { name: name.into(), value })
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|(name, (_, value))| GaugeSnapshot { name: name.into(), value })
+                .collect(),
+            histograms: hists
+                .into_iter()
+                .map(|(name, h)| crate::snapshot::summarize(name, &h))
+                .collect(),
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Point-in-time aggregated view of a registry, serializable to JSON.
+
+use crate::hist::{bucket_le, exact_percentile, HistData};
+use serde::{Deserialize, Serialize};
+
+/// One counter's merged value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Merged (summed, saturating) value across all shards.
+    pub value: u64,
+}
+
+/// One gauge's merged value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Last value written across all shards.
+    pub value: f64,
+}
+
+/// One log-spaced bucket of a histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket, seconds. The overflow bucket
+    /// exports `f64::MAX` (JSON cannot represent infinity).
+    pub le: f64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// One histogram's merged summary: moments, *exact* sample percentiles and
+/// the non-empty buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Non-NaN observations.
+    pub count: u64,
+    /// NaN observations (excluded from everything else).
+    pub nan_count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Exact 10th percentile of the raw samples.
+    pub p10: f64,
+    /// Exact median of the raw samples.
+    pub p50: f64,
+    /// Exact 90th percentile of the raw samples.
+    pub p90: f64,
+    /// Exact 99th percentile of the raw samples.
+    pub p99: f64,
+    /// Non-empty buckets only, in ascending bound order.
+    pub buckets: Vec<BucketCount>,
+}
+
+/// Merged view of every metric in a registry; see `Telemetry::snapshot`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// True when no metric was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Pretty JSON rendering (the `--telemetry-json` artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Parses a snapshot back from its JSON rendering.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid telemetry snapshot: {e}"))
+    }
+}
+
+/// Builds the exported summary for one merged histogram.
+pub(crate) fn summarize(name: &'static str, h: &HistData) -> HistogramSnapshot {
+    let mut sorted = h.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are NaN-free"));
+    let pct = |q: f64| if sorted.is_empty() { 0.0 } else { exact_percentile(&sorted, q) };
+    HistogramSnapshot {
+        name: name.into(),
+        count: h.count,
+        nan_count: h.nan_count,
+        sum: h.sum,
+        min: if h.count == 0 { 0.0 } else { h.min },
+        max: if h.count == 0 { 0.0 } else { h.max },
+        mean: if h.count == 0 { 0.0 } else { h.sum / h.count as f64 },
+        p10: pct(10.0),
+        p50: pct(50.0),
+        p90: pct(90.0),
+        p99: pct(99.0),
+        buckets: h
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(i, &count)| BucketCount { le: bucket_le(i).min(f64::MAX), count })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_summarizes_to_zeros() {
+        let s = summarize("empty", &HistData::default());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p50, 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn overflow_bucket_round_trips_through_json() {
+        let mut h = HistData::default();
+        h.record(1e9); // beyond the last finite bound
+        let s = summarize("big", &h);
+        assert_eq!(s.buckets.len(), 1);
+        // Infinity is not representable in JSON, so the overflow bound is
+        // exported as f64::MAX and must survive a round trip.
+        assert_eq!(s.buckets[0].le, f64::MAX);
+        let snap = Snapshot { counters: vec![], gauges: vec![], histograms: vec![s] };
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.histogram("big").unwrap().buckets[0].count, 1);
+    }
+}
