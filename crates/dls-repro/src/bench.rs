@@ -23,12 +23,14 @@
 //! on the same machine and flags only deltas beyond a tolerance band
 //! (default 25 %) to stay out of scheduler-noise territory.
 
+use crate::error::ReproError;
 use crate::faults::{default_scenarios, run_fault_sweep_metered, FaultSweepConfig};
 use crate::hagerup_exp::{run_figure_metered, HagerupConfig, OracleMode};
+use crate::runner::ExecContext;
 use crate::tss_exp;
 use dls_core::Technique;
 use dls_telemetry::Telemetry;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Schema tag every emitted file carries; bump on breaking layout changes.
 pub const SCHEMA: &str = "dls-bench/1";
@@ -247,18 +249,42 @@ fn now_unix_s() -> u64 {
 }
 
 /// Runs the standard [`suite`] and aggregates the timings.
-pub fn run_bench(cfg: &BenchConfig) -> Result<BenchFile, String> {
+pub fn run_bench(cfg: &BenchConfig) -> Result<BenchFile, ReproError> {
     run_bench_with(cfg, suite())
 }
 
 /// [`run_bench`] over a caller-provided case list (unit tests inject a
 /// trivial suite so the aggregation logic is testable in milliseconds).
-pub fn run_bench_with(cfg: &BenchConfig, cases: Vec<BenchCase>) -> Result<BenchFile, String> {
+pub fn run_bench_with(cfg: &BenchConfig, cases: Vec<BenchCase>) -> Result<BenchFile, ReproError> {
+    run_bench_resilient(cfg, cases, &ExecContext::transient())
+}
+
+/// [`run_bench_with`] under a resilient [`ExecContext`]. Each suite case is
+/// one journal cell (key `case:<id>`): a resumed invocation replays its
+/// completed [`BenchEntry`] verbatim instead of re-timing it, and
+/// cancellation is honoured between cases.
+pub fn run_bench_resilient(
+    cfg: &BenchConfig,
+    cases: Vec<BenchCase>,
+    ctx: &ExecContext,
+) -> Result<BenchFile, ReproError> {
     if cfg.reps == 0 {
-        return Err("--reps must be at least 1".into());
+        return Err(ReproError::usage("--reps must be at least 1"));
     }
     let mut entries = Vec::new();
     for case in &cases {
+        if ctx.is_cancelled() {
+            ctx.flush()?;
+            return Err(ctx.interrupted_error());
+        }
+        let key = format!("case:{}", case.id);
+        if let Some(entry) =
+            ctx.journal().and_then(|j| j.lookup(&key)).and_then(|v| BenchEntry::from_value(&v).ok())
+        {
+            eprintln!("bench: {} (journaled; skipping)", case.id);
+            entries.push(entry);
+            continue;
+        }
         let runs = if cfg.quick { case.quick_runs } else { case.full_runs };
         // A fresh registry per cell: its histograms and counters describe
         // exactly this cell's repetitions.
@@ -266,13 +292,14 @@ pub fn run_bench_with(cfg: &BenchConfig, cases: Vec<BenchCase>) -> Result<BenchF
         eprintln!("bench: {} ({} runs x {} reps)...", case.id, runs, cfg.reps);
         for _ in 0..cfg.reps {
             let span = telemetry.span("bench.rep_wall_s");
-            (case.run)(runs, cfg.threads, cfg.seed, &telemetry)?;
+            (case.run)(runs, cfg.threads, cfg.seed, &telemetry)
+                .map_err(ReproError::invalid_spec)?;
             span.finish();
         }
         let snap = telemetry.snapshot();
         let h = snap.histogram("bench.rep_wall_s").expect("every rep records a wall time");
         let total = h.sum;
-        entries.push(BenchEntry {
+        let entry = BenchEntry {
             id: case.id.into(),
             runs_per_rep: runs as u64,
             wall_s_median: h.p50,
@@ -282,8 +309,13 @@ pub fn run_bench_with(cfg: &BenchConfig, cases: Vec<BenchCase>) -> Result<BenchF
             wall_s_max: h.max,
             runs_per_sec: if total > 0.0 { (runs as f64 * cfg.reps as f64) / total } else { 0.0 },
             sim_events: snap.counter("msgsim.events").unwrap_or(0) / cfg.reps as u64,
-        });
+        };
+        if let Some(j) = ctx.journal() {
+            j.record(key, entry.to_value());
+        }
+        entries.push(entry);
     }
+    ctx.flush()?;
     Ok(BenchFile {
         schema: SCHEMA.into(),
         tag: cfg.tag.clone(),
@@ -335,11 +367,13 @@ pub fn validate(file: &BenchFile) -> Result<(), String> {
     Ok(())
 }
 
-/// Writes the file as pretty JSON.
-pub fn save(file: &BenchFile, path: &str) -> Result<(), String> {
-    let json =
-        serde_json::to_string_pretty(file).map_err(|e| format!("serialize bench file: {e}"))?;
-    std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))
+/// Writes the file as pretty JSON, crash-consistently (tmp + fsync +
+/// rename): an interrupt mid-save leaves the previous file intact, never a
+/// torn half-document.
+pub fn save(file: &BenchFile, path: &str) -> Result<(), ReproError> {
+    let json = serde_json::to_string_pretty(file)
+        .map_err(|e| ReproError::io(format!("serialize bench file: {e}")))?;
+    crate::journal::write_artifact(std::path::Path::new(path), (json + "\n").as_bytes())
 }
 
 /// Reads and validates a bench file.
@@ -348,6 +382,38 @@ pub fn load(path: &str) -> Result<BenchFile, String> {
     let file: BenchFile =
         serde_json::from_str(&text).map_err(|e| format!("{path}: invalid bench file: {e}"))?;
     validate(&file).map_err(|e| format!("{path}: {e}"))?;
+    Ok(file)
+}
+
+/// [`load`] for the `--compare` path, turning its two classic foot-guns —
+/// a missing baseline and a file written by a different repro version —
+/// into actionable usage errors instead of opaque parse failures. `role`
+/// names the operand in messages (`baseline` or `current`).
+pub fn load_for_compare(path: &str, role: &str) -> Result<BenchFile, ReproError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(ReproError::usage(format!(
+                "{role} `{path}` not found — generate it first with \
+                 `repro bench --quick --out {path}` (on the same host as the other file), \
+                 then re-run the comparison"
+            )));
+        }
+        Err(e) => return Err(ReproError::io(format!("{path}: {e}"))),
+    };
+    let value: Value = serde_json::from_str(&text)
+        .map_err(|e| ReproError::invalid_spec(format!("{path}: invalid bench file: {e}")))?;
+    let schema = value.get("schema").and_then(Value::as_str).unwrap_or("");
+    if schema != SCHEMA && schema.starts_with("dls-bench/") {
+        return Err(ReproError::usage(format!(
+            "{path}: schema `{schema}` was written by a different repro version (this binary \
+             reads `{SCHEMA}`) — upgrade the binary or regenerate the file with \
+             `repro bench --out {path}`"
+        )));
+    }
+    let file = BenchFile::from_value(&value)
+        .map_err(|e| ReproError::invalid_spec(format!("{path}: invalid bench file: {e}")))?;
+    validate(&file).map_err(|e| ReproError::invalid_spec(format!("{path}: {e}")))?;
     Ok(file)
 }
 
@@ -607,6 +673,62 @@ mod tests {
     fn zero_reps_is_rejected() {
         let cfg = BenchConfig { reps: 0, ..BenchConfig::new(true) };
         assert!(run_bench_with(&cfg, vec![]).is_err());
+    }
+
+    #[test]
+    fn load_for_compare_gives_actionable_errors() {
+        let err = load_for_compare("/nonexistent/BENCH_base.json", "baseline").unwrap_err();
+        assert!(err.is_usage(), "missing baseline is a usage error: {err:?}");
+        assert!(err.to_string().contains("repro bench --quick --out"), "{err}");
+
+        let dir = std::env::temp_dir().join(format!("dls-bench-cmp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let future = dir.join("BENCH_future.json");
+        std::fs::write(&future, r#"{"schema":"dls-bench/7","entries":[]}"#).unwrap();
+        let err = load_for_compare(future.to_str().unwrap(), "baseline").unwrap_err();
+        assert!(err.is_usage());
+        assert!(err.to_string().contains("dls-bench/7"), "{err}");
+        assert!(err.to_string().contains("different repro version"), "{err}");
+
+        let good = dir.join("BENCH_good.json");
+        save(&file(vec![entry("a", 1.0)]), good.to_str().unwrap()).unwrap();
+        assert!(load_for_compare(good.to_str().unwrap(), "current").is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resumed_bench_replays_journaled_cases_without_re_timing() {
+        use crate::journal::{Journal, JournalMeta};
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!("dls-bench-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let meta = JournalMeta { command: "bench".into(), fingerprint: "quick reps=2".into() };
+        let cfg = BenchConfig { quick: true, reps: 2, threads: 1, tag: "t".into(), seed: 1 };
+        let executions = Arc::new(AtomicU32::new(0));
+        let make_cases = |counter: Arc<AtomicU32>| {
+            vec![BenchCase {
+                id: "trivial",
+                quick_runs: 2,
+                full_runs: 8,
+                run: Box::new(move |_, _, _, tel| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    tel.counter_inc("msgsim.events");
+                    Ok(())
+                }),
+            }]
+        };
+
+        let ctx = ExecContext::with_journal(Journal::open(&dir, &meta).unwrap());
+        let first = run_bench_resilient(&cfg, make_cases(executions.clone()), &ctx).unwrap();
+        assert_eq!(executions.load(Ordering::Relaxed), 2, "2 reps timed");
+
+        let ctx = ExecContext::with_journal(Journal::open(&dir, &meta).unwrap());
+        let second = run_bench_resilient(&cfg, make_cases(executions.clone()), &ctx).unwrap();
+        assert_eq!(executions.load(Ordering::Relaxed), 2, "resume must not re-time");
+        assert_eq!(second.entries, first.entries, "replayed entries are bit-identical");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -18,19 +18,127 @@
 //!
 //! Options: `--runs N` (default 1000), `--threads N` (default: all cores),
 //! `--seed S`, `--csv DIR` (write CSV files next to the printed tables),
-//! `--pes a,b,c` (override the PE sweep for fig5–fig8).
+//! `--pes a,b,c` (override the PE sweep for fig5–fig8), `--resume DIR`
+//! (checkpoint completed runs into a journal and skip them on rerun).
+//!
+//! Failures exit with a classified code (see [`dls_repro::error`]): 2 for
+//! usage errors, 3 for host I/O, 4 for invalid specs, 5 for a bench
+//! regression, 130 after a graceful Ctrl-C.
 
 use dls_repro::bench;
 use dls_repro::cli::{parse_options, Options};
+use dls_repro::error::ReproError;
 use dls_repro::hagerup_exp::{self, HagerupConfig};
+use dls_repro::journal::{self, Journal, JournalMeta};
 use dls_repro::outlier::{self, OutlierConfig};
 use dls_repro::plot;
 use dls_repro::reference;
 use dls_repro::report;
+use dls_repro::runner::{CancelFlag, ExecContext};
 use dls_repro::spec::{ExperimentSpec, MeasuredValue, OverheadSpec};
 use dls_repro::{registry, tss_exp};
 use dls_telemetry::{Snapshot, Telemetry};
 use std::process::ExitCode;
+use std::sync::OnceLock;
+
+/// The process-wide cancellation flag, set from the SIGINT handler and
+/// shared by every [`ExecContext`] this binary builds.
+static GLOBAL_CANCEL: OnceLock<CancelFlag> = OnceLock::new();
+
+fn global_cancel_flag() -> CancelFlag {
+    GLOBAL_CANCEL.get_or_init(CancelFlag::new).clone()
+}
+
+/// Graceful-interrupt plumbing. The first Ctrl-C only raises the shared
+/// [`CancelFlag`] (an atomic store, which is async-signal-safe); campaigns
+/// notice it between runs, flush their journal, and exit 130. A second
+/// Ctrl-C aborts immediately for users who really mean it.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SEEN: AtomicBool = AtomicBool::new(false);
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        if SEEN.swap(true, Ordering::SeqCst) {
+            std::process::abort();
+        }
+        if let Some(flag) = super::GLOBAL_CANCEL.get() {
+            flag.cancel();
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+fn install_sigint_handler() {
+    global_cancel_flag(); // initialize before the handler can fire
+    #[cfg(unix)]
+    sigint::install();
+}
+
+/// Builds the [`ExecContext`] for a resumable command: the journal when
+/// `--resume DIR` was given (validated against this command's identity and
+/// result-affecting configuration), the process-wide cancel flag, and the
+/// `--cancel-after` test hook. `fingerprint` must cover every option that
+/// changes the campaign's results — and nothing else, so a resume may e.g.
+/// change `--threads` or add `--csv` without invalidating the journal.
+fn exec_context(
+    command: &str,
+    fingerprint: String,
+    o: &Options,
+) -> Result<ExecContext, ReproError> {
+    let mut ctx = match &o.resume {
+        Some(dir) => {
+            let meta = JournalMeta { command: command.to_string(), fingerprint };
+            let j = Journal::open(std::path::Path::new(dir), &meta)?;
+            if j.resumed() > 0 {
+                eprintln!("resume: replaying {} journaled run(s) from {dir}", j.resumed());
+            }
+            ExecContext::with_journal(j)
+        }
+        None => ExecContext::transient(),
+    };
+    ctx = ctx.with_cancel_flag(global_cancel_flag());
+    if let Some(n) = o.cancel_after {
+        ctx = ctx.with_cancel_after(n);
+    }
+    Ok(ctx)
+}
+
+/// Prints the post-campaign resilience summary: quarantined (panicked)
+/// runs, and the journal's replayed/recorded counts when one is active.
+fn report_resilience(ctx: &ExecContext) {
+    let quarantined = ctx.quarantined();
+    if !quarantined.is_empty() {
+        eprintln!(
+            "warning: {} run(s) panicked and were quarantined (excluded from the statistics):",
+            quarantined.len()
+        );
+        for q in &quarantined {
+            eprintln!("  {q}");
+        }
+        eprintln!("  rerun with RUST_BACKTRACE=1 and the listed seed to debug a quarantined run");
+    }
+    if let Some(j) = ctx.journal() {
+        let s = j.stats();
+        println!(
+            "journal: {} run(s) replayed, {} newly recorded -> {}",
+            s.resumed,
+            s.recorded,
+            j.path().display()
+        );
+    }
+}
 
 /// A registry when `--telemetry`/`--telemetry-json` asked for one, else
 /// the zero-cost disabled handle.
@@ -85,7 +193,7 @@ fn telemetry_tables(snap: &Snapshot) -> String {
 
 /// Prints/writes the snapshot per the `--telemetry`/`--telemetry-json`
 /// options (no-op for a disabled handle).
-fn emit_telemetry(o: &Options, telemetry: &Telemetry) -> Result<(), String> {
+fn emit_telemetry(o: &Options, telemetry: &Telemetry) -> Result<(), ReproError> {
     if !telemetry.is_enabled() {
         return Ok(());
     }
@@ -95,7 +203,7 @@ fn emit_telemetry(o: &Options, telemetry: &Telemetry) -> Result<(), String> {
         println!("{}", telemetry_tables(&snap));
     }
     if let Some(path) = &o.telemetry_json {
-        std::fs::write(path, snap.to_json() + "\n").map_err(|e| format!("{path}: {e}"))?;
+        journal::write_artifact(std::path::Path::new(path), (snap.to_json() + "\n").as_bytes())?;
         println!("wrote {path}");
     }
     Ok(())
@@ -115,9 +223,9 @@ fn engine_summary(snap: &Snapshot) -> String {
 }
 
 /// Writes one recorded run's artifacts and prints where they went.
-fn emit_trace(a: &dls_repro::trace::TraceArtifacts, dir: &str) -> Result<(), String> {
+fn emit_trace(a: &dls_repro::trace::TraceArtifacts, dir: &str) -> Result<(), ReproError> {
     let paths = dls_repro::trace::write_artifacts(a, std::path::Path::new(dir))
-        .map_err(|e| format!("{dir}: {e}"))?;
+        .map_err(|e| ReproError::io(format!("{dir}: {e}")))?;
     for p in &paths {
         println!("wrote {}", p.display());
     }
@@ -147,9 +255,9 @@ fn emit_trace(a: &dls_repro::trace::TraceArtifacts, dir: &str) -> Result<(), Str
     Ok(())
 }
 
-fn cmd_trace(target: &str, o: &Options) -> Result<(), String> {
+fn cmd_trace(target: &str, o: &Options) -> Result<(), ReproError> {
     let seed = o.seed.unwrap_or(1);
-    let a = dls_repro::trace::run_scenario(target, seed)?;
+    let a = dls_repro::trace::run_scenario(target, seed).map_err(ReproError::usage)?;
     let dir = o.out_dir.clone().unwrap_or_else(|| "traces".into());
     emit_trace(&a, &dir)?;
     if o.telemetry {
@@ -157,7 +265,10 @@ fn cmd_trace(target: &str, o: &Options) -> Result<(), String> {
         println!("{}", telemetry_tables(&a.telemetry));
     }
     if let Some(path) = &o.telemetry_json {
-        std::fs::write(path, a.telemetry.to_json() + "\n").map_err(|e| format!("{path}: {e}"))?;
+        journal::write_artifact(
+            std::path::Path::new(path),
+            (a.telemetry.to_json() + "\n").as_bytes(),
+        )?;
         println!("wrote {path}");
     }
     Ok(())
@@ -165,8 +276,10 @@ fn cmd_trace(target: &str, o: &Options) -> Result<(), String> {
 
 fn write_csv(dir: &str, name: &str, headers: &[&str], rows: &[Vec<String>]) {
     let path = std::path::Path::new(dir).join(format!("{name}.csv"));
+    // Crash-consistent but non-fatal: a CSV is a convenience copy of the
+    // table already printed, so a write failure only warns.
     if let Err(e) = std::fs::create_dir_all(dir)
-        .and_then(|_| std::fs::write(&path, report::format_csv(headers, rows)))
+        .and_then(|_| journal::atomic_write(&path, report::format_csv(headers, rows).as_bytes()))
     {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
@@ -218,28 +331,22 @@ fn cmd_table2() {
     println!("{}", report::format_table(&headers, &rows));
 }
 
-fn cmd_tss(fig: &str, o: &Options) -> Result<(), String> {
+fn cmd_tss(fig: &str, o: &Options) -> Result<(), ReproError> {
     use dls_repro::reference::TSS_PES;
-    use dls_repro::tss_exp::{run_experiment_contended, ContentionModel, TssExperiment};
-    let rows = match fig {
-        "fig3" => tss_exp::run_fig3(),
-        "fig4" => tss_exp::run_fig4(),
+    use dls_repro::tss_exp::{run_experiment_resilient, ContentionModel, TssExperiment};
+    // No journal (one deterministic run per cell), but the shared cancel
+    // flag still stops a long `repro all` promptly.
+    let ctx = ExecContext::transient().with_cancel_flag(global_cancel_flag());
+    let (exp, contention) = match fig {
+        "fig3" => (TssExperiment::Exp1, ContentionModel::none()),
+        "fig4" => (TssExperiment::Exp2, ContentionModel::none()),
         // Contended variants: restore the original machine's degraded
         // curves (the figures' (a) panels) via the BBN GP-1000 model.
-        "fig3a" => run_experiment_contended(
-            TssExperiment::Exp1,
-            dls_platform::LinkSpec::fast(),
-            &TSS_PES,
-            ContentionModel::bbn_gp1000(),
-        ),
-        _ => run_experiment_contended(
-            TssExperiment::Exp2,
-            dls_platform::LinkSpec::fast(),
-            &TSS_PES,
-            ContentionModel::bbn_gp1000(),
-        ),
-    }
-    .map_err(|e| e.to_string())?;
+        "fig3a" => (TssExperiment::Exp1, ContentionModel::bbn_gp1000()),
+        _ => (TssExperiment::Exp2, ContentionModel::bbn_gp1000()),
+    };
+    let rows =
+        run_experiment_resilient(exp, dls_platform::LinkSpec::fast(), &TSS_PES, contention, &ctx)?;
     let (headers, body) = report::speedup_rows(&rows);
     println!("{fig}: speedup vs number of PEs (original values digitized from the publication)");
     println!("{}", report::format_table(&headers, &body));
@@ -263,7 +370,7 @@ fn cmd_tss(fig: &str, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_hagerup(fig: &str, o: &Options) -> Result<(), String> {
+fn cmd_hagerup(fig: &str, o: &Options) -> Result<(), ReproError> {
     let n = match fig {
         "fig5" => 1_024,
         "fig6" => 8_192,
@@ -281,12 +388,21 @@ fn cmd_hagerup(fig: &str, o: &Options) -> Result<(), String> {
     if let Some(ts) = &o.techniques {
         cfg.techniques = ts.clone();
     }
+    let ctx = exec_context(
+        fig,
+        format!(
+            "n={} pes={:?} runs={} h={} mean={} seed={:#x} oracle={:?} techniques={:?}",
+            cfg.n, cfg.pes, cfg.runs, cfg.h, cfg.mean, cfg.seed, cfg.oracle, cfg.techniques
+        ),
+        o,
+    )?;
     eprintln!(
         "{fig}: n={n}, pes={:?}, runs={}, h={}, exp(mu=1s) — running...",
         cfg.pes, cfg.runs, cfg.h
     );
     let telemetry = telemetry_for(o);
-    let rows = hagerup_exp::run_figure_metered(&cfg, &telemetry).map_err(|e| e.to_string())?;
+    let rows = hagerup_exp::run_figure_resilient(&cfg, &telemetry, &ctx)?;
+    report_resilience(&ctx);
     let (headers, body) = report::wasted_rows(&rows);
     println!("{fig}: sample mean of the average wasted time over {} runs", cfg.runs);
     println!("{}", report::format_table(&headers, &body));
@@ -317,22 +433,21 @@ fn cmd_hagerup(fig: &str, o: &Options) -> Result<(), String> {
         write_csv(dir, fig, &headers, &body);
     }
     if let Some(dir) = &o.trace_dir {
-        let a = dls_repro::trace::trace_figure_cell(&cfg, fig).map_err(|e| e.to_string())?;
+        let a = dls_repro::trace::trace_figure_cell(&cfg, fig)?;
         emit_trace(&a, dir)?;
     }
     emit_telemetry(o, &telemetry)?;
     Ok(())
 }
 
-fn cmd_fig9(o: &Options) -> Result<(), String> {
+fn cmd_fig9(o: &Options) -> Result<(), ReproError> {
     let mut cfg = OutlierConfig::paper(o.runs);
     cfg.threads = o.threads;
     if let Some(s) = o.seed {
         cfg.seed = s;
     }
     eprintln!("fig9: FAC, p=2, n={}, runs={} — running...", cfg.n, cfg.runs);
-    let a = outlier::run_outlier(&cfg, reference::fig9::OUTLIER_THRESHOLD)
-        .map_err(|e| e.to_string())?;
+    let a = outlier::run_outlier(&cfg, reference::fig9::OUTLIER_THRESHOLD)?;
     println!("fig9: average wasted time per run (FAC, 2 PEs, {} tasks)", cfg.n);
     println!("{}", report::outlier_summary(&a));
     println!(
@@ -353,12 +468,12 @@ fn cmd_fig9(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_spec(o: &Options) -> Result<(), String> {
+fn cmd_spec(o: &Options) -> Result<(), ReproError> {
     use dls_core::Technique;
     use dls_platform::{LinkSpec, Platform};
     use dls_workload::Workload;
     let dir = o.csv_dir.clone().unwrap_or_else(|| "specs".into());
-    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&dir).map_err(|e| ReproError::io(format!("{dir}: {e}")))?;
     let mut specs: Vec<ExperimentSpec> = Vec::new();
     for exp in [tss_exp::TssExperiment::Exp1, tss_exp::TssExperiment::Exp2] {
         let (id, artifact) = match exp {
@@ -381,7 +496,7 @@ fn cmd_spec(o: &Options) -> Result<(), String> {
         specs.push(ExperimentSpec {
             id: fig.into(),
             artifact: format!("Figure {}", &fig[3..]),
-            workload: Workload::exponential(n, 1.0).map_err(|e| e.to_string())?,
+            workload: Workload::exponential(n, 1.0)?,
             techniques: Technique::hagerup_set().to_vec(),
             platform: Platform::homogeneous_star("pe", 1024, 1.0, LinkSpec::negligible()),
             runs: o.runs,
@@ -393,7 +508,7 @@ fn cmd_spec(o: &Options) -> Result<(), String> {
     specs.push(ExperimentSpec {
         id: "fig9".into(),
         artifact: "Figure 9".into(),
-        workload: Workload::exponential(524_288, 1.0).map_err(|e| e.to_string())?,
+        workload: Workload::exponential(524_288, 1.0)?,
         techniques: vec![Technique::Fac],
         platform: Platform::homogeneous_star("pe", 2, 1.0, LinkSpec::negligible()),
         runs: o.runs,
@@ -403,14 +518,14 @@ fn cmd_spec(o: &Options) -> Result<(), String> {
     });
     for s in &specs {
         let path = std::path::Path::new(&dir).join(format!("{}.json", s.id));
-        std::fs::write(&path, s.to_json()).map_err(|e| e.to_string())?;
+        journal::write_artifact(&path, s.to_json().as_bytes())?;
         println!("wrote {}", path.display());
     }
     Ok(())
 }
 
-fn cmd_sweep(o: &Options) -> Result<(), String> {
-    use dls_repro::sweep::{run_sweep, winners, SweepConfig};
+fn cmd_sweep(o: &Options) -> Result<(), ReproError> {
+    use dls_repro::sweep::{run_sweep_resilient, winners, SweepConfig};
     let mut cfg = SweepConfig::default();
     if o.runs != 1000 {
         cfg.runs = o.runs;
@@ -425,6 +540,15 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
         cfg.seed = s;
     }
     cfg.threads = o.threads;
+    let family_names: Vec<String> = cfg.families.iter().map(|f| f.name.to_string()).collect();
+    let ctx = exec_context(
+        "sweep",
+        format!(
+            "ns={:?} pes={:?} families={:?} techniques={:?} runs={} h={} seed={:#x}",
+            cfg.ns, cfg.pes, family_names, cfg.techniques, cfg.runs, cfg.h, cfg.seed
+        ),
+        o,
+    )?;
     eprintln!(
         "sweep: ns={:?}, pes={:?}, {} families x {} techniques, runs={}...",
         cfg.ns,
@@ -433,7 +557,9 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
         cfg.techniques.len(),
         cfg.runs
     );
-    let rows = run_sweep(&cfg).map_err(|e| e.to_string())?;
+    let telemetry = telemetry_for(o);
+    let rows = run_sweep_resilient(&cfg, &telemetry, &ctx)?;
+    report_resilience(&ctx);
     let headers =
         ["n", "p", "workload", "technique", "wasted mean[s]", "wasted sd[s]", "speedup", "chunks"];
     let body: Vec<Vec<String>> = rows
@@ -460,13 +586,14 @@ fn cmd_sweep(o: &Options) -> Result<(), String> {
         write_csv(dir, "sweep", &headers, &body);
     }
     if let Some(dir) = &o.trace_dir {
-        let a = dls_repro::trace::trace_sweep_cell(&cfg).map_err(|e| e.to_string())?;
+        let a = dls_repro::trace::trace_sweep_cell(&cfg)?;
         emit_trace(&a, dir)?;
     }
+    emit_telemetry(o, &telemetry)?;
     Ok(())
 }
 
-fn cmd_faults(o: &Options) -> Result<(), String> {
+fn cmd_faults(o: &Options) -> Result<(), ReproError> {
     use dls_repro::faults::{self, FaultScenario, FaultSweepConfig};
     let mut cfg = FaultSweepConfig::default();
     if o.runs != 1000 {
@@ -474,7 +601,7 @@ fn cmd_faults(o: &Options) -> Result<(), String> {
     }
     if let Some(p) = &o.pes {
         let &[p] = p.as_slice() else {
-            return Err("faults takes a single --pes value".into());
+            return Err(ReproError::usage("faults takes a single --pes value"));
         };
         cfg.p = p;
         cfg.scenarios = faults::default_scenarios(cfg.n, cfg.p);
@@ -494,6 +621,15 @@ fn cmd_faults(o: &Options) -> Result<(), String> {
             .unwrap_or_else(|| path.clone());
         cfg.scenarios = vec![FaultScenario { name, plan }];
     }
+    let scenario_names: Vec<String> = cfg.scenarios.iter().map(|s| s.name.to_string()).collect();
+    let ctx = exec_context(
+        "faults",
+        format!(
+            "n={} p={} techniques={:?} scenarios={:?} runs={} h={} seed={:#x}",
+            cfg.n, cfg.p, cfg.techniques, scenario_names, cfg.runs, cfg.h, cfg.seed
+        ),
+        o,
+    )?;
     eprintln!(
         "faults: n={}, p={}, {} techniques x {} scenarios, runs={} — running...",
         cfg.n,
@@ -505,7 +641,8 @@ fn cmd_faults(o: &Options) -> Result<(), String> {
     // Always metered: the sweep's engine statistics (events, dead letters,
     // dropped/delayed sends) are part of its human-readable summary.
     let telemetry = Telemetry::enabled();
-    let rows = faults::run_fault_sweep_metered(&cfg, &telemetry).map_err(|e| e.to_string())?;
+    let rows = faults::run_fault_sweep_resilient(&cfg, &telemetry, &ctx)?;
+    report_resilience(&ctx);
     let headers = [
         "technique",
         "scenario",
@@ -540,24 +677,24 @@ fn cmd_faults(o: &Options) -> Result<(), String> {
     println!("{}", report::format_table(&headers, &body));
     println!("{}", engine_summary(&telemetry.snapshot()));
     if rows.iter().any(|r| !r.all_completed) {
-        return Err("some runs did not complete all tasks".into());
+        return Err(ReproError::Regression("some runs did not complete all tasks".into()));
     }
     if let Some(dir) = &o.csv_dir {
         write_csv(dir, "faults", &headers, &body);
     }
     if let Some(dir) = &o.trace_dir {
-        let a = dls_repro::trace::trace_fault_cell(&cfg).map_err(|e| e.to_string())?;
+        let a = dls_repro::trace::trace_fault_cell(&cfg)?;
         emit_trace(&a, dir)?;
     }
     emit_telemetry(o, &telemetry)?;
     Ok(())
 }
 
-fn cmd_bench(o: &Options) -> Result<(), String> {
+fn cmd_bench(o: &Options) -> Result<(), ReproError> {
     // `--validate FILE`: schema-check an existing bench file and stop.
     if let Some(path) = &o.validate {
-        let file = bench::load(path)?;
-        bench::validate(&file)?;
+        let file = bench::load(path).map_err(ReproError::invalid_spec)?;
+        bench::validate(&file).map_err(ReproError::invalid_spec)?;
         println!(
             "{path}: valid {} file (tag `{}`, {} entries, {} reps)",
             bench::SCHEMA,
@@ -569,8 +706,8 @@ fn cmd_bench(o: &Options) -> Result<(), String> {
     }
     // `--compare BASELINE CURRENT`: regression gate between two files.
     if let Some((baseline_path, current_path)) = &o.compare {
-        let baseline = bench::load(baseline_path)?;
-        let current = bench::load(current_path)?;
+        let baseline = bench::load_for_compare(baseline_path, "baseline")?;
+        let current = bench::load_for_compare(current_path, "current")?;
         let cmp = bench::compare(&baseline, &current, o.tolerance_pct);
         println!("bench compare: `{baseline_path}` (baseline) vs `{current_path}` (current)");
         println!("{}", bench::comparison_report(&cmp));
@@ -579,11 +716,11 @@ fn cmd_bench(o: &Options) -> Result<(), String> {
                 eprintln!("warning: regressions detected (ignored: --warn-only)");
                 return Ok(());
             }
-            return Err(format!(
+            return Err(ReproError::Regression(format!(
                 "{} entry(ies) regressed beyond {:.1} % or went missing",
                 cmp.regressions().len() + cmp.missing.len(),
                 cmp.tolerance_pct
-            ));
+            )));
         }
         return Ok(());
     }
@@ -599,13 +736,19 @@ fn cmd_bench(o: &Options) -> Result<(), String> {
     if let Some(s) = o.seed {
         cfg.seed = s;
     }
+    let ctx = exec_context(
+        "bench",
+        format!("quick={} reps={} seed={:#x}", cfg.quick, cfg.reps, cfg.seed),
+        o,
+    )?;
     eprintln!(
         "bench: {} suite, {} reps, {} threads — running...",
         if cfg.quick { "quick" } else { "full" },
         cfg.reps,
         cfg.threads
     );
-    let file = bench::run_bench(&cfg)?;
+    let file = bench::run_bench_resilient(&cfg, bench::suite(), &ctx)?;
+    report_resilience(&ctx);
     let headers = ["case", "runs/rep", "median[s]", "p10[s]", "p90[s]", "runs/s", "sim events"];
     let body: Vec<Vec<String>> = file
         .entries
@@ -629,7 +772,7 @@ fn cmd_bench(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_verify(o: &Options) -> Result<(), String> {
+fn cmd_verify(o: &Options) -> Result<(), ReproError> {
     use dls_repro::verify::{run_verification, verdict, VerifyConfig};
     let mut cfg = VerifyConfig::default();
     if o.runs != 1000 {
@@ -645,7 +788,7 @@ fn cmd_verify(o: &Options) -> Result<(), String> {
         "verify: ns={:?}, pes={:?}, runs={} — shared-realization comparison...",
         cfg.ns, cfg.pes, cfg.runs
     );
-    let rows = run_verification(&cfg).map_err(|e| e.to_string())?;
+    let rows = run_verification(&cfg)?;
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -673,6 +816,9 @@ fn cmd_verify(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Commands that support `--resume DIR` (their campaigns are journaled).
+const RESUMABLE: &[&str] = &["fig5", "fig6", "fig7", "fig8", "sweep", "faults", "bench"];
+
 fn usage() -> String {
     "usage: repro <list|table2|fig3|fig3a|fig4|fig4a|fig5|fig6|fig7|fig8|fig9|spec|verify|sweep|faults|trace|bench|all> \
      [--runs N] [--threads N] [--seed S] [--csv DIR] [--pes a,b,c] \
@@ -691,36 +837,39 @@ fn usage() -> String {
      --telemetry / --telemetry-json FILE on fig5-fig8/faults/trace print or\n\
                   dump the host-side metrics registry snapshot\n\
      --trace DIR on fig5-fig8/sweep/faults additionally records one\n\
-                  representative run of the campaign"
+                  representative run of the campaign\n\
+     --resume DIR on fig5-fig8/sweep/faults/bench journals completed runs\n\
+                  into DIR/journal.jsonl; rerunning the same command with\n\
+                  the same --resume DIR replays them (bit-identical) instead\n\
+                  of re-executing — resume after Ctrl-C or a crash\n\
+     --cancel-after N (testing) injects a cooperative cancellation after N\n\
+                  newly executed runs, simulating a mid-campaign kill\n\
+     exit codes:  0 ok / quarantined-but-completed; 2 usage; 3 host I/O;\n\
+                  4 invalid spec; 5 regression gate; 130 interrupted"
         .into()
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn run(args: &[String]) -> Result<(), ReproError> {
     let Some(cmd) = args.first().cloned() else {
-        eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+        return Err(ReproError::usage("missing command"));
     };
     // `trace` takes a positional target before the options.
     let (trace_target, opt_args) = if cmd == "trace" {
         match args.get(1).filter(|a| !a.starts_with("--")) {
             Some(t) => (Some(t.clone()), &args[2..]),
-            None => {
-                eprintln!("error: trace requires a target\n{}", usage());
-                return ExitCode::FAILURE;
-            }
+            None => return Err(ReproError::usage("trace requires a target")),
         }
     } else {
         (None, &args[1..])
     };
-    let opts = match parse_options(opt_args) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}\n{}", usage());
-            return ExitCode::FAILURE;
-        }
-    };
-    let result: Result<(), String> = match cmd.as_str() {
+    let opts = parse_options(opt_args).map_err(ReproError::usage)?;
+    if opts.resume.is_some() && !RESUMABLE.contains(&cmd.as_str()) {
+        return Err(ReproError::usage(format!(
+            "--resume is supported by {} (not `{cmd}`)",
+            RESUMABLE.join("/")
+        )));
+    }
+    match cmd.as_str() {
         "list" => {
             cmd_list();
             Ok(())
@@ -741,21 +890,29 @@ fn main() -> ExitCode {
         "all" => {
             cmd_list();
             cmd_table2();
-            cmd_tss("fig3", &opts)
-                .and_then(|_| cmd_tss("fig4", &opts))
-                .and_then(|_| cmd_hagerup("fig5", &opts))
-                .and_then(|_| cmd_hagerup("fig6", &opts))
-                .and_then(|_| cmd_hagerup("fig7", &opts))
-                .and_then(|_| cmd_hagerup("fig8", &opts))
-                .and_then(|_| cmd_fig9(&opts))
+            cmd_tss("fig3", &opts)?;
+            cmd_tss("fig4", &opts)?;
+            cmd_hagerup("fig5", &opts)?;
+            cmd_hagerup("fig6", &opts)?;
+            cmd_hagerup("fig7", &opts)?;
+            cmd_hagerup("fig8", &opts)?;
+            cmd_fig9(&opts)
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
-    };
-    match result {
+        other => Err(ReproError::usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn main() -> ExitCode {
+    install_sigint_handler();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            if e.is_usage() {
+                eprintln!("{}", usage());
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -44,6 +44,13 @@ pub struct Options {
     pub warn_only: bool,
     /// Validate a bench file's schema instead of running (`bench`).
     pub validate: Option<String>,
+    /// Checkpoint directory: completed runs are journaled there and a
+    /// rerun with the same options skips them (fig5–fig8, sweep, faults,
+    /// bench).
+    pub resume: Option<String>,
+    /// Test hook: inject a cooperative cancellation after this many newly
+    /// executed runs, simulating a mid-campaign kill deterministically.
+    pub cancel_after: Option<u64>,
 }
 
 impl Default for Options {
@@ -67,6 +74,8 @@ impl Default for Options {
             tolerance_pct: crate::bench::DEFAULT_TOLERANCE_PCT,
             warn_only: false,
             validate: None,
+            resume: None,
+            cancel_after: None,
         }
     }
 }
@@ -121,6 +130,12 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--warn-only" => o.warn_only = true,
             "--validate" => o.validate = Some(value("--validate")?),
+            "--resume" => o.resume = Some(value("--resume")?),
+            "--cancel-after" => {
+                o.cancel_after = Some(
+                    value("--cancel-after")?.parse().map_err(|e| format!("--cancel-after: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -200,6 +215,15 @@ mod tests {
         assert!(parse_options(&args("--tolerance -5")).is_err());
         assert!(parse_options(&args("--tolerance nan")).is_err());
         assert!(parse_options(&args("--tolerance x")).unwrap_err().contains("--tolerance"));
+    }
+
+    #[test]
+    fn resume_and_cancel_after() {
+        let o = parse_options(&args("--resume ckpt --cancel-after 12")).unwrap();
+        assert_eq!(o.resume.as_deref(), Some("ckpt"));
+        assert_eq!(o.cancel_after, Some(12));
+        assert!(parse_options(&args("--resume")).unwrap_err().contains("requires a value"));
+        assert!(parse_options(&args("--cancel-after x")).unwrap_err().contains("--cancel-after"));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! task-time realizations, so the reported degradation isolates the fault
 //! response from workload noise.
 
-use crate::runner::{cell_seed, run_campaign_metered};
+use crate::error::ReproError;
+use crate::runner::{cell_seed, run_campaign_resilient, ExecContext};
 use dls_core::{SetupError, Technique};
 use dls_faults::FaultPlan;
 use dls_metrics::{flexibility, makespan_degradation, wasted_work_fraction, SummaryStats};
@@ -17,6 +18,7 @@ use dls_platform::{LinkSpec, Platform};
 use dls_telemetry::Telemetry;
 use dls_trace::Tracer;
 use dls_workload::{TimeModel, Workload};
+use serde::{Deserialize, Serialize};
 
 /// A named fault plan for the sweep.
 #[derive(Debug, Clone)]
@@ -98,11 +100,13 @@ pub fn default_scenarios(n: u64, p: usize) -> Vec<FaultScenario> {
 }
 
 /// Loads a [`FaultPlan`] from a JSON file (the `--fault-plan` CLI path).
-pub fn load_plan(path: &str) -> Result<FaultPlan, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let plan: FaultPlan =
-        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid fault plan: {e}"))?;
-    plan.validate().map_err(|e| format!("{path}: {e}"))?;
+/// An unreadable file classifies as I/O, an undecodable or inconsistent
+/// plan as an invalid spec — each with its own exit code.
+pub fn load_plan(path: &str) -> Result<FaultPlan, ReproError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ReproError::io(format!("{path}: {e}")))?;
+    let plan: FaultPlan = serde_json::from_str(&text)
+        .map_err(|e| ReproError::invalid_spec(format!("{path}: invalid fault plan: {e}")))?;
+    plan.validate().map_err(|e| ReproError::invalid_spec(format!("{path}: {e}")))?;
     Ok(plan)
 }
 
@@ -144,9 +148,29 @@ pub(crate) fn cell_spec(
         .with_overhead(dls_metrics::OverheadModel::PostHocTotal { h: cfg.h }))
 }
 
+/// One run's observation in a fault cell — the unit the checkpoint journal
+/// stores for fault-sweep campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRunObs {
+    /// Makespan of the run, seconds.
+    pub makespan: f64,
+    /// Re-executed compute, seconds.
+    pub wasted_work: f64,
+    /// Serial work of the run, seconds.
+    pub serial_time: f64,
+    /// Messages lost to the injected faults.
+    pub lost: u64,
+    /// Master-side chunk re-requests.
+    pub retries: u64,
+    /// Chunks reassigned from dead workers.
+    pub reassigned: u64,
+    /// Whether every task completed exactly once.
+    pub completed: bool,
+}
+
 /// Runs the sweep. Row order is (technique, scenario); every technique's
 /// baseline uses the same per-run task realizations as its fault rows.
-pub fn run_fault_sweep(cfg: &FaultSweepConfig) -> Result<Vec<FaultRow>, SetupError> {
+pub fn run_fault_sweep(cfg: &FaultSweepConfig) -> Result<Vec<FaultRow>, ReproError> {
     run_fault_sweep_metered(cfg, &Telemetry::disabled())
 }
 
@@ -156,64 +180,95 @@ pub fn run_fault_sweep(cfg: &FaultSweepConfig) -> Result<Vec<FaultRow>, SetupErr
 pub fn run_fault_sweep_metered(
     cfg: &FaultSweepConfig,
     telemetry: &Telemetry,
-) -> Result<Vec<FaultRow>, SetupError> {
+) -> Result<Vec<FaultRow>, ReproError> {
+    run_fault_sweep_resilient(cfg, telemetry, &ExecContext::transient())
+}
+
+/// [`run_fault_sweep_metered`] under a resilient [`ExecContext`]. Baseline
+/// and scenario campaigns deliberately share a campaign seed (identical
+/// realizations isolate the fault response), so their journal cells are
+/// disambiguated by label — `"FAC2 baseline"` vs `"FAC2 loss(2%)"`.
+pub fn run_fault_sweep_resilient(
+    cfg: &FaultSweepConfig,
+    telemetry: &Telemetry,
+    ctx: &ExecContext,
+) -> Result<Vec<FaultRow>, ReproError> {
     let _wall = telemetry.span("faults.wall_s");
     for s in &cfg.scenarios {
         s.plan.validate().map_err(|_| SetupError::BadParam("invalid fault plan"))?;
         if s.plan.max_worker().is_some_and(|w| w >= cfg.p) {
-            return Err(SetupError::BadParam("fault plan references a worker the platform lacks"));
+            return Err(
+                SetupError::BadParam("fault plan references a worker the platform lacks").into()
+            );
         }
     }
     let mut rows = Vec::new();
     for (ti, &technique) in cfg.techniques.iter().enumerate() {
         let spec = cell_spec(cfg, technique)?;
+        // Surface a bad configuration as Err before the campaign, not as a
+        // panic inside a worker thread.
+        let setup = spec.loop_setup();
+        setup.validate()?;
+        technique.build(&setup)?;
         // Stream-derived per-technique seeds (see `runner::cell_seed`); the
         // old `seed ^ n ^ (p << 24)` mixing was precedence-fragile and
         // could collide across configurations.
         let campaign_seed = cell_seed(cfg.seed, ti as u64);
-        let baseline: Vec<f64> =
-            run_campaign_metered(cfg.runs, campaign_seed, cfg.threads, telemetry, |_, run_seed| {
+        let baseline: Vec<Option<f64>> = run_campaign_resilient(
+            cfg.runs,
+            campaign_seed,
+            cfg.threads,
+            telemetry,
+            ctx,
+            &format!("{} baseline", technique.name()),
+            |_, run_seed| {
                 let tasks = spec.workload.generate(run_seed);
                 simulate_with_tasks_metered(&spec, &tasks, &Tracer::disabled(), telemetry)
                     .expect("validated spec cannot fail")
                     .makespan
-            });
+            },
+        )?;
+        let baseline: Vec<f64> = baseline.into_iter().flatten().collect();
         let baseline_mean = baseline.iter().sum::<f64>() / baseline.len().max(1) as f64;
         for scenario in &cfg.scenarios {
             let spec = spec.clone().with_faults(scenario.plan.clone());
-            let per_run: Vec<(f64, f64, f64, u64, u64, u64, bool)> = run_campaign_metered(
+            let per_run: Vec<Option<FaultRunObs>> = run_campaign_resilient(
                 cfg.runs,
                 campaign_seed,
                 cfg.threads,
                 telemetry,
+                ctx,
+                &format!("{} {}", technique.name(), scenario.name),
                 |_, run_seed| {
                     let tasks = spec.workload.generate(run_seed);
                     let out =
                         simulate_with_tasks_metered(&spec, &tasks, &Tracer::disabled(), telemetry)
                             .expect("validated spec cannot fail");
-                    (
-                        out.makespan,
-                        out.wasted_work(),
-                        out.serial_time,
-                        out.faults.lost_messages,
-                        out.faults.master_retries,
-                        out.faults.reassigned_chunks,
-                        out.faults.completed_tasks == cfg.n,
-                    )
+                    FaultRunObs {
+                        makespan: out.makespan,
+                        wasted_work: out.wasted_work(),
+                        serial_time: out.serial_time,
+                        lost: out.faults.lost_messages,
+                        retries: out.faults.master_retries,
+                        reassigned: out.faults.reassigned_chunks,
+                        completed: out.faults.completed_tasks == cfg.n,
+                    }
                 },
-            );
+            )?;
             let mut mk = SummaryStats::new();
             let (mut wf, mut lost, mut retries, mut reassigned) = (0.0, 0u64, 0u64, 0u64);
             let mut all_completed = true;
-            for (m, w, s, l, r, a, ok) in &per_run {
-                mk.push(*m);
-                wf += wasted_work_fraction(*w, *s);
-                lost += l;
-                retries += r;
-                reassigned += a;
-                all_completed &= ok;
+            let mut completed_runs = 0u64;
+            for obs in per_run.iter().flatten() {
+                mk.push(obs.makespan);
+                wf += wasted_work_fraction(obs.wasted_work, obs.serial_time);
+                lost += obs.lost;
+                retries += obs.retries;
+                reassigned += obs.reassigned;
+                all_completed &= obs.completed;
+                completed_runs += 1;
             }
-            let runs = per_run.len().max(1) as f64;
+            let runs = completed_runs.max(1) as f64;
             rows.push(FaultRow {
                 technique: technique.name().to_string(),
                 scenario: scenario.name.clone(),

@@ -14,7 +14,8 @@
 //! * `dls-hagerup` — the replica of Hagerup's own simulator, the oracle the
 //!   discrepancy columns (Figures 5c/d–8c/d) compare against.
 
-use crate::runner::{cell_seed, run_campaign_metered};
+use crate::error::ReproError;
+use crate::runner::{cell_seed, run_campaign_resilient, ExecContext};
 use dls_core::{SetupError, Technique};
 use dls_hagerup::DirectSimulator;
 use dls_metrics::{discrepancy, relative_discrepancy_pct, OverheadModel, SummaryStats};
@@ -23,6 +24,7 @@ use dls_platform::{LinkSpec, Platform};
 use dls_telemetry::Telemetry;
 use dls_trace::Tracer;
 use dls_workload::Workload;
+use serde::{Deserialize, Serialize};
 
 /// How the replica oracle's workload realizations relate to msgsim's.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,8 +106,18 @@ pub struct WastedRow {
     pub replica_stats: SummaryStats,
 }
 
+/// One run's per-technique wasted-time pair, in `cfg.techniques` order —
+/// the unit the checkpoint journal stores for figure campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FigPair {
+    /// Average wasted time, SimGrid-MSG analog.
+    pub msgsim: f64,
+    /// Average wasted time, Hagerup replica (oracle).
+    pub replica: f64,
+}
+
 /// Runs the full campaign for one figure (all techniques × all PE counts).
-pub fn run_figure(cfg: &HagerupConfig) -> Result<Vec<WastedRow>, SetupError> {
+pub fn run_figure(cfg: &HagerupConfig) -> Result<Vec<WastedRow>, ReproError> {
     run_figure_metered(cfg, &Telemetry::disabled())
 }
 
@@ -117,7 +129,19 @@ pub fn run_figure(cfg: &HagerupConfig) -> Result<Vec<WastedRow>, SetupError> {
 pub fn run_figure_metered(
     cfg: &HagerupConfig,
     telemetry: &Telemetry,
-) -> Result<Vec<WastedRow>, SetupError> {
+) -> Result<Vec<WastedRow>, ReproError> {
+    run_figure_resilient(cfg, telemetry, &ExecContext::transient())
+}
+
+/// [`run_figure_metered`] under a resilient [`ExecContext`]: checkpointed
+/// into the context's journal (one cell per `p`), cancellable between runs,
+/// and with panicking runs quarantined instead of aborting the figure.
+/// Quarantined runs are simply excluded from the per-cell statistics.
+pub fn run_figure_resilient(
+    cfg: &HagerupConfig,
+    telemetry: &Telemetry,
+    ctx: &ExecContext,
+) -> Result<Vec<WastedRow>, ReproError> {
     let _wall = telemetry.span("figure.wall_s");
     let techniques = &cfg.techniques;
     let overhead = OverheadModel::PostHocTotal { h: cfg.h };
@@ -140,18 +164,20 @@ pub fn run_figure_metered(
         }
         // One campaign per p: each run generates a single realization and
         // evaluates every technique on it, in both simulators.
-        let per_run: Vec<Vec<(f64, f64)>> = run_campaign_metered(
+        let per_run: Vec<Option<Vec<FigPair>>> = run_campaign_resilient(
             cfg.runs,
             cell_seed(cfg.seed, pi as u64),
             cfg.threads,
             telemetry,
+            ctx,
+            &format!("n={} p={}", cfg.n, p),
             |_, run_seed| {
                 let tasks = workload.generate(run_seed);
                 let oracle_tasks = match cfg.oracle {
                     OracleMode::SharedRealizations => None,
                     OracleMode::IndependentSeeds => Some(workload.generate(run_seed ^ ORACLE_SALT)),
                 };
-                let mut pairs = vec![(0.0, 0.0); techniques.len()];
+                let mut pairs = vec![FigPair { msgsim: 0.0, replica: 0.0 }; techniques.len()];
                 for (slot, &technique) in pairs.iter_mut().zip(techniques) {
                     let spec = SimSpec::new(technique, workload.clone(), platform.clone())
                         .with_overhead(overhead);
@@ -170,19 +196,19 @@ pub fn run_figure_metered(
                         )
                         .expect("validated setup cannot fail")
                         .average_wasted(overhead);
-                    *slot = (msg, rep);
+                    *slot = FigPair { msgsim: msg, replica: rep };
                 }
                 pairs
             },
-        );
+        )?;
         telemetry.counter_inc("figure.campaigns");
 
         for (ti, &technique) in techniques.iter().enumerate() {
             let mut msg_stats = SummaryStats::new();
             let mut rep_stats = SummaryStats::new();
-            for pair in &per_run {
-                msg_stats.push(pair[ti].0);
-                rep_stats.push(pair[ti].1);
+            for pair in per_run.iter().flatten() {
+                msg_stats.push(pair[ti].msgsim);
+                rep_stats.push(pair[ti].replica);
             }
             let (m, r) = (msg_stats.mean(), rep_stats.mean());
             rows.push(WastedRow {

@@ -1,0 +1,521 @@
+//! Checkpoint journal and crash-consistent file I/O.
+//!
+//! The paper's verdicts rest on campaigns of up to a thousand seeded runs
+//! per grid cell; losing a half-finished sweep to an OOM kill or a Ctrl-C
+//! used to mean starting over. This module makes every long-running entry
+//! point restartable:
+//!
+//! * [`atomic_write`] — write-to-tmp, fsync, rename. A crash mid-write
+//!   leaves either the old artifact or the new one on disk, never a torn
+//!   half of each. Every artifact the harness emits (CSV, bench JSON,
+//!   trace exports, telemetry dumps, the journal itself) goes through it.
+//! * [`with_io_retries`] — the bounded retry policy for transient host
+//!   I/O failures (NFS hiccups, `EINTR`-style flakes): a few attempts with
+//!   a short exponential backoff, then the error propagates.
+//! * [`Journal`] — a schema-versioned (`dls-journal/1`), append-only
+//!   record of completed runs, keyed by campaign cell and run index and
+//!   stored as JSONL. `repro … --resume DIR` loads it, skips every
+//!   journaled run, and — because run results are serialized losslessly
+//!   (shortest-round-trip `f64`) — produces results bit-identical to an
+//!   uninterrupted run (pinned by `tests/resume_determinism.rs`).
+//!
+//! The journal file is logically append-only: records are never mutated or
+//! removed. Physically each flush rewrites the whole file via
+//! [`atomic_write`], so a crash during a flush cannot corrupt previously
+//! journaled runs. A torn trailing line (from a crash of a *previous*
+//! process between flushes) is detected on load and dropped.
+
+use crate::error::ReproError;
+use serde::Value;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Schema tag of the journal header line; bump on breaking layout changes.
+pub const SCHEMA: &str = "dls-journal/1";
+
+/// File name of the journal inside a `--resume` directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// Attempts made by [`with_io_retries`] before giving up.
+pub const IO_RETRY_ATTEMPTS: u32 = 3;
+
+/// Completed runs buffered between automatic journal flushes.
+pub const FLUSH_EVERY: usize = 64;
+
+/// Writes `contents` to `path` crash-consistently: the bytes go to
+/// `<path>.tmp` first, are fsync'd, and the tmp file is renamed over the
+/// destination (atomic on POSIX filesystems). The parent directory is
+/// fsync'd afterwards so the rename itself survives a power cut.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Runs `op` up to `attempts` times, sleeping `10 ms · 2^i` between
+/// attempts — the bounded retry policy for transient host I/O failures.
+/// Returns the first success or the last error.
+pub fn with_io_retries<T>(
+    attempts: u32,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    let attempts = attempts.max(1);
+    let mut last = None;
+    for i in 0..attempts {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => last = Some(e),
+        }
+        if i + 1 < attempts {
+            std::thread::sleep(std::time::Duration::from_millis(10 << i));
+        }
+    }
+    Err(last.expect("at least one attempt was made"))
+}
+
+/// [`atomic_write`] under the standard retry policy, with the path in the
+/// error message — the one-call artifact writer the CLI paths use.
+pub fn write_artifact(path: &Path, contents: &[u8]) -> Result<(), ReproError> {
+    with_io_retries(IO_RETRY_ATTEMPTS, || atomic_write(path, contents))
+        .map_err(|e| ReproError::io(format!("{}: {e}", path.display())))
+}
+
+/// Identity of the campaign a journal belongs to. A resumed invocation
+/// must present the same metadata; anything else would silently merge
+/// results from different experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalMeta {
+    /// Subcommand that owns the journal (`fig5`, `sweep`, `faults`, …).
+    pub command: String,
+    /// Canonical rendering of every option that affects the results
+    /// (seed, runs, grid, techniques — not `--threads` or output paths).
+    pub fingerprint: String,
+}
+
+/// Counters describing one journal session; surfaced by the CLI summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records loaded from an existing journal at open time.
+    pub resumed: u64,
+    /// Records appended by this session.
+    pub recorded: u64,
+    /// Successful flushes to disk.
+    pub flushes: u64,
+    /// Torn/undecodable trailing lines dropped at open time.
+    pub torn_lines: u64,
+}
+
+struct JournalState {
+    /// All records in append order: `(key, value JSON)`.
+    records: Vec<(String, Value)>,
+    /// Key → index into `records` (first write wins; keys never repeat in
+    /// normal operation).
+    index: HashMap<String, usize>,
+    /// Records appended since the last successful flush.
+    dirty: usize,
+    /// First flush failure that exhausted its retries; returned by the
+    /// final [`Journal::flush`] so a campaign is not torn down mid-run by
+    /// a transient disk error.
+    sticky_error: Option<ReproError>,
+    stats: JournalStats,
+}
+
+/// The checkpoint journal behind `--resume DIR`; see the module docs.
+///
+/// Thread-safe: campaign workers record completed runs concurrently.
+pub struct Journal {
+    path: PathBuf,
+    header: String,
+    state: Mutex<JournalState>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal").field("path", &self.path).finish()
+    }
+}
+
+/// The canonical record key for run `run` of the campaign seeded with
+/// `cell_seed`, inside the uniquely-labelled grid cell `cell`.
+///
+/// The label is part of the key because two campaigns of one command may
+/// deliberately share a seed (the fault sweep's baseline and fault cells
+/// reuse the same realizations) yet must journal independently.
+pub fn run_key(cell: &str, cell_seed: u64, run: u32) -> String {
+    format!("{cell}#{cell_seed:016x}:{run}")
+}
+
+impl Journal {
+    /// Opens (resuming) or creates the journal in `dir`.
+    ///
+    /// An existing journal must carry the current [`SCHEMA`] and match
+    /// `meta`; a future schema or a different campaign is rejected with an
+    /// actionable [`ReproError::Usage`]. A torn trailing line — the
+    /// signature of a crash between flushes — is dropped, not an error.
+    pub fn open(dir: &Path, meta: &JournalMeta) -> Result<Journal, ReproError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ReproError::io(format!("{}: {e}", dir.display())))?;
+        let path = dir.join(JOURNAL_FILE);
+        let header = header_line(meta);
+        let mut state = JournalState {
+            records: Vec::new(),
+            index: HashMap::new(),
+            dirty: 0,
+            sticky_error: None,
+            stats: JournalStats::default(),
+        };
+        match std::fs::read_to_string(&path) {
+            Ok(text) => load_existing(&path, &text, meta, &mut state)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(ReproError::io(format!("{}: {e}", path.display()))),
+        }
+        Ok(Journal { path, header, state: Mutex::new(state) })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The `--resume` directory containing the journal.
+    pub fn dir(&self) -> PathBuf {
+        self.path.parent().map(Path::to_path_buf).unwrap_or_else(|| PathBuf::from("."))
+    }
+
+    /// The journaled value for `key`, if that run already completed.
+    pub fn lookup(&self, key: &str) -> Option<Value> {
+        let state = self.state.lock().expect("journal lock poisoned");
+        state.index.get(key).map(|&i| state.records[i].1.clone())
+    }
+
+    /// Appends a completed run. Flushes every [`FLUSH_EVERY`] records; a
+    /// flush failure is remembered and returned by the final [`flush`],
+    /// never panicking a worker thread mid-campaign.
+    ///
+    /// [`flush`]: Journal::flush
+    pub fn record(&self, key: String, value: Value) {
+        let mut state = self.state.lock().expect("journal lock poisoned");
+        if state.index.contains_key(&key) {
+            return; // idempotent: a re-executed run re-records its result
+        }
+        state.records.push((key.clone(), value));
+        let idx = state.records.len() - 1;
+        state.index.insert(key, idx);
+        state.dirty += 1;
+        state.stats.recorded += 1;
+        if state.dirty >= FLUSH_EVERY {
+            self.flush_locked(&mut state);
+        }
+    }
+
+    /// Writes every record to disk via [`atomic_write`] under the retry
+    /// policy. Returns the first error any earlier automatic flush
+    /// swallowed, so persistent I/O trouble is reported exactly once.
+    pub fn flush(&self) -> Result<(), ReproError> {
+        let mut state = self.state.lock().expect("journal lock poisoned");
+        self.flush_locked(&mut state);
+        state.sticky_error.take().map_or(Ok(()), Err)
+    }
+
+    /// Session statistics for the CLI summary line.
+    pub fn stats(&self) -> JournalStats {
+        self.state.lock().expect("journal lock poisoned").stats
+    }
+
+    /// Records already present when the journal was opened.
+    pub fn resumed(&self) -> u64 {
+        self.stats().resumed
+    }
+
+    fn flush_locked(&self, state: &mut JournalState) {
+        if state.dirty == 0 && state.stats.flushes > 0 {
+            return;
+        }
+        let mut out = String::with_capacity(64 * (state.records.len() + 1));
+        out.push_str(&self.header);
+        out.push('\n');
+        for (key, value) in &state.records {
+            let line = Value::Object(vec![
+                ("key".into(), Value::String(key.clone())),
+                ("value".into(), value.clone()),
+            ]);
+            out.push_str(&serde_json::to_string(&line).expect("journal line serialization"));
+            out.push('\n');
+        }
+        match with_io_retries(IO_RETRY_ATTEMPTS, || atomic_write(&self.path, out.as_bytes())) {
+            Ok(()) => {
+                state.dirty = 0;
+                state.stats.flushes += 1;
+            }
+            Err(e) => {
+                if state.sticky_error.is_none() {
+                    state.sticky_error =
+                        Some(ReproError::io(format!("{}: {e}", self.path.display())));
+                }
+            }
+        }
+    }
+}
+
+fn header_line(meta: &JournalMeta) -> String {
+    let header = Value::Object(vec![
+        ("schema".into(), Value::String(SCHEMA.into())),
+        ("command".into(), Value::String(meta.command.clone())),
+        ("fingerprint".into(), Value::String(meta.fingerprint.clone())),
+    ]);
+    serde_json::to_string(&header).expect("journal header serialization")
+}
+
+fn load_existing(
+    path: &Path,
+    text: &str,
+    meta: &JournalMeta,
+    state: &mut JournalState,
+) -> Result<(), ReproError> {
+    let mut lines = text.lines();
+    let Some(first) = lines.next().filter(|l| !l.trim().is_empty()) else {
+        return Ok(()); // empty file: treat as a fresh journal
+    };
+    let header: Value = serde_json::from_str(first).map_err(|e| {
+        ReproError::usage(format!(
+            "{}: unreadable journal header ({e}) — pass a fresh --resume directory",
+            path.display()
+        ))
+    })?;
+    let schema = header.get("schema").and_then(Value::as_str).unwrap_or("");
+    if schema != SCHEMA {
+        return Err(ReproError::usage(format!(
+            "{}: journal schema `{schema}` is not `{SCHEMA}`{} — regenerate the journal \
+             with this version or pass a fresh --resume directory",
+            path.display(),
+            if schema.starts_with("dls-journal/") {
+                " (written by a different repro version)"
+            } else {
+                ""
+            },
+        )));
+    }
+    let command = header.get("command").and_then(Value::as_str).unwrap_or("");
+    let fingerprint = header.get("fingerprint").and_then(Value::as_str).unwrap_or("");
+    if command != meta.command || fingerprint != meta.fingerprint {
+        return Err(ReproError::usage(format!(
+            "{}: journal belongs to `{command}` [{fingerprint}] but this invocation is \
+             `{}` [{}] — resume with the original options or pass a fresh --resume directory",
+            path.display(),
+            meta.command,
+            meta.fingerprint,
+        )));
+    }
+    let body: Vec<&str> = lines.collect();
+    for (i, line) in body.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed: Result<Value, _> = serde_json::from_str(line);
+        let record = parsed.ok().and_then(|v| {
+            let key = v.get("key")?.as_str()?.to_string();
+            let value = v.get("value")?.clone();
+            Some((key, value))
+        });
+        match record {
+            Some((key, value)) => {
+                if !state.index.contains_key(&key) {
+                    state.records.push((key.clone(), value));
+                    let idx = state.records.len() - 1;
+                    state.index.insert(key, idx);
+                    state.stats.resumed += 1;
+                }
+            }
+            None if i == body.len() - 1 => {
+                // A torn trailing line: the previous process crashed
+                // mid-flush of a non-atomic writer, or the file was
+                // truncated. Drop it; the run will simply re-execute.
+                state.stats.torn_lines += 1;
+            }
+            None => {
+                return Err(ReproError::usage(format!(
+                    "{}: undecodable journal record on line {} — the journal is corrupt; \
+                     pass a fresh --resume directory",
+                    path.display(),
+                    i + 2,
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dls-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn meta() -> JournalMeta {
+        JournalMeta { command: "fig5".into(), fingerprint: "n=1024 seed=7 runs=8".into() }
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = tmp_dir("aw");
+        let path = dir.join("artifact.csv");
+        atomic_write(&path, b"old").unwrap();
+        atomic_write(&path, b"new contents").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new contents");
+        assert!(!tmp_path(&path).exists(), "tmp file must not linger");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn io_retries_recover_from_transient_failures() {
+        let failures = AtomicU32::new(2);
+        let out = with_io_retries(3, || {
+            if failures.fetch_sub(1, Ordering::Relaxed) > 0 {
+                Err(std::io::Error::other("transient"))
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+
+        let err = with_io_retries(2, || -> std::io::Result<()> {
+            Err(std::io::Error::other("persistent"))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("persistent"));
+    }
+
+    #[test]
+    fn journal_round_trips_across_sessions() {
+        let dir = tmp_dir("rt");
+        {
+            let j = Journal::open(&dir, &meta()).unwrap();
+            j.record(run_key("p=2", 0xAB, 0), Value::F64(1.5));
+            j.record(run_key("p=2", 0xAB, 1), Value::Array(vec![Value::U64(3)]));
+            j.flush().unwrap();
+            assert_eq!(j.stats().recorded, 2);
+        }
+        let j = Journal::open(&dir, &meta()).unwrap();
+        assert_eq!(j.resumed(), 2);
+        assert_eq!(j.lookup(&run_key("p=2", 0xAB, 0)), Some(Value::F64(1.5)));
+        assert_eq!(j.lookup(&run_key("p=2", 0xAB, 1)), Some(Value::Array(vec![Value::U64(3)])));
+        assert_eq!(j.lookup(&run_key("p=2", 0xAB, 2)), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_campaign_is_rejected_with_an_actionable_error() {
+        let dir = tmp_dir("mm");
+        Journal::open(&dir, &meta()).unwrap().flush().unwrap();
+        let other =
+            JournalMeta { command: "fig6".into(), fingerprint: "n=8192 seed=7 runs=8".into() };
+        let err = Journal::open(&dir, &other).unwrap_err();
+        assert_eq!(err.exit_code(), crate::error::EXIT_USAGE);
+        assert!(err.to_string().contains("fig5"), "names the journal's campaign: {err}");
+        assert!(err.to_string().contains("fig6"), "names this invocation: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_schema_is_rejected_with_an_upgrade_hint() {
+        let dir = tmp_dir("fs");
+        let path = dir.join(JOURNAL_FILE);
+        std::fs::write(
+            &path,
+            "{\"schema\":\"dls-journal/9\",\"command\":\"fig5\",\"fingerprint\":\"x\"}\n",
+        )
+        .unwrap();
+        let err = Journal::open(&dir, &meta()).unwrap_err();
+        assert!(err.is_usage());
+        assert!(err.to_string().contains("dls-journal/9"));
+        assert!(err.to_string().contains("different repro version"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped_mid_file_corruption_is_not() {
+        let dir = tmp_dir("torn");
+        {
+            let j = Journal::open(&dir, &meta()).unwrap();
+            j.record(run_key("c", 1, 0), Value::U64(10));
+            j.record(run_key("c", 1, 1), Value::U64(11));
+            j.flush().unwrap();
+        }
+        // Tear the last line, as a crash between flushes would.
+        let path = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 8]).unwrap();
+        let j = Journal::open(&dir, &meta()).unwrap();
+        assert_eq!(j.resumed(), 1);
+        assert_eq!(j.stats().torn_lines, 1);
+        assert!(j.lookup(&run_key("c", 1, 0)).is_some());
+        assert!(j.lookup(&run_key("c", 1, 1)).is_none());
+
+        // Corruption in the middle is a hard error, not silent data loss.
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[1] = "{garbage".into();
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let err = Journal::open(&dir, &meta()).unwrap_err();
+        assert!(err.to_string().contains("corrupt"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_is_idempotent_and_concurrent() {
+        let dir = tmp_dir("conc");
+        let j = Journal::open(&dir, &meta()).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let j = &j;
+                scope.spawn(move || {
+                    for i in 0..50u32 {
+                        j.record(run_key("c", 9, t * 50 + i), Value::U64(u64::from(i)));
+                        // Every thread also re-records run 0: first write wins.
+                        j.record(run_key("c", 9, 0), Value::U64(999));
+                    }
+                });
+            }
+        });
+        j.flush().unwrap();
+        assert_eq!(j.stats().recorded, 200);
+        let j2 = Journal::open(&dir, &meta()).unwrap();
+        assert_eq!(j2.resumed(), 200);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_keys_disambiguate_cells_sharing_a_seed() {
+        // The fault sweep's baseline and scenario campaigns reuse one seed.
+        assert_ne!(run_key("FAC2 baseline", 7, 0), run_key("FAC2 loss(2%)", 7, 0));
+        assert_ne!(run_key("c", 7, 0), run_key("c", 7, 1));
+        assert_ne!(run_key("c", 7, 0), run_key("c", 8, 0));
+    }
+}

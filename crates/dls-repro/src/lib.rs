@@ -20,8 +20,10 @@
 
 pub mod bench;
 pub mod cli;
+pub mod error;
 pub mod faults;
 pub mod hagerup_exp;
+pub mod journal;
 pub mod outlier;
 pub mod plot;
 pub mod reference;

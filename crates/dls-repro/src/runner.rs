@@ -7,9 +7,13 @@
 //! campaign seed via [`dls_rng::seed_stream`], making every individual run
 //! reproducible regardless of the thread interleaving.
 
+use crate::error::ReproError;
+use crate::journal::{self, Journal};
 use dls_rng::seed_stream;
 use dls_telemetry::Telemetry;
-use std::sync::atomic::{AtomicU64, Ordering};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Runs `runs` independent evaluations of `f(run_index, run_seed)` and
 /// collects the results in run order.
@@ -115,6 +119,300 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+// ---------------------------------------------------------------------------
+// Resilient execution
+// ---------------------------------------------------------------------------
+
+/// Cooperative cancellation flag, checked between runs by the resilient
+/// campaign runner. Cloning shares the flag (it is an `Arc` inside), so the
+/// CLI's signal handler and every campaign worker observe one state.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Safe to call from a signal handler's thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Record of a run whose workload panicked. The sweep keeps going; the CLI
+/// reports quarantined cells at the end instead of aborting everything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRun {
+    /// Grid-cell label the run belonged to (e.g. `n=4096 p=8`).
+    pub cell: String,
+    /// Run index within the cell's campaign.
+    pub run: u32,
+    /// The run's derived seed — enough to replay the exact failure.
+    pub seed: u64,
+    /// The panic payload, when it was a string (the common case).
+    pub panic_message: String,
+}
+
+impl std::fmt::Display for QuarantinedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell [{}] run {} (seed {:#018x}): {}",
+            self.cell, self.run, self.seed, self.panic_message
+        )
+    }
+}
+
+/// Shared state of one resilient invocation: the optional checkpoint
+/// journal, the cancellation flag, and the quarantine list. One context
+/// spans every campaign a command executes, so a `repro sweep` journals all
+/// its grid cells into a single `--resume` directory.
+#[derive(Debug)]
+pub struct ExecContext {
+    journal: Option<Journal>,
+    cancel: CancelFlag,
+    quarantined: Mutex<Vec<QuarantinedRun>>,
+    cancel_after: Option<u64>,
+    finished: AtomicU64,
+}
+
+impl ExecContext {
+    /// A context with no journal: runs are not checkpointed (the default
+    /// when `--resume` is not passed) but panic isolation and cancellation
+    /// still apply.
+    pub fn transient() -> Self {
+        ExecContext {
+            journal: None,
+            cancel: CancelFlag::new(),
+            quarantined: Mutex::new(Vec::new()),
+            cancel_after: None,
+            finished: AtomicU64::new(0),
+        }
+    }
+
+    /// A context checkpointing into `journal`.
+    pub fn with_journal(journal: Journal) -> Self {
+        let mut ctx = Self::transient();
+        ctx.journal = Some(journal);
+        ctx
+    }
+
+    /// Uses `flag` for cancellation (e.g. the CLI's SIGINT-backed flag).
+    pub fn with_cancel_flag(mut self, flag: CancelFlag) -> Self {
+        self.cancel = flag;
+        self
+    }
+
+    /// Injects a cancellation after `n` newly executed runs — the test
+    /// hook behind `--cancel-after`, simulating a mid-campaign kill at a
+    /// deterministic point.
+    pub fn with_cancel_after(mut self, n: u64) -> Self {
+        self.cancel_after = Some(n);
+        self
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// A handle to this context's cancellation flag.
+    pub fn cancel_flag(&self) -> CancelFlag {
+        self.cancel.clone()
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// Adds a run to the quarantine list.
+    pub fn quarantine(&self, run: QuarantinedRun) {
+        self.quarantined.lock().expect("quarantine lock poisoned").push(run);
+    }
+
+    /// The quarantined runs so far, in quarantine order.
+    pub fn quarantined(&self) -> Vec<QuarantinedRun> {
+        self.quarantined.lock().expect("quarantine lock poisoned").clone()
+    }
+
+    /// Flushes the journal (no-op without one). Returns the first error
+    /// that survived the retry policy, including ones swallowed by
+    /// automatic mid-campaign flushes.
+    pub fn flush(&self) -> Result<(), ReproError> {
+        match &self.journal {
+            Some(j) => j.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// The [`ReproError::Interrupted`] for this context, carrying the
+    /// resume hint when a journal is attached.
+    pub fn interrupted_error(&self) -> ReproError {
+        ReproError::Interrupted {
+            resume_dir: self.journal.as_ref().map(|j| j.dir().display().to_string()),
+        }
+    }
+
+    /// Bookkeeping after a run finishes (completed *or* quarantined):
+    /// trips the cancellation flag once `--cancel-after` is reached.
+    fn note_run_finished(&self) {
+        let done = self.finished.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(limit) = self.cancel_after {
+            if done >= limit {
+                self.cancel.cancel();
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`run_campaign_metered`] made restartable: journaled runs are replayed
+/// from the checkpoint instead of re-executed, a panicking run is
+/// quarantined (its slot stays `None`) instead of aborting the sweep, and
+/// cancellation is honoured between runs with a final journal flush.
+///
+/// `cell` uniquely labels this campaign within its command — it is part of
+/// every journal key, because two campaigns of one command may legitimately
+/// share `campaign_seed` (the fault sweep's baseline/scenario pairs) yet
+/// must checkpoint independently.
+///
+/// Returns `Err(Interrupted)` when cancelled; otherwise `Ok` with one
+/// `Some` per completed (or replayed) run and `None` per quarantined run.
+/// Replayed results are bit-identical to freshly computed ones because the
+/// journal serializes `f64`s losslessly.
+pub fn run_campaign_resilient<T, F>(
+    runs: u32,
+    campaign_seed: u64,
+    threads: usize,
+    telemetry: &Telemetry,
+    ctx: &ExecContext,
+    cell: &str,
+    f: F,
+) -> Result<Vec<Option<T>>, ReproError>
+where
+    T: Send + Serialize + for<'de> Deserialize<'de>,
+    F: Fn(u32, u64) -> T + Sync,
+{
+    let seeds: Vec<u64> = seed_stream(campaign_seed).take(runs as usize).collect();
+    let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+
+    // Replay journaled runs; anything missing or undecodable re-executes.
+    let mut pending: Vec<u32> = Vec::new();
+    for i in 0..runs {
+        let replayed = ctx.journal().and_then(|j| {
+            let v = j.lookup(&journal::run_key(cell, campaign_seed, i))?;
+            T::from_value(&v).ok()
+        });
+        match replayed {
+            Some(v) => {
+                results[i as usize] = Some(v);
+                telemetry.counter_inc("journal.runs_skipped");
+            }
+            None => pending.push(i),
+        }
+    }
+
+    if ctx.is_cancelled() {
+        ctx.flush()?;
+        return Err(ctx.interrupted_error());
+    }
+
+    // One run, with panic isolation and checkpointing. Returns the result
+    // so workers can keep it locally; quarantined runs land in `ctx`.
+    let execute = |i: u32| -> Option<T> {
+        telemetry.counter_inc("campaign.runs_started");
+        let span = telemetry.span("campaign.run_wall_s");
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, seeds[i as usize])));
+        span.finish();
+        let out = match outcome {
+            Ok(v) => {
+                telemetry.counter_inc("campaign.runs_completed");
+                if let Some(j) = ctx.journal() {
+                    j.record(journal::run_key(cell, campaign_seed, i), v.to_value());
+                    telemetry.counter_inc("journal.runs_recorded");
+                }
+                Some(v)
+            }
+            Err(payload) => {
+                telemetry.counter_inc("campaign.runs_quarantined");
+                ctx.quarantine(QuarantinedRun {
+                    cell: cell.to_string(),
+                    run: i,
+                    seed: seeds[i as usize],
+                    panic_message: panic_message(payload.as_ref()),
+                });
+                None
+            }
+        };
+        ctx.note_run_finished();
+        out
+    };
+
+    let threads = threads.max(1).min(pending.len().max(1));
+    if threads == 1 {
+        for &i in &pending {
+            if ctx.is_cancelled() {
+                break;
+            }
+            results[i as usize] = execute(i);
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let mut partials: Vec<Vec<(u32, Option<T>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let pending = &pending;
+                    let execute = &execute;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            if ctx.is_cancelled() {
+                                break;
+                            }
+                            let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = pending.get(slot) else { break };
+                            local.push((i, execute(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("campaign worker panicked")).collect()
+        });
+        for part in &mut partials {
+            for (i, v) in part.drain(..) {
+                results[i as usize] = v;
+            }
+        }
+    }
+
+    if ctx.is_cancelled() {
+        ctx.flush()?;
+        return Err(ctx.interrupted_error());
+    }
+    ctx.flush()?;
+    Ok(results)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +504,110 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), seeds.len());
+    }
+
+    use crate::journal::{Journal, JournalMeta};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dls-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn meta() -> JournalMeta {
+        JournalMeta { command: "test".into(), fingerprint: "runs=40 seed=5".into() }
+    }
+
+    #[test]
+    fn resilient_matches_plain_campaign() {
+        let plain = run_campaign(40, 5, 4, |i, s| s.wrapping_add(u64::from(i)));
+        let ctx = ExecContext::transient();
+        let out = run_campaign_resilient(40, 5, 4, &Telemetry::disabled(), &ctx, "c", |i, s| {
+            s.wrapping_add(u64::from(i))
+        })
+        .unwrap();
+        assert_eq!(out.into_iter().map(Option::unwrap).collect::<Vec<_>>(), plain);
+        assert!(ctx.quarantined().is_empty());
+    }
+
+    #[test]
+    fn panicking_run_is_quarantined_and_the_rest_complete() {
+        let ctx = ExecContext::transient();
+        let out =
+            run_campaign_resilient(16, 5, 4, &Telemetry::disabled(), &ctx, "cell-x", |i, s| {
+                if i == 3 {
+                    panic!("injected failure in run {i}");
+                }
+                s
+            })
+            .unwrap();
+        assert!(out[3].is_none(), "panicking run must be quarantined");
+        assert_eq!(out.iter().filter(|r| r.is_some()).count(), 15);
+        let q = ctx.quarantined();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].cell, "cell-x");
+        assert_eq!(q[0].run, 3);
+        assert_eq!(q[0].seed, seed_stream(5).nth(3).unwrap());
+        assert!(q[0].panic_message.contains("injected failure in run 3"));
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_bit_identically() {
+        let dir = tmp_dir("resume");
+        let full = run_campaign(40, 5, 1, |i, s| (s ^ u64::from(i)) as f64 * 0.1);
+
+        // Phase 1: cancel after ~half the runs.
+        let ctx =
+            ExecContext::with_journal(Journal::open(&dir, &meta()).unwrap()).with_cancel_after(20);
+        let err = run_campaign_resilient(40, 5, 3, &Telemetry::disabled(), &ctx, "c", |i, s| {
+            (s ^ u64::from(i)) as f64 * 0.1
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code(), crate::error::EXIT_INTERRUPTED);
+        assert!(err.to_string().contains("--resume"), "hint present: {err}");
+
+        // Phase 2: resume from the journal; replayed + fresh runs must be
+        // bit-identical to the uninterrupted campaign.
+        let tel = Telemetry::enabled();
+        let journal = Journal::open(&dir, &meta()).unwrap();
+        assert!(journal.resumed() >= 20, "phase 1 journaled its completed runs");
+        let resumed_count = journal.resumed();
+        let ctx = ExecContext::with_journal(journal);
+        let out = run_campaign_resilient(40, 5, 3, &tel, &ctx, "c", |i, s| {
+            (s ^ u64::from(i)) as f64 * 0.1
+        })
+        .unwrap();
+        let out: Vec<f64> = out.into_iter().map(Option::unwrap).collect();
+        assert_eq!(out, full);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("journal.runs_skipped"), Some(resumed_count));
+        assert_eq!(snap.counter("campaign.runs_started"), Some(40 - resumed_count));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_cancelled_context_flushes_and_interrupts_immediately() {
+        let ctx = ExecContext::transient();
+        ctx.cancel_flag().cancel();
+        let executed = AtomicU64::new(0);
+        let err = run_campaign_resilient(8, 5, 2, &Telemetry::disabled(), &ctx, "c", |_, s| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            s
+        })
+        .unwrap_err();
+        assert!(matches!(err, ReproError::Interrupted { resume_dir: None }));
+        assert_eq!(executed.load(Ordering::Relaxed), 0, "no run may start after cancel");
+    }
+
+    #[test]
+    fn campaigns_sharing_a_seed_journal_independently() {
+        let dir = tmp_dir("shared-seed");
+        let ctx = ExecContext::with_journal(Journal::open(&dir, &meta()).unwrap());
+        let tel = Telemetry::disabled();
+        let a = run_campaign_resilient(6, 9, 1, &tel, &ctx, "baseline", |_, s| s).unwrap();
+        let b = run_campaign_resilient(6, 9, 1, &tel, &ctx, "loss(2%)", |_, s| s ^ 1).unwrap();
+        assert_ne!(a, b, "distinct cells with one seed must not replay each other");
+        assert_eq!(ctx.journal().unwrap().stats().recorded, 12);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -74,9 +74,12 @@ pub struct ExperimentSpec {
 }
 
 impl ExperimentSpec {
-    /// Serializes to pretty JSON.
+    /// Serializes to pretty JSON. Falls back to an error-carrying JSON
+    /// object in the (currently unreachable) serializer-failure case, so
+    /// user-reachable CLI paths never panic on a spec export.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("spec serialization cannot fail")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| format!("{{\"error\":\"spec serialization failed: {e}\"}}"))
     }
 
     /// Deserializes from JSON.

@@ -7,12 +7,15 @@
 //! over loop sizes, PE counts, task-time distributions and techniques, with
 //! summary statistics per cell.
 
-use crate::runner::{cell_seed, run_campaign};
+use crate::error::ReproError;
+use crate::runner::{cell_seed, run_campaign_resilient, ExecContext};
 use dls_core::{SetupError, Technique};
 use dls_metrics::{OverheadModel, SummaryStats};
 use dls_msgsim::{simulate_with_tasks, SimSpec};
 use dls_platform::{LinkSpec, Platform};
+use dls_telemetry::Telemetry;
 use dls_workload::{TimeModel, Workload};
+use serde::{Deserialize, Serialize};
 
 /// A named workload family for the sweep (the task count is supplied per
 /// grid point).
@@ -105,9 +108,33 @@ pub struct SweepRow {
     pub chunks_mean: f64,
 }
 
+/// One run's observation in a sweep cell — the unit the checkpoint journal
+/// stores for sweep campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepRunObs {
+    /// Average wasted time of the run.
+    pub wasted: f64,
+    /// Speedup of the run.
+    pub speedup: f64,
+    /// Scheduling operations (chunks) of the run.
+    pub chunks: u64,
+}
+
 /// Runs the sweep; the row order is the nesting order
 /// (n, p, family, technique).
-pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, SetupError> {
+pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, ReproError> {
+    run_sweep_resilient(cfg, &Telemetry::disabled(), &ExecContext::transient())
+}
+
+/// [`run_sweep`] under a resilient [`ExecContext`]: each grid cell is its
+/// own journaled campaign, cancellation is honoured between runs, and a
+/// panicking run is quarantined (excluded from its cell's statistics)
+/// instead of aborting the sweep.
+pub fn run_sweep_resilient(
+    cfg: &SweepConfig,
+    telemetry: &Telemetry,
+    ctx: &ExecContext,
+) -> Result<Vec<SweepRow>, ReproError> {
     let overhead = OverheadModel::PostHocTotal { h: cfg.h };
     let mut rows = Vec::new();
     // Cells are seeded by their position in the nesting order, so two cells
@@ -127,20 +154,34 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, SetupError> {
                     technique.build(&setup)?;
                     let seed = cell_seed(cfg.seed, cell);
                     cell += 1;
-                    let per_run: Vec<(f64, f64, u64)> =
-                        run_campaign(cfg.runs, seed, cfg.threads, |_, run_seed| {
+                    let label = format!("n={n} p={p} {} {}", family.name, technique.name());
+                    let per_run: Vec<Option<SweepRunObs>> = run_campaign_resilient(
+                        cfg.runs,
+                        seed,
+                        cfg.threads,
+                        telemetry,
+                        ctx,
+                        &label,
+                        |_, run_seed| {
                             let tasks = spec.workload.generate(run_seed);
                             let out = simulate_with_tasks(&spec, &tasks)
                                 .expect("validated spec cannot fail");
-                            (out.average_wasted(), out.speedup(), out.chunks)
-                        });
+                            SweepRunObs {
+                                wasted: out.average_wasted(),
+                                speedup: out.speedup(),
+                                chunks: out.chunks,
+                            }
+                        },
+                    )?;
                     let mut wasted = SummaryStats::new();
                     let mut speedup = SummaryStats::new();
                     let mut chunks = 0u64;
-                    for (w, s, c) in &per_run {
-                        wasted.push(*w);
-                        speedup.push(*s);
-                        chunks += c;
+                    let mut completed = 0u64;
+                    for obs in per_run.iter().flatten() {
+                        wasted.push(obs.wasted);
+                        speedup.push(obs.speedup);
+                        chunks += obs.chunks;
+                        completed += 1;
                     }
                     rows.push(SweepRow {
                         n,
@@ -149,7 +190,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, SetupError> {
                         technique: technique.name().to_string(),
                         wasted,
                         speedup,
-                        chunks_mean: chunks as f64 / cfg.runs.max(1) as f64,
+                        chunks_mean: chunks as f64 / completed.max(1) as f64,
                     });
                 }
             }

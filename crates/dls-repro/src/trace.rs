@@ -263,7 +263,9 @@ pub fn write_artifacts(a: &TraceArtifacts, dir: &Path) -> std::io::Result<Vec<Pa
     let mut paths = Vec::new();
     let mut emit = |suffix: &str, contents: String| -> std::io::Result<()> {
         let path = dir.join(format!("{}.{suffix}", a.label));
-        std::fs::write(&path, contents)?;
+        // Crash-consistent: an interrupt mid-export never leaves a torn
+        // half-written trace file behind.
+        crate::journal::atomic_write(&path, contents.as_bytes())?;
         paths.push(path);
         Ok(())
     };

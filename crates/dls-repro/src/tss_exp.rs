@@ -12,7 +12,7 @@
 //! chunk computation the message-passing model simply does not have.
 
 use crate::reference::{self, ReferenceSeries, TSS_PES};
-use dls_core::{SetupError, Technique};
+use dls_core::Technique;
 use dls_msgsim::{simulate, SimSpec};
 use dls_platform::{LinkSpec, Platform};
 use dls_workload::Workload;
@@ -135,7 +135,7 @@ pub fn run_experiment(
     exp: TssExperiment,
     link: LinkSpec,
     pes: &[u32],
-) -> Result<Vec<SpeedupRow>, SetupError> {
+) -> Result<Vec<SpeedupRow>, crate::error::ReproError> {
     run_experiment_contended(exp, link, pes, ContentionModel::none())
 }
 
@@ -145,10 +145,30 @@ pub fn run_experiment_contended(
     link: LinkSpec,
     pes: &[u32],
     contention: ContentionModel,
-) -> Result<Vec<SpeedupRow>, SetupError> {
+) -> Result<Vec<SpeedupRow>, crate::error::ReproError> {
+    run_experiment_resilient(exp, link, pes, contention, &crate::runner::ExecContext::transient())
+}
+
+/// [`run_experiment_contended`] under a resilient [`ExecContext`]: the
+/// panel is deterministic and fast (one run per cell), so it is not
+/// journaled, but cancellation is honoured between PE cells so a Ctrl-C
+/// during `repro all` stops promptly here too.
+///
+/// [`ExecContext`]: crate::runner::ExecContext
+pub fn run_experiment_resilient(
+    exp: TssExperiment,
+    link: LinkSpec,
+    pes: &[u32],
+    contention: ContentionModel,
+    ctx: &crate::runner::ExecContext,
+) -> Result<Vec<SpeedupRow>, crate::error::ReproError> {
     let refs = exp.reference();
     let mut rows = Vec::new();
     for &p in pes {
+        if ctx.is_cancelled() {
+            ctx.flush()?;
+            return Err(ctx.interrupted_error());
+        }
         let workload = Workload::constant(exp.n(), exp.task_time());
         let platform = Platform::homogeneous_star("pe", p as usize, 1.0, link);
         for (label, technique) in exp.techniques(p as u64) {
@@ -166,12 +186,12 @@ pub fn run_experiment_contended(
 }
 
 /// Figure 3 with the default sweep and a fast interconnect.
-pub fn run_fig3() -> Result<Vec<SpeedupRow>, SetupError> {
+pub fn run_fig3() -> Result<Vec<SpeedupRow>, crate::error::ReproError> {
     run_experiment(TssExperiment::Exp1, LinkSpec::fast(), &TSS_PES)
 }
 
 /// Figure 4 with the default sweep and a fast interconnect.
-pub fn run_fig4() -> Result<Vec<SpeedupRow>, SetupError> {
+pub fn run_fig4() -> Result<Vec<SpeedupRow>, crate::error::ReproError> {
     run_experiment(TssExperiment::Exp2, LinkSpec::fast(), &TSS_PES)
 }
 

@@ -83,6 +83,17 @@ impl Snapshot {
         self.counters.iter().find(|c| c.name == name).map(|c| c.value)
     }
 
+    /// All counters whose name starts with `prefix`, in name order.
+    /// Namespaced counter families (`journal.*`, `campaign.*`, `msgsim.*`)
+    /// can be summarized as a group without enumerating every member.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, u64)> {
+        self.counters
+            .iter()
+            .filter(|c| c.name.starts_with(prefix))
+            .map(|c| (c.name.as_str(), c.value))
+            .collect()
+    }
+
     /// Looks up a gauge by name.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
@@ -144,6 +155,22 @@ mod tests {
         assert_eq!(s.mean, 0.0);
         assert_eq!(s.p50, 0.0);
         assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn counters_with_prefix_selects_a_namespace() {
+        let snap = Snapshot {
+            counters: vec![
+                CounterSnapshot { name: "campaign.runs_started".into(), value: 10 },
+                CounterSnapshot { name: "journal.runs_recorded".into(), value: 4 },
+                CounterSnapshot { name: "journal.runs_skipped".into(), value: 6 },
+            ],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        let journal = snap.counters_with_prefix("journal.");
+        assert_eq!(journal, vec![("journal.runs_recorded", 4), ("journal.runs_skipped", 6)]);
+        assert!(snap.counters_with_prefix("nope.").is_empty());
     }
 
     #[test]
