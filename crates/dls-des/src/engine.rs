@@ -4,7 +4,6 @@ use crate::SimTime;
 use dls_trace::{TraceKind, Tracer};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 /// Identifies an actor within one [`Engine`].
 pub type ActorId = usize;
@@ -81,27 +80,112 @@ enum EventKind<M> {
     Timer { actor: ActorId, key: u64, id: Option<TimerId> },
 }
 
-struct Event<M> {
+/// Heap node for one pending event. The payload ([`EventKind`]) lives in a
+/// slab and is addressed by `slot`; only this small fixed-size node moves
+/// through heap sifts. Ordering is keyed by `(time, seq)` alone — never by
+/// `slot`, which is reused and carries no temporal meaning.
+#[derive(Clone, Copy)]
+struct EventNode {
     time: SimTime,
     seq: u64,
-    kind: EventKind<M>,
+    slot: u32,
 }
 
-impl<M> PartialEq for Event<M> {
+impl PartialEq for EventNode {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
+impl Eq for EventNode {}
+impl PartialOrd for EventNode {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Event<M> {
+impl Ord for EventNode {
     // Reversed: BinaryHeap is a max-heap, we need earliest-first.
     fn cmp(&self, other: &Self) -> Ordering {
         other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Free-list slab holding the payloads of pending events.
+///
+/// `insert` prefers recycled slots, so steady-state runs stop allocating
+/// once the high-water mark of simultaneously pending events is reached.
+struct EventSlab<M> {
+    slots: Vec<Option<EventKind<M>>>,
+    free: Vec<u32>,
+}
+
+impl<M> EventSlab<M> {
+    fn new() -> Self {
+        EventSlab { slots: Vec::new(), free: Vec::new() }
+    }
+
+    fn insert(&mut self, kind: EventKind<M>) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(kind);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("more than 2^32 pending events");
+                self.slots.push(Some(kind));
+                slot
+            }
+        }
+    }
+
+    /// Removes and returns the payload at `slot`, recycling the slot.
+    fn take(&mut self, slot: u32) -> EventKind<M> {
+        let kind = self.slots[slot as usize].take().expect("slot must be occupied");
+        self.free.push(slot);
+        kind
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.slots.reserve(additional);
+        self.free.reserve(additional);
+    }
+}
+
+/// Outstanding cancellations, stored as a sorted vec of monotone timer ids.
+///
+/// The common case is an empty set (no cancellation issued, or every
+/// cancelled timer already reaped), which the engine's pop loop detects
+/// with a single `is_empty` check before any lookup. Entries are removed
+/// lazily when the matching timer event reaches the head of the queue, so
+/// the set never outgrows the number of cancelled-but-still-queued timers.
+#[derive(Default)]
+struct CancelSet {
+    ids: Vec<u64>,
+    peak: usize,
+}
+
+impl CancelSet {
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    fn insert(&mut self, id: u64) {
+        if let Err(pos) = self.ids.binary_search(&id) {
+            self.ids.insert(pos, id);
+            self.peak = self.peak.max(self.ids.len());
+        }
+    }
+
+    /// Removes `id` if present, reporting whether it was.
+    fn remove(&mut self, id: u64) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
     }
 }
 
@@ -201,17 +285,21 @@ pub struct EngineStats {
     pub delayed_sends: u64,
     /// Deliveries and timers discarded because the target was killed.
     pub dead_letters: u64,
+    /// Largest number of simultaneously outstanding timer cancellations
+    /// (cancelled timers whose queue entry had not yet been reaped).
+    pub max_cancelled: usize,
 }
 
 /// The discrete-event engine: owns actors and the event queue.
 pub struct Engine<M> {
     actors: Vec<Box<dyn Actor<M>>>,
     dead: Vec<bool>,
-    heap: BinaryHeap<Event<M>>,
+    heap: BinaryHeap<EventNode>,
+    slab: EventSlab<M>,
     now: SimTime,
     seq: u64,
     next_timer_id: u64,
-    cancelled: HashSet<TimerId>,
+    cancelled: CancelSet,
     interceptor: Option<Box<dyn Interceptor>>,
     tracer: Tracer,
     commands: Vec<Command<M>>,
@@ -231,10 +319,11 @@ impl<M> Engine<M> {
             actors: Vec::new(),
             dead: Vec::new(),
             heap: BinaryHeap::new(),
+            slab: EventSlab::new(),
             now: SimTime::ZERO,
             seq: 0,
             next_timer_id: 0,
-            cancelled: HashSet::new(),
+            cancelled: CancelSet::default(),
             interceptor: None,
             tracer: Tracer::disabled(),
             commands: Vec::new(),
@@ -274,16 +363,63 @@ impl<M> Engine<M> {
         self.tracer = tracer;
     }
 
+    #[inline]
     fn push_event(&mut self, time: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        let slot = self.slab.insert(kind);
+        self.heap.push(EventNode { time, seq, slot });
         self.stats.max_queue = self.stats.max_queue.max(self.heap.len());
     }
 
     fn drain_commands(&mut self, issuer: ActorId) -> bool {
+        if self.commands.is_empty() {
+            return false;
+        }
+        if self.interceptor.is_some() {
+            return self.drain_commands_intercepted(issuer);
+        }
+        // No interceptor: every send is delivered as scheduled, so the loop
+        // does no metadata work and no verdict dispatch at all.
         let mut stop = false;
         // Swap out to appease the borrow checker without reallocating.
+        let mut cmds = std::mem::take(&mut self.commands);
+        for cmd in cmds.drain(..) {
+            match cmd {
+                Command::Send { to, delay, msg } => {
+                    let at = self.now.saturating_add(delay);
+                    self.tracer.emit_with(|| dls_trace::TraceEvent {
+                        at: self.now.as_secs_f64(),
+                        kind: TraceKind::MsgSent {
+                            from: issuer,
+                            to,
+                            deliver_at: at.as_secs_f64(),
+                            seq: self.seq,
+                        },
+                    });
+                    self.push_event(at, EventKind::Deliver { from: issuer, to, msg });
+                }
+                Command::Timer { delay, key, id } => {
+                    let at = self.now.saturating_add(delay);
+                    self.push_event(at, EventKind::Timer { actor: issuer, key, id });
+                }
+                Command::CancelTimer { id } => {
+                    self.cancelled.insert(id.0);
+                    self.stats.max_cancelled = self.stats.max_cancelled.max(self.cancelled.peak);
+                }
+                Command::Kill { victim } => {
+                    self.tracer.emit(self.now.as_secs_f64(), TraceKind::ActorKilled { victim });
+                    self.dead[victim] = true;
+                }
+                Command::Stop => stop = true,
+            }
+        }
+        self.commands = cmds;
+        stop
+    }
+
+    fn drain_commands_intercepted(&mut self, issuer: ActorId) -> bool {
+        let mut stop = false;
         let mut cmds = std::mem::take(&mut self.commands);
         let mut interceptor = self.interceptor.take();
         for cmd in cmds.drain(..) {
@@ -340,7 +476,8 @@ impl<M> Engine<M> {
                     self.push_event(at, EventKind::Timer { actor: issuer, key, id });
                 }
                 Command::CancelTimer { id } => {
-                    self.cancelled.insert(id);
+                    self.cancelled.insert(id.0);
+                    self.stats.max_cancelled = self.stats.max_cancelled.max(self.cancelled.peak);
                 }
                 Command::Kill { victim } => {
                     self.tracer.emit(self.now.as_secs_f64(), TraceKind::ActorKilled { victim });
@@ -360,6 +497,12 @@ impl<M> Engine<M> {
     /// re-run afterwards.
     pub fn run(mut self) -> (Vec<Box<dyn Actor<M>>>, EngineStats) {
         let num_actors = self.actors.len();
+        // Reserve for the common steady state (one in-flight event per actor
+        // plus slack) so the first ramp-up does not reallocate repeatedly.
+        let cap = 2 * num_actors + 16;
+        self.heap.reserve(cap);
+        self.slab.reserve(cap);
+        self.commands.reserve(16);
         // Start phase: give every actor a chance to seed the queue.
         for id in 0..num_actors {
             let mut commands = std::mem::take(&mut self.commands);
@@ -383,33 +526,46 @@ impl<M> Engine<M> {
             }
         }
 
-        while let Some(ev) = self.heap.pop() {
-            debug_assert!(ev.time >= self.now, "time must be monotone");
+        while let Some(node) = self.heap.pop() {
+            debug_assert!(node.time >= self.now, "time must be monotone");
+            let kind = self.slab.take(node.slot);
             // Cancelled timers and traffic to killed actors are skipped
             // without advancing the clock or the event counter — a fault-free
-            // plan leaves both sets empty, so that path is untouched.
-            match &ev.kind {
-                EventKind::Timer { id: Some(id), .. } if self.cancelled.contains(id) => {
-                    self.cancelled.remove(id);
+            // plan leaves both sets empty, so that path is untouched. The
+            // `is_empty` check keeps the common no-cancellation case free of
+            // any per-timer lookup.
+            match &kind {
+                EventKind::Timer { id: Some(id), .. }
+                    if !self.cancelled.is_empty() && self.cancelled.remove(id.0) =>
+                {
                     continue;
                 }
                 EventKind::Timer { actor, .. } if self.dead[*actor] => {
-                    self.tracer.emit(ev.time.as_secs_f64(), TraceKind::DeadLetter { to: *actor });
+                    self.tracer.emit_with(|| dls_trace::TraceEvent {
+                        at: node.time.as_secs_f64(),
+                        kind: TraceKind::DeadLetter { to: *actor },
+                    });
                     self.stats.dead_letters += 1;
                     continue;
                 }
                 EventKind::Deliver { to, .. } if self.dead[*to] => {
-                    self.tracer.emit(ev.time.as_secs_f64(), TraceKind::DeadLetter { to: *to });
+                    self.tracer.emit_with(|| dls_trace::TraceEvent {
+                        at: node.time.as_secs_f64(),
+                        kind: TraceKind::DeadLetter { to: *to },
+                    });
                     self.stats.dead_letters += 1;
                     continue;
                 }
                 _ => {}
             }
-            self.now = ev.time;
+            self.now = node.time;
             self.stats.events += 1;
-            let actor_id = match ev.kind {
+            let actor_id = match kind {
                 EventKind::Deliver { from, to, msg } => {
-                    self.tracer.emit(self.now.as_secs_f64(), TraceKind::MsgDelivered { from, to });
+                    self.tracer.emit_with(|| dls_trace::TraceEvent {
+                        at: self.now.as_secs_f64(),
+                        kind: TraceKind::MsgDelivered { from, to },
+                    });
                     let mut commands = std::mem::take(&mut self.commands);
                     let mut tid = self.next_timer_id;
                     {
@@ -427,7 +583,10 @@ impl<M> Engine<M> {
                     to
                 }
                 EventKind::Timer { actor, key, id: _ } => {
-                    self.tracer.emit(self.now.as_secs_f64(), TraceKind::TimerFired { actor, key });
+                    self.tracer.emit_with(|| dls_trace::TraceEvent {
+                        at: self.now.as_secs_f64(),
+                        kind: TraceKind::TimerFired { actor, key },
+                    });
                     let mut commands = std::mem::take(&mut self.commands);
                     let mut tid = self.next_timer_id;
                     {
@@ -746,5 +905,71 @@ mod tests {
             stats
         };
         assert_eq!(run(false), run(true));
+    }
+
+    /// The dedicated no-interceptor drain loop must be indistinguishable
+    /// from the intercepted loop under a pass-through hook — identical
+    /// stats *and* an identical trace stream (same events, same order,
+    /// same seq numbers).
+    #[test]
+    fn no_interceptor_fast_path_is_bit_identical() {
+        let run = |hook: bool| {
+            let lat = SimTime::from_nanos(123);
+            let (tracer, recorder) = Tracer::ring(8192);
+            let mut eng = Engine::new();
+            eng.add_actor(Box::new(Pinger { peer: 1, rounds: 50, latency: lat, done_at: None }));
+            eng.add_actor(Box::new(Pinger { peer: 0, rounds: 50, latency: lat, done_at: None }));
+            eng.set_tracer(tracer);
+            if hook {
+                eng.set_interceptor(Box::new(PassThrough));
+            }
+            let (_, stats) = eng.run();
+            let rec = recorder.borrow();
+            assert_eq!(rec.evicted(), 0);
+            (stats, rec.to_vec())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// Timer-churn stress: 10k set/cancel cycles may not grow the cancelled
+    /// bookkeeping — every cancellation must be reaped when its (earlier)
+    /// watchdog event pops, so the peak stays at one batch.
+    #[test]
+    fn timer_churn_keeps_cancel_bookkeeping_bounded() {
+        struct Churner {
+            cycles: u32,
+        }
+        impl Actor<()> for Churner {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(SimTime::from_nanos(10), 0);
+            }
+            fn on_message(&mut self, _f: ActorId, _m: (), _c: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, key: u64, ctx: &mut Ctx<'_, ()>) {
+                assert_eq!(key, 0, "a cancelled watchdog fired");
+                if self.cycles == 0 {
+                    return;
+                }
+                self.cycles -= 1;
+                for k in 0..8 {
+                    let id = ctx.set_cancellable_timer(SimTime::from_nanos(5), 100 + k);
+                    ctx.cancel_timer(id);
+                }
+                ctx.set_timer(SimTime::from_nanos(10), 0);
+            }
+        }
+        let run = || {
+            let mut eng = Engine::new();
+            eng.add_actor(Box::new(Churner { cycles: 10_000 }));
+            let (_, stats) = eng.run();
+            stats
+        };
+        let stats = run();
+        // 80k cancellations total, but never more than one 8-timer batch
+        // outstanding: the set is reaped, not monotone.
+        assert_eq!(stats.max_cancelled, 8);
+        // Only the driving tick timers count as dispatched events.
+        assert_eq!(stats.events, 10_001);
+        // And the structure is deterministic across identical runs.
+        assert_eq!(stats, run());
     }
 }

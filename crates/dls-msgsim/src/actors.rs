@@ -6,7 +6,6 @@ use crate::outcome::FaultStats;
 use crate::spec::{Recovery, SimSpec};
 use dls_core::ChunkScheduler;
 use dls_des::{Actor, ActorId, Ctx, SimTime, TimerId};
-use dls_platform::LinkSpec;
 use dls_trace::{TraceKind, Tracer};
 use dls_workload::{Availability, TaskTimes};
 use std::cell::RefCell;
@@ -147,10 +146,15 @@ struct Ft {
 pub struct Master {
     scheduler: Rc<RefCell<Box<dyn ChunkScheduler>>>,
     tasks: TaskTimes,
-    link: LinkSpec,
-    request_bytes: u64,
-    work_bytes: u64,
-    finalize_bytes: u64,
+    /// Transfer time of one Work message. The link and message sizes are
+    /// fixed for the lifetime of a run, so the per-send computation is done
+    /// once here and every send reuses the identical value.
+    work_comm: SimTime,
+    /// Transfer time of one Finalize message (same hoisting).
+    finalize_comm: SimTime,
+    /// `comm_time(work) + comm_time(request)`, seconds — the round-trip
+    /// term of the watchdog budget.
+    round_comm_secs: f64,
     /// Per-request service time (0 = instantaneous master).
     service: SimTime,
     /// Time until which the master's single scheduling "core" is busy.
@@ -191,13 +195,14 @@ impl Master {
             parked: VecDeque::new(),
             requeue: VecDeque::new(),
         });
+        let link = spec.platform.link();
         Master {
             scheduler,
             tasks,
-            link: spec.platform.link(),
-            request_bytes: spec.messages.request,
-            work_bytes: spec.messages.work,
-            finalize_bytes: spec.messages.finalize,
+            work_comm: SimTime::from_secs_f64(link.comm_time(spec.messages.work)),
+            finalize_comm: SimTime::from_secs_f64(link.comm_time(spec.messages.finalize)),
+            round_comm_secs: link.comm_time(spec.messages.work)
+                + link.comm_time(spec.messages.request),
             service: SimTime::from_secs_f64(spec.master_service),
             busy_until: SimTime::ZERO,
             next_task: 0,
@@ -222,21 +227,13 @@ impl Master {
         done - now
     }
 
-    fn work_comm(&self) -> SimTime {
-        SimTime::from_secs_f64(self.link.comm_time(self.work_bytes))
-    }
-
-    fn finalize_comm(&self) -> SimTime {
-        SimTime::from_secs_f64(self.link.comm_time(self.finalize_bytes))
-    }
-
     /// Watchdog budget for one chunk on one worker: the estimated round
     /// trip (work message + execution + overhead + report) stretched by the
     /// recovery grace factor, floored at the configured minimum.
     fn base_timeout(&self, job: &ChunkJob, worker: usize) -> f64 {
         let exec = job.work_secs / self.eff_speed[worker];
-        let comm = self.link.comm_time(self.work_bytes) + self.link.comm_time(self.request_bytes);
-        (self.recovery.grace * (exec + self.in_sim_h + comm)).max(self.recovery.min_timeout)
+        (self.recovery.grace * (exec + self.in_sim_h + self.round_comm_secs))
+            .max(self.recovery.min_timeout)
     }
 
     /// Dispatches `job` to `worker` under a fresh assignment id and arms
@@ -249,7 +246,7 @@ impl Master {
         ctx: &mut Ctx<'_, Msg>,
     ) {
         let base_timeout = self.base_timeout(&job, worker);
-        let comm = self.work_comm();
+        let comm = self.work_comm;
         let ft = self.ft.as_mut().expect("dispatch is fault-tolerant-only");
         let id = ft.next_id;
         ft.next_id += 1;
@@ -317,7 +314,7 @@ impl Master {
 
     /// Sends Finalize to `worker` (actor `worker + 1`).
     fn finalize_worker(&self, worker: usize, queueing: SimTime, ctx: &mut Ctx<'_, Msg>) {
-        ctx.send(worker + 1, queueing.saturating_add(self.finalize_comm()), Msg::Finalize);
+        ctx.send(worker + 1, queueing.saturating_add(self.finalize_comm), Msg::Finalize);
     }
 
     /// The legacy, fault-oblivious request handler — byte-identical
@@ -368,7 +365,7 @@ impl Master {
                 work_secs,
             },
         );
-        let delay = queueing.saturating_add(self.work_comm());
+        let delay = queueing.saturating_add(self.work_comm);
         ctx.send(worker + 1, delay, Msg::Work { id: 0, count, work_secs });
     }
 
@@ -409,7 +406,7 @@ impl Master {
         if let Some(id) = ft.worker_chunk[worker] {
             let o = &ft.outstanding[&id];
             let msg = Msg::Work { id, count: o.job.count, work_secs: o.job.work_secs };
-            let comm = self.work_comm();
+            let comm = self.work_comm;
             ctx.send(worker + 1, queueing.saturating_add(comm), msg);
             return;
         }
@@ -463,7 +460,7 @@ impl Actor<Msg> for Master {
     fn on_timer(&mut self, key: u64, ctx: &mut Ctx<'_, Msg>) {
         let now = ctx.now();
         let queueing = self.serve(now);
-        let comm = self.work_comm();
+        let comm = self.work_comm;
         let backoff = self.recovery.backoff;
         let max_attempts = self.recovery.max_attempts;
         let ft = self.ft.as_mut().expect("master timers exist only in ft mode");
@@ -514,9 +511,12 @@ pub struct Worker {
     index: usize,
     speed: f64,
     availability: Availability,
-    link: LinkSpec,
-    request_bytes: u64,
-    work_bytes: u64,
+    /// Transfer time of one Request message, precomputed once (the link and
+    /// message sizes never change within a run).
+    request_comm: SimTime,
+    /// `comm_time(request) + comm_time(work)`, seconds — the round-trip
+    /// estimate behind the retransmit watchdog.
+    round_comm_secs: f64,
     in_sim_h: f64,
     /// The chunk currently executing (set between Work and the timer).
     executing: Option<Completion>,
@@ -541,13 +541,14 @@ impl Worker {
         tracer: Tracer,
     ) -> Self {
         let host = spec.platform.host(index);
+        let link = spec.platform.link();
         Worker {
             index,
             speed: host.speed,
             availability: host.availability.clone(),
-            link: spec.platform.link(),
-            request_bytes: spec.messages.request,
-            work_bytes: spec.messages.work,
+            request_comm: SimTime::from_secs_f64(link.comm_time(spec.messages.request)),
+            round_comm_secs: link.comm_time(spec.messages.request)
+                + link.comm_time(spec.messages.work),
             in_sim_h: spec.overhead.in_sim_h(),
             executing: None,
             ft: !spec.faults.is_none(),
@@ -561,14 +562,12 @@ impl Worker {
     }
 
     fn send_request(&mut self, prev: Option<Completion>, ctx: &mut Ctx<'_, Msg>) {
-        let delay = SimTime::from_secs_f64(self.link.comm_time(self.request_bytes));
-        ctx.send(MASTER, delay, Msg::Request { prev });
+        ctx.send(MASTER, self.request_comm, Msg::Request { prev });
         if self.ft {
             // Arm the request-retransmit watchdog: a lost request (or lost
             // reply) would otherwise idle this worker forever.
-            let rtt =
-                self.link.comm_time(self.request_bytes) + self.link.comm_time(self.work_bytes);
-            self.retry_delay = (self.recovery.grace * rtt).max(self.recovery.min_timeout);
+            self.retry_delay =
+                (self.recovery.grace * self.round_comm_secs).max(self.recovery.min_timeout);
             self.outbox = Some(prev);
             self.retry_timer = Some(ctx.set_cancellable_timer(
                 SimTime::from_secs_f64(self.retry_delay),
@@ -638,8 +637,7 @@ impl Actor<Msg> for Worker {
             self.tracer
                 .emit(ctx.now().as_secs_f64(), TraceKind::WorkerRetry { worker: self.index });
             self.stats.borrow_mut().faults.worker_retries += 1;
-            let delay = SimTime::from_secs_f64(self.link.comm_time(self.request_bytes));
-            ctx.send(MASTER, delay, Msg::Request { prev });
+            ctx.send(MASTER, self.request_comm, Msg::Request { prev });
             self.retry_delay *= self.recovery.backoff;
             self.retry_timer = Some(ctx.set_cancellable_timer(
                 SimTime::from_secs_f64(self.retry_delay),

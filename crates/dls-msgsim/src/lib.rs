@@ -116,7 +116,25 @@ pub fn simulate_with_tasks_metered(
 ) -> Result<SimOutcome, SetupError> {
     let setup = spec.loop_setup();
     let scheduler = Rc::new(RefCell::new(spec.technique.build(&setup)?));
-    simulate_with_scheduler_metered(spec, tasks, scheduler, tracer, telemetry)
+    simulate_core(spec, tasks, scheduler, &setup, tracer, telemetry)
+}
+
+/// [`simulate_with_tasks_metered`] for callers that already derived the
+/// spec's [`dls_core::LoopSetup`] — campaign drivers build spec and setup
+/// once per grid cell and replicate thousands of runs against them, so the
+/// per-run work shrinks to constructing the fresh scheduler.
+///
+/// `setup` must be the value of `spec.loop_setup()`; handing a foreign
+/// setup produces a simulation of that setup, not of `spec`.
+pub fn simulate_with_setup_metered(
+    spec: &SimSpec,
+    tasks: &TaskTimes,
+    setup: &dls_core::LoopSetup,
+    tracer: &Tracer,
+    telemetry: &Telemetry,
+) -> Result<SimOutcome, SetupError> {
+    let scheduler = Rc::new(RefCell::new(spec.technique.build(setup)?));
+    simulate_core(spec, tasks, scheduler, setup, tracer, telemetry)
 }
 
 /// Runs one simulation with a caller-owned scheduler handle.
@@ -153,8 +171,22 @@ pub fn simulate_with_scheduler_metered(
     tracer: &Tracer,
     telemetry: &Telemetry,
 ) -> Result<SimOutcome, SetupError> {
-    let _wall = telemetry.span("msgsim.simulate_wall_s");
     let setup = spec.loop_setup();
+    simulate_core(spec, tasks, scheduler, &setup, tracer, telemetry)
+}
+
+/// The shared implementation behind the two metered entry points, taking
+/// the already-built [`dls_core::LoopSetup`] so callers that construct the
+/// scheduler themselves do not pay for a second setup derivation per run.
+fn simulate_core(
+    spec: &SimSpec,
+    tasks: &TaskTimes,
+    scheduler: Rc<RefCell<Box<dyn dls_core::ChunkScheduler>>>,
+    setup: &dls_core::LoopSetup,
+    tracer: &Tracer,
+    telemetry: &Telemetry,
+) -> Result<SimOutcome, SetupError> {
+    let _wall = telemetry.span("msgsim.simulate_wall_s");
     setup.validate()?;
     if tasks.len() as u64 != setup.n {
         return Err(SetupError::BadParam("task realization length must equal workload n"));
@@ -214,9 +246,9 @@ pub fn simulate_with_scheduler_metered(
     Ok(SimOutcome {
         makespan: s.last_finish,
         sim_end: engine_stats.end_time.as_secs_f64(),
-        compute: s.compute.clone(),
+        compute: std::mem::take(&mut s.compute),
         chunks: s.chunks,
-        chunks_per_worker: s.chunks_per_worker.clone(),
+        chunks_per_worker: std::mem::take(&mut s.chunks_per_worker),
         serial_time: tasks.total(),
         events: engine_stats.events,
         overhead: spec.overhead,

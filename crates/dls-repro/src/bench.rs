@@ -29,6 +29,7 @@ use crate::hagerup_exp::{run_figure_metered, HagerupConfig, OracleMode};
 use crate::runner::ExecContext;
 use crate::tss_exp;
 use dls_core::Technique;
+use dls_des::{Actor, Ctx, Engine, SimTime, TimerId};
 use dls_telemetry::Telemetry;
 use serde::{Deserialize, Serialize, Value};
 
@@ -71,8 +72,9 @@ pub struct BenchEntry {
     pub wall_s_max: f64,
     /// Simulation runs per wall-clock second over all repetitions.
     pub runs_per_sec: f64,
-    /// DES engine events processed per repetition (0 for suite entries
-    /// that bypass the event engine).
+    /// DES engine events processed per repetition: the `msgsim.events`
+    /// counter for simulator-backed cells, the `des.events` counter for
+    /// the engine-only cells, 0 for entries that bypass the event engine.
     pub sim_events: u64,
 }
 
@@ -156,10 +158,127 @@ fn fig_cell(
     run_figure_metered(&cfg, telemetry).map(|_| ()).map_err(|e| e.to_string())
 }
 
+/// Timers armed per churn cycle; all but the earliest are cancelled.
+const CHURN_BATCH: u64 = 8;
+
+/// Driver for the `engine_churn` cell: each cycle arms [`CHURN_BATCH`]
+/// cancellable timers and immediately cancels all but the earliest, whose
+/// firing starts the next cycle. This isolates the event queue's
+/// set/cancel path (slab reuse plus tombstone bookkeeping) from any
+/// simulation logic.
+struct ChurnActor {
+    cycles_left: u32,
+    /// Reused across cycles so the storm measures the engine, not `Vec`
+    /// growth in the driver.
+    doomed: Vec<TimerId>,
+}
+
+impl ChurnActor {
+    fn step(&mut self, ctx: &mut Ctx<'_, ()>) {
+        if self.cycles_left == 0 {
+            ctx.stop();
+            return;
+        }
+        self.cycles_left -= 1;
+        self.doomed.clear();
+        for k in 0..CHURN_BATCH {
+            let id = ctx.set_cancellable_timer(SimTime::from_nanos(10 + k), k);
+            if k > 0 {
+                self.doomed.push(id);
+            }
+        }
+        for i in 0..self.doomed.len() {
+            ctx.cancel_timer(self.doomed[i]);
+        }
+    }
+}
+
+impl Actor<()> for ChurnActor {
+    fn on_message(&mut self, _from: usize, _m: (), _ctx: &mut Ctx<'_, ()>) {}
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+        self.step(ctx);
+    }
+
+    fn on_timer(&mut self, _key: u64, ctx: &mut Ctx<'_, ()>) {
+        self.step(ctx);
+    }
+}
+
+/// One `engine_churn` run; returns the engine's processed-event count.
+fn engine_churn_run(cycles: u32) -> u64 {
+    let mut engine = Engine::new();
+    engine.add_actor(Box::new(ChurnActor { cycles_left: cycles, doomed: Vec::new() }));
+    let (_, stats) = engine.run();
+    stats.events
+}
+
+/// Root of the `engine_fanout` cell: broadcasts to every worker each round
+/// and starts the next round once all replies are in, so the pending-event
+/// population stays at the worker count — the heap-depth regime of a
+/// `p`-PE campaign, with none of the scheduler logic.
+struct FanoutRoot {
+    workers: usize,
+    rounds_left: u32,
+    pending: usize,
+}
+
+impl FanoutRoot {
+    fn broadcast(&mut self, ctx: &mut Ctx<'_, u32>) {
+        if self.rounds_left == 0 {
+            ctx.stop();
+            return;
+        }
+        self.rounds_left -= 1;
+        self.pending = self.workers;
+        for w in 1..=self.workers {
+            ctx.send(w, SimTime::from_nanos(1), self.rounds_left);
+        }
+    }
+}
+
+impl Actor<u32> for FanoutRoot {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        self.broadcast(ctx);
+    }
+
+    fn on_message(&mut self, _from: usize, _m: u32, ctx: &mut Ctx<'_, u32>) {
+        self.pending -= 1;
+        if self.pending == 0 {
+            self.broadcast(ctx);
+        }
+    }
+}
+
+/// Worker of the `engine_fanout` cell: echoes every message back to the
+/// root (actor 0).
+struct FanoutWorker;
+
+impl Actor<u32> for FanoutWorker {
+    fn on_message(&mut self, _from: usize, m: u32, ctx: &mut Ctx<'_, u32>) {
+        ctx.send(0, SimTime::from_nanos(1), m);
+    }
+}
+
+/// One `engine_fanout` run; returns the engine's processed-event count.
+fn engine_fanout_run(workers: usize, rounds: u32) -> u64 {
+    let mut engine = Engine::new();
+    engine.add_actor(Box::new(FanoutRoot { workers, rounds_left: rounds, pending: 0 }));
+    for _ in 0..workers {
+        engine.add_actor(Box::new(FanoutWorker));
+    }
+    let (_, stats) = engine.run();
+    stats.events
+}
+
 /// The standard suite: one representative cell per figure scale, the
-/// combined fault scenario, and a TSS speedup panel. Reduced run counts
-/// keep a full `--quick` pass in CI territory while still exercising the
-/// DES engine, both simulators, the campaign runner and the fault path.
+/// combined fault scenario, a TSS speedup panel, and two engine-only
+/// microcells (`engine_churn`, `engine_fanout`) that time the raw event
+/// queue without workload generation or scheduler logic — the entries CI's
+/// bench smoke compares strictly, because they are far less noisy than the
+/// campaign cells. Reduced run counts keep a full `--quick` pass in CI
+/// territory while still exercising the DES engine, both simulators, the
+/// campaign runner and the fault path.
 pub fn suite() -> Vec<BenchCase> {
     vec![
         BenchCase {
@@ -222,6 +341,30 @@ pub fn suite() -> Vec<BenchCase> {
                     let span = tel.span("bench.tss_pass_wall_s");
                     tss_exp::run_fig3().map_err(|e| e.to_string())?;
                     span.finish();
+                }
+                Ok(())
+            }),
+        },
+        BenchCase {
+            id: "engine_churn",
+            quick_runs: 32,
+            full_runs: 128,
+            run: Box::new(|runs, _, _, tel| {
+                for _ in 0..runs {
+                    let events = engine_churn_run(512);
+                    tel.counter_add("des.events", events);
+                }
+                Ok(())
+            }),
+        },
+        BenchCase {
+            id: "engine_fanout",
+            quick_runs: 32,
+            full_runs: 128,
+            run: Box::new(|runs, _, _, tel| {
+                for _ in 0..runs {
+                    let events = engine_fanout_run(64, 32);
+                    tel.counter_add("des.events", events);
                 }
                 Ok(())
             }),
@@ -308,7 +451,11 @@ pub fn run_bench_resilient(
             wall_s_min: h.min,
             wall_s_max: h.max,
             runs_per_sec: if total > 0.0 { (runs as f64 * cfg.reps as f64) / total } else { 0.0 },
-            sim_events: snap.counter("msgsim.events").unwrap_or(0) / cfg.reps as u64,
+            sim_events: snap
+                .counter("msgsim.events")
+                .or_else(|| snap.counter("des.events"))
+                .unwrap_or(0)
+                / cfg.reps as u64,
         };
         if let Some(j) = ctx.journal() {
             j.record(key, entry.to_value());
@@ -736,12 +883,47 @@ mod tests {
         let ids: Vec<&str> = suite().iter().map(|c| c.id).collect();
         assert_eq!(
             ids,
-            vec!["fig5_cell", "fig6_cell", "fig7_cell", "fig8_cell", "faults_cell", "tss_panel"]
+            vec![
+                "fig5_cell",
+                "fig6_cell",
+                "fig7_cell",
+                "fig8_cell",
+                "faults_cell",
+                "tss_panel",
+                "engine_churn",
+                "engine_fanout"
+            ]
         );
         // Quick sizes must stay strictly below full sizes (CI budget).
         for c in suite() {
             assert!(c.quick_runs <= c.full_runs, "{}", c.id);
             assert!(c.quick_runs >= 1, "{}", c.id);
+        }
+    }
+
+    #[test]
+    fn engine_cells_are_deterministic_and_record_events() {
+        // The engine-only drivers must process the same event count every
+        // run (they are pure functions of their parameters), and that
+        // count must land in the entry's `sim_events`.
+        assert_eq!(engine_churn_run(16), engine_churn_run(16));
+        assert_eq!(engine_fanout_run(8, 4), engine_fanout_run(8, 4));
+        assert!(engine_churn_run(16) >= 16, "cycles fire at least one timer each");
+        assert!(engine_fanout_run(8, 4) >= 8 * 4 * 2, "each round is a full round trip");
+
+        let cfg = BenchConfig { quick: true, reps: 2, threads: 1, tag: "t".into(), seed: 1 };
+        let cases: Vec<BenchCase> = suite()
+            .into_iter()
+            .filter(|c| c.id == "engine_churn" || c.id == "engine_fanout")
+            .map(|mut c| {
+                c.quick_runs = 2;
+                c
+            })
+            .collect();
+        let f = run_bench_with(&cfg, cases).unwrap();
+        assert_eq!(f.entries.len(), 2);
+        for e in &f.entries {
+            assert!(e.sim_events > 0, "{}: engine cells must report event throughput", e.id);
         }
     }
 }

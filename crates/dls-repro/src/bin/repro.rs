@@ -706,8 +706,26 @@ fn cmd_bench(o: &Options) -> Result<(), ReproError> {
     }
     // `--compare BASELINE CURRENT`: regression gate between two files.
     if let Some((baseline_path, current_path)) = &o.compare {
-        let baseline = bench::load_for_compare(baseline_path, "baseline")?;
-        let current = bench::load_for_compare(current_path, "current")?;
+        let mut baseline = bench::load_for_compare(baseline_path, "baseline")?;
+        let mut current = bench::load_for_compare(current_path, "current")?;
+        if let Some(ids) = &o.entries {
+            for id in ids {
+                if !baseline.entries.iter().any(|e| &e.id == id) {
+                    return Err(ReproError::usage(format!(
+                        "--entries: `{id}` is not in the baseline `{baseline_path}` \
+                         (it has: {})",
+                        baseline
+                            .entries
+                            .iter()
+                            .map(|e| e.id.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )));
+                }
+            }
+            baseline.entries.retain(|e| ids.contains(&e.id));
+            current.entries.retain(|e| ids.contains(&e.id));
+        }
         let cmp = bench::compare(&baseline, &current, o.tolerance_pct);
         println!("bench compare: `{baseline_path}` (baseline) vs `{current_path}` (current)");
         println!("{}", bench::comparison_report(&cmp));
@@ -736,9 +754,25 @@ fn cmd_bench(o: &Options) -> Result<(), ReproError> {
     if let Some(s) = o.seed {
         cfg.seed = s;
     }
+    let mut cases = bench::suite();
+    if let Some(ids) = &o.entries {
+        let known: Vec<&str> = cases.iter().map(|c| c.id).collect();
+        for id in ids {
+            if !known.contains(&id.as_str()) {
+                return Err(ReproError::usage(format!(
+                    "--entries: unknown bench entry `{id}` (known: {})",
+                    known.join(", ")
+                )));
+            }
+        }
+        cases.retain(|c| ids.iter().any(|i| i == c.id));
+    }
+    // The entry subset is part of the journal identity: a resume with a
+    // different subset must not replay the other invocation's cells.
+    let entries_fp = o.entries.as_ref().map(|ids| ids.join(",")).unwrap_or_else(|| "all".into());
     let ctx = exec_context(
         "bench",
-        format!("quick={} reps={} seed={:#x}", cfg.quick, cfg.reps, cfg.seed),
+        format!("quick={} reps={} seed={:#x} entries={entries_fp}", cfg.quick, cfg.reps, cfg.seed),
         o,
     )?;
     eprintln!(
@@ -747,7 +781,7 @@ fn cmd_bench(o: &Options) -> Result<(), ReproError> {
         cfg.reps,
         cfg.threads
     );
-    let file = bench::run_bench_resilient(&cfg, bench::suite(), &ctx)?;
+    let file = bench::run_bench_resilient(&cfg, cases, &ctx)?;
     report_resilience(&ctx);
     let headers = ["case", "runs/rep", "median[s]", "p10[s]", "p90[s]", "runs/s", "sim events"];
     let body: Vec<Vec<String>> = file
@@ -832,6 +866,7 @@ fn usage() -> String {
                   timeline/utilization/chunk-size CSVs (default dir: traces/)\n\
      bench:       timed standardized campaigns -> BENCH_<tag>.json\n\
                   [--quick] [--reps N] [--tag T] [--out FILE]\n\
+                  [--entries a,b] (subset of suite cells, run and compare)\n\
                   [--compare BASELINE CURRENT [--tolerance PCT] [--warn-only]]\n\
                   [--validate FILE]\n\
      --telemetry / --telemetry-json FILE on fig5-fig8/faults/trace print or\n\

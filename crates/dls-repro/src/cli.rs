@@ -44,6 +44,10 @@ pub struct Options {
     pub warn_only: bool,
     /// Validate a bench file's schema instead of running (`bench`).
     pub validate: Option<String>,
+    /// Restrict `bench` to these suite entry ids, both when running and
+    /// when comparing (CI's bench smoke gates only the low-noise engine
+    /// cells this way).
+    pub entries: Option<Vec<String>>,
     /// Checkpoint directory: completed runs are journaled there and a
     /// rerun with the same options skips them (fig5–fig8, sweep, faults,
     /// bench).
@@ -74,6 +78,7 @@ impl Default for Options {
             tolerance_pct: crate::bench::DEFAULT_TOLERANCE_PCT,
             warn_only: false,
             validate: None,
+            entries: None,
             resume: None,
             cancel_after: None,
         }
@@ -130,6 +135,19 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--warn-only" => o.warn_only = true,
             "--validate" => o.validate = Some(value("--validate")?),
+            "--entries" => {
+                let list = value("--entries")?;
+                let ids: Vec<String> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(Into::into)
+                    .collect();
+                if ids.is_empty() {
+                    return Err("--entries requires at least one entry id".into());
+                }
+                o.entries = Some(ids);
+            }
             "--resume" => o.resume = Some(value("--resume")?),
             "--cancel-after" => {
                 o.cancel_after = Some(
@@ -200,6 +218,14 @@ mod tests {
         assert_eq!(o.tag.as_deref(), Some("pr3"));
         assert_eq!(o.tolerance_pct, 10.0);
         assert_eq!(o.validate.as_deref(), Some("B.json"));
+    }
+
+    #[test]
+    fn entries_filter_parses_and_rejects_empty() {
+        let o = parse_options(&args("--entries engine_churn,engine_fanout")).unwrap();
+        assert_eq!(o.entries, Some(vec!["engine_churn".to_string(), "engine_fanout".to_string()]));
+        assert!(parse_options(&args("--entries ,")).unwrap_err().contains("at least one"));
+        assert!(parse_options(&args("--entries")).unwrap_err().contains("requires a value"));
     }
 
     #[test]

@@ -15,15 +15,15 @@
 //!   discrepancy columns (Figures 5c/d–8c/d) compare against.
 
 use crate::error::ReproError;
-use crate::runner::{cell_seed, run_campaign_resilient, ExecContext};
+use crate::runner::{cell_seed, run_campaign_resilient_scratch, ExecContext};
 use dls_core::{SetupError, Technique};
 use dls_hagerup::DirectSimulator;
 use dls_metrics::{discrepancy, relative_discrepancy_pct, OverheadModel, SummaryStats};
-use dls_msgsim::{simulate_with_tasks_metered, SimSpec};
+use dls_msgsim::{simulate_with_setup_metered, SimSpec};
 use dls_platform::{LinkSpec, Platform};
 use dls_telemetry::Telemetry;
 use dls_trace::Tracer;
-use dls_workload::Workload;
+use dls_workload::{TaskTimes, Workload};
 use serde::{Deserialize, Serialize};
 
 /// How the replica oracle's workload realizations relate to msgsim's.
@@ -84,6 +84,15 @@ impl HagerupConfig {
 
 /// Seed salt separating the oracle's realization stream from msgsim's.
 const ORACLE_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Per-thread scratch for figure campaigns: realization buffers are refilled
+/// in place across replications instead of reallocated per run. Purely an
+/// allocation cache — every run's contents depend only on its seed.
+#[derive(Default)]
+struct FigScratch {
+    tasks: Option<TaskTimes>,
+    oracle: Option<TaskTimes>,
+}
 
 /// Aggregated result for one (technique, p) cell.
 #[derive(Debug, Clone)]
@@ -152,45 +161,57 @@ pub fn run_figure_resilient(
     for (pi, &p) in cfg.pes.iter().enumerate() {
         let platform = Platform::homogeneous_star("pe", p, 1.0, LinkSpec::negligible());
         let sim = DirectSimulator::new(p, overhead);
-        // Validate every technique's setup once, before the campaign: a bad
-        // configuration must surface as Err here, not as a panic inside a
-        // worker thread.
+        // Build and validate every technique's (spec, setup) once per cell:
+        // a bad configuration must surface as Err here, not as a panic
+        // inside a worker thread — and the replications below then reuse
+        // the prepared setups instead of re-deriving them per run.
+        let mut prepared = Vec::with_capacity(techniques.len());
         for &technique in techniques {
-            let setup = SimSpec::new(technique, workload.clone(), platform.clone())
-                .with_overhead(overhead)
-                .loop_setup();
+            let spec =
+                SimSpec::new(technique, workload.clone(), platform.clone()).with_overhead(overhead);
+            let setup = spec.loop_setup();
             setup.validate()?;
             technique.build(&setup)?;
+            prepared.push((spec, setup));
         }
         // One campaign per p: each run generates a single realization and
         // evaluates every technique on it, in both simulators.
-        let per_run: Vec<Option<Vec<FigPair>>> = run_campaign_resilient(
+        let per_run: Vec<Option<Vec<FigPair>>> = run_campaign_resilient_scratch(
             cfg.runs,
             cell_seed(cfg.seed, pi as u64),
             cfg.threads,
             telemetry,
             ctx,
             &format!("n={} p={}", cfg.n, p),
-            |_, run_seed| {
-                let tasks = workload.generate(run_seed);
+            FigScratch::default,
+            |_, run_seed, scratch: &mut FigScratch| {
+                workload.generate_into(run_seed, &mut scratch.tasks);
                 let oracle_tasks = match cfg.oracle {
                     OracleMode::SharedRealizations => None,
-                    OracleMode::IndependentSeeds => Some(workload.generate(run_seed ^ ORACLE_SALT)),
+                    OracleMode::IndependentSeeds => {
+                        workload.generate_into(run_seed ^ ORACLE_SALT, &mut scratch.oracle);
+                        scratch.oracle.as_ref()
+                    }
                 };
+                let tasks = scratch.tasks.as_ref().expect("generate_into fills the slot");
                 let mut pairs = vec![FigPair { msgsim: 0.0, replica: 0.0 }; techniques.len()];
-                for (slot, &technique) in pairs.iter_mut().zip(techniques) {
-                    let spec = SimSpec::new(technique, workload.clone(), platform.clone())
-                        .with_overhead(overhead);
-                    let setup = spec.loop_setup();
-                    let msg =
-                        simulate_with_tasks_metered(&spec, &tasks, &Tracer::disabled(), telemetry)
-                            .expect("validated spec cannot fail")
-                            .average_wasted();
+                for ((slot, &technique), (spec, setup)) in
+                    pairs.iter_mut().zip(techniques).zip(&prepared)
+                {
+                    let msg = simulate_with_setup_metered(
+                        spec,
+                        tasks,
+                        setup,
+                        &Tracer::disabled(),
+                        telemetry,
+                    )
+                    .expect("validated spec cannot fail")
+                    .average_wasted();
                     let rep = sim
                         .run_metered(
                             technique,
-                            &setup,
-                            oracle_tasks.as_ref().unwrap_or(&tasks),
+                            setup,
+                            oracle_tasks.unwrap_or(tasks),
                             &Tracer::disabled(),
                             telemetry,
                         )

@@ -51,20 +51,46 @@ where
     T: Send,
     F: Fn(u32, u64) -> T + Sync,
 {
+    run_campaign_scratch(runs, campaign_seed, threads, telemetry, || (), |i, s, _: &mut ()| f(i, s))
+}
+
+/// [`run_campaign_metered`] with a **per-thread scratch arena**: every
+/// worker thread builds one `S` via `make_scratch` and hands `&mut S` to
+/// each run it executes, so workload buffers and outcome accumulators are
+/// reused across replications instead of reallocated per run.
+///
+/// The scratch is an allocation cache, never an input: `f` must produce a
+/// result that depends only on `(run_index, run_seed)`. Under that contract
+/// the output is element-identical to the scratch-free runner for any
+/// thread count (pinned by tests below).
+pub fn run_campaign_scratch<T, S, G, F>(
+    runs: u32,
+    campaign_seed: u64,
+    threads: usize,
+    telemetry: &Telemetry,
+    make_scratch: G,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(u32, u64, &mut S) -> T + Sync,
+{
     let seeds: Vec<u64> = seed_stream(campaign_seed).take(runs as usize).collect();
     let threads = threads.max(1).min(runs.max(1) as usize);
 
-    let timed = |i: u32| {
+    let timed = |i: u32, scratch: &mut S| {
         telemetry.counter_inc("campaign.runs_started");
         let span = telemetry.span("campaign.run_wall_s");
-        let out = f(i, seeds[i as usize]);
+        let out = f(i, seeds[i as usize], scratch);
         span.finish();
         telemetry.counter_inc("campaign.runs_completed");
         out
     };
 
     if threads == 1 {
-        return (0..runs).map(timed).collect();
+        let mut scratch = make_scratch();
+        return (0..runs).map(|i| timed(i, &mut scratch)).collect();
     }
 
     let next = AtomicU64::new(0);
@@ -73,7 +99,9 @@ where
             .map(|_| {
                 let next = &next;
                 let timed = &timed;
+                let make_scratch = &make_scratch;
                 scope.spawn(move || {
+                    let mut scratch = make_scratch();
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -81,7 +109,7 @@ where
                             break;
                         }
                         let i = i as u32;
-                        local.push((i, timed(i)));
+                        local.push((i, timed(i, &mut scratch)));
                     }
                     local
                 })
@@ -310,6 +338,38 @@ where
     T: Send + Serialize + for<'de> Deserialize<'de>,
     F: Fn(u32, u64) -> T + Sync,
 {
+    run_campaign_resilient_scratch(
+        runs,
+        campaign_seed,
+        threads,
+        telemetry,
+        ctx,
+        cell,
+        || (),
+        |i, s, _: &mut ()| f(i, s),
+    )
+}
+
+/// [`run_campaign_resilient`] with the per-thread scratch arena of
+/// [`run_campaign_scratch`]. A run that panics gets its thread's scratch
+/// rebuilt from `make_scratch` before the next run, so a half-written
+/// buffer can never leak into a later replication.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_resilient_scratch<T, S, G, F>(
+    runs: u32,
+    campaign_seed: u64,
+    threads: usize,
+    telemetry: &Telemetry,
+    ctx: &ExecContext,
+    cell: &str,
+    make_scratch: G,
+    f: F,
+) -> Result<Vec<Option<T>>, ReproError>
+where
+    T: Send + Serialize + for<'de> Deserialize<'de>,
+    G: Fn() -> S + Sync,
+    F: Fn(u32, u64, &mut S) -> T + Sync,
+{
     let seeds: Vec<u64> = seed_stream(campaign_seed).take(runs as usize).collect();
     let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
 
@@ -335,12 +395,15 @@ where
     }
 
     // One run, with panic isolation and checkpointing. Returns the result
-    // so workers can keep it locally; quarantined runs land in `ctx`.
-    let execute = |i: u32| -> Option<T> {
+    // so workers can keep it locally; quarantined runs land in `ctx`. A
+    // panic abandons the thread's scratch (the caller rebuilds it) so a
+    // half-filled buffer cannot survive into the next run.
+    let execute = |i: u32, scratch: &mut S| -> Option<T> {
         telemetry.counter_inc("campaign.runs_started");
         let span = telemetry.span("campaign.run_wall_s");
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, seeds[i as usize])));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f(i, seeds[i as usize], scratch)
+        }));
         span.finish();
         let out = match outcome {
             Ok(v) => {
@@ -359,6 +422,7 @@ where
                     seed: seeds[i as usize],
                     panic_message: panic_message(payload.as_ref()),
                 });
+                *scratch = make_scratch();
                 None
             }
         };
@@ -368,11 +432,12 @@ where
 
     let threads = threads.max(1).min(pending.len().max(1));
     if threads == 1 {
+        let mut scratch = make_scratch();
         for &i in &pending {
             if ctx.is_cancelled() {
                 break;
             }
-            results[i as usize] = execute(i);
+            results[i as usize] = execute(i, &mut scratch);
         }
     } else {
         let cursor = AtomicUsize::new(0);
@@ -382,7 +447,9 @@ where
                     let cursor = &cursor;
                     let pending = &pending;
                     let execute = &execute;
+                    let make_scratch = &make_scratch;
                     scope.spawn(move || {
+                        let mut scratch = make_scratch();
                         let mut local = Vec::new();
                         loop {
                             if ctx.is_cancelled() {
@@ -390,7 +457,7 @@ where
                             }
                             let slot = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&i) = pending.get(slot) else { break };
-                            local.push((i, execute(i)));
+                            local.push((i, execute(i, &mut scratch)));
                         }
                         local
                     })
@@ -516,6 +583,57 @@ mod tests {
 
     fn meta() -> JournalMeta {
         JournalMeta { command: "test".into(), fingerprint: "runs=40 seed=5".into() }
+    }
+
+    /// A scratch arena is a cache, not an input: reusing buffers across
+    /// replications must leave every element identical to the scratch-free
+    /// runner, for any thread count.
+    #[test]
+    fn scratch_campaign_is_element_identical() {
+        let plain = run_campaign(48, 13, 1, |i, s| s.rotate_left(i % 7));
+        for threads in [1, 3, 8] {
+            let with_scratch = run_campaign_scratch(
+                48,
+                13,
+                threads,
+                &Telemetry::disabled(),
+                Vec::<u64>::new,
+                |i, s, scratch| {
+                    // Dirty the scratch with run-dependent junk; the result
+                    // must not depend on what a previous run left behind.
+                    scratch.push(s);
+                    s.rotate_left(i % 7)
+                },
+            );
+            assert_eq!(with_scratch, plain, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn resilient_scratch_resets_after_panic() {
+        let ctx = ExecContext::transient();
+        let out = run_campaign_resilient_scratch(
+            12,
+            5,
+            1,
+            &Telemetry::disabled(),
+            &ctx,
+            "c",
+            || 0u64,
+            |i, s, scratch| {
+                assert_eq!(*scratch % 2, 0, "scratch from a panicked run leaked");
+                *scratch += 2;
+                if i == 4 {
+                    *scratch = 1; // poison, then die: the runner must rebuild
+                    panic!("boom");
+                }
+                s
+            },
+        )
+        .unwrap();
+        assert!(out[4].is_none());
+        assert_eq!(out.iter().filter(|r| r.is_some()).count(), 11);
+        assert_eq!(ctx.quarantined().len(), 1);
     }
 
     #[test]

@@ -102,11 +102,18 @@ impl Tracer {
     }
 
     /// Whether a sink is attached.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.sink.is_some()
     }
 
     /// Records `kind` at virtual time `at` (no-op when disabled).
+    ///
+    /// `#[inline]` so the disabled check — one branch on a local `Option` —
+    /// folds into callers in other crates; without it every engine event
+    /// pays a real call (and eager argument construction) just to discover
+    /// tracing is off.
+    #[inline]
     pub fn emit(&self, at: f64, kind: crate::TraceKind) {
         if let Some(sink) = &self.sink {
             sink.borrow_mut().record(TraceEvent { at, kind });
@@ -115,6 +122,7 @@ impl Tracer {
 
     /// Records the event produced by `f`, calling `f` only when enabled —
     /// use when building the event itself costs something.
+    #[inline]
     pub fn emit_with(&self, f: impl FnOnce() -> TraceEvent) {
         if let Some(sink) = &self.sink {
             sink.borrow_mut().record(f());

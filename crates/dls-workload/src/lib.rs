@@ -345,50 +345,86 @@ impl Workload {
     /// Materializes one sample using a caller-supplied uniform source.
     pub fn generate_with<U: UniformSource>(&self, rng: &mut U) -> TaskTimes {
         let n = self.n as usize;
-        let times: Vec<f64> = match &self.model {
-            TimeModel::Constant { time } => vec![*time; n],
-            TimeModel::LinearDecreasing { first, last } => ramp(n, *first, *last),
-            TimeModel::LinearIncreasing { first, last } => ramp(n, *first, *last),
+        let mut times = task_times::zeroed_arc(n);
+        let mut prefix = task_times::zeroed_arc(n + 1);
+        let t = Arc::get_mut(&mut times).expect("freshly allocated");
+        self.fill_times(rng, t);
+        task_times::fill_prefix(t, Arc::get_mut(&mut prefix).expect("freshly allocated"));
+        TaskTimes::from_parts(times, prefix)
+    }
+
+    /// Like [`Workload::generate`], but reuses `slot`'s buffers when it
+    /// already holds a realization of the right size that nothing else
+    /// references — the campaign runners' per-thread scratch path, which
+    /// makes replication loops allocation-free after the first run.
+    ///
+    /// The sample stream is bit-identical to [`Workload::generate`] with the
+    /// same seed: both paths draw through [`Workload::fill_times`] in index
+    /// order and build the prefix sums with the same sequential additions.
+    pub fn generate_into(&self, seed: u64, slot: &mut Option<TaskTimes>) {
+        let mut rng = Rand48::from_seed(seed);
+        let n = self.n as usize;
+        if let Some(tt) = slot {
+            if tt.len() == n {
+                if let Some((times, prefix)) = tt.unique_buffers() {
+                    self.fill_times(&mut rng, times);
+                    task_times::fill_prefix(times, prefix);
+                    return;
+                }
+            }
+        }
+        *slot = Some(self.generate_with(&mut rng));
+    }
+
+    /// Draws one sample per task into `out`, in task-index order.
+    fn fill_times<U: UniformSource>(&self, rng: &mut U, out: &mut [f64]) {
+        match &self.model {
+            TimeModel::Constant { time } => out.fill(*time),
+            TimeModel::LinearDecreasing { first, last }
+            | TimeModel::LinearIncreasing { first, last } => ramp_into(out, *first, *last),
             TimeModel::Uniform { lo, hi } => {
                 let d = Uniform::new(*lo, *hi).expect("validated");
-                (0..n).map(|_| d.sample(rng)).collect()
+                out.iter_mut().for_each(|x| *x = d.sample(rng));
             }
             TimeModel::Exponential { mean } => {
                 let d = Exponential::new(*mean).expect("validated");
-                (0..n).map(|_| d.sample(rng)).collect()
+                out.iter_mut().for_each(|x| *x = d.sample(rng));
             }
             TimeModel::Normal { mean, std } => {
                 let d = Normal::new(*mean, *std).expect("validated");
-                (0..n).map(|_| d.sample_truncated(rng)).collect()
+                out.iter_mut().for_each(|x| *x = d.sample_truncated(rng));
             }
             TimeModel::Gamma { shape, scale } => {
                 let d = Gamma::new(*shape, *scale).expect("validated");
-                (0..n).map(|_| d.sample(rng)).collect()
+                out.iter_mut().for_each(|x| *x = d.sample(rng));
             }
             TimeModel::LogNormal { mean, std } => {
                 let d = LogNormal::from_mean_std(*mean, *std).expect("validated");
-                (0..n).map(|_| d.sample(rng)).collect()
+                out.iter_mut().for_each(|x| *x = d.sample(rng));
             }
             TimeModel::Weibull { shape, scale } => {
                 let d = Weibull::new(*shape, *scale).expect("validated");
-                (0..n).map(|_| d.sample(rng)).collect()
+                out.iter_mut().for_each(|x| *x = d.sample(rng));
             }
             TimeModel::Bimodal { a, b, p_a } => {
                 let d = Bimodal::new(*a, *b, *p_a).expect("validated");
-                (0..n).map(|_| d.sample(rng)).collect()
+                out.iter_mut().for_each(|x| *x = d.sample(rng));
             }
-            TimeModel::Trace { times } => (0..n).map(|i| times[i % times.len()]).collect(),
-        };
-        TaskTimes::new(times)
+            TimeModel::Trace { times } => {
+                out.iter_mut().enumerate().for_each(|(i, x)| *x = times[i % times.len()]);
+            }
+        }
     }
 }
 
-fn ramp(n: usize, first: f64, last: f64) -> Vec<f64> {
+fn ramp_into(out: &mut [f64], first: f64, last: f64) {
+    let n = out.len();
     if n == 1 {
-        return vec![first];
+        out[0] = first;
+        return;
     }
     let step = (last - first) / (n as f64 - 1.0);
-    (0..n).map(|i| first + step * i as f64).collect()
+    out.iter_mut().enumerate().for_each(|(i, x)| *x = first + step * i as f64);
 }
 
 #[cfg(test)]
@@ -528,6 +564,33 @@ mod tests {
             WorkloadError::EmptyTrace
         );
         assert!(Workload::from_trace_text("1.0 -2.0").is_err());
+    }
+
+    #[test]
+    fn generate_into_matches_generate_bit_for_bit() {
+        let w = Workload::exponential(512, 1.0).unwrap();
+        let mut slot = None;
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let fresh = w.generate(seed);
+            // First iteration allocates, later ones refill in place.
+            w.generate_into(seed, &mut slot);
+            assert_eq!(slot.as_ref().unwrap(), &fresh);
+        }
+        // A live clone forces the fallback allocation; results still match.
+        let alias = slot.clone();
+        w.generate_into(7, &mut slot);
+        assert_eq!(slot.as_ref().unwrap(), &w.generate(7));
+        drop(alias);
+        // A size change also falls back.
+        let w2 = Workload::exponential(100, 1.0).unwrap();
+        w2.generate_into(7, &mut slot);
+        assert_eq!(slot.as_ref().unwrap(), &w2.generate(7));
+        // Deterministic ramps take the fill path too.
+        let ramp =
+            Workload::new(64, TimeModel::LinearDecreasing { first: 9.0, last: 1.0 }).unwrap();
+        let mut rslot = None;
+        ramp.generate_into(0, &mut rslot);
+        assert_eq!(rslot.as_ref().unwrap(), &ramp.generate(0));
     }
 
     #[test]

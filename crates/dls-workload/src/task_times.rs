@@ -1,28 +1,70 @@
 //! Materialized per-task execution times with O(1) chunk sums.
 
+use std::sync::Arc;
+
 /// One sampled realization of a workload's per-task execution times.
 ///
 /// Stores the raw times plus a prefix-sum array so that the cost of a chunk
 /// of consecutive tasks `[start, end)` is a single subtraction. Both
 /// simulators charge whole chunks, never single tasks, which keeps event
 /// counts proportional to scheduling operations rather than task counts.
+///
+/// Both arrays live behind `Arc<[f64]>`, so `clone()` is a reference-count
+/// bump: the generator, the `dls-msgsim` master and the outcome accounting
+/// all share one allocation per realization instead of deep-copying it per
+/// run. When a caller holds the only reference (the campaign runners'
+/// scratch slots), [`Workload::generate_into`](crate::Workload::generate_into)
+/// refills the buffers in place without allocating at all.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskTimes {
-    times: Vec<f64>,
-    prefix: Vec<f64>,
+    times: Arc<[f64]>,
+    prefix: Arc<[f64]>,
+}
+
+/// Allocates a zeroed shared slice in one pass (no intermediate `Vec`;
+/// `iter::repeat_n` would read better but postdates the workspace MSRV).
+pub(crate) fn zeroed_arc(n: usize) -> Arc<[f64]> {
+    (0..n).map(|_| 0.0).collect()
+}
+
+/// Fills `prefix` (length `times.len() + 1`) with the running sums of
+/// `times`. Strictly sequential left-to-right additions, so the result is
+/// bit-identical regardless of which buffer it lands in.
+pub(crate) fn fill_prefix(times: &[f64], prefix: &mut [f64]) {
+    debug_assert_eq!(prefix.len(), times.len() + 1);
+    let mut acc = 0.0f64;
+    prefix[0] = 0.0;
+    for (i, &t) in times.iter().enumerate() {
+        acc += t;
+        prefix[i + 1] = acc;
+    }
 }
 
 impl TaskTimes {
     /// Wraps raw per-task times (seconds), building the prefix sums.
     pub fn new(times: Vec<f64>) -> Self {
-        let mut prefix = Vec::with_capacity(times.len() + 1);
-        let mut acc = 0.0f64;
-        prefix.push(0.0);
-        for &t in &times {
-            acc += t;
-            prefix.push(acc);
-        }
+        let times: Arc<[f64]> = times.into();
+        let mut prefix = zeroed_arc(times.len() + 1);
+        fill_prefix(&times, Arc::get_mut(&mut prefix).expect("freshly allocated"));
         TaskTimes { times, prefix }
+    }
+
+    /// Assembles a realization from pre-filled shared buffers.
+    pub(crate) fn from_parts(times: Arc<[f64]>, prefix: Arc<[f64]>) -> Self {
+        debug_assert_eq!(prefix.len(), times.len() + 1);
+        TaskTimes { times, prefix }
+    }
+
+    /// Mutable views of both buffers when this is the sole owner (no other
+    /// clone of the realization alive), for in-place regeneration.
+    pub(crate) fn unique_buffers(&mut self) -> Option<(&mut [f64], &mut [f64])> {
+        if Arc::get_mut(&mut self.times).is_none() || Arc::get_mut(&mut self.prefix).is_none() {
+            return None;
+        }
+        Some((
+            Arc::get_mut(&mut self.times).expect("uniqueness just checked"),
+            Arc::get_mut(&mut self.prefix).expect("uniqueness just checked"),
+        ))
     }
 
     /// Number of tasks.
@@ -111,5 +153,15 @@ mod tests {
         assert_eq!(t.total(), 0.0);
         assert_eq!(t.empirical_mean(), 0.0);
         assert_eq!(t.empirical_variance(), 0.0);
+    }
+
+    #[test]
+    fn clone_shares_buffers() {
+        let mut t = TaskTimes::new(vec![1.0, 2.0]);
+        let c = t.clone();
+        // While a clone is alive the buffers are shared, not copyable.
+        assert!(t.unique_buffers().is_none());
+        drop(c);
+        assert!(t.unique_buffers().is_some());
     }
 }
