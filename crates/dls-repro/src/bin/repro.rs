@@ -11,6 +11,7 @@
 //! repro fig9 [--runs N] [--csv DIR]  # FAC outlier analysis
 //! repro faults [--fault-plan F.json] # robustness under injected faults
 //! repro trace TSS [--out DIR]        # chunk-lifecycle trace of one run
+//! repro chaos fig5 --quick           # crash-point exhaustion harness
 //! repro bench --quick --out B.json   # timed standardized campaigns
 //! repro bench --compare A.json B.json  # regression gate between two files
 //! repro all  [--runs N]              # everything, in paper order
@@ -23,8 +24,10 @@
 //!
 //! Failures exit with a classified code (see [`dls_repro::error`]): 2 for
 //! usage errors, 3 for host I/O, 4 for invalid specs, 5 for a bench
-//! regression, 130 after a graceful Ctrl-C.
+//! regression, 6 for a campaign that completed with degraded secondary
+//! artifacts, 130 after a graceful Ctrl-C.
 
+use dls_repro::artifacts::{ArtifactSink, ArtifactTier};
 use dls_repro::bench;
 use dls_repro::cli::{parse_options, Options};
 use dls_repro::error::ReproError;
@@ -192,8 +195,14 @@ fn telemetry_tables(snap: &Snapshot) -> String {
 }
 
 /// Prints/writes the snapshot per the `--telemetry`/`--telemetry-json`
-/// options (no-op for a disabled handle).
-fn emit_telemetry(o: &Options, telemetry: &Telemetry) -> Result<(), ReproError> {
+/// options (no-op for a disabled handle). The JSON dump is a *secondary*
+/// artifact: a write failure degrades the run (exit 6 via the sink) after
+/// the primary results are already on disk, it never discards them.
+fn emit_telemetry(
+    o: &Options,
+    telemetry: &Telemetry,
+    sink: &ArtifactSink,
+) -> Result<(), ReproError> {
     if !telemetry.is_enabled() {
         return Ok(());
     }
@@ -203,8 +212,14 @@ fn emit_telemetry(o: &Options, telemetry: &Telemetry) -> Result<(), ReproError> 
         println!("{}", telemetry_tables(&snap));
     }
     if let Some(path) = &o.telemetry_json {
-        journal::write_artifact(std::path::Path::new(path), (snap.to_json() + "\n").as_bytes())?;
-        println!("wrote {path}");
+        let landed = sink.write(
+            ArtifactTier::Secondary,
+            std::path::Path::new(path),
+            (snap.to_json() + "\n").as_bytes(),
+        )?;
+        if landed {
+            println!("wrote {path}");
+        }
     }
     Ok(())
 }
@@ -274,17 +289,21 @@ fn cmd_trace(target: &str, o: &Options) -> Result<(), ReproError> {
     Ok(())
 }
 
-fn write_csv(dir: &str, name: &str, headers: &[&str], rows: &[Vec<String>]) {
+/// Writes a result CSV. Primary tier: the CSV *is* the campaign's result,
+/// so a write failure (after retries) is fatal with exit 3 — silently
+/// losing it while printing a table to a scrollback buffer is data loss.
+fn write_csv(
+    sink: &ArtifactSink,
+    dir: &str,
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> Result<(), ReproError> {
     let path = std::path::Path::new(dir).join(format!("{name}.csv"));
-    // Crash-consistent but non-fatal: a CSV is a convenience copy of the
-    // table already printed, so a write failure only warns.
-    if let Err(e) = std::fs::create_dir_all(dir)
-        .and_then(|_| journal::atomic_write(&path, report::format_csv(headers, rows).as_bytes()))
-    {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    } else {
-        println!("wrote {}", path.display());
-    }
+    std::fs::create_dir_all(dir).map_err(|e| ReproError::io(format!("{dir}: {e}")))?;
+    sink.write(ArtifactTier::Primary, &path, report::format_csv(headers, rows).as_bytes())?;
+    println!("wrote {}", path.display());
+    Ok(())
 }
 
 fn cmd_list() {
@@ -331,7 +350,7 @@ fn cmd_table2() {
     println!("{}", report::format_table(&headers, &rows));
 }
 
-fn cmd_tss(fig: &str, o: &Options) -> Result<(), ReproError> {
+fn cmd_tss(fig: &str, o: &Options, sink: &ArtifactSink) -> Result<(), ReproError> {
     use dls_repro::reference::TSS_PES;
     use dls_repro::tss_exp::{run_experiment_resilient, ContentionModel, TssExperiment};
     // No journal (one deterministic run per cell), but the shared cancel
@@ -365,12 +384,12 @@ fn cmd_tss(fig: &str, o: &Options) -> Result<(), ReproError> {
     println!("{}", plot::render(&series, plot::Scale::Linear, 60, 16));
 
     if let Some(dir) = &o.csv_dir {
-        write_csv(dir, fig, &headers, &body);
+        write_csv(sink, dir, fig, &headers, &body)?;
     }
     Ok(())
 }
 
-fn cmd_hagerup(fig: &str, o: &Options) -> Result<(), ReproError> {
+fn cmd_hagerup(fig: &str, o: &Options, sink: &ArtifactSink) -> Result<(), ReproError> {
     let n = match fig {
         "fig5" => 1_024,
         "fig6" => 8_192,
@@ -430,17 +449,17 @@ fn cmd_hagerup(fig: &str, o: &Options) -> Result<(), ReproError> {
          (paper reported <= {bound} % vs the original publication)"
     );
     if let Some(dir) = &o.csv_dir {
-        write_csv(dir, fig, &headers, &body);
+        write_csv(sink, dir, fig, &headers, &body)?;
     }
     if let Some(dir) = &o.trace_dir {
         let a = dls_repro::trace::trace_figure_cell(&cfg, fig)?;
-        emit_trace(&a, dir)?;
+        sink.soften(&format!("{dir} (trace artifacts)"), emit_trace(&a, dir))?;
     }
-    emit_telemetry(o, &telemetry)?;
+    emit_telemetry(o, &telemetry, sink)?;
     Ok(())
 }
 
-fn cmd_fig9(o: &Options) -> Result<(), ReproError> {
+fn cmd_fig9(o: &Options, sink: &ArtifactSink) -> Result<(), ReproError> {
     let mut cfg = OutlierConfig::paper(o.runs);
     cfg.threads = o.threads;
     if let Some(s) = o.seed {
@@ -463,7 +482,7 @@ fn cmd_fig9(o: &Options) -> Result<(), ReproError> {
             .enumerate()
             .map(|(i, w)| vec![i.to_string(), format!("{w:.3}")])
             .collect();
-        write_csv(dir, "fig9", &["run", "avg_wasted_s"], &rows);
+        write_csv(sink, dir, "fig9", &["run", "avg_wasted_s"], &rows)?;
     }
     Ok(())
 }
@@ -524,7 +543,7 @@ fn cmd_spec(o: &Options) -> Result<(), ReproError> {
     Ok(())
 }
 
-fn cmd_sweep(o: &Options) -> Result<(), ReproError> {
+fn cmd_sweep(o: &Options, sink: &ArtifactSink) -> Result<(), ReproError> {
     use dls_repro::sweep::{run_sweep_resilient, winners, SweepConfig};
     let mut cfg = SweepConfig::default();
     if o.runs != 1000 {
@@ -560,40 +579,24 @@ fn cmd_sweep(o: &Options) -> Result<(), ReproError> {
     let telemetry = telemetry_for(o);
     let rows = run_sweep_resilient(&cfg, &telemetry, &ctx)?;
     report_resilience(&ctx);
-    let headers =
-        ["n", "p", "workload", "technique", "wasted mean[s]", "wasted sd[s]", "speedup", "chunks"];
-    let body: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.n.to_string(),
-                r.p.to_string(),
-                r.workload.clone(),
-                r.technique.clone(),
-                format!("{:.3}", r.wasted.mean()),
-                format!("{:.3}", r.wasted.std_dev()),
-                format!("{:.2}", r.speedup.mean()),
-                format!("{:.0}", r.chunks_mean),
-            ]
-        })
-        .collect();
+    let (headers, body) = dls_repro::sweep::table_rows(&rows);
     println!("{}", report::format_table(&headers, &body));
     println!("winners (lowest mean wasted time per workload family):");
     for (n, p, w, t, v) in winners(&rows) {
         println!("  n={n} p={p} {w:<12} -> {t} ({v:.3} s)");
     }
     if let Some(dir) = &o.csv_dir {
-        write_csv(dir, "sweep", &headers, &body);
+        write_csv(sink, dir, "sweep", &headers, &body)?;
     }
     if let Some(dir) = &o.trace_dir {
         let a = dls_repro::trace::trace_sweep_cell(&cfg)?;
-        emit_trace(&a, dir)?;
+        sink.soften(&format!("{dir} (trace artifacts)"), emit_trace(&a, dir))?;
     }
-    emit_telemetry(o, &telemetry)?;
+    emit_telemetry(o, &telemetry, sink)?;
     Ok(())
 }
 
-fn cmd_faults(o: &Options) -> Result<(), ReproError> {
+fn cmd_faults(o: &Options, sink: &ArtifactSink) -> Result<(), ReproError> {
     use dls_repro::faults::{self, FaultScenario, FaultSweepConfig};
     let mut cfg = FaultSweepConfig::default();
     if o.runs != 1000 {
@@ -643,50 +646,78 @@ fn cmd_faults(o: &Options) -> Result<(), ReproError> {
     let telemetry = Telemetry::enabled();
     let rows = faults::run_fault_sweep_resilient(&cfg, &telemetry, &ctx)?;
     report_resilience(&ctx);
-    let headers = [
-        "technique",
-        "scenario",
-        "baseline[s]",
-        "faulty[s]",
-        "degradation",
-        "flexibility",
-        "wasted work",
-        "lost msgs",
-        "retries",
-        "reassigned",
-        "completed",
-    ];
-    let body: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.technique.clone(),
-                r.scenario.clone(),
-                format!("{:.1}", r.baseline_makespan),
-                format!("{:.1}", r.faulty_makespan.mean()),
-                format!("{:.3}", r.degradation),
-                format!("{:.3}", r.flexibility),
-                format!("{:.1} %", 100.0 * r.wasted_work_frac),
-                format!("{:.1}", r.lost_mean),
-                format!("{:.1}", r.master_retries_mean),
-                format!("{:.1}", r.reassigned_mean),
-                if r.all_completed { "yes" } else { "NO" }.into(),
-            ]
-        })
-        .collect();
+    let (headers, body) = faults::table_rows(&rows);
     println!("{}", report::format_table(&headers, &body));
     println!("{}", engine_summary(&telemetry.snapshot()));
     if rows.iter().any(|r| !r.all_completed) {
         return Err(ReproError::Regression("some runs did not complete all tasks".into()));
     }
     if let Some(dir) = &o.csv_dir {
-        write_csv(dir, "faults", &headers, &body);
+        write_csv(sink, dir, "faults", &headers, &body)?;
     }
     if let Some(dir) = &o.trace_dir {
         let a = dls_repro::trace::trace_fault_cell(&cfg)?;
-        emit_trace(&a, dir)?;
+        sink.soften(&format!("{dir} (trace artifacts)"), emit_trace(&a, dir))?;
     }
-    emit_telemetry(o, &telemetry)?;
+    emit_telemetry(o, &telemetry, sink)?;
+    Ok(())
+}
+
+/// `repro chaos <fig5|sweep|faults>` — crash-point exhaustion over a
+/// reduced journaled campaign (see [`dls_repro::chaos`]).
+fn cmd_chaos(target: &str, o: &Options) -> Result<(), ReproError> {
+    use dls_repro::chaos::{self, ChaosConfig, ChaosTarget};
+    let target: ChaosTarget = target.parse().map_err(ReproError::usage)?;
+    let mut cfg = ChaosConfig::new(target);
+    cfg.quick = o.quick;
+    if o.runs != 1000 {
+        cfg.runs = Some(o.runs);
+    }
+    cfg.seed = o.seed;
+    if let Some(path) = &o.host_fault_plan {
+        cfg.plan = Some(chaos::load_host_plan(path)?);
+    }
+    eprintln!(
+        "chaos {}: exhausting host-I/O crash points over a {} campaign...",
+        target.name(),
+        if cfg.quick { "quick" } else { "reduced" },
+    );
+    let report = chaos::run_crash_exhaustion(&cfg, &global_cancel_flag())?;
+    println!("chaos {}: {} host-I/O boundaries enumerated", target.name(), report.io_ops);
+    println!(
+        "  passthrough pin (empty fault plan): {}",
+        if report.empty_plan_identical { "bit-identical to real I/O" } else { "DIVERGED" }
+    );
+    println!(
+        "  crash exhaustion: {}/{} crash points resumed byte-identically",
+        report.identical_resumes, report.io_ops
+    );
+    let s = &report.storm_stats;
+    println!(
+        "  fault storm: {} ops, {} flake(s), {} error(s), {} torn write(s) — {}",
+        s.ops,
+        s.flakes,
+        s.errors_injected,
+        s.torn_writes,
+        if report.storm_completed_directly {
+            "absorbed by the retry policy"
+        } else if report.storm_identical {
+            "recovered by one resume"
+        } else {
+            "NOT RECOVERED"
+        }
+    );
+    for m in &report.mismatches {
+        eprintln!("  mismatch: {m}");
+    }
+    if !report.is_ok() {
+        return Err(ReproError::Regression(format!(
+            "chaos {}: {} crash point(s) did not resume to identical bytes",
+            target.name(),
+            report.io_ops - report.identical_resumes + report.mismatches.len() as u64,
+        )));
+    }
+    println!("  verdict: every interrupted campaign resumed to byte-identical artifacts");
     Ok(())
 }
 
@@ -879,8 +910,14 @@ fn usage() -> String {
                   of re-executing — resume after Ctrl-C or a crash\n\
      --cancel-after N (testing) injects a cooperative cancellation after N\n\
                   newly executed runs, simulating a mid-campaign kill\n\
+     chaos:       repro chaos <fig5|sweep|faults> [--quick] [--runs N]\n\
+                  [--seed S] [--host-fault-plan FILE] — simulate a hard\n\
+                  crash at every host-I/O boundary of a reduced journaled\n\
+                  campaign, resume each, and prove the final CSVs and\n\
+                  journal are byte-identical to an uninterrupted run\n\
      exit codes:  0 ok / quarantined-but-completed; 2 usage; 3 host I/O;\n\
-                  4 invalid spec; 5 regression gate; 130 interrupted"
+                  4 invalid spec; 5 regression gate; 6 completed with\n\
+                  degraded secondary artifacts; 130 interrupted"
         .into()
 }
 
@@ -888,11 +925,11 @@ fn run(args: &[String]) -> Result<(), ReproError> {
     let Some(cmd) = args.first().cloned() else {
         return Err(ReproError::usage("missing command"));
     };
-    // `trace` takes a positional target before the options.
-    let (trace_target, opt_args) = if cmd == "trace" {
+    // `trace` and `chaos` take a positional target before the options.
+    let (target, opt_args) = if cmd == "trace" || cmd == "chaos" {
         match args.get(1).filter(|a| !a.starts_with("--")) {
             Some(t) => (Some(t.clone()), &args[2..]),
-            None => return Err(ReproError::usage("trace requires a target")),
+            None => return Err(ReproError::usage(format!("{cmd} requires a target"))),
         }
     } else {
         (None, &args[1..])
@@ -904,7 +941,10 @@ fn run(args: &[String]) -> Result<(), ReproError> {
             RESUMABLE.join("/")
         )));
     }
-    match cmd.as_str() {
+    // Degraded secondary artifacts surface *after* a command succeeds: the
+    // primary results are safe on disk, the exit code (6) still tells CI.
+    let sink = ArtifactSink::new();
+    let outcome = match cmd.as_str() {
         "list" => {
             cmd_list();
             Ok(())
@@ -913,28 +953,30 @@ fn run(args: &[String]) -> Result<(), ReproError> {
             cmd_table2();
             Ok(())
         }
-        "fig3" | "fig4" | "fig3a" | "fig4a" => cmd_tss(&cmd, &opts),
-        "fig5" | "fig6" | "fig7" | "fig8" => cmd_hagerup(&cmd, &opts),
-        "fig9" => cmd_fig9(&opts),
+        "fig3" | "fig4" | "fig3a" | "fig4a" => cmd_tss(&cmd, &opts, &sink),
+        "fig5" | "fig6" | "fig7" | "fig8" => cmd_hagerup(&cmd, &opts, &sink),
+        "fig9" => cmd_fig9(&opts, &sink),
         "spec" => cmd_spec(&opts),
         "verify" => cmd_verify(&opts),
-        "sweep" => cmd_sweep(&opts),
-        "faults" => cmd_faults(&opts),
-        "trace" => cmd_trace(trace_target.as_deref().unwrap_or_default(), &opts),
+        "sweep" => cmd_sweep(&opts, &sink),
+        "faults" => cmd_faults(&opts, &sink),
+        "trace" => cmd_trace(target.as_deref().unwrap_or_default(), &opts),
+        "chaos" => cmd_chaos(target.as_deref().unwrap_or_default(), &opts),
         "bench" => cmd_bench(&opts),
         "all" => {
             cmd_list();
             cmd_table2();
-            cmd_tss("fig3", &opts)?;
-            cmd_tss("fig4", &opts)?;
-            cmd_hagerup("fig5", &opts)?;
-            cmd_hagerup("fig6", &opts)?;
-            cmd_hagerup("fig7", &opts)?;
-            cmd_hagerup("fig8", &opts)?;
-            cmd_fig9(&opts)
+            cmd_tss("fig3", &opts, &sink)?;
+            cmd_tss("fig4", &opts, &sink)?;
+            cmd_hagerup("fig5", &opts, &sink)?;
+            cmd_hagerup("fig6", &opts, &sink)?;
+            cmd_hagerup("fig7", &opts, &sink)?;
+            cmd_hagerup("fig8", &opts, &sink)?;
+            cmd_fig9(&opts, &sink)
         }
         other => Err(ReproError::usage(format!("unknown command `{other}`"))),
-    }
+    };
+    outcome.and_then(|()| sink.finish())
 }
 
 fn main() -> ExitCode {

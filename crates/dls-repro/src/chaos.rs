@@ -1,0 +1,513 @@
+//! Crash-point exhaustion: prove every I/O boundary is resumable.
+//!
+//! `repro chaos <fig5|sweep|faults> [--quick]` runs a reduced, journaled
+//! campaign three ways and cross-checks the bytes on disk:
+//!
+//! 1. **Reference** — the stock path (real I/O, standard retries), exactly
+//!    what a user's `repro fig5 --resume DIR` executes. Its result CSV and
+//!    journal bytes are the ground truth.
+//! 2. **Empty-plan chaos** — the same campaign through a [`ChaosIo`] with
+//!    no faults armed. This pins the injection layer as a true
+//!    passthrough (byte-identical artifacts) and counts the campaign's
+//!    host-I/O operations: the crash points.
+//! 3. **Crash exhaustion** — for every operation index `k`, a fresh run
+//!    with a [`ChaosIo`] armed to simulate a hard crash *at* `k` (the op
+//!    fails with its partial effect — an empty tmp after create, a half
+//!    prefix after write, nothing after fsync/rename — and every later op
+//!    is rejected). The campaign is then resumed over the surviving
+//!    directory with real I/O; the final CSV and journal must be
+//!    byte-identical to the reference, for every single `k`.
+//!
+//! A final **fault-storm** pass replays the campaign under a seeded
+//! [`HostFaultPlan`] (the default: transient flakes the [`RetryPolicy`]
+//! must absorb; `--host-fault-plan FILE` substitutes any plan). If the
+//! storm defeats the retries, one resume with real I/O must still land the
+//! reference bytes — the "any crash, one resume" invariant.
+
+use crate::error::ReproError;
+use crate::faults::{self, FaultScenario, FaultSweepConfig};
+use crate::hagerup_exp::{self, HagerupConfig};
+use crate::journal::{write_artifact_with, Journal, JournalMeta, JOURNAL_FILE};
+use crate::report;
+use crate::runner::{CancelFlag, ExecContext};
+use crate::sweep::{self, SweepConfig, WorkloadFamily};
+use dls_chaos::{ChaosIo, ChaosStats, HostFaultPlan, HostIo, RealIo, RetryPolicy};
+use dls_core::Technique;
+use dls_telemetry::Telemetry;
+use dls_workload::TimeModel;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Journal flush cadence for the chaos runs: every other record, so even a
+/// reduced campaign crosses many mid-campaign flush boundaries. The
+/// journal's on-disk bytes are cadence-independent (each flush rewrites
+/// the whole file), so this never changes what the comparisons see.
+pub const CHAOS_FLUSH_EVERY: usize = 2;
+
+/// Worst-case transient failures one atomic write can absorb under the
+/// default storm plan: four gated sites (create/write/fsync/rename) times
+/// the flake depth, plus the succeeding attempt — the storm pass's retry
+/// budget is sized to guarantee completion.
+const STORM_FLAKE_DEPTH: u32 = 2;
+const STORM_RETRY_ATTEMPTS: u32 = 4 * STORM_FLAKE_DEPTH + 1 + 3;
+
+/// Which journaled campaign the harness exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosTarget {
+    /// Reduced Figure-5 campaign (`hagerup_exp`).
+    Fig5,
+    /// Reduced parameter sweep (`sweep`).
+    Sweep,
+    /// Reduced fault-injection sweep (`faults`) — simulator faults under
+    /// host-I/O faults.
+    Faults,
+}
+
+impl ChaosTarget {
+    /// The CLI name (also the result CSV's base name).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosTarget::Fig5 => "fig5",
+            ChaosTarget::Sweep => "sweep",
+            ChaosTarget::Faults => "faults",
+        }
+    }
+}
+
+impl std::str::FromStr for ChaosTarget {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "fig5" => Ok(ChaosTarget::Fig5),
+            "sweep" => Ok(ChaosTarget::Sweep),
+            "faults" => Ok(ChaosTarget::Faults),
+            other => Err(format!("unknown chaos target `{other}` (expected fig5, sweep, faults)")),
+        }
+    }
+}
+
+/// Harness configuration, assembled by the CLI.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Campaign to exercise.
+    pub target: ChaosTarget,
+    /// Use the smallest campaign that still crosses several flush
+    /// boundaries (the CI smoke configuration).
+    pub quick: bool,
+    /// Override the per-cell run count of the reduced campaign.
+    pub runs: Option<u32>,
+    /// Override the campaign seed.
+    pub seed: Option<u64>,
+    /// Fault plan for the storm pass; `None` uses the default flake storm.
+    pub plan: Option<HostFaultPlan>,
+}
+
+impl ChaosConfig {
+    /// The harness defaults for `target` (quick mode off).
+    pub fn new(target: ChaosTarget) -> Self {
+        ChaosConfig { target, quick: false, runs: None, seed: None, plan: None }
+    }
+
+    fn campaign_seed(&self) -> u64 {
+        self.seed.unwrap_or(0xC4A0_5EED)
+    }
+
+    fn campaign_runs(&self, default: u32) -> u32 {
+        self.runs.unwrap_or(default)
+    }
+}
+
+/// What the exhaustion proved; rendered by the CLI, gated by [`is_ok`].
+///
+/// [`is_ok`]: ChaosReport::is_ok
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Target that was exercised.
+    pub target: ChaosTarget,
+    /// Host-I/O operations in one uninterrupted campaign — the number of
+    /// distinct crash points.
+    pub io_ops: u64,
+    /// Crash points whose resume reproduced the reference bytes.
+    pub identical_resumes: u64,
+    /// Human-readable descriptions of every divergence found.
+    pub mismatches: Vec<String>,
+    /// Whether the empty-plan [`ChaosIo`] run was byte-identical to the
+    /// real-I/O reference (the passthrough pin).
+    pub empty_plan_identical: bool,
+    /// Whether the fault-storm run completed under the retry policy alone.
+    pub storm_completed_directly: bool,
+    /// Whether the storm pass ended with reference-identical bytes
+    /// (directly, or after one real-I/O resume).
+    pub storm_identical: bool,
+    /// Fault counters from the storm run.
+    pub storm_stats: ChaosStats,
+}
+
+impl ChaosReport {
+    /// True when every invariant held: passthrough pinned, every crash
+    /// point resumed to identical bytes, and the storm pass converged.
+    pub fn is_ok(&self) -> bool {
+        self.mismatches.is_empty()
+            && self.empty_plan_identical
+            && self.storm_identical
+            && self.identical_resumes == self.io_ops
+    }
+}
+
+/// Runs the full exhaustion for `cfg`. Honours `cancel` between crash
+/// points (returning [`ReproError::Interrupted`]); a mismatch is *not* an
+/// error — it is recorded in the report for the CLI to turn into a
+/// regression verdict.
+pub fn run_crash_exhaustion(
+    cfg: &ChaosConfig,
+    cancel: &CancelFlag,
+) -> Result<ChaosReport, ReproError> {
+    if let Some(plan) = &cfg.plan {
+        plan.validate().map_err(|e| ReproError::invalid_spec(format!("--host-fault-plan: {e}")))?;
+    }
+    let base = scratch_base(cfg);
+    let _ = std::fs::remove_dir_all(&base);
+    let result = exhaustion_in(cfg, cancel, &base);
+    let _ = std::fs::remove_dir_all(&base);
+    result
+}
+
+fn exhaustion_in(
+    cfg: &ChaosConfig,
+    cancel: &CancelFlag,
+    base: &Path,
+) -> Result<ChaosReport, ReproError> {
+    // Pass 1: the reference — the stock real-I/O path users run.
+    let ref_dir = base.join("reference");
+    run_attempt(cfg, &ref_dir, Arc::new(RealIo), RetryPolicy::standard(), None)?;
+    let reference = disk_state(cfg, &ref_dir)?;
+
+    // Pass 2: empty-plan chaos — passthrough pin + crash-point census.
+    let empty_dir = base.join("empty-plan");
+    let passthrough = Arc::new(ChaosIo::new(HostFaultPlan::none()));
+    run_attempt(
+        cfg,
+        &empty_dir,
+        passthrough.clone(),
+        RetryPolicy::no_delay(1),
+        Some(CHAOS_FLUSH_EVERY),
+    )?;
+    let empty_plan_identical = disk_state(cfg, &empty_dir)? == reference;
+    let io_ops = passthrough.ops_executed();
+
+    // Pass 3: crash at every single operation index, then resume.
+    let mut mismatches = Vec::new();
+    let mut identical_resumes = 0u64;
+    for k in 0..io_ops {
+        if cancel.is_cancelled() {
+            return Err(ReproError::Interrupted { resume_dir: None });
+        }
+        let dir = base.join(format!("crash-{k}"));
+        let chaos = Arc::new(ChaosIo::new(HostFaultPlan::none()).with_crash_at(k));
+        let crashed_run = run_attempt(
+            cfg,
+            &dir,
+            chaos.clone(),
+            RetryPolicy::no_delay(1),
+            Some(CHAOS_FLUSH_EVERY),
+        );
+        if !chaos.is_crashed() {
+            mismatches.push(format!("crash@{k}: the armed operation was never reached"));
+            let _ = std::fs::remove_dir_all(&dir);
+            continue;
+        }
+        // The interrupted attempt usually errors; a crash arming only the
+        // trailing dir-sync can complete (dir-sync failures are
+        // deliberately non-fatal). Either way the resume must converge.
+        drop(crashed_run);
+        match resume_and_compare(cfg, &dir, &reference) {
+            Ok(None) => identical_resumes += 1,
+            Ok(Some(diff)) => mismatches.push(format!("crash@{k}: {diff}")),
+            Err(e) => mismatches.push(format!("crash@{k}: resume failed: {e}")),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Pass 4: the fault storm. The default plan is pure transient flakes,
+    // which the sized retry budget must absorb without any resume.
+    let storm_dir = base.join("storm");
+    let storm_plan = cfg.plan.clone().unwrap_or_else(|| {
+        HostFaultPlan::none().with_seed(cfg.campaign_seed()).with_flakes(0.35, STORM_FLAKE_DEPTH)
+    });
+    let default_storm = cfg.plan.is_none();
+    let storm = Arc::new(ChaosIo::new(storm_plan));
+    let direct = run_attempt(
+        cfg,
+        &storm_dir,
+        storm.clone(),
+        RetryPolicy::no_delay(STORM_RETRY_ATTEMPTS),
+        Some(CHAOS_FLUSH_EVERY),
+    );
+    let storm_completed_directly = direct.is_ok();
+    let storm_identical = if storm_completed_directly {
+        match disk_state(cfg, &storm_dir)? == reference {
+            true => true,
+            false => {
+                mismatches.push("storm: completed run diverged from the reference".into());
+                false
+            }
+        }
+    } else if default_storm {
+        // The sized budget makes the default storm unlosable; failing here
+        // means the retry classification or budget arithmetic regressed.
+        mismatches.push(format!(
+            "storm: default flake storm defeated the retry policy: {}",
+            direct.unwrap_err()
+        ));
+        false
+    } else {
+        match resume_and_compare(cfg, &storm_dir, &reference) {
+            Ok(None) => true,
+            Ok(Some(diff)) => {
+                mismatches.push(format!("storm: {diff}"));
+                false
+            }
+            Err(e) => {
+                mismatches.push(format!("storm: resume failed: {e}"));
+                false
+            }
+        }
+    };
+
+    Ok(ChaosReport {
+        target: cfg.target,
+        io_ops,
+        identical_resumes,
+        mismatches,
+        empty_plan_identical,
+        storm_completed_directly,
+        storm_identical,
+        storm_stats: storm.stats(),
+    })
+}
+
+/// Resumes the campaign left in `dir` with real I/O and compares the final
+/// bytes against the reference. `Ok(None)` means identical; `Ok(Some(d))`
+/// names the divergence.
+fn resume_and_compare(
+    cfg: &ChaosConfig,
+    dir: &Path,
+    reference: &DiskState,
+) -> Result<Option<String>, ReproError> {
+    run_attempt(cfg, dir, Arc::new(RealIo), RetryPolicy::standard(), None)?;
+    let resumed = disk_state(cfg, dir)?;
+    if resumed == *reference {
+        return Ok(None);
+    }
+    Ok(Some(if resumed.csv != reference.csv {
+        "resumed CSV differs from the uninterrupted run".into()
+    } else {
+        "resumed journal differs from the uninterrupted run".into()
+    }))
+}
+
+/// One full campaign attempt in `dir` through `io`: journaled (resuming
+/// whatever a previous attempt left), result CSV written last — the same
+/// artifact order as the real commands.
+fn run_attempt(
+    cfg: &ChaosConfig,
+    dir: &Path,
+    io: Arc<dyn HostIo>,
+    retry: RetryPolicy,
+    flush_every: Option<usize>,
+) -> Result<(), ReproError> {
+    let mut journal = Journal::open_with_io(dir, &journal_meta(cfg), io.clone(), retry)?;
+    if let Some(every) = flush_every {
+        journal = journal.with_flush_every(every);
+    }
+    let ctx = ExecContext::with_journal(journal);
+    let (headers, body) = run_target(cfg, &ctx)?;
+    let csv = report::format_csv(&headers, &body);
+    write_artifact_with(&*io, retry, &dir.join(csv_name(cfg.target)), csv.as_bytes())
+}
+
+/// Runs the reduced campaign for the target and renders its table cells —
+/// via the same row renderers the real commands use, so the CSVs under
+/// comparison are the commands' CSVs.
+fn run_target(
+    cfg: &ChaosConfig,
+    ctx: &ExecContext,
+) -> Result<(Vec<&'static str>, Vec<Vec<String>>), ReproError> {
+    let telemetry = Telemetry::disabled();
+    match cfg.target {
+        ChaosTarget::Fig5 => {
+            let rows = hagerup_exp::run_figure_resilient(&fig5_config(cfg), &telemetry, ctx)?;
+            Ok(report::wasted_rows(&rows))
+        }
+        ChaosTarget::Sweep => {
+            let rows = sweep::run_sweep_resilient(&sweep_config(cfg), &telemetry, ctx)?;
+            Ok(sweep::table_rows(&rows))
+        }
+        ChaosTarget::Faults => {
+            let rows = faults::run_fault_sweep_resilient(&faults_config(cfg), &telemetry, ctx)?;
+            Ok(faults::table_rows(&rows))
+        }
+    }
+}
+
+/// Reduced Figure-5 campaign. Single-threaded: the journal's record order
+/// (and hence its bytes) must be deterministic for the byte comparisons.
+fn fig5_config(cfg: &ChaosConfig) -> HagerupConfig {
+    let mut c = HagerupConfig::paper(1024, cfg.campaign_runs(if cfg.quick { 4 } else { 8 }));
+    c.pes = if cfg.quick { vec![2, 8] } else { vec![2, 8, 64] };
+    c.techniques = if cfg.quick {
+        vec![Technique::SS, Technique::Fac2]
+    } else {
+        vec![Technique::Stat, Technique::SS, Technique::Fac2]
+    };
+    c.seed = cfg.campaign_seed();
+    c.threads = 1;
+    c
+}
+
+fn sweep_config(cfg: &ChaosConfig) -> SweepConfig {
+    let mut families = vec![
+        WorkloadFamily { name: "constant".into(), model: TimeModel::Constant { time: 1.0 } },
+        WorkloadFamily { name: "exponential".into(), model: TimeModel::Exponential { mean: 1.0 } },
+    ];
+    if !cfg.quick {
+        families.push(WorkloadFamily {
+            name: "uniform".into(),
+            model: TimeModel::Uniform { lo: 0.0, hi: 2.0 },
+        });
+    }
+    SweepConfig {
+        ns: vec![512],
+        pes: if cfg.quick { vec![4] } else { vec![4, 16] },
+        families,
+        techniques: vec![Technique::SS, Technique::Fac2],
+        runs: cfg.campaign_runs(3),
+        h: 0.01,
+        seed: cfg.campaign_seed(),
+        threads: 1,
+    }
+}
+
+fn faults_config(cfg: &ChaosConfig) -> FaultSweepConfig {
+    let (n, p) = (240, 4);
+    let scenarios: Vec<FaultScenario> =
+        faults::default_scenarios(n, p).into_iter().take(if cfg.quick { 2 } else { 4 }).collect();
+    FaultSweepConfig {
+        n,
+        p,
+        techniques: if cfg.quick {
+            vec![Technique::Fac2]
+        } else {
+            vec![Technique::Fac2, Technique::SS]
+        },
+        scenarios,
+        runs: cfg.campaign_runs(3),
+        h: 0.01,
+        seed: cfg.campaign_seed(),
+        threads: 1,
+    }
+}
+
+/// Loads a [`HostFaultPlan`] from a JSON file (the `--host-fault-plan`
+/// CLI path). An unreadable file classifies as I/O, an undecodable or
+/// inconsistent plan as an invalid spec — mirroring [`faults::load_plan`].
+pub fn load_host_plan(path: &str) -> Result<HostFaultPlan, ReproError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ReproError::io(format!("{path}: {e}")))?;
+    let plan: HostFaultPlan = serde_json::from_str(&text)
+        .map_err(|e| ReproError::invalid_spec(format!("{path}: invalid host fault plan: {e}")))?;
+    plan.validate().map_err(|e| ReproError::invalid_spec(format!("{path}: {e}")))?;
+    Ok(plan)
+}
+
+/// The campaign identity every attempt (reference, crash, resume) shares —
+/// a resume with a different fingerprint would refuse to load the journal.
+fn journal_meta(cfg: &ChaosConfig) -> JournalMeta {
+    JournalMeta {
+        command: format!("chaos-{}", cfg.target.name()),
+        fingerprint: format!(
+            "quick={} runs={:?} seed={:#x}",
+            cfg.quick,
+            cfg.runs,
+            cfg.campaign_seed()
+        ),
+    }
+}
+
+fn csv_name(target: ChaosTarget) -> String {
+    format!("{}.csv", target.name())
+}
+
+fn scratch_base(cfg: &ChaosConfig) -> PathBuf {
+    std::env::temp_dir().join(format!("dls-chaos-{}-{}", cfg.target.name(), std::process::id()))
+}
+
+/// The bytes under comparison: the result CSV and the journal.
+#[derive(PartialEq, Eq)]
+struct DiskState {
+    csv: Vec<u8>,
+    journal: Vec<u8>,
+}
+
+fn disk_state(cfg: &ChaosConfig, dir: &Path) -> Result<DiskState, ReproError> {
+    let read =
+        |p: PathBuf| std::fs::read(&p).map_err(|e| ReproError::io(format!("{}: {e}", p.display())));
+    Ok(DiskState {
+        csv: read(dir.join(csv_name(cfg.target)))?,
+        journal: read(dir.join(JOURNAL_FILE))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro(target: ChaosTarget) -> ChaosConfig {
+        ChaosConfig { target, quick: true, runs: Some(2), seed: Some(11), plan: None }
+    }
+
+    #[test]
+    fn targets_parse_and_unknowns_are_rejected() {
+        assert_eq!("fig5".parse::<ChaosTarget>().unwrap(), ChaosTarget::Fig5);
+        assert_eq!("sweep".parse::<ChaosTarget>().unwrap(), ChaosTarget::Sweep);
+        assert_eq!("faults".parse::<ChaosTarget>().unwrap(), ChaosTarget::Faults);
+        assert!("fig6".parse::<ChaosTarget>().is_err());
+    }
+
+    #[test]
+    fn invalid_user_plan_is_an_invalid_spec() {
+        let mut cfg = micro(ChaosTarget::Fig5);
+        cfg.plan = Some(HostFaultPlan::none().with_errors(2.0));
+        let err = run_crash_exhaustion(&cfg, &CancelFlag::new()).unwrap_err();
+        assert_eq!(err.exit_code(), crate::error::EXIT_INVALID_SPEC);
+    }
+
+    #[test]
+    fn fig5_micro_exhaustion_resumes_identically_from_every_crash_point() {
+        let report = run_crash_exhaustion(&micro(ChaosTarget::Fig5), &CancelFlag::new()).unwrap();
+        assert!(report.empty_plan_identical, "chaos passthrough must be bit-transparent");
+        assert!(report.io_ops > 5, "a journaled campaign must cross several I/O boundaries");
+        assert!(report.is_ok(), "mismatches: {:?}", report.mismatches);
+        assert_eq!(report.identical_resumes, report.io_ops);
+    }
+
+    #[test]
+    fn sweep_micro_exhaustion_is_clean() {
+        let report = run_crash_exhaustion(&micro(ChaosTarget::Sweep), &CancelFlag::new()).unwrap();
+        assert!(report.is_ok(), "mismatches: {:?}", report.mismatches);
+    }
+
+    #[test]
+    fn faults_micro_exhaustion_is_clean() {
+        let report = run_crash_exhaustion(&micro(ChaosTarget::Faults), &CancelFlag::new()).unwrap();
+        assert!(report.is_ok(), "mismatches: {:?}", report.mismatches);
+    }
+
+    #[test]
+    fn cancellation_between_crash_points_interrupts() {
+        let cancel = CancelFlag::new();
+        cancel.cancel();
+        let err = run_crash_exhaustion(&micro(ChaosTarget::Fig5), &cancel).unwrap_err();
+        assert_eq!(err.exit_code(), crate::error::EXIT_INTERRUPTED);
+    }
+}

@@ -20,6 +20,8 @@ pub struct Options {
     pub techniques: Option<Vec<Technique>>,
     /// Path to a fault-plan JSON file (`faults` subcommand).
     pub fault_plan: Option<String>,
+    /// Path to a host-I/O fault-plan JSON file (`chaos` subcommand).
+    pub host_fault_plan: Option<String>,
     /// Output directory for trace artifacts (`trace` subcommand).
     pub out_dir: Option<String>,
     /// When set on fig5–fig8/sweep/faults: also trace one representative
@@ -67,6 +69,7 @@ impl Default for Options {
             pes: None,
             techniques: None,
             fault_plan: None,
+            host_fault_plan: None,
             out_dir: None,
             trace_dir: None,
             telemetry: false,
@@ -102,6 +105,7 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--csv" => o.csv_dir = Some(value("--csv")?),
             "--fault-plan" => o.fault_plan = Some(value("--fault-plan")?),
+            "--host-fault-plan" => o.host_fault_plan = Some(value("--host-fault-plan")?),
             "--out" => o.out_dir = Some(value("--out")?),
             "--trace" => o.trace_dir = Some(value("--trace")?),
             "--pes" => {
@@ -241,6 +245,13 @@ mod tests {
         assert!(parse_options(&args("--tolerance -5")).is_err());
         assert!(parse_options(&args("--tolerance nan")).is_err());
         assert!(parse_options(&args("--tolerance x")).unwrap_err().contains("--tolerance"));
+    }
+
+    #[test]
+    fn host_fault_plan_takes_a_path() {
+        let o = parse_options(&args("--host-fault-plan storm.json")).unwrap();
+        assert_eq!(o.host_fault_plan.as_deref(), Some("storm.json"));
+        assert!(parse_options(&args("--host-fault-plan")).unwrap_err().contains("requires"));
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub const EXIT_IO: u8 = 3;
 pub const EXIT_INVALID_SPEC: u8 = 4;
 /// Exit code for a failed `bench --compare` regression gate.
 pub const EXIT_REGRESSION: u8 = 5;
+/// Exit code for a campaign that completed with degraded secondary
+/// artifacts (a trace or telemetry dump could not be written; the primary
+/// result CSVs and the journal are intact).
+pub const EXIT_DEGRADED: u8 = 6;
 /// Exit code after a graceful interrupt (mirrors the shell's 128+SIGINT).
 pub const EXIT_INTERRUPTED: u8 = 130;
 
@@ -38,6 +42,11 @@ pub enum ReproError {
     InvalidSpec(String),
     /// The `bench --compare` regression gate fired.
     Regression(String),
+    /// The campaign completed — primary result CSVs and the journal are on
+    /// disk — but one or more *secondary* artifacts (trace exports,
+    /// telemetry dumps) could not be written after retries. Each entry
+    /// names one degraded artifact.
+    Degraded(Vec<String>),
     /// The run was interrupted (Ctrl-C or an injected cancellation) and
     /// shut down gracefully after flushing the checkpoint journal.
     Interrupted {
@@ -70,6 +79,7 @@ impl ReproError {
             ReproError::Io(_) => EXIT_IO,
             ReproError::InvalidSpec(_) => EXIT_INVALID_SPEC,
             ReproError::Regression(_) => EXIT_REGRESSION,
+            ReproError::Degraded(_) => EXIT_DEGRADED,
             ReproError::Interrupted { .. } => EXIT_INTERRUPTED,
         }
     }
@@ -87,6 +97,13 @@ impl std::fmt::Display for ReproError {
             | ReproError::Io(m)
             | ReproError::InvalidSpec(m)
             | ReproError::Regression(m) => f.write_str(m),
+            ReproError::Degraded(artifacts) => write!(
+                f,
+                "campaign completed, but {} secondary artifact{} could not be written: {}",
+                artifacts.len(),
+                if artifacts.len() == 1 { "" } else { "s" },
+                artifacts.join(", "),
+            ),
             ReproError::Interrupted { resume_dir: Some(dir) } => write!(
                 f,
                 "interrupted — completed runs are journaled; rerun the same command \
@@ -125,10 +142,11 @@ mod tests {
             ReproError::io("x"),
             ReproError::invalid_spec("x"),
             ReproError::Regression("x".into()),
+            ReproError::Degraded(vec!["trace.json".into()]),
             ReproError::Interrupted { resume_dir: None },
         ];
         let codes: Vec<u8> = errs.iter().map(|e| e.exit_code()).collect();
-        assert_eq!(codes, vec![2, 3, 4, 5, 130]);
+        assert_eq!(codes, vec![2, 3, 4, 5, 6, 130]);
         let mut dedup = codes.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -148,6 +166,15 @@ mod tests {
         let e: ReproError = SetupError::BadParam("k must be positive").into();
         assert_eq!(e.exit_code(), EXIT_INVALID_SPEC);
         assert!(e.to_string().contains("k must be positive"));
+    }
+
+    #[test]
+    fn degraded_message_names_every_artifact() {
+        let e = ReproError::Degraded(vec!["trace.json".into(), "telemetry.json".into()]);
+        assert_eq!(e.exit_code(), EXIT_DEGRADED);
+        let msg = e.to_string();
+        assert!(msg.contains("2 secondary artifacts"), "{msg}");
+        assert!(msg.contains("trace.json") && msg.contains("telemetry.json"), "{msg}");
     }
 
     #[test]

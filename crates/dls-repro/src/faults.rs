@@ -287,6 +287,44 @@ pub fn run_fault_sweep_resilient(
     Ok(rows)
 }
 
+/// Renders fault rows as the CLI's table/CSV cells. Shared by the `faults`
+/// command and the chaos harness, which must reproduce the command's CSV
+/// byte-for-byte to compare crashed-and-resumed campaigns against it.
+pub fn table_rows(rows: &[FaultRow]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec![
+        "technique",
+        "scenario",
+        "baseline[s]",
+        "faulty[s]",
+        "degradation",
+        "flexibility",
+        "wasted work",
+        "lost msgs",
+        "retries",
+        "reassigned",
+        "completed",
+    ];
+    let body = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.technique.clone(),
+                r.scenario.clone(),
+                format!("{:.1}", r.baseline_makespan),
+                format!("{:.1}", r.faulty_makespan.mean()),
+                format!("{:.3}", r.degradation),
+                format!("{:.3}", r.flexibility),
+                format!("{:.1} %", 100.0 * r.wasted_work_frac),
+                format!("{:.1}", r.lost_mean),
+                format!("{:.1}", r.master_retries_mean),
+                format!("{:.1}", r.reassigned_mean),
+                if r.all_completed { "yes" } else { "NO" }.into(),
+            ]
+        })
+        .collect();
+    (headers, body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

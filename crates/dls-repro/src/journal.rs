@@ -26,11 +26,12 @@
 //! process between flushes) is detected on load and dropped.
 
 use crate::error::ReproError;
+use dls_chaos::{HostIo, RealIo, RetryPolicy};
 use serde::Value;
 use std::collections::HashMap;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Schema tag of the journal header line; bump on breaking layout changes.
 pub const SCHEMA: &str = "dls-journal/1";
@@ -44,60 +45,85 @@ pub const IO_RETRY_ATTEMPTS: u32 = 3;
 /// Completed runs buffered between automatic journal flushes.
 pub const FLUSH_EVERY: usize = 64;
 
-/// Writes `contents` to `path` crash-consistently: the bytes go to
-/// `<path>.tmp` first, are fsync'd, and the tmp file is renamed over the
-/// destination (atomic on POSIX filesystems). The parent directory is
-/// fsync'd afterwards so the rename itself survives a power cut.
+/// Writes `contents` to `path` crash-consistently: the bytes go to a
+/// uniquely named `<path>.tmp.<pid>.<counter>` first, are fsync'd, and the
+/// tmp file is renamed over the destination (atomic on POSIX filesystems).
+/// The parent directory is fsync'd afterwards so the rename itself
+/// survives a power cut.
 pub fn atomic_write(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    atomic_write_with(&RealIo, path, contents)
+}
+
+/// [`atomic_write`] over an injectable [`HostIo`] — the seam the chaos
+/// harness uses to fault every boundary of the write sequence. On *any*
+/// error the tmp file is removed (best-effort), so a failed create, write,
+/// fsync or rename cannot leak stale tmp files into the artifact directory.
+pub fn atomic_write_with(io: &dyn HostIo, path: &Path, contents: &[u8]) -> std::io::Result<()> {
     let tmp = tmp_path(path);
-    {
-        let mut f = std::fs::File::create(&tmp)?;
+    let res = (|| {
+        let mut f = io.create(&tmp)?;
         f.write_all(contents)?;
         f.sync_all()?;
-    }
-    if let Err(e) = std::fs::rename(&tmp, path) {
-        let _ = std::fs::remove_file(&tmp);
+        drop(f);
+        io.rename(&tmp, path)
+    })();
+    if let Err(e) = res {
+        let _ = io.remove_file(&tmp);
         return Err(e);
     }
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
+        // Best-effort: the rename already landed; a directory-sync failure
+        // only weakens power-cut durability, it cannot tear the artifact.
+        let _ = io.sync_dir(dir);
     }
     Ok(())
 }
 
+/// Process-wide discriminator for tmp names — with the pid it makes every
+/// in-flight atomic write target its own tmp file, so two concurrent
+/// writers racing for one destination can no longer clobber (or delete)
+/// each other's half-written bytes.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
 fn tmp_path(path: &Path) -> PathBuf {
     let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
-    name.push(".tmp");
+    name.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
     path.with_file_name(name)
 }
 
-/// Runs `op` up to `attempts` times, sleeping `10 ms · 2^i` between
-/// attempts — the bounded retry policy for transient host I/O failures.
-/// Returns the first success or the last error.
+/// Runs `op` up to `attempts` times under the standard backoff
+/// ([`RetryPolicy::standard`], 10 ms · 2^i with deterministic jitter).
+/// Permanent errors — `NotFound`, `PermissionDenied`, malformed input,
+/// `ENOSPC` — bail immediately instead of burning the backoff budget on a
+/// failure that retrying cannot fix (see [`dls_chaos::is_permanent`]).
 pub fn with_io_retries<T>(
     attempts: u32,
-    mut op: impl FnMut() -> std::io::Result<T>,
+    op: impl FnMut() -> std::io::Result<T>,
 ) -> std::io::Result<T> {
-    let attempts = attempts.max(1);
-    let mut last = None;
-    for i in 0..attempts {
-        match op() {
-            Ok(v) => return Ok(v),
-            Err(e) => last = Some(e),
-        }
-        if i + 1 < attempts {
-            std::thread::sleep(std::time::Duration::from_millis(10 << i));
-        }
-    }
-    Err(last.expect("at least one attempt was made"))
+    RetryPolicy::standard().with_attempts(attempts).run(op)
 }
 
 /// [`atomic_write`] under the standard retry policy, with the path in the
 /// error message — the one-call artifact writer the CLI paths use.
 pub fn write_artifact(path: &Path, contents: &[u8]) -> Result<(), ReproError> {
-    with_io_retries(IO_RETRY_ATTEMPTS, || atomic_write(path, contents))
+    write_artifact_with(&RealIo, RetryPolicy::standard(), path, contents)
+}
+
+/// [`write_artifact`] over an injectable [`HostIo`] and retry policy —
+/// the chaos harness writes its CSVs through the faulted I/O with a
+/// zero-delay policy so thousands of injected failures do not sleep.
+pub fn write_artifact_with(
+    io: &dyn HostIo,
+    retry: RetryPolicy,
+    path: &Path,
+    contents: &[u8],
+) -> Result<(), ReproError> {
+    retry
+        .run(|| atomic_write_with(io, path, contents))
         .map_err(|e| ReproError::io(format!("{}: {e}", path.display())))
 }
 
@@ -147,6 +173,9 @@ struct JournalState {
 pub struct Journal {
     path: PathBuf,
     header: String,
+    io: Arc<dyn HostIo>,
+    retry: RetryPolicy,
+    flush_every: usize,
     state: Mutex<JournalState>,
 }
 
@@ -174,6 +203,20 @@ impl Journal {
     /// actionable [`ReproError::Usage`]. A torn trailing line — the
     /// signature of a crash between flushes — is dropped, not an error.
     pub fn open(dir: &Path, meta: &JournalMeta) -> Result<Journal, ReproError> {
+        Journal::open_with_io(dir, meta, Arc::new(RealIo), RetryPolicy::standard())
+    }
+
+    /// [`Journal::open`] over an injectable [`HostIo`] and retry policy.
+    ///
+    /// The *read* path (loading an existing journal) always goes through the
+    /// real filesystem — fault injection targets the write/flush boundaries,
+    /// which are the ones a crash can tear.
+    pub fn open_with_io(
+        dir: &Path,
+        meta: &JournalMeta,
+        io: Arc<dyn HostIo>,
+        retry: RetryPolicy,
+    ) -> Result<Journal, ReproError> {
         std::fs::create_dir_all(dir)
             .map_err(|e| ReproError::io(format!("{}: {e}", dir.display())))?;
         let path = dir.join(JOURNAL_FILE);
@@ -190,7 +233,19 @@ impl Journal {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(ReproError::io(format!("{}: {e}", path.display()))),
         }
-        Ok(Journal { path, header, state: Mutex::new(state) })
+        Ok(Journal { path, header, io, retry, flush_every: FLUSH_EVERY, state: Mutex::new(state) })
+    }
+
+    /// Overrides the automatic flush cadence (default [`FLUSH_EVERY`]).
+    ///
+    /// The chaos harness flushes every couple of records so a reduced
+    /// campaign still crosses many journal-flush I/O boundaries; values
+    /// below 1 are clamped to 1. The journal's on-disk bytes are
+    /// cadence-independent — every flush rewrites the whole file — so
+    /// changing this never changes the final artifact.
+    pub fn with_flush_every(mut self, every: usize) -> Journal {
+        self.flush_every = every.max(1);
+        self
     }
 
     /// The journal file path.
@@ -224,7 +279,7 @@ impl Journal {
         state.index.insert(key, idx);
         state.dirty += 1;
         state.stats.recorded += 1;
-        if state.dirty >= FLUSH_EVERY {
+        if state.dirty >= self.flush_every {
             self.flush_locked(&mut state);
         }
     }
@@ -263,7 +318,7 @@ impl Journal {
             out.push_str(&serde_json::to_string(&line).expect("journal line serialization"));
             out.push('\n');
         }
-        match with_io_retries(IO_RETRY_ATTEMPTS, || atomic_write(&self.path, out.as_bytes())) {
+        match self.retry.run(|| atomic_write_with(&*self.io, &self.path, out.as_bytes())) {
             Ok(()) => {
                 state.dirty = 0;
                 state.stats.flushes += 1;
@@ -382,6 +437,15 @@ mod tests {
         JournalMeta { command: "fig5".into(), fingerprint: "n=1024 seed=7 runs=8".into() }
     }
 
+    /// Any tmp files left in `dir` — atomic writes must never leak them.
+    fn lingering_tmp_files(dir: &Path) -> Vec<String> {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp"))
+            .collect()
+    }
+
     #[test]
     fn atomic_write_replaces_and_leaves_no_tmp() {
         let dir = tmp_dir("aw");
@@ -389,7 +453,63 @@ mod tests {
         atomic_write(&path, b"old").unwrap();
         atomic_write(&path, b"new contents").unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "new contents");
-        assert!(!tmp_path(&path).exists(), "tmp file must not linger");
+        assert_eq!(lingering_tmp_files(&dir), Vec::<String>::new());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tmp_names_are_unique_per_call() {
+        let path = Path::new("/x/artifact.csv");
+        let a = tmp_path(path);
+        let b = tmp_path(path);
+        assert_ne!(a, b, "concurrent writers must not share a tmp file");
+        let name = a.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            name.starts_with("artifact.csv.tmp."),
+            "site-stable prefix for fault-site identity: {name}"
+        );
+    }
+
+    #[test]
+    fn concurrent_atomic_writes_to_one_path_never_tear_or_leak() {
+        let dir = tmp_dir("race");
+        let path = dir.join("artifact.csv");
+        let bodies: Vec<String> =
+            (0..8).map(|t| format!("writer-{t}-{}", "x".repeat(512))).collect();
+        std::thread::scope(|scope| {
+            for body in &bodies {
+                let path = &path;
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        atomic_write(path, body.as_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        // The survivor is one complete body, never an interleaving.
+        let survivor = std::fs::read_to_string(&path).unwrap();
+        assert!(bodies.contains(&survivor), "torn artifact: {survivor:.40}…");
+        assert_eq!(lingering_tmp_files(&dir), Vec::<String>::new());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_atomic_write_cleans_up_its_tmp_file() {
+        use dls_chaos::{ChaosIo, HostFaultPlan, IoOp};
+        let dir = tmp_dir("cleanup");
+        let path = dir.join("artifact.csv");
+        // Fault every op kind in turn: create, write, fsync, rename.
+        for op in [IoOp::Create, IoOp::Write, IoOp::Fsync, IoOp::Rename] {
+            let plan = HostFaultPlan::none().with_errors(1.0).only_ops(vec![op]);
+            let io = ChaosIo::new(plan);
+            atomic_write_with(&io, &path, b"doomed").unwrap_err();
+            assert_eq!(
+                lingering_tmp_files(&dir),
+                Vec::<String>::new(),
+                "tmp leaked after injected {op:?} failure"
+            );
+            assert!(!path.exists(), "destination must stay absent after {op:?} failure");
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -411,6 +531,22 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("persistent"));
+    }
+
+    #[test]
+    fn io_retries_bail_immediately_on_permanent_errors() {
+        let attempts = AtomicU32::new(0);
+        let err = with_io_retries(5, || -> std::io::Result<()> {
+            attempts.fetch_add(1, Ordering::Relaxed);
+            Err(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        assert_eq!(
+            attempts.load(Ordering::Relaxed),
+            1,
+            "NotFound is permanent: no backoff budget may be spent on it"
+        );
     }
 
     #[test]

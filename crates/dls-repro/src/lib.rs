@@ -18,7 +18,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod bench;
+pub mod chaos;
 pub mod cli;
 pub mod error;
 pub mod faults;

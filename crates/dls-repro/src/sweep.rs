@@ -199,6 +199,38 @@ pub fn run_sweep_resilient(
     Ok(rows)
 }
 
+/// Renders sweep rows as the CLI's table/CSV cells. Shared by the `sweep`
+/// command and the chaos harness, which must reproduce the command's CSV
+/// byte-for-byte to compare crashed-and-resumed campaigns against it.
+pub fn table_rows(rows: &[SweepRow]) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec![
+        "n",
+        "p",
+        "workload",
+        "technique",
+        "wasted mean[s]",
+        "wasted sd[s]",
+        "speedup",
+        "chunks",
+    ];
+    let body = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.p.to_string(),
+                r.workload.clone(),
+                r.technique.clone(),
+                format!("{:.3}", r.wasted.mean()),
+                format!("{:.3}", r.wasted.std_dev()),
+                format!("{:.2}", r.speedup.mean()),
+                format!("{:.0}", r.chunks_mean),
+            ]
+        })
+        .collect();
+    (headers, body)
+}
+
 /// For each (n, p, family) group, the technique with the lowest mean
 /// wasted time — the "who wins where" digest.
 pub fn winners(rows: &[SweepRow]) -> Vec<(u64, usize, String, String, f64)> {

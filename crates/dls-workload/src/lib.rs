@@ -359,7 +359,7 @@ impl Workload {
     /// makes replication loops allocation-free after the first run.
     ///
     /// The sample stream is bit-identical to [`Workload::generate`] with the
-    /// same seed: both paths draw through [`Workload::fill_times`] in index
+    /// same seed: both paths draw through `Workload::fill_times` in index
     /// order and build the prefix sums with the same sequential additions.
     pub fn generate_into(&self, seed: u64, slot: &mut Option<TaskTimes>) {
         let mut rng = Rand48::from_seed(seed);

@@ -42,6 +42,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use dls_chaos;
 pub use dls_core;
 pub use dls_des;
 pub use dls_hagerup;
