@@ -465,7 +465,11 @@ impl ChaosIo {
             let site = site_path(path);
             let mut rng = SplitMix64::new(site_hash(self.plan.seed, &site, op));
             if rng.next_f64() < self.plan.flake_probability {
-                let mut sites = self.flaky_sites.lock().expect("chaos site lock poisoned");
+                // A panic while a writer held this lock leaves the visit map
+                // intact (plain data, every update is a single insert), so
+                // recover the guard instead of cascading the poison into
+                // every later operation.
+                let mut sites = self.flaky_sites.lock().unwrap_or_else(|e| e.into_inner());
                 let visits = sites.entry((site, op)).or_insert(0);
                 if *visits < self.plan.flake_depth {
                     *visits += 1;
@@ -641,6 +645,12 @@ impl RetryPolicy {
         RetryPolicy { attempts, base_delay_ms: 0, jitter_seed: 0 }
     }
 
+    /// Hard cap on any single backoff sleep, jitter included (60 s). A
+    /// user-supplied `base_delay_ms` can be arbitrarily large; the cap
+    /// bounds the worst case instead of letting the exponential scaling
+    /// wrap around `u64` into a tiny — or zero — sleep.
+    pub const MAX_DELAY_MS: u64 = 60_000;
+
     /// Overrides the attempt budget (builder style).
     pub fn with_attempts(mut self, attempts: u32) -> Self {
         self.attempts = attempts;
@@ -650,16 +660,24 @@ impl RetryPolicy {
     /// The backoff before retry `attempt` (0-based): exponential on the
     /// base delay, scaled by a deterministic jitter factor in `[0.5, 1.5)`
     /// so a fleet of workers retrying one shared resource spreads out.
+    /// The result is capped at [`RetryPolicy::MAX_DELAY_MS`]: a large
+    /// `base_delay_ms` saturates at the cap instead of wrapping the shift.
     pub fn delay(&self, attempt: u32) -> std::time::Duration {
         if self.base_delay_ms == 0 {
             return std::time::Duration::ZERO;
         }
-        let base_us = (self.base_delay_ms << attempt.min(16)) as f64 * 1_000.0;
+        // 2^min(attempt, 16) never overflows the shift itself, but the
+        // scaled product can exceed u64 for a huge base delay — saturate,
+        // then clamp to the cap before the jitter touches it.
+        let scale = 1u64.checked_shl(attempt.min(16)).unwrap_or(u64::MAX);
+        let base_ms = self.base_delay_ms.saturating_mul(scale);
+        let base_us = base_ms.min(Self::MAX_DELAY_MS) as f64 * 1_000.0;
         let mut rng = SplitMix64::new(
             self.jitter_seed ^ u64::from(attempt).wrapping_add(1).wrapping_mul(GOLDEN),
         );
         let jitter = 0.5 + rng.next_f64();
-        std::time::Duration::from_micros((base_us * jitter) as u64)
+        let capped_us = (base_us * jitter).min(Self::MAX_DELAY_MS as f64 * 1_000.0);
+        std::time::Duration::from_micros(capped_us as u64)
     }
 
     /// Runs `op` under this policy: returns the first success, bails
@@ -933,5 +951,50 @@ mod tests {
             let d = p.delay(i);
             assert!(d >= base / 2 && d < base * 3 / 2, "delay({i}) = {d:?} out of band");
         }
+    }
+
+    #[test]
+    fn retry_delay_saturates_instead_of_wrapping() {
+        let cap = std::time::Duration::from_millis(RetryPolicy::MAX_DELAY_MS);
+        // 2^63 ms shifted once used to wrap to exactly zero — the silent
+        // busy-retry loop this guards against.
+        let huge = RetryPolicy { attempts: 3, base_delay_ms: 1 << 63, jitter_seed: 1 };
+        for attempt in [0, 1, 16, 17, u32::MAX] {
+            let d = huge.delay(attempt);
+            assert!(d > std::time::Duration::ZERO, "delay({attempt}) wrapped to zero");
+            assert!(d <= cap, "delay({attempt}) = {d:?} exceeds the cap");
+        }
+        let max = RetryPolicy { attempts: 3, base_delay_ms: u64::MAX, jitter_seed: 2 };
+        assert!(max.delay(5) <= cap && max.delay(5) > std::time::Duration::ZERO);
+        // A sane base delay reaching the exponential ceiling also clamps.
+        let grown = RetryPolicy { attempts: 20, base_delay_ms: 10_000, jitter_seed: 3 };
+        assert!(grown.delay(16) <= cap);
+        // The cap never touches the standard policy's band.
+        let p = RetryPolicy::standard();
+        assert!(p.delay(4) < cap / 100, "standard backoff is far below the cap");
+    }
+
+    #[test]
+    fn poisoned_flake_site_lock_recovers() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let plan = HostFaultPlan::none().with_flakes(1.0, 1);
+        let io = ChaosIo::new(plan);
+        // Poison the site map the way a panicking writer thread would:
+        // unwind while the guard is alive.
+        let poison = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = io.flaky_sites.lock().unwrap();
+            panic!("writer dies while holding the chaos site lock");
+        }));
+        assert!(poison.is_err());
+        assert!(io.flaky_sites.is_poisoned());
+        // The gate still classifies operations: first attempt flakes
+        // (depth 1), the retry proceeds — no poison cascade.
+        let dir = tmp_dir("poisoned-sites");
+        let path = dir.join("a.txt");
+        let first = io.create(&path);
+        assert!(first.is_err(), "depth-1 flake still fires after recovery");
+        let second = io.create(&path);
+        assert!(second.is_ok(), "retry proceeds after the flake budget");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -169,6 +169,15 @@ pub fn mean_below_threshold(xs: &[f64], threshold: f64) -> Option<f64> {
     }
 }
 
+/// Sorts `xs` ascending under the crate's unified NaN policy: a NaN
+/// observation is a diagnosable upstream bug, so it panics with the
+/// documented diagnostic instead of the anonymous `partial_cmp().unwrap()`
+/// a caller-side sort would produce.
+pub fn sort_ascending(xs: &mut [f64]) {
+    assert!(xs.iter().all(|x| !x.is_nan()), "sort_ascending: NaN observation");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN excluded above"));
+}
+
 /// Symmetric trimmed mean: drops `trim_frac` of the mass from each tail.
 ///
 /// Panics on NaN observations (see the module-level NaN policy).
@@ -179,7 +188,7 @@ pub fn trimmed_mean(xs: &[f64], trim_frac: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sort_ascending(&mut sorted);
     let k = (xs.len() as f64 * trim_frac).floor() as usize;
     let kept = &sorted[k..sorted.len() - k];
     Some(kept.iter().sum::<f64>() / kept.len() as f64)
@@ -256,6 +265,24 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sort_ascending_sorts_and_rejects_nan() {
+        let mut xs = [3.0, -1.0, 2.5, 0.0];
+        sort_ascending(&mut xs);
+        assert_eq!(xs, [-1.0, 0.0, 2.5, 3.0]);
+        let caught = std::panic::catch_unwind(|| {
+            let mut bad = [1.0, f64::NAN];
+            sort_ascending(&mut bad);
+        })
+        .unwrap_err();
+        let msg = caught
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| caught.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("sort_ascending: NaN observation"), "diagnostic named: {msg}");
+    }
 
     #[test]
     fn welford_matches_naive() {

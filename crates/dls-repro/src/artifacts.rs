@@ -98,7 +98,10 @@ impl ArtifactSink {
     }
 
     fn sink(&self) -> std::sync::MutexGuard<'_, Vec<String>> {
-        self.degraded.lock().expect("artifact sink lock poisoned")
+        // The list of degraded labels is a plain data record: it stays valid
+        // even if a writer panicked mid-push, so recover instead of letting
+        // one quarantined panic abort every later artifact write.
+        self.degraded.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -138,6 +141,21 @@ mod tests {
         let verdict = sink.finish().unwrap_err();
         assert_eq!(verdict.exit_code(), crate::error::EXIT_DEGRADED);
         assert!(verdict.to_string().contains("x.csv"), "{verdict}");
+    }
+
+    #[test]
+    fn poisoned_sink_lock_recovers() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let sink = ArtifactSink::new();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = sink.degraded.lock().unwrap();
+            panic!("poison for test");
+        }));
+        assert!(caught.is_err());
+        assert!(sink.degraded.is_poisoned());
+        // Recording and reading degraded artifacts must still work.
+        sink.soften("late.json", Err(ReproError::io("flake"))).unwrap();
+        assert_eq!(sink.degraded(), vec!["late.json".to_string()]);
     }
 
     #[test]

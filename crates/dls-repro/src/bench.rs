@@ -26,6 +26,7 @@
 use crate::error::ReproError;
 use crate::faults::{default_scenarios, run_fault_sweep_metered, FaultSweepConfig};
 use crate::hagerup_exp::{run_figure_metered, HagerupConfig, OracleMode};
+use crate::journal::git_rev;
 use crate::runner::ExecContext;
 use crate::tss_exp;
 use dls_core::Technique;
@@ -370,18 +371,6 @@ pub fn suite() -> Vec<BenchCase> {
             }),
         },
     ]
-}
-
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".into())
 }
 
 fn now_unix_s() -> u64 {
@@ -851,7 +840,7 @@ mod tests {
 
         let dir = std::env::temp_dir().join(format!("dls-bench-resume-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let meta = JournalMeta { command: "bench".into(), fingerprint: "quick reps=2".into() };
+        let meta = JournalMeta::new("bench", "quick reps=2", 1);
         let cfg = BenchConfig { quick: true, reps: 2, threads: 1, tag: "t".into(), seed: 1 };
         let executions = Arc::new(AtomicU32::new(0));
         let make_cases = |counter: Arc<AtomicU32>| {

@@ -38,6 +38,7 @@ use dls_repro::plot;
 use dls_repro::reference;
 use dls_repro::report;
 use dls_repro::runner::{CancelFlag, ExecContext};
+use dls_repro::server::{ServeConfig, Server};
 use dls_repro::spec::{ExperimentSpec, MeasuredValue, OverheadSpec};
 use dls_repro::{registry, tss_exp};
 use dls_telemetry::{Snapshot, Telemetry};
@@ -98,11 +99,12 @@ fn install_sigint_handler() {
 fn exec_context(
     command: &str,
     fingerprint: String,
+    seed: u64,
     o: &Options,
 ) -> Result<ExecContext, ReproError> {
     let mut ctx = match &o.resume {
         Some(dir) => {
-            let meta = JournalMeta { command: command.to_string(), fingerprint };
+            let meta = JournalMeta::new(command, fingerprint, seed);
             let j = Journal::open(std::path::Path::new(dir), &meta)?;
             if j.resumed() > 0 {
                 eprintln!("resume: replaying {} journaled run(s) from {dir}", j.resumed());
@@ -413,6 +415,7 @@ fn cmd_hagerup(fig: &str, o: &Options, sink: &ArtifactSink) -> Result<(), ReproE
             "n={} pes={:?} runs={} h={} mean={} seed={:#x} oracle={:?} techniques={:?}",
             cfg.n, cfg.pes, cfg.runs, cfg.h, cfg.mean, cfg.seed, cfg.oracle, cfg.techniques
         ),
+        cfg.seed,
         o,
     )?;
     eprintln!(
@@ -566,6 +569,7 @@ fn cmd_sweep(o: &Options, sink: &ArtifactSink) -> Result<(), ReproError> {
             "ns={:?} pes={:?} families={:?} techniques={:?} runs={} h={} seed={:#x}",
             cfg.ns, cfg.pes, family_names, cfg.techniques, cfg.runs, cfg.h, cfg.seed
         ),
+        cfg.seed,
         o,
     )?;
     eprintln!(
@@ -631,6 +635,7 @@ fn cmd_faults(o: &Options, sink: &ArtifactSink) -> Result<(), ReproError> {
             "n={} p={} techniques={:?} scenarios={:?} runs={} h={} seed={:#x}",
             cfg.n, cfg.p, cfg.techniques, scenario_names, cfg.runs, cfg.h, cfg.seed
         ),
+        cfg.seed,
         o,
     )?;
     eprintln!(
@@ -804,6 +809,7 @@ fn cmd_bench(o: &Options) -> Result<(), ReproError> {
     let ctx = exec_context(
         "bench",
         format!("quick={} reps={} seed={:#x} entries={entries_fp}", cfg.quick, cfg.reps, cfg.seed),
+        cfg.seed,
         o,
     )?;
     eprintln!(
@@ -884,8 +890,23 @@ fn cmd_verify(o: &Options) -> Result<(), ReproError> {
 /// Commands that support `--resume DIR` (their campaigns are journaled).
 const RESUMABLE: &[&str] = &["fig5", "fig6", "fig7", "fig8", "sweep", "faults", "bench"];
 
+/// `repro serve`: run the campaign service until interrupted (exit 130)
+/// or until `--max-requests` connections were handled (exit 0).
+fn cmd_serve(o: &Options) -> Result<(), ReproError> {
+    let cfg = ServeConfig::from_options(o);
+    let server = Server::bind(&cfg, Telemetry::enabled(), global_cancel_flag())?;
+    eprintln!(
+        "serve: listening on http://{} (cache: {}, workers: {}, queue: {})",
+        server.local_addr(),
+        cfg.cache_dir.display(),
+        cfg.workers,
+        cfg.queue_depth,
+    );
+    server.run()
+}
+
 fn usage() -> String {
-    "usage: repro <list|table2|fig3|fig3a|fig4|fig4a|fig5|fig6|fig7|fig8|fig9|spec|verify|sweep|faults|trace|bench|all> \
+    "usage: repro <list|table2|fig3|fig3a|fig4|fig4a|fig5|fig6|fig7|fig8|fig9|spec|verify|sweep|faults|trace|bench|serve|all> \
      [--runs N] [--threads N] [--seed S] [--csv DIR] [--pes a,b,c] \
      [--techniques SS,FAC2,BOLD] [--fault-plan FILE] [--trace DIR]\n\
      fig3a/fig4a: rerun figures 3/4 with the BBN GP-1000 contention model\n\
@@ -895,6 +916,10 @@ fn usage() -> String {
      trace:       repro trace <hagerup|faults|TECHNIQUE> [--seed S] [--out DIR]\n\
                   record one run; write Chrome trace_event JSON + per-PE\n\
                   timeline/utilization/chunk-size CSVs (default dir: traces/)\n\
+     serve:       campaign-as-a-service daemon with a content-addressed\n\
+                  result cache: POST {\"fig\":\"fig5\",\"runs\":8,...} to /run,\n\
+                  GET /metrics, GET /healthz. [--addr H:P] [--cache DIR]\n\
+                  [--workers N] [--queue-depth N] [--max-requests N]\n\
      bench:       timed standardized campaigns -> BENCH_<tag>.json\n\
                   [--quick] [--reps N] [--tag T] [--out FILE]\n\
                   [--entries a,b] (subset of suite cells, run and compare)\n\
@@ -963,6 +988,7 @@ fn run(args: &[String]) -> Result<(), ReproError> {
         "trace" => cmd_trace(target.as_deref().unwrap_or_default(), &opts),
         "chaos" => cmd_chaos(target.as_deref().unwrap_or_default(), &opts),
         "bench" => cmd_bench(&opts),
+        "serve" => cmd_serve(&opts),
         "all" => {
             cmd_list();
             cmd_table2();

@@ -423,15 +423,11 @@ pub fn load_host_plan(path: &str) -> Result<HostFaultPlan, ReproError> {
 /// The campaign identity every attempt (reference, crash, resume) shares —
 /// a resume with a different fingerprint would refuse to load the journal.
 fn journal_meta(cfg: &ChaosConfig) -> JournalMeta {
-    JournalMeta {
-        command: format!("chaos-{}", cfg.target.name()),
-        fingerprint: format!(
-            "quick={} runs={:?} seed={:#x}",
-            cfg.quick,
-            cfg.runs,
-            cfg.campaign_seed()
-        ),
-    }
+    JournalMeta::new(
+        format!("chaos-{}", cfg.target.name()),
+        format!("quick={} runs={:?}", cfg.quick, cfg.runs),
+        cfg.campaign_seed(),
+    )
 }
 
 fn csv_name(target: ChaosTarget) -> String {

@@ -57,6 +57,20 @@ pub struct Options {
     /// Test hook: inject a cooperative cancellation after this many newly
     /// executed runs, simulating a mid-campaign kill deterministically.
     pub cancel_after: Option<u64>,
+    /// Listen address for `serve` (default `127.0.0.1:7878`).
+    pub addr: Option<String>,
+    /// On-disk result-cache directory for `serve` (default `repro-cache`).
+    pub cache_dir: Option<String>,
+    /// Concurrent campaign executions `serve` allows (default 2).
+    pub workers: Option<usize>,
+    /// Admission queue depth for `serve`; requests beyond it are shed with
+    /// HTTP 429 (default 8).
+    pub queue_depth: Option<usize>,
+    /// Stop `serve` cleanly after this many handled requests (smoke tests).
+    pub max_requests: Option<u64>,
+    /// Testing/latency-injection knob for `serve`: hold each cold
+    /// computation's worker slot for at least this many extra milliseconds.
+    pub hold_ms: Option<u64>,
 }
 
 impl Default for Options {
@@ -84,6 +98,12 @@ impl Default for Options {
             entries: None,
             resume: None,
             cancel_after: None,
+            addr: None,
+            cache_dir: None,
+            workers: None,
+            queue_depth: None,
+            max_requests: None,
+            hold_ms: None,
         }
     }
 }
@@ -157,6 +177,30 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.cancel_after = Some(
                     value("--cancel-after")?.parse().map_err(|e| format!("--cancel-after: {e}"))?,
                 )
+            }
+            "--addr" => o.addr = Some(value("--addr")?),
+            "--cache" => o.cache_dir = Some(value("--cache")?),
+            "--workers" => {
+                let n: usize =
+                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                o.workers = Some(n);
+            }
+            "--queue-depth" => {
+                o.queue_depth = Some(
+                    value("--queue-depth")?.parse().map_err(|e| format!("--queue-depth: {e}"))?,
+                )
+            }
+            "--max-requests" => {
+                o.max_requests = Some(
+                    value("--max-requests")?.parse().map_err(|e| format!("--max-requests: {e}"))?,
+                )
+            }
+            "--hold-ms" => {
+                o.hold_ms =
+                    Some(value("--hold-ms")?.parse().map_err(|e| format!("--hold-ms: {e}"))?)
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -261,6 +305,23 @@ mod tests {
         assert_eq!(o.cancel_after, Some(12));
         assert!(parse_options(&args("--resume")).unwrap_err().contains("requires a value"));
         assert!(parse_options(&args("--cancel-after x")).unwrap_err().contains("--cancel-after"));
+    }
+
+    #[test]
+    fn serve_options_parse() {
+        let o = parse_options(&args(
+            "--addr 127.0.0.1:0 --cache cdir --workers 3 --queue-depth 4 \
+             --max-requests 10 --hold-ms 250",
+        ))
+        .unwrap();
+        assert_eq!(o.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.cache_dir.as_deref(), Some("cdir"));
+        assert_eq!(o.workers, Some(3));
+        assert_eq!(o.queue_depth, Some(4));
+        assert_eq!(o.max_requests, Some(10));
+        assert_eq!(o.hold_ms, Some(250));
+        assert!(parse_options(&args("--workers 0")).unwrap_err().contains("at least 1"));
+        assert!(parse_options(&args("--queue-depth x")).unwrap_err().contains("--queue-depth"));
     }
 
     #[test]

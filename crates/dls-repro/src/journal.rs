@@ -130,13 +130,63 @@ pub fn write_artifact_with(
 /// Identity of the campaign a journal belongs to. A resumed invocation
 /// must present the same metadata; anything else would silently merge
 /// results from different experiments.
+///
+/// The triple (`fingerprint`, `seed`, `git_rev`) is also the
+/// content-address the result cache keys on: a campaign result is a pure
+/// function of those three components, so carrying them all here lets the
+/// journal header and the cache share one identity.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JournalMeta {
     /// Subcommand that owns the journal (`fig5`, `sweep`, `faults`, …).
     pub command: String,
     /// Canonical rendering of every option that affects the results
-    /// (seed, runs, grid, techniques — not `--threads` or output paths).
+    /// (runs, grid, techniques — not `--threads` or output paths).
     pub fingerprint: String,
+    /// Master seed of the campaign, carried explicitly (not just embedded
+    /// in the fingerprint text) so cache keys and resume checks can rely
+    /// on it structurally.
+    pub seed: u64,
+    /// Build identity (`git rev-parse --short HEAD`, `"unknown"` outside a
+    /// checkout). A mismatch on resume only warns — replayed records are
+    /// bit-exact regardless of the binary that wrote them — but the result
+    /// cache treats it as a distinct key.
+    pub git_rev: String,
+}
+
+impl JournalMeta {
+    /// Metadata for `command` with the build's git revision captured
+    /// automatically.
+    pub fn new(command: impl Into<String>, fingerprint: impl Into<String>, seed: u64) -> Self {
+        JournalMeta {
+            command: command.into(),
+            fingerprint: fingerprint.into(),
+            seed,
+            git_rev: git_rev(),
+        }
+    }
+
+    /// The content-address of this campaign's result: every component that
+    /// determines the output bytes, in a stable rendering.
+    pub fn cache_key(&self) -> String {
+        format!(
+            "command={} fingerprint=[{}] seed={:#x} git_rev={}",
+            self.command, self.fingerprint, self.seed, self.git_rev
+        )
+    }
+}
+
+/// Short git revision of the working tree, or `"unknown"` when not in a
+/// checkout (or git is unavailable). Part of journal headers and cache
+/// keys: results are only guaranteed bit-identical for one build.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Counters describing one journal session; surfaced by the CLI summary.
@@ -260,7 +310,10 @@ impl Journal {
 
     /// The journaled value for `key`, if that run already completed.
     pub fn lookup(&self, key: &str) -> Option<Value> {
-        let state = self.state.lock().expect("journal lock poisoned");
+        // All four journal-lock sites recover from poisoning: the state is
+        // a plain data record that stays valid after a writer panic, and a
+        // quarantined panic must not abort every later run's checkpointing.
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         state.index.get(key).map(|&i| state.records[i].1.clone())
     }
 
@@ -270,7 +323,7 @@ impl Journal {
     ///
     /// [`flush`]: Journal::flush
     pub fn record(&self, key: String, value: Value) {
-        let mut state = self.state.lock().expect("journal lock poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if state.index.contains_key(&key) {
             return; // idempotent: a re-executed run re-records its result
         }
@@ -288,14 +341,14 @@ impl Journal {
     /// policy. Returns the first error any earlier automatic flush
     /// swallowed, so persistent I/O trouble is reported exactly once.
     pub fn flush(&self) -> Result<(), ReproError> {
-        let mut state = self.state.lock().expect("journal lock poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         self.flush_locked(&mut state);
         state.sticky_error.take().map_or(Ok(()), Err)
     }
 
     /// Session statistics for the CLI summary line.
     pub fn stats(&self) -> JournalStats {
-        self.state.lock().expect("journal lock poisoned").stats
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).stats
     }
 
     /// Records already present when the journal was opened.
@@ -338,6 +391,8 @@ fn header_line(meta: &JournalMeta) -> String {
         ("schema".into(), Value::String(SCHEMA.into())),
         ("command".into(), Value::String(meta.command.clone())),
         ("fingerprint".into(), Value::String(meta.fingerprint.clone())),
+        ("seed".into(), Value::U64(meta.seed)),
+        ("git_rev".into(), Value::String(meta.git_rev.clone())),
     ]);
     serde_json::to_string(&header).expect("journal header serialization")
 }
@@ -373,14 +428,38 @@ fn load_existing(
     }
     let command = header.get("command").and_then(Value::as_str).unwrap_or("");
     let fingerprint = header.get("fingerprint").and_then(Value::as_str).unwrap_or("");
-    if command != meta.command || fingerprint != meta.fingerprint {
+    // Pre-PR-7 journals have no structural seed field; for them the seed is
+    // still embedded in the fingerprint text, so only check when present.
+    let seed = header.get("seed").and_then(|v| match v {
+        Value::U64(n) => Some(*n),
+        _ => None,
+    });
+    if command != meta.command
+        || fingerprint != meta.fingerprint
+        || seed.is_some_and(|s| s != meta.seed)
+    {
         return Err(ReproError::usage(format!(
-            "{}: journal belongs to `{command}` [{fingerprint}] but this invocation is \
-             `{}` [{}] — resume with the original options or pass a fresh --resume directory",
+            "{}: journal belongs to `{command}` [{fingerprint}]{} but this invocation is \
+             `{}` [{}] seed={:#x} — resume with the original options or pass a fresh \
+             --resume directory",
             path.display(),
+            seed.map(|s| format!(" seed={s:#x}")).unwrap_or_default(),
             meta.command,
             meta.fingerprint,
+            meta.seed,
         )));
+    }
+    // A different build can still replay the journal bit-exactly (records
+    // are data, not code), so a git-rev mismatch is a warning, not an error.
+    if let Some(rev) = header.get("git_rev").and_then(Value::as_str) {
+        if rev != meta.git_rev {
+            eprintln!(
+                "warning: {}: journal was written by build {rev}, this build is {} — \
+                 resuming anyway (journaled records replay bit-exactly)",
+                path.display(),
+                meta.git_rev,
+            );
+        }
     }
     let body: Vec<&str> = lines.collect();
     for (i, line) in body.iter().enumerate() {
@@ -434,7 +513,7 @@ mod tests {
     }
 
     fn meta() -> JournalMeta {
-        JournalMeta { command: "fig5".into(), fingerprint: "n=1024 seed=7 runs=8".into() }
+        JournalMeta::new("fig5", "n=1024 runs=8", 7)
     }
 
     /// Any tmp files left in `dir` — atomic writes must never leak them.
@@ -571,12 +650,82 @@ mod tests {
     fn mismatched_campaign_is_rejected_with_an_actionable_error() {
         let dir = tmp_dir("mm");
         Journal::open(&dir, &meta()).unwrap().flush().unwrap();
-        let other =
-            JournalMeta { command: "fig6".into(), fingerprint: "n=8192 seed=7 runs=8".into() };
+        let other = JournalMeta::new("fig6", "n=8192 runs=8", 7);
         let err = Journal::open(&dir, &other).unwrap_err();
         assert_eq!(err.exit_code(), crate::error::EXIT_USAGE);
         assert!(err.to_string().contains("fig5"), "names the journal's campaign: {err}");
         assert!(err.to_string().contains("fig6"), "names this invocation: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_seed_is_rejected_but_git_rev_only_warns() {
+        let dir = tmp_dir("seed-mm");
+        Journal::open(&dir, &meta()).unwrap().flush().unwrap();
+
+        // Same command+fingerprint, different seed: a different experiment.
+        let mut reseeded = meta();
+        reseeded.seed = 8;
+        let err = Journal::open(&dir, &reseeded).unwrap_err();
+        assert_eq!(err.exit_code(), crate::error::EXIT_USAGE);
+        assert!(err.to_string().contains("seed=0x8"), "names this seed: {err}");
+
+        // Different build, same campaign: resume must still work.
+        let mut rebuilt = meta();
+        rebuilt.git_rev = "deadbeef".into();
+        Journal::open(&dir, &rebuilt).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_pr7_headers_without_seed_still_resume() {
+        // A journal written before the seed/git_rev fields existed must
+        // stay resumable: the seed check only applies when present.
+        let dir = tmp_dir("old-hdr");
+        let path = dir.join(JOURNAL_FILE);
+        std::fs::write(
+            &path,
+            "{\"schema\":\"dls-journal/1\",\"command\":\"fig5\",\
+             \"fingerprint\":\"n=1024 runs=8\"}\n",
+        )
+        .unwrap();
+        Journal::open(&dir, &meta()).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_key_carries_all_three_components() {
+        let m = meta();
+        let key = m.cache_key();
+        assert!(key.contains("fig5"));
+        assert!(key.contains("n=1024 runs=8"));
+        assert!(key.contains("seed=0x7"));
+        assert!(key.contains(&m.git_rev));
+        let mut other = meta();
+        other.seed ^= 1;
+        assert_ne!(key, other.cache_key(), "seed must change the cache key");
+        let mut other = meta();
+        other.git_rev = format!("{}x", other.git_rev);
+        assert_ne!(key, other.cache_key(), "git rev must change the cache key");
+    }
+
+    #[test]
+    fn poisoned_journal_lock_recovers() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let dir = tmp_dir("poison");
+        let j = Journal::open(&dir, &meta()).unwrap();
+        j.record(run_key("c", 1, 0), Value::U64(1));
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = j.state.lock().unwrap();
+            panic!("poison for test");
+        }));
+        assert!(caught.is_err());
+        assert!(j.state.is_poisoned());
+        // Record, lookup, flush and stats must all still work.
+        j.record(run_key("c", 1, 1), Value::U64(2));
+        assert_eq!(j.lookup(&run_key("c", 1, 1)), Some(Value::U64(2)));
+        j.flush().unwrap();
+        assert_eq!(j.stats().recorded, 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -32,6 +32,7 @@ pub mod reference;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod server;
 pub mod spec;
 pub mod sweep;
 pub mod trace;

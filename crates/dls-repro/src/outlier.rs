@@ -102,6 +102,7 @@ pub fn run_outlier(cfg: &OutlierConfig, threshold: f64) -> Result<OutlierAnalysi
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dls_metrics::{percentile, sort_ascending};
 
     #[test]
     fn scaled_campaign_shows_fac_tail_mechanics() {
@@ -115,10 +116,12 @@ mod tests {
         if let Some(tm) = a.trimmed_mean {
             assert!(tm <= a.mean + 1e-9);
         }
-        // Most runs are cheap: the median is far below the max.
+        // Most runs are cheap: the median is far below the max. The sort
+        // goes through the NaN-asserting helper — the unified policy from
+        // PR 2 — not a bare `partial_cmp().unwrap()`.
         let mut sorted = a.per_run.clone();
-        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        let median = sorted[sorted.len() / 2];
+        sort_ascending(&mut sorted);
+        let median = percentile(&sorted, 50.0);
         assert!(
             a.stats.max() > 2.0 * median || a.outliers == 0,
             "heavy tail expected: median {median}, max {}",

@@ -262,13 +262,17 @@ impl ExecContext {
     }
 
     /// Adds a run to the quarantine list.
+    ///
+    /// Recovers a poisoned lock: the list is a plain data record that stays
+    /// valid after a writer panic, and aborting here would defeat the whole
+    /// point of quarantine — one panicking run must not poison the campaign.
     pub fn quarantine(&self, run: QuarantinedRun) {
-        self.quarantined.lock().expect("quarantine lock poisoned").push(run);
+        self.quarantined.lock().unwrap_or_else(|e| e.into_inner()).push(run);
     }
 
     /// The quarantined runs so far, in quarantine order.
     pub fn quarantined(&self) -> Vec<QuarantinedRun> {
-        self.quarantined.lock().expect("quarantine lock poisoned").clone()
+        self.quarantined.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Flushes the journal (no-op without one). Returns the first error
@@ -582,7 +586,7 @@ mod tests {
     }
 
     fn meta() -> JournalMeta {
-        JournalMeta { command: "test".into(), fingerprint: "runs=40 seed=5".into() }
+        JournalMeta::new("test", "runs=40", 5)
     }
 
     /// A scratch arena is a cache, not an input: reusing buffers across
@@ -667,6 +671,44 @@ mod tests {
         assert_eq!(q[0].run, 3);
         assert_eq!(q[0].seed, seed_stream(5).nth(3).unwrap());
         assert!(q[0].panic_message.contains("injected failure in run 3"));
+    }
+
+    /// Regression for the poisoned-lock cascade: a panic while holding the
+    /// quarantine mutex used to abort every later run via
+    /// `.expect("quarantine lock poisoned")`, despite `catch_unwind`
+    /// quarantine existing precisely to contain panics. A quarantined
+    /// panicking run followed by a clean campaign must now complete cleanly.
+    #[test]
+    fn quarantined_panic_does_not_poison_later_campaigns() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let ctx = ExecContext::transient();
+        // Poison the quarantine mutex the way a worker panic would: die
+        // while holding the guard.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = ctx.quarantined.lock().unwrap();
+            panic!("poison for test");
+        }));
+        assert!(caught.is_err());
+        assert!(ctx.quarantined.is_poisoned());
+
+        // Campaign 1: one panicking run. Recording its quarantine entry
+        // goes through the poisoned lock and must recover.
+        let out = run_campaign_resilient(8, 5, 2, &Telemetry::disabled(), &ctx, "c1", |i, s| {
+            if i == 2 {
+                panic!("boom");
+            }
+            s
+        })
+        .unwrap();
+        assert!(out[2].is_none());
+        assert_eq!(ctx.quarantined().len(), 1);
+
+        // Campaign 2 on the same context: clean, all runs present — the
+        // earlier panic must not cascade.
+        let out =
+            run_campaign_resilient(8, 5, 2, &Telemetry::disabled(), &ctx, "c2", |_, s| s).unwrap();
+        assert!(out.iter().all(Option::is_some), "clean campaign after a quarantined panic");
+        assert_eq!(ctx.quarantined().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Content-addressed result cache with single-flight coalescing.
+//!
+//! A campaign result is a pure function of its [`JournalMeta::cache_key`](crate::journal::JournalMeta::cache_key)
+//! — (command, fingerprint, seed, git rev) — so the cache can hand back the
+//! exact response bytes of an earlier computation. Entries live in memory
+//! for the server's lifetime and are persisted to `dir/<hash>.json`
+//! through the fail-soft [`ArtifactSink`] seam (atomic tmp+fsync+rename,
+//! bounded retries): a crashed server restarts **warm** by re-reading the
+//! directory, and a full disk degrades persistence without failing the
+//! request — the result still serves from memory.
+//!
+//! Concurrent requests for one key are **coalesced**: the first becomes
+//! the *leader* and computes; the rest wait on the leader's flight and are
+//! answered from the fresh entry, so N identical submissions cost one
+//! computation. File names are a 128-bit FNV-1a hash of the key, and the
+//! full key is stored inside the entry and verified on load, so a hash
+//! collision can at worst miss, never serve the wrong bytes.
+
+use crate::artifacts::{ArtifactSink, ArtifactTier};
+use serde::Value;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Schema tag of on-disk cache entries; bump on breaking layout changes.
+pub const SCHEMA: &str = "dls-cache/1";
+
+/// What [`ResultCache::begin`] resolved a key to.
+pub enum Begin {
+    /// The result was already cached (or a coalesced leader finished it).
+    Hit(Arc<String>),
+    /// This request is the leader: compute, then call
+    /// [`ResultCache::complete`] or [`ResultCache::fail`].
+    Lead,
+    /// A coalesced leader failed; carries its error message.
+    LeaderFailed(String),
+}
+
+#[derive(Default)]
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+#[derive(Default)]
+enum FlightState {
+    #[default]
+    Running,
+    Done(Arc<String>),
+    Failed(String),
+}
+
+#[derive(Default)]
+struct CacheState {
+    entries: HashMap<String, Arc<String>>,
+    flights: HashMap<String, Arc<Flight>>,
+}
+
+/// The result cache; see the module docs.
+pub struct ResultCache {
+    dir: PathBuf,
+    sink: ArtifactSink,
+    state: Mutex<CacheState>,
+}
+
+/// 64-bit FNV-1a with a parameterizable offset basis, so two passes give
+/// 128 independent bits for the file name.
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Stable file stem for `key`: 32 hex chars of double FNV-1a.
+fn key_stem(key: &str) -> String {
+    const BASIS_A: u64 = 0xCBF2_9CE4_8422_2325; // standard FNV offset basis
+    const BASIS_B: u64 = 0x9E37_79B9_7F4A_7C15; // golden-ratio variant
+    format!("{:016x}{:016x}", fnv1a64(key.as_bytes(), BASIS_A), fnv1a64(key.as_bytes(), BASIS_B))
+}
+
+impl ResultCache {
+    /// Opens the cache over `dir`, creating it if needed and loading every
+    /// readable persisted entry (warm restart). Unreadable or
+    /// wrong-schema files are skipped with a warning — a half-written file
+    /// cannot exist (writes are atomic), but a *foreign* file can.
+    pub fn open(dir: &Path) -> std::io::Result<ResultCache> {
+        std::fs::create_dir_all(dir)?;
+        let cache = ResultCache {
+            dir: dir.to_path_buf(),
+            sink: ArtifactSink::new(),
+            state: Mutex::new(CacheState::default()),
+        };
+        let mut warmed = 0usize;
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            match load_entry(&path) {
+                Some((key, body)) => {
+                    let mut state = cache.state.lock().unwrap_or_else(|e| e.into_inner());
+                    state.entries.insert(key, Arc::new(body));
+                    warmed += 1;
+                }
+                None => {
+                    eprintln!("warning: {}: not a {SCHEMA} cache entry — skipped", path.display());
+                }
+            }
+        }
+        if warmed > 0 {
+            eprintln!("cache: restarted warm with {warmed} persisted result(s)");
+        }
+        Ok(cache)
+    }
+
+    /// Number of cached results currently in memory.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).entries.len()
+    }
+
+    /// Whether the cache holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves `key`: an immediate hit, leadership of a new flight, or —
+    /// after blocking on another request's in-progress flight — the
+    /// leader's result or failure.
+    pub fn begin(&self, key: &str) -> Begin {
+        let flight = {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(body) = state.entries.get(key) {
+                return Begin::Hit(Arc::clone(body));
+            }
+            match state.flights.get(key) {
+                Some(flight) => Arc::clone(flight),
+                None => {
+                    state.flights.insert(key.to_string(), Arc::new(Flight::default()));
+                    return Begin::Lead;
+                }
+            }
+        };
+        // Coalesced: wait for the leader to finish.
+        let mut fs = flight.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*fs {
+                FlightState::Done(body) => return Begin::Hit(Arc::clone(body)),
+                FlightState::Failed(msg) => return Begin::LeaderFailed(msg.clone()),
+                FlightState::Running => {
+                    fs = flight.done.wait(fs).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// Completes the flight for `key` with `body`: publishes the entry in
+    /// memory, persists it fail-soft through the [`ArtifactSink`] seam,
+    /// and wakes every coalesced waiter.
+    pub fn complete(&self, key: &str, body: String) -> Arc<String> {
+        let body = Arc::new(body);
+        let persisted = Value::Object(vec![
+            ("schema".into(), Value::String(SCHEMA.into())),
+            ("key".into(), Value::String(key.to_string())),
+            ("body".into(), Value::String((*body).clone())),
+        ]);
+        let path = self.dir.join(format!("{}.json", key_stem(key)));
+        let rendered = serde_json::to_string(&persisted).expect("cache entry serialization");
+        // Secondary tier: a persistence failure degrades the warm-restart
+        // guarantee, never the response — the entry still serves from
+        // memory for the server's lifetime.
+        let _ = self.sink.write(ArtifactTier::Secondary, &path, rendered.as_bytes());
+
+        let flight = {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.entries.insert(key.to_string(), Arc::clone(&body));
+            state.flights.remove(key)
+        };
+        if let Some(flight) = flight {
+            let mut fs = flight.state.lock().unwrap_or_else(|e| e.into_inner());
+            *fs = FlightState::Done(Arc::clone(&body));
+            drop(fs);
+            flight.done.notify_all();
+        }
+        body
+    }
+
+    /// Fails the flight for `key`, propagating `message` to every
+    /// coalesced waiter. The key stays uncached, so a later request
+    /// retries the computation.
+    pub fn fail(&self, key: &str, message: String) {
+        let flight = {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.flights.remove(key)
+        };
+        if let Some(flight) = flight {
+            let mut fs = flight.state.lock().unwrap_or_else(|e| e.into_inner());
+            *fs = FlightState::Failed(message);
+            drop(fs);
+            flight.done.notify_all();
+        }
+    }
+}
+
+/// Parses one persisted entry, returning `(key, body)` if it is a valid
+/// current-schema record.
+fn load_entry(path: &Path) -> Option<(String, String)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: Value = serde_json::from_str(&text).ok()?;
+    if value.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+        return None;
+    }
+    let key = value.get("key").and_then(Value::as_str)?.to_string();
+    let body = value.get("body").and_then(Value::as_str)?.to_string();
+    // The file name is a hash of the key; verify so a renamed or colliding
+    // file cannot answer for a different campaign.
+    if path.file_stem().and_then(|s| s.to_str()) != Some(&key_stem(&key)) {
+        return None;
+    }
+    Some((key, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dls-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn miss_then_hit_round_trip() {
+        let dir = tmp_dir("rt");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.is_empty());
+        assert!(matches!(cache.begin("k1"), Begin::Lead));
+        let body = cache.complete("k1", "a,b\n1,2\n".into());
+        match cache.begin("k1") {
+            Begin::Hit(hit) => assert_eq!(hit, body),
+            _ => panic!("expected a hit after complete"),
+        }
+        assert_eq!(cache.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restarts_warm_from_disk_byte_identically() {
+        let dir = tmp_dir("warm");
+        let body = "technique,p\nFAC,2\nvalue with \"quotes\" and\nnewlines\n";
+        {
+            let cache = ResultCache::open(&dir).unwrap();
+            assert!(matches!(cache.begin("key A"), Begin::Lead));
+            cache.complete("key A", body.into());
+        }
+        // A fresh cache over the same directory serves the same bytes.
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 1);
+        match cache.begin("key A") {
+            Begin::Hit(hit) => assert_eq!(*hit, body, "persisted bytes must round-trip"),
+            _ => panic!("warm restart must hit"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_and_mismatched_files_are_skipped() {
+        let dir = tmp_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("notes.json"), "{\"schema\":\"other\"}").unwrap();
+        std::fs::write(dir.join("junk.json"), "not json at all").unwrap();
+        // A valid entry under the *wrong* file name must not load: the
+        // name-is-hash-of-key invariant is what makes collisions safe.
+        let forged = Value::Object(vec![
+            ("schema".into(), Value::String(SCHEMA.into())),
+            ("key".into(), Value::String("stolen".into())),
+            ("body".into(), Value::String("x".into())),
+        ]);
+        std::fs::write(dir.join("0000.json"), serde_json::to_string(&forged).unwrap()).unwrap();
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.is_empty(), "no foreign file may load");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_into_one_flight() {
+        let cache = Arc::new(ResultCache::open(&tmp_dir("flight")).unwrap());
+        assert!(matches!(cache.begin("k"), Begin::Lead));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || match cache.begin("k") {
+                    Begin::Hit(body) => (*body).clone(),
+                    _ => panic!("waiters must resolve to the leader's result"),
+                })
+            })
+            .collect();
+        cache.complete("k", "result".into());
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), "result");
+        }
+        std::fs::remove_dir_all(
+            std::env::temp_dir().join(format!("dls-cache-flight-{}", std::process::id())),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn leader_failure_propagates_and_key_stays_retryable() {
+        let dir = tmp_dir("fail");
+        let cache = Arc::new(ResultCache::open(&dir).unwrap());
+        assert!(matches!(cache.begin("k"), Begin::Lead));
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || match cache.begin("k") {
+                Begin::LeaderFailed(msg) => msg,
+                _ => panic!("waiter must see the leader's failure"),
+            })
+        };
+        // Wait until the waiter has actually joined the flight (it holds a
+        // second Arc to it) before failing, so the test is race-free.
+        loop {
+            let state = cache.state.lock().unwrap();
+            let joined = state.flights.get("k").is_some_and(|f| Arc::strong_count(f) > 1);
+            drop(state);
+            if joined {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        cache.fail("k", "boom".into());
+        let msg = waiter.join().unwrap();
+        assert_eq!(msg, "boom");
+        // The failure is not cached: the next request leads again.
+        assert!(matches!(cache.begin("k"), Begin::Lead));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_stems_are_stable_and_distinct() {
+        let a = key_stem("command=fig5 seed=0x1");
+        let b = key_stem("command=fig5 seed=0x2");
+        assert_eq!(a.len(), 32);
+        assert_ne!(a, b);
+        assert_eq!(a, key_stem("command=fig5 seed=0x1"), "stable across calls");
+    }
+}

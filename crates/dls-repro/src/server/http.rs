@@ -1,0 +1,215 @@
+//! Minimal HTTP/1.1 over `std::net::TcpStream` — just enough protocol for
+//! the campaign service (the workspace is offline; no HTTP crate exists to
+//! depend on).
+//!
+//! Supported: one request per connection (`Connection: close` semantics),
+//! request bodies via `Content-Length`, and plain-status responses with a
+//! handful of extra headers. Not supported, deliberately: keep-alive,
+//! chunked transfer, multipart — clients are `curl`, CI smoke scripts and
+//! the integration tests.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on an accepted request body, bytes. Campaign specs are a
+/// few hundred bytes of JSON; anything larger is a client error.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// Upper bound on a single header line, bytes.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// A parsed request: method, path, and the (possibly empty) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased as received).
+    pub method: String,
+    /// Request target as sent, e.g. `/run` (query strings are not split).
+    pub path: String,
+    /// Raw request body.
+    pub body: Vec<u8>,
+}
+
+/// A response about to be written: status code, reason, extra headers, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code, e.g. 200.
+    pub status: u16,
+    /// Reason phrase, e.g. `OK`.
+    pub reason: &'static str,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Additional `(name, value)` headers, e.g. `("X-Cache", "hit")`.
+    pub headers: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with `status`/`reason` and a body, no extra headers.
+    pub fn new(
+        status: u16,
+        reason: &'static str,
+        content_type: &'static str,
+        body: impl Into<Vec<u8>>,
+    ) -> Response {
+        Response { status, reason, content_type, headers: Vec::new(), body: body.into() }
+    }
+
+    /// Adds an extra header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+}
+
+fn bad(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+fn read_line(reader: &mut BufReader<&TcpStream>) -> std::io::Result<String> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        if reader.read(&mut byte)? == 0 {
+            return Err(bad("connection closed mid-line"));
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(bad("header line too long"));
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| bad("non-UTF-8 header line"))
+}
+
+/// Reads one HTTP/1.1 request from `stream`. Malformed framing surfaces as
+/// `InvalidData`, which the server answers with a 400.
+pub fn read_request(stream: &TcpStream) -> std::io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_line(&mut reader)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?.to_uppercase();
+    let path = parts.next().ok_or_else(|| bad("request line without a path"))?.to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported protocol `{version}`")));
+    }
+
+    let mut content_length: usize = 0;
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(format!("bad Content-Length `{}`", value.trim())))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad(format!("body of {content_length} bytes exceeds {MAX_BODY_BYTES}")));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes `response` to `stream` and flushes it.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        response.reason,
+        response.content_type,
+        response.body.len(),
+    );
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trips raw client bytes through `read_request` on a real
+    /// socket pair.
+    fn parse(raw: &[u8]) -> std::io::Result<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (server_side, _) = listener.accept().unwrap();
+        let req = read_request(&server_side);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_framing() {
+        assert!(parse(b"\r\n\r\n").is_err(), "empty request line");
+        assert!(parse(b"GET\r\n\r\n").is_err(), "no path");
+        assert!(parse(b"GET / SPDY/3\r\n\r\n").is_err(), "unknown protocol");
+        assert!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: zap\r\n\r\n").is_err(),
+            "unparseable length"
+        );
+        let too_big = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(parse(too_big.as_bytes()).is_err(), "oversized body bound");
+    }
+
+    #[test]
+    fn response_renders_status_headers_and_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut stream = stream;
+            let resp =
+                Response::new(200, "OK", "text/csv", "a,b\n1,2\n").with_header("X-Cache", "hit");
+            write_response(&mut stream, &resp).unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let mut raw = String::new();
+        client.read_to_string(&mut raw).unwrap();
+        server.join().unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+        assert!(raw.contains("X-Cache: hit\r\n"), "{raw}");
+        assert!(raw.contains("Content-Length: 8\r\n"), "{raw}");
+        assert!(raw.ends_with("\r\n\r\na,b\n1,2\n"), "{raw}");
+    }
+}

@@ -1,0 +1,564 @@
+//! `repro serve`: the campaign-as-a-service daemon.
+//!
+//! Determinism is the paper family's core asset: a campaign's result is a
+//! pure function of (spec fingerprint, seed, git rev). This module turns
+//! that purity into scale — a long-running server that accepts campaign
+//! requests as JSON over a minimal HTTP/1.1 endpoint, executes them on the
+//! existing resilient campaign runner, and answers repeat traffic from a
+//! content-addressed [`cache`] at memcpy speed. The response to a cache
+//! hit is **byte-identical** to recomputation (pinned by
+//! `tests/serve.rs`).
+//!
+//! Pipeline per `POST /run`:
+//!
+//! 1. validate the request JSON into a [`HagerupConfig`] (422 on bad spec),
+//! 2. derive the cache key from [`JournalMeta::cache_key`],
+//! 3. resolve against the cache: hit → respond immediately (`X-Cache:
+//!    hit`); an in-flight computation of the same key → coalesce onto it;
+//!    otherwise lead a new flight,
+//! 4. leaders pass two-level [`admission`] (bounded worker slots plus a
+//!    bounded wait queue; beyond both → HTTP 429 shed),
+//! 5. compute via [`run_figure_resilient`], publish to the cache (entries
+//!    persist through the fail-soft atomic-write seam for warm restarts),
+//!    respond (`X-Cache: miss`).
+//!
+//! `GET /metrics` exports the server's [`Telemetry`] snapshot as JSON
+//! (request counts, admission outcomes, hit/miss counters, cold/warm
+//! latency histograms); `GET /healthz` answers liveness probes.
+
+pub mod admission;
+pub mod cache;
+pub mod http;
+
+use crate::cli::Options;
+use crate::error::ReproError;
+use crate::hagerup_exp::{run_figure_resilient, HagerupConfig};
+use crate::journal::JournalMeta;
+use crate::report::{format_csv, wasted_rows};
+use crate::runner::{CancelFlag, ExecContext};
+use admission::{Admission, Admit};
+use cache::{Begin, ResultCache};
+use dls_core::Technique;
+use dls_telemetry::Telemetry;
+use http::{Request, Response};
+use serde::Value;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default listen address.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+/// Default on-disk cache directory.
+pub const DEFAULT_CACHE_DIR: &str = "repro-cache";
+/// Default concurrent campaign executions.
+pub const DEFAULT_WORKERS: usize = 2;
+/// Default admission queue depth.
+pub const DEFAULT_QUEUE_DEPTH: usize = 8;
+
+/// Upper bound on `runs` a request may ask for — a service request is a
+/// quick cell, not a day-long 1000-run grid (run those via the CLI).
+pub const MAX_RUNS: u32 = 10_000;
+
+/// Configuration of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    pub addr: String,
+    /// Directory persisted cache entries live in.
+    pub cache_dir: PathBuf,
+    /// Concurrent campaign executions (admission level one).
+    pub workers: usize,
+    /// Requests allowed to wait for a worker slot (admission level two);
+    /// anything beyond is shed with HTTP 429.
+    pub queue_depth: usize,
+    /// Stop cleanly (exit 0) after handling this many connections.
+    pub max_requests: Option<u64>,
+    /// Testing/latency-injection knob: hold each cold computation's worker
+    /// slot for at least this long, milliseconds.
+    pub hold_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: DEFAULT_ADDR.into(),
+            cache_dir: PathBuf::from(DEFAULT_CACHE_DIR),
+            workers: DEFAULT_WORKERS,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            max_requests: None,
+            hold_ms: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builds the server configuration from parsed CLI options.
+    pub fn from_options(o: &Options) -> ServeConfig {
+        let d = ServeConfig::default();
+        ServeConfig {
+            addr: o.addr.clone().unwrap_or(d.addr),
+            cache_dir: o.cache_dir.clone().map(PathBuf::from).unwrap_or(d.cache_dir),
+            workers: o.workers.unwrap_or(d.workers),
+            queue_depth: o.queue_depth.unwrap_or(d.queue_depth),
+            max_requests: o.max_requests,
+            hold_ms: o.hold_ms.unwrap_or(0),
+        }
+    }
+}
+
+/// State shared by every connection handler thread.
+struct Shared {
+    cache: ResultCache,
+    admission: Admission,
+    telemetry: Telemetry,
+    cancel: CancelFlag,
+    hold_ms: u64,
+}
+
+/// A bound (but not yet serving) campaign server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    max_requests: Option<u64>,
+}
+
+impl Server {
+    /// Binds the listen socket and opens (warm-loading) the result cache.
+    /// `telemetry` should be enabled — `/metrics` exports its snapshot.
+    /// `cancel` stops the accept loop; a cancelled server returns
+    /// [`ReproError::Interrupted`] (exit 130) after draining in-flight
+    /// handlers.
+    pub fn bind(
+        cfg: &ServeConfig,
+        telemetry: Telemetry,
+        cancel: CancelFlag,
+    ) -> Result<Server, ReproError> {
+        let cache = ResultCache::open(&cfg.cache_dir)
+            .map_err(|e| ReproError::io(format!("{}: {e}", cfg.cache_dir.display())))?;
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| ReproError::io(format!("bind {}: {e}", cfg.addr)))?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cache,
+                admission: Admission::new(cfg.workers, cfg.queue_depth),
+                telemetry,
+                cancel,
+                hold_ms: cfg.hold_ms,
+            }),
+            max_requests: cfg.max_requests,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("listener has a local address")
+    }
+
+    /// Serves until cancelled (→ [`ReproError::Interrupted`], exit 130) or
+    /// until `max_requests` connections were handled (→ `Ok`, exit 0).
+    /// Each connection is handled on its own thread; in-flight handlers
+    /// are drained before returning.
+    pub fn run(self) -> Result<(), ReproError> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| ReproError::io(format!("listener: {e}")))?;
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut handled: u64 = 0;
+        let outcome = loop {
+            if self.shared.cancel.is_cancelled() {
+                break Err(ReproError::Interrupted { resume_dir: None });
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    handled += 1;
+                    let shared = Arc::clone(&self.shared);
+                    handles.push(std::thread::spawn(move || handle_connection(stream, &shared)));
+                    handles.retain(|h| !h.is_finished());
+                    if self.max_requests.is_some_and(|n| handled >= n) {
+                        break Ok(());
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => break Err(ReproError::io(format!("accept: {e}"))),
+            }
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        outcome
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let mut stream = stream;
+    // Blocking I/O per connection; the accept loop is the only nonblocking
+    // socket. A stuck client cannot stall the server past this timeout.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let response = match http::read_request(&stream) {
+        Ok(request) => {
+            shared.telemetry.counter_inc("serve.requests");
+            route(&request, shared)
+        }
+        Err(e) => error_response(&ReproError::usage(format!("malformed HTTP request: {e}"))),
+    };
+    let _ = http::write_response(&mut stream, &response);
+}
+
+fn route(request: &Request, shared: &Shared) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::new(200, "OK", "text/plain", "ok\n"),
+        ("GET", "/metrics") => {
+            Response::new(200, "OK", "application/json", shared.telemetry.snapshot().to_json())
+        }
+        ("POST", "/run") => handle_run(&request.body, shared),
+        (_, "/run") | (_, "/metrics") | (_, "/healthz") => error_response(&ReproError::usage(
+            format!("method {} not allowed on {}", request.method, request.path),
+        )),
+        _ => {
+            let body = Value::Object(vec![
+                ("error".into(), Value::String(format!("no such endpoint: {}", request.path))),
+                ("class".into(), Value::String("not-found".into())),
+            ]);
+            Response::new(
+                404,
+                "Not Found",
+                "application/json",
+                serde_json::to_string(&body).expect("not-found body serialization"),
+            )
+        }
+    }
+}
+
+fn handle_run(body: &[u8], shared: &Shared) -> Response {
+    let (fig, cfg) = match parse_run_request(body) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            shared.telemetry.counter_inc("serve.bad_requests");
+            return error_response(&e);
+        }
+    };
+    let meta = JournalMeta::new(&fig, fingerprint(&cfg), cfg.seed);
+    let key = meta.cache_key();
+
+    match shared.cache.begin(&key) {
+        Begin::Hit(cached) => {
+            let warm = Instant::now();
+            shared.telemetry.counter_inc("serve.cache_hits");
+            let response = csv_response(&cached, true);
+            shared.telemetry.observe_secs("serve.warm_s", warm.elapsed().as_secs_f64());
+            response
+        }
+        Begin::LeaderFailed(message) => {
+            shared.telemetry.counter_inc("serve.coalesced_failures");
+            error_response(&ReproError::io(format!("coalesced computation failed: {message}")))
+        }
+        Begin::Lead => {
+            let admit = shared.admission.admit(&shared.cancel);
+            record_occupancy(shared);
+            match admit {
+                Admit::Shed => {
+                    shared.telemetry.counter_inc("serve.admission_shed");
+                    shared.cache.fail(&key, "request was shed: server at capacity".into());
+                    shed_response()
+                }
+                Admit::Cancelled => {
+                    shared.cache.fail(&key, "server is shutting down".into());
+                    error_response(&ReproError::Interrupted { resume_dir: None })
+                }
+                Admit::Granted => {
+                    shared.telemetry.counter_inc("serve.admission_granted");
+                    let response = compute_and_publish(&key, &cfg, shared);
+                    shared.admission.release();
+                    record_occupancy(shared);
+                    response
+                }
+            }
+        }
+    }
+}
+
+/// Runs the campaign for `key`, publishes the result (or failure) to the
+/// cache, and renders the response. Caller holds a worker slot.
+fn compute_and_publish(key: &str, cfg: &HagerupConfig, shared: &Shared) -> Response {
+    let cold = Instant::now();
+    shared.telemetry.counter_inc("serve.computations");
+    shared.telemetry.counter_inc("serve.cache_misses");
+    let ctx = ExecContext::transient().with_cancel_flag(shared.cancel.clone());
+    let result = run_figure_resilient(cfg, &shared.telemetry, &ctx);
+    if shared.hold_ms > 0 {
+        // Latency-injection knob: keep the slot busy so admission behavior
+        // (queueing, shedding) can be exercised deterministically.
+        std::thread::sleep(Duration::from_millis(shared.hold_ms));
+    }
+    match result {
+        Ok(rows) => {
+            let (headers, table) = wasted_rows(&rows);
+            let csv = format_csv(&headers, &table);
+            let published = shared.cache.complete(key, csv);
+            let response = csv_response(&published, false);
+            shared.telemetry.observe_secs("serve.cold_s", cold.elapsed().as_secs_f64());
+            response
+        }
+        Err(e) => {
+            shared.cache.fail(key, e.to_string());
+            error_response(&e)
+        }
+    }
+}
+
+fn record_occupancy(shared: &Shared) {
+    let (running, queued) = shared.admission.depth();
+    shared.telemetry.gauge_set("serve.running", running as f64);
+    shared.telemetry.gauge_set("serve.queue_depth", queued as f64);
+}
+
+fn csv_response(body: &str, hit: bool) -> Response {
+    Response::new(200, "OK", "text/csv", body.as_bytes().to_vec())
+        .with_header("X-Cache", if hit { "hit" } else { "miss" })
+}
+
+/// Renders a typed [`ReproError`] as an HTTP response whose JSON body
+/// carries the error class and the CLI exit code the same failure would
+/// produce, so scripted clients map failures exactly like scripted CLI use.
+pub fn error_response(e: &ReproError) -> Response {
+    let (status, reason) = match e {
+        ReproError::Usage(_) => (400, "Bad Request"),
+        ReproError::InvalidSpec(_) => (422, "Unprocessable Entity"),
+        ReproError::Interrupted { .. } => (503, "Service Unavailable"),
+        ReproError::Io(_) | ReproError::Regression(_) | ReproError::Degraded(_) => {
+            (500, "Internal Server Error")
+        }
+    };
+    let class = match e {
+        ReproError::Usage(_) => "usage",
+        ReproError::Io(_) => "io",
+        ReproError::InvalidSpec(_) => "invalid-spec",
+        ReproError::Regression(_) => "regression",
+        ReproError::Degraded(_) => "degraded",
+        ReproError::Interrupted { .. } => "interrupted",
+    };
+    let body = Value::Object(vec![
+        ("error".into(), Value::String(e.to_string())),
+        ("class".into(), Value::String(class.into())),
+        ("exit_code".into(), Value::U64(u64::from(e.exit_code()))),
+    ]);
+    Response::new(
+        status,
+        reason,
+        "application/json",
+        serde_json::to_string(&body).expect("error body serialization"),
+    )
+}
+
+/// The 429 shed response; its body mirrors the error-body shape with the
+/// dedicated `shed` class (there is no CLI analog, so no exit code).
+fn shed_response() -> Response {
+    let body = Value::Object(vec![
+        ("error".into(), Value::String("server at capacity: request was shed".into())),
+        ("class".into(), Value::String("shed".into())),
+    ]);
+    Response::new(
+        429,
+        "Too Many Requests",
+        "application/json",
+        serde_json::to_string(&body).expect("shed body serialization"),
+    )
+    .with_header("Retry-After", "1")
+}
+
+/// Task counts of the four figure variants.
+fn fig_n(fig: &str) -> Option<u64> {
+    match fig {
+        "fig5" => Some(1024),
+        "fig6" => Some(8192),
+        "fig7" => Some(65_536),
+        "fig8" => Some(524_288),
+        _ => None,
+    }
+}
+
+/// The campaign fingerprint, rendered exactly like the CLI's `fig5`–`fig8`
+/// commands render theirs, so a server cache key and a CLI `--resume`
+/// journal agree on campaign identity.
+fn fingerprint(cfg: &HagerupConfig) -> String {
+    format!(
+        "n={} pes={:?} runs={} h={} mean={} seed={:#x} oracle={:?} techniques={:?}",
+        cfg.n, cfg.pes, cfg.runs, cfg.h, cfg.mean, cfg.seed, cfg.oracle, cfg.techniques
+    )
+}
+
+fn spec_err(msg: impl Into<String>) -> ReproError {
+    ReproError::invalid_spec(msg.into())
+}
+
+fn value_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// Validates a `POST /run` body into `(fig, HagerupConfig)`.
+///
+/// Accepted fields: `fig` (required: `fig5`…`fig8`), `runs` (required,
+/// `1..=`[`MAX_RUNS`]), `seed`, `pes`, `techniques`, `threads`. Unknown
+/// fields are rejected — silently ignoring a typo'd `seeed` would hand the
+/// client a result for a different campaign than it asked for.
+fn parse_run_request(body: &[u8]) -> Result<(String, HagerupConfig), ReproError> {
+    let text = std::str::from_utf8(body).map_err(|_| spec_err("request body is not UTF-8"))?;
+    let value: Value =
+        serde_json::from_str(text).map_err(|e| spec_err(format!("request is not JSON: {e}")))?;
+    let obj = value.as_object().ok_or_else(|| spec_err("request must be a JSON object"))?;
+
+    const KNOWN: [&str; 6] = ["fig", "runs", "seed", "pes", "techniques", "threads"];
+    for (field, _) in obj {
+        if !KNOWN.contains(&field.as_str()) {
+            return Err(spec_err(format!("unknown field `{field}` (known: {})", KNOWN.join(", "))));
+        }
+    }
+
+    let fig = value
+        .get("fig")
+        .and_then(Value::as_str)
+        .ok_or_else(|| spec_err("`fig` is required: one of fig5, fig6, fig7, fig8"))?
+        .to_string();
+    let n = fig_n(&fig).ok_or_else(|| spec_err(format!("`fig` must be fig5…fig8, got `{fig}`")))?;
+    let runs = value
+        .get("runs")
+        .and_then(value_u64)
+        .ok_or_else(|| spec_err("`runs` is required: a positive integer"))?;
+    if runs == 0 || runs > u64::from(MAX_RUNS) {
+        return Err(spec_err(format!("`runs` must be in 1..={MAX_RUNS}, got {runs}")));
+    }
+
+    let mut cfg = HagerupConfig::paper(n, runs as u32);
+    cfg.threads = 1;
+    if let Some(v) = value.get("seed") {
+        cfg.seed = value_u64(v).ok_or_else(|| spec_err("`seed` must be a non-negative integer"))?;
+    }
+    if let Some(v) = value.get("threads") {
+        let t = value_u64(v).ok_or_else(|| spec_err("`threads` must be a positive integer"))?;
+        if t == 0 || t > 64 {
+            return Err(spec_err(format!("`threads` must be in 1..=64, got {t}")));
+        }
+        cfg.threads = t as usize;
+    }
+    if let Some(v) = value.get("pes") {
+        let list = v.as_array().ok_or_else(|| spec_err("`pes` must be an array of integers"))?;
+        let mut pes = Vec::with_capacity(list.len());
+        for p in list {
+            let p = value_u64(p)
+                .filter(|&p| p >= 1)
+                .ok_or_else(|| spec_err("`pes` entries must be integers >= 1"))?;
+            pes.push(p as usize);
+        }
+        if pes.is_empty() {
+            return Err(spec_err("`pes` must not be empty"));
+        }
+        cfg.pes = pes;
+    }
+    if let Some(v) = value.get("techniques") {
+        let list =
+            v.as_array().ok_or_else(|| spec_err("`techniques` must be an array of names"))?;
+        let mut techniques = Vec::with_capacity(list.len());
+        for t in list {
+            let name =
+                t.as_str().ok_or_else(|| spec_err("`techniques` entries must be strings"))?;
+            let technique: Technique =
+                name.parse().map_err(|e| spec_err(format!("technique `{name}`: {e}")))?;
+            techniques.push(technique);
+        }
+        if techniques.is_empty() {
+            return Err(spec_err("`techniques` must not be empty"));
+        }
+        cfg.techniques = techniques;
+    }
+    Ok((fig, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_request_into_the_paper_config() {
+        let (fig, cfg) = parse_run_request(br#"{"fig":"fig5","runs":4}"#).unwrap();
+        assert_eq!(fig, "fig5");
+        assert_eq!(cfg.n, 1024);
+        assert_eq!(cfg.runs, 4);
+        assert_eq!(cfg.seed, 0x20170529 ^ 1024, "paper seed by default");
+        assert_eq!(cfg.threads, 1, "service default is single-threaded");
+    }
+
+    #[test]
+    fn overrides_apply_and_are_validated() {
+        let (_, cfg) = parse_run_request(
+            br#"{"fig":"fig6","runs":2,"seed":9,"pes":[2,8],"techniques":["SS","FAC"],"threads":2}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.n, 8192);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.pes, vec![2, 8]);
+        assert_eq!(cfg.techniques.len(), 2);
+        assert_eq!(cfg.threads, 2);
+    }
+
+    #[test]
+    fn rejections_are_typed_invalid_spec() {
+        for (body, needle) in [
+            (&b"not json"[..], "not JSON"),
+            (br#"[1,2]"#, "JSON object"),
+            (br#"{"runs":4}"#, "`fig` is required"),
+            (br#"{"fig":"fig12","runs":4}"#, "must be fig5"),
+            (br#"{"fig":"fig5"}"#, "`runs` is required"),
+            (br#"{"fig":"fig5","runs":0}"#, "`runs` must be in"),
+            (br#"{"fig":"fig5","runs":4,"seeed":1}"#, "unknown field `seeed`"),
+            (br#"{"fig":"fig5","runs":4,"pes":[]}"#, "`pes` must not be empty"),
+            (br#"{"fig":"fig5","runs":4,"pes":[0]}"#, ">= 1"),
+            (br#"{"fig":"fig5","runs":4,"techniques":["XYZ"]}"#, "technique `XYZ`"),
+            (br#"{"fig":"fig5","runs":4,"threads":0}"#, "`threads` must be in"),
+        ] {
+            let err = parse_run_request(body).unwrap_err();
+            assert_eq!(
+                err.exit_code(),
+                crate::error::EXIT_INVALID_SPEC,
+                "class for {}",
+                String::from_utf8_lossy(body)
+            );
+            assert!(err.to_string().contains(needle), "{err} ~ {needle}");
+        }
+    }
+
+    #[test]
+    fn error_responses_map_classes_to_statuses() {
+        assert_eq!(error_response(&ReproError::usage("x")).status, 400);
+        assert_eq!(error_response(&ReproError::invalid_spec("x")).status, 422);
+        assert_eq!(error_response(&ReproError::io("x")).status, 500);
+        assert_eq!(error_response(&ReproError::Interrupted { resume_dir: None }).status, 503);
+        let body = error_response(&ReproError::invalid_spec("bad spec")).body;
+        let v: Value = serde_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(v.get("class").and_then(Value::as_str), Some("invalid-spec"));
+        assert_eq!(
+            v.get("exit_code").and_then(|e| match e {
+                Value::U64(n) => Some(*n),
+                _ => None,
+            }),
+            Some(4)
+        );
+        assert_eq!(shed_response().status, 429);
+    }
+
+    #[test]
+    fn fingerprint_matches_the_cli_rendering() {
+        let cfg = HagerupConfig::paper(1024, 8);
+        let fp = fingerprint(&cfg);
+        assert!(fp.starts_with("n=1024 pes=[2, 8, 64, 256, 1024] runs=8 h=0.5 mean=1 seed="));
+        assert!(fp.contains("oracle=IndependentSeeds"));
+    }
+}

@@ -28,22 +28,21 @@ pub(crate) fn bucket_index(v: f64) -> usize {
     if v <= BASE {
         return 0;
     }
-    // ceil(log_GROWTH(v / BASE)), clamped into the overflow bucket.
-    let idx = (v / BASE).log10() * 4.0;
-    let idx = idx.ceil();
-    if idx >= BUCKETS as f64 {
-        BUCKETS
-    } else {
-        // Guard against log/pow rounding putting v just past its bound.
-        let mut i = idx.max(0.0) as usize;
-        while i > 0 && v <= bucket_le(i - 1) {
-            i -= 1;
-        }
-        while v > bucket_le(i) {
-            i += 1;
-        }
-        i
+    // ceil(log_GROWTH(v / BASE)), then correct for log/pow rounding in
+    // *both* directions. The rounding guard must also cover the overflow
+    // classification: a value just below `bucket_le(BUCKETS - 1)` whose
+    // `log10` rounds up past `BUCKETS` belongs in the last finite bucket,
+    // not the overflow one — so walk back down from `BUCKETS` against the
+    // exact bounds before accepting overflow.
+    let idx = ((v / BASE).log10() * 4.0).ceil();
+    let mut i = if idx < 0.0 { 0 } else { (idx as usize).min(BUCKETS) };
+    while i > 0 && v <= bucket_le(i - 1) {
+        i -= 1;
     }
+    while i < BUCKETS && v > bucket_le(i) {
+        i += 1;
+    }
+    i
 }
 
 /// Exact percentile (linear interpolation between closest ranks) of a
@@ -150,6 +149,51 @@ mod tests {
         assert_eq!(bucket_index(-5.0), 0);
         assert_eq!(bucket_index(f64::INFINITY), BUCKETS);
         assert_eq!(bucket_index(1e9), BUCKETS);
+    }
+
+    /// Smallest f64 strictly greater than `v` (Rust 1.75 lacks `f64::next_up`).
+    fn next_up(v: f64) -> f64 {
+        f64::from_bits(v.to_bits() + 1)
+    }
+
+    /// Largest f64 strictly smaller than `v`.
+    fn next_down(v: f64) -> f64 {
+        f64::from_bits(v.to_bits() - 1)
+    }
+
+    #[test]
+    fn bucket_index_is_exact_at_every_edge() {
+        for i in 0..BUCKETS {
+            let bound = bucket_le(i);
+            // The bound itself is inclusive: it belongs to bucket i.
+            assert_eq!(bucket_index(bound), i, "le({i}) must land in bucket {i}");
+            // One ulp below stays at or below bucket i (bucket i for i >= 1;
+            // i == 0 also absorbs everything <= BASE).
+            let lo = bucket_index(next_down(bound));
+            assert!(lo <= i, "next_down(le({i})) classified above its bucket");
+            if i >= 1 {
+                assert_eq!(lo, i, "next_down(le({i})) must stay in bucket {i}");
+            }
+            // One ulp above crosses into the next bucket — including the
+            // overflow bucket for the last finite edge.
+            assert_eq!(
+                bucket_index(next_up(bound)),
+                i + 1,
+                "next_up(le({i})) must land in bucket {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn last_finite_edge_is_not_misclassified_as_overflow() {
+        // Regression: the rounding guard must also apply when ceil(log10)
+        // lands at or past BUCKETS. Values at and just below the last finite
+        // bound belong in bucket BUCKETS-1, never the overflow bucket.
+        let last = bucket_le(BUCKETS - 1);
+        assert_eq!(bucket_index(last), BUCKETS - 1);
+        assert_eq!(bucket_index(next_down(last)), BUCKETS - 1);
+        assert_eq!(bucket_index(next_up(last)), BUCKETS);
     }
 
     #[test]

@@ -65,28 +65,30 @@ impl Registry {
             let mut cache = cell.borrow_mut();
             if let Some((_, weak)) = cache.iter().find(|(id, _)| *id == self.id) {
                 if let Some(shard) = weak.upgrade() {
-                    return f(&mut shard.data.lock().expect("shard lock"));
+                    // A panic mid-record leaves plain data records in a
+                    // valid (if partial) state — recover, don't cascade.
+                    return f(&mut shard.data.lock().unwrap_or_else(|e| e.into_inner()));
                 }
             }
             // First record from this thread (or the registry of a stale
             // entry died): prune dead entries, create and register a shard.
             cache.retain(|(_, weak)| weak.strong_count() > 0);
             let shard = Arc::new(Shard::default());
-            self.shards.lock().expect("registry lock").push(Arc::clone(&shard));
+            self.shards.lock().unwrap_or_else(|e| e.into_inner()).push(Arc::clone(&shard));
             cache.push((self.id, Arc::downgrade(&shard)));
-            let mut guard = shard.data.lock().expect("shard lock");
+            let mut guard = shard.data.lock().unwrap_or_else(|e| e.into_inner());
             f(&mut guard)
         })
     }
 
     /// Merges all shards into one deterministic, name-sorted snapshot.
     pub fn snapshot(&self) -> Snapshot {
-        let shards = self.shards.lock().expect("registry lock");
+        let shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
         let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
         let mut gauges: BTreeMap<&'static str, (u64, f64)> = BTreeMap::new();
         let mut hists: BTreeMap<&'static str, HistData> = BTreeMap::new();
         for shard in shards.iter() {
-            let data = shard.data.lock().expect("shard lock");
+            let data = shard.data.lock().unwrap_or_else(|e| e.into_inner());
             for (name, v) in &data.counters {
                 let c = counters.entry(name).or_insert(0);
                 *c = c.saturating_add(*v);
@@ -117,5 +119,47 @@ impl Registry {
                 .map(|(name, h)| crate::snapshot::summarize(name, &h))
                 .collect(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Poisons `m` by panicking while holding its guard.
+    fn poison<T>(m: &Mutex<T>) {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison for test");
+        }));
+        assert!(caught.is_err());
+        assert!(m.is_poisoned());
+    }
+
+    #[test]
+    fn poisoned_shard_lock_still_records_and_snapshots() {
+        let reg = Registry::new();
+        reg.with_shard(|d| *d.counters.entry("c").or_insert(0) += 1);
+        // Poison the shard this thread just registered.
+        let shard = {
+            let shards = reg.shards.lock().unwrap();
+            Arc::clone(&shards[0])
+        };
+        poison(&shard.data);
+        // Recording and snapshotting must both recover rather than cascade.
+        reg.with_shard(|d| *d.counters.entry("c").or_insert(0) += 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), Some(2));
+    }
+
+    #[test]
+    fn poisoned_registry_lock_still_accepts_new_shards() {
+        let reg = Registry::new();
+        poison(&reg.shards);
+        // First record from this thread pushes a new shard through the
+        // (poisoned) registry lock.
+        reg.with_shard(|d| *d.counters.entry("k").or_insert(0) += 3);
+        assert_eq!(reg.snapshot().counter("k"), Some(3));
     }
 }

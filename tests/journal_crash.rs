@@ -21,7 +21,7 @@ fn tmp_dir(tag: &str) -> PathBuf {
 }
 
 fn meta() -> JournalMeta {
-    JournalMeta { command: "fig5".into(), fingerprint: "n=1024 seed=7 runs=6".into() }
+    JournalMeta::new("fig5", "n=1024 runs=6", 7)
 }
 
 /// The journal under test: six records with seed-derived f64 payloads

@@ -21,7 +21,7 @@ fn scratch(tag: &str) -> PathBuf {
 }
 
 fn meta(command: &str) -> JournalMeta {
-    JournalMeta { command: command.into(), fingerprint: "test".into() }
+    JournalMeta::new(command, "test", 0)
 }
 
 /// Runs `body` once transiently and once interrupted-then-resumed through a

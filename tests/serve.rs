@@ -1,0 +1,225 @@
+//! End-to-end pins for the campaign service (`repro serve`), over real TCP
+//! clients against an in-process server on an ephemeral port:
+//!
+//! * N concurrent identical requests coalesce into exactly **one**
+//!   computation, and every response body is byte-identical to a direct
+//!   in-process run of the same campaign;
+//! * a freshly bound server on the same cache directory restarts **warm**:
+//!   the first request is already a byte-identical cache hit;
+//! * malformed request JSON is a typed 422, not a connection drop;
+//! * with one worker and a zero-depth queue, a request arriving while the
+//!   slot is held is **shed** with HTTP 429.
+
+use dls_suite::dls_repro::hagerup_exp::{run_figure_resilient, HagerupConfig};
+use dls_suite::dls_repro::report::{format_csv, wasted_rows};
+use dls_suite::dls_repro::runner::{CancelFlag, ExecContext};
+use dls_suite::dls_repro::server::{ServeConfig, Server};
+use dls_telemetry::{Snapshot, Telemetry};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dls-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    cancel: CancelFlag,
+    handle: std::thread::JoinHandle<Result<(), dls_suite::dls_repro::error::ReproError>>,
+}
+
+fn start(cache_dir: &Path, workers: usize, queue_depth: usize, hold_ms: u64) -> TestServer {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: cache_dir.to_path_buf(),
+        workers,
+        queue_depth,
+        max_requests: None,
+        hold_ms,
+    };
+    let cancel = CancelFlag::new();
+    let server = Server::bind(&cfg, Telemetry::enabled(), cancel.clone()).unwrap();
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    TestServer { addr, cancel, handle }
+}
+
+impl TestServer {
+    /// Cancels the accept loop and pins the graceful-interrupt exit class.
+    fn stop(self) {
+        self.cancel.cancel();
+        let outcome = self.handle.join().unwrap();
+        let err = outcome.expect_err("a cancelled server reports Interrupted");
+        assert_eq!(err.exit_code(), 130, "graceful shutdown exit class");
+    }
+}
+
+/// One raw HTTP exchange; returns (status, headers lowercased, body).
+fn exchange(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let head =
+        format!("{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n", body.len());
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+
+    let split = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("header/body separator");
+    let head = std::str::from_utf8(&raw[..split]).unwrap();
+    let body = raw[split + 4..].to_vec();
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines.next().unwrap().split_whitespace().nth(1).unwrap().parse().unwrap();
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body)
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+/// Scrapes `/metrics` and parses it back into a [`Snapshot`].
+fn snapshot(addr: SocketAddr) -> Snapshot {
+    let (status, _, body) = exchange(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    Snapshot::from_json(std::str::from_utf8(&body).unwrap()).unwrap()
+}
+
+fn metric(addr: SocketAddr, name: &str) -> Option<u64> {
+    snapshot(addr).counter(name)
+}
+
+/// The small fig5 cell every test submits, and the identical direct
+/// in-process computation of its CSV.
+const SPEC: &[u8] = br#"{"fig":"fig5","runs":2,"seed":11,"pes":[2,4],"techniques":["SS","FAC"]}"#;
+
+fn direct_csv() -> String {
+    let mut cfg = HagerupConfig::paper(1024, 2);
+    cfg.threads = 1;
+    cfg.seed = 11;
+    cfg.pes = vec![2, 4];
+    cfg.techniques = vec!["SS".parse().unwrap(), "FAC".parse().unwrap()];
+    let rows =
+        run_figure_resilient(&cfg, &Telemetry::disabled(), &ExecContext::transient()).unwrap();
+    let (headers, table) = wasted_rows(&rows);
+    format_csv(&headers, &table)
+}
+
+#[test]
+fn concurrent_identical_requests_compute_once_and_match_direct_run() {
+    let dir = tmp_dir("coalesce");
+    let server = start(&dir, 2, 8, 0);
+    let addr = server.addr;
+
+    let (status, _, body) = exchange(addr, "GET", "/healthz", b"");
+    assert_eq!((status, body.as_slice()), (200, &b"ok\n"[..]));
+
+    let clients: Vec<_> =
+        (0..4).map(|_| std::thread::spawn(move || exchange(addr, "POST", "/run", SPEC))).collect();
+    let responses: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    let expected = direct_csv();
+    assert!(!expected.is_empty());
+    for (status, headers, body) in &responses {
+        assert_eq!(*status, 200);
+        assert!(header(headers, "x-cache").is_some(), "every /run response is cache-tagged");
+        assert_eq!(
+            std::str::from_utf8(body).unwrap(),
+            expected,
+            "server response is byte-identical to direct computation"
+        );
+    }
+    let snap = snapshot(addr);
+    assert_eq!(
+        snap.counter("serve.computations"),
+        Some(1),
+        "identical concurrent requests coalesce into one computation"
+    );
+    // The scrape itself is counted before it is routed: healthz + 4 runs
+    // + this /metrics request.
+    assert_eq!(snap.counter("serve.requests"), Some(6));
+
+    // A later repeat is a plain cache hit.
+    let (status, headers, body) = exchange(addr, "POST", "/run", SPEC);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-cache"), Some("hit"));
+    assert_eq!(std::str::from_utf8(&body).unwrap(), expected);
+    assert_eq!(metric(addr, "serve.computations"), Some(1));
+
+    server.stop();
+
+    // A new server over the same cache directory restarts warm: first
+    // request is already a byte-identical hit, nothing recomputes.
+    let warm = start(&dir, 2, 8, 0);
+    let (status, headers, body) = exchange(warm.addr, "POST", "/run", SPEC);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-cache"), Some("hit"), "warm restart from disk");
+    assert_eq!(std::str::from_utf8(&body).unwrap(), expected);
+    assert_eq!(metric(warm.addr, "serve.computations").unwrap_or(0), 0);
+    warm.stop();
+}
+
+#[test]
+fn malformed_and_invalid_requests_are_typed_4xx() {
+    let dir = tmp_dir("badreq");
+    let server = start(&dir, 1, 1, 0);
+    let addr = server.addr;
+
+    let (status, _, body) = exchange(addr, "POST", "/run", b"this is not json");
+    assert_eq!(status, 422, "malformed JSON is an invalid-spec rejection");
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("\"class\":\"invalid-spec\""), "{text}");
+    assert!(text.contains("\"exit_code\":4"), "{text}");
+
+    let (status, _, _) = exchange(addr, "POST", "/run", br#"{"fig":"fig99","runs":2}"#);
+    assert_eq!(status, 422, "unknown figure");
+
+    let (status, _, _) = exchange(addr, "GET", "/nope", b"");
+    assert_eq!(status, 404);
+
+    let (status, _, _) = exchange(addr, "DELETE", "/run", b"");
+    assert_eq!(status, 400, "wrong method on a real endpoint");
+
+    server.stop();
+}
+
+#[test]
+fn full_queue_sheds_with_429() {
+    let dir = tmp_dir("shed");
+    // One worker, no queue, and every cold computation holds its slot for
+    // at least 1.5 s — long enough that the second (different-key) request
+    // below deterministically finds the slot busy.
+    let server = start(&dir, 1, 0, 1500);
+    let addr = server.addr;
+
+    let slow = std::thread::spawn(move || exchange(addr, "POST", "/run", SPEC));
+    // Wait until the first request holds the worker slot.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while metric(addr, "serve.admission_granted") != Some(1) {
+        assert!(Instant::now() < deadline, "first request never acquired the slot");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Different seed -> different cache key -> a second cold computation,
+    // which must be shed rather than queued.
+    let other = br#"{"fig":"fig5","runs":2,"seed":12,"pes":[2,4],"techniques":["SS","FAC"]}"#;
+    let (status, _, body) = exchange(addr, "POST", "/run", other);
+    assert_eq!(status, 429, "{}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8(body).unwrap().contains("\"class\":\"shed\""));
+    assert_eq!(metric(addr, "serve.admission_shed"), Some(1));
+
+    let (status, _, _) = slow.join().unwrap();
+    assert_eq!(status, 200, "the slow request itself still completes");
+    server.stop();
+}
