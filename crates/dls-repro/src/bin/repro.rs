@@ -37,11 +37,11 @@ use dls_repro::outlier::{self, OutlierConfig};
 use dls_repro::plot;
 use dls_repro::reference;
 use dls_repro::report;
-use dls_repro::runner::{CancelFlag, ExecContext};
+use dls_repro::runner::{CancelFlag, ExecContext, Progress};
 use dls_repro::server::{ServeConfig, Server};
 use dls_repro::spec::{ExperimentSpec, MeasuredValue, OverheadSpec};
-use dls_repro::{registry, tss_exp};
-use dls_telemetry::{Snapshot, Telemetry};
+use dls_repro::{analyze, registry, tss_exp};
+use dls_telemetry::{to_prometheus_text, Logger, Snapshot, Telemetry};
 use std::process::ExitCode;
 use std::sync::OnceLock;
 
@@ -145,14 +145,58 @@ fn report_resilience(ctx: &ExecContext) {
     }
 }
 
-/// A registry when `--telemetry`/`--telemetry-json` asked for one, else
-/// the zero-cost disabled handle.
+/// A registry when `--telemetry`/`--telemetry-json`/`--telemetry-prom`
+/// asked for one, else the zero-cost disabled handle.
 fn telemetry_for(o: &Options) -> Telemetry {
-    if o.telemetry || o.telemetry_json.is_some() {
+    if o.telemetry || o.telemetry_json.is_some() || o.telemetry_prom.is_some() {
         Telemetry::enabled()
     } else {
         Telemetry::disabled()
     }
+}
+
+/// A structured logger when `--log FILE` asked for one, else the
+/// zero-cost disabled handle.
+fn logger_for(o: &Options) -> Logger {
+    if o.log_file.is_some() {
+        Logger::enabled()
+    } else {
+        Logger::disabled()
+    }
+}
+
+/// Attaches the structured logger and a stderr-announcing progress
+/// tracker to a campaign context when `--log` is active. Both are
+/// host-side observers; `tests/log_determinism.rs` pins that attaching
+/// them leaves the campaign's results bit-identical.
+fn with_observability(ctx: ExecContext, logger: &Logger) -> ExecContext {
+    if logger.is_enabled() {
+        ctx.with_logger(logger.clone()).with_progress(Progress::new().announcing())
+    } else {
+        ctx
+    }
+}
+
+/// Writes the `--log FILE` JSONL dump. Secondary tier, like the telemetry
+/// dump: a log that fails to land degrades the run (exit 6), it never
+/// discards the primary results.
+fn emit_log(o: &Options, logger: &Logger, sink: &ArtifactSink) -> Result<(), ReproError> {
+    let (Some(path), true) = (&o.log_file, logger.is_enabled()) else {
+        return Ok(());
+    };
+    let landed = sink.write(
+        ArtifactTier::Secondary,
+        std::path::Path::new(path),
+        logger.to_jsonl().as_bytes(),
+    )?;
+    if landed {
+        let dropped = logger.dropped();
+        if dropped > 0 {
+            eprintln!("warning: log ring dropped {dropped} event(s); {path} holds the tail");
+        }
+        println!("wrote {path}");
+    }
+    Ok(())
 }
 
 /// Renders a snapshot as the `--telemetry` summary tables.
@@ -218,6 +262,16 @@ fn emit_telemetry(
             ArtifactTier::Secondary,
             std::path::Path::new(path),
             (snap.to_json() + "\n").as_bytes(),
+        )?;
+        if landed {
+            println!("wrote {path}");
+        }
+    }
+    if let Some(path) = &o.telemetry_prom {
+        let landed = sink.write(
+            ArtifactTier::Secondary,
+            std::path::Path::new(path),
+            to_prometheus_text(&snap).as_bytes(),
         )?;
         if landed {
             println!("wrote {path}");
@@ -409,15 +463,19 @@ fn cmd_hagerup(fig: &str, o: &Options, sink: &ArtifactSink) -> Result<(), ReproE
     if let Some(ts) = &o.techniques {
         cfg.techniques = ts.clone();
     }
-    let ctx = exec_context(
-        fig,
-        format!(
-            "n={} pes={:?} runs={} h={} mean={} seed={:#x} oracle={:?} techniques={:?}",
-            cfg.n, cfg.pes, cfg.runs, cfg.h, cfg.mean, cfg.seed, cfg.oracle, cfg.techniques
-        ),
-        cfg.seed,
-        o,
-    )?;
+    let logger = logger_for(o);
+    let ctx = with_observability(
+        exec_context(
+            fig,
+            format!(
+                "n={} pes={:?} runs={} h={} mean={} seed={:#x} oracle={:?} techniques={:?}",
+                cfg.n, cfg.pes, cfg.runs, cfg.h, cfg.mean, cfg.seed, cfg.oracle, cfg.techniques
+            ),
+            cfg.seed,
+            o,
+        )?,
+        &logger,
+    );
     eprintln!(
         "{fig}: n={n}, pes={:?}, runs={}, h={}, exp(mu=1s) — running...",
         cfg.pes, cfg.runs, cfg.h
@@ -459,6 +517,7 @@ fn cmd_hagerup(fig: &str, o: &Options, sink: &ArtifactSink) -> Result<(), ReproE
         sink.soften(&format!("{dir} (trace artifacts)"), emit_trace(&a, dir))?;
     }
     emit_telemetry(o, &telemetry, sink)?;
+    emit_log(o, &logger, sink)?;
     Ok(())
 }
 
@@ -563,15 +622,19 @@ fn cmd_sweep(o: &Options, sink: &ArtifactSink) -> Result<(), ReproError> {
     }
     cfg.threads = o.threads;
     let family_names: Vec<String> = cfg.families.iter().map(|f| f.name.to_string()).collect();
-    let ctx = exec_context(
-        "sweep",
-        format!(
-            "ns={:?} pes={:?} families={:?} techniques={:?} runs={} h={} seed={:#x}",
-            cfg.ns, cfg.pes, family_names, cfg.techniques, cfg.runs, cfg.h, cfg.seed
-        ),
-        cfg.seed,
-        o,
-    )?;
+    let logger = logger_for(o);
+    let ctx = with_observability(
+        exec_context(
+            "sweep",
+            format!(
+                "ns={:?} pes={:?} families={:?} techniques={:?} runs={} h={} seed={:#x}",
+                cfg.ns, cfg.pes, family_names, cfg.techniques, cfg.runs, cfg.h, cfg.seed
+            ),
+            cfg.seed,
+            o,
+        )?,
+        &logger,
+    );
     eprintln!(
         "sweep: ns={:?}, pes={:?}, {} families x {} techniques, runs={}...",
         cfg.ns,
@@ -597,6 +660,7 @@ fn cmd_sweep(o: &Options, sink: &ArtifactSink) -> Result<(), ReproError> {
         sink.soften(&format!("{dir} (trace artifacts)"), emit_trace(&a, dir))?;
     }
     emit_telemetry(o, &telemetry, sink)?;
+    emit_log(o, &logger, sink)?;
     Ok(())
 }
 
@@ -629,15 +693,19 @@ fn cmd_faults(o: &Options, sink: &ArtifactSink) -> Result<(), ReproError> {
         cfg.scenarios = vec![FaultScenario { name, plan }];
     }
     let scenario_names: Vec<String> = cfg.scenarios.iter().map(|s| s.name.to_string()).collect();
-    let ctx = exec_context(
-        "faults",
-        format!(
-            "n={} p={} techniques={:?} scenarios={:?} runs={} h={} seed={:#x}",
-            cfg.n, cfg.p, cfg.techniques, scenario_names, cfg.runs, cfg.h, cfg.seed
-        ),
-        cfg.seed,
-        o,
-    )?;
+    let logger = logger_for(o);
+    let ctx = with_observability(
+        exec_context(
+            "faults",
+            format!(
+                "n={} p={} techniques={:?} scenarios={:?} runs={} h={} seed={:#x}",
+                cfg.n, cfg.p, cfg.techniques, scenario_names, cfg.runs, cfg.h, cfg.seed
+            ),
+            cfg.seed,
+            o,
+        )?,
+        &logger,
+    );
     eprintln!(
         "faults: n={}, p={}, {} techniques x {} scenarios, runs={} — running...",
         cfg.n,
@@ -665,6 +733,7 @@ fn cmd_faults(o: &Options, sink: &ArtifactSink) -> Result<(), ReproError> {
         sink.soften(&format!("{dir} (trace artifacts)"), emit_trace(&a, dir))?;
     }
     emit_telemetry(o, &telemetry, sink)?;
+    emit_log(o, &logger, sink)?;
     Ok(())
 }
 
@@ -892,9 +961,13 @@ const RESUMABLE: &[&str] = &["fig5", "fig6", "fig7", "fig8", "sweep", "faults", 
 
 /// `repro serve`: run the campaign service until interrupted (exit 130)
 /// or until `--max-requests` connections were handled (exit 0).
-fn cmd_serve(o: &Options) -> Result<(), ReproError> {
+///
+/// The structured log is always on for the service (the ring bounds its
+/// cost); `--log FILE` additionally dumps it as JSONL on shutdown.
+fn cmd_serve(o: &Options, sink: &ArtifactSink) -> Result<(), ReproError> {
     let cfg = ServeConfig::from_options(o);
-    let server = Server::bind(&cfg, Telemetry::enabled(), global_cancel_flag())?;
+    let logger = Logger::enabled();
+    let server = Server::bind(&cfg, Telemetry::enabled(), logger.clone(), global_cancel_flag())?;
     eprintln!(
         "serve: listening on http://{} (cache: {}, workers: {}, queue: {})",
         server.local_addr(),
@@ -902,11 +975,32 @@ fn cmd_serve(o: &Options) -> Result<(), ReproError> {
         cfg.workers,
         cfg.queue_depth,
     );
-    server.run()
+    let outcome = server.run();
+    // Land the log even on Ctrl-C (exit 130); the interrupt still wins
+    // the exit code over a degraded log write.
+    let logged = emit_log(o, &logger, sink);
+    outcome.and(logged)
+}
+
+/// `repro report <DIR>`: offline campaign analyzer — joins the journal,
+/// telemetry snapshots, trace CSVs and structured logs found in `DIR`
+/// into `report.md` + `report.csv`.
+fn cmd_report(dir: &str, sink: &ArtifactSink) -> Result<(), ReproError> {
+    let report = analyze::analyze_dir(std::path::Path::new(dir))?;
+    print!("{}", report.summary());
+    let md = std::path::Path::new(dir).join("report.md");
+    let csv = std::path::Path::new(dir).join("report.csv");
+    if sink.write(ArtifactTier::Primary, &md, report.markdown.as_bytes())? {
+        println!("wrote {}", md.display());
+    }
+    if sink.write(ArtifactTier::Secondary, &csv, report.csv.as_bytes())? {
+        println!("wrote {}", csv.display());
+    }
+    Ok(())
 }
 
 fn usage() -> String {
-    "usage: repro <list|table2|fig3|fig3a|fig4|fig4a|fig5|fig6|fig7|fig8|fig9|spec|verify|sweep|faults|trace|bench|serve|all> \
+    "usage: repro <list|table2|fig3|fig3a|fig4|fig4a|fig5|fig6|fig7|fig8|fig9|spec|verify|sweep|faults|trace|report|bench|serve|all> \
      [--runs N] [--threads N] [--seed S] [--csv DIR] [--pes a,b,c] \
      [--techniques SS,FAC2,BOLD] [--fault-plan FILE] [--trace DIR]\n\
      fig3a/fig4a: rerun figures 3/4 with the BBN GP-1000 contention model\n\
@@ -916,9 +1010,13 @@ fn usage() -> String {
      trace:       repro trace <hagerup|faults|TECHNIQUE> [--seed S] [--out DIR]\n\
                   record one run; write Chrome trace_event JSON + per-PE\n\
                   timeline/utilization/chunk-size CSVs (default dir: traces/)\n\
+     report:      repro report DIR — offline campaign analyzer: joins the\n\
+                  journal, telemetry JSON, trace CSVs and JSONL logs found\n\
+                  in DIR into DIR/report.md + DIR/report.csv\n\
      serve:       campaign-as-a-service daemon with a content-addressed\n\
                   result cache: POST {\"fig\":\"fig5\",\"runs\":8,...} to /run,\n\
-                  GET /metrics, GET /healthz. [--addr H:P] [--cache DIR]\n\
+                  GET /metrics (Prometheus), /metrics.json, /progress,\n\
+                  /requests, /healthz. [--addr H:P] [--cache DIR]\n\
                   [--workers N] [--queue-depth N] [--max-requests N]\n\
      bench:       timed standardized campaigns -> BENCH_<tag>.json\n\
                   [--quick] [--reps N] [--tag T] [--out FILE]\n\
@@ -926,7 +1024,11 @@ fn usage() -> String {
                   [--compare BASELINE CURRENT [--tolerance PCT] [--warn-only]]\n\
                   [--validate FILE]\n\
      --telemetry / --telemetry-json FILE on fig5-fig8/faults/trace print or\n\
-                  dump the host-side metrics registry snapshot\n\
+                  dump the host-side metrics registry snapshot;\n\
+                  --telemetry-prom FILE dumps it in Prometheus text format\n\
+     --log FILE on fig5-fig8/sweep/faults/serve writes structured JSONL\n\
+                  events (cell starts, heartbeats, quarantines, requests)\n\
+                  and enables progress heartbeats on stderr\n\
      --trace DIR on fig5-fig8/sweep/faults additionally records one\n\
                   representative run of the campaign\n\
      --resume DIR on fig5-fig8/sweep/faults/bench journals completed runs\n\
@@ -950,8 +1052,9 @@ fn run(args: &[String]) -> Result<(), ReproError> {
     let Some(cmd) = args.first().cloned() else {
         return Err(ReproError::usage("missing command"));
     };
-    // `trace` and `chaos` take a positional target before the options.
-    let (target, opt_args) = if cmd == "trace" || cmd == "chaos" {
+    // `trace`, `chaos` and `report` take a positional target before the
+    // options (a scenario name for the first two, a directory for report).
+    let (target, opt_args) = if cmd == "trace" || cmd == "chaos" || cmd == "report" {
         match args.get(1).filter(|a| !a.starts_with("--")) {
             Some(t) => (Some(t.clone()), &args[2..]),
             None => return Err(ReproError::usage(format!("{cmd} requires a target"))),
@@ -987,8 +1090,9 @@ fn run(args: &[String]) -> Result<(), ReproError> {
         "faults" => cmd_faults(&opts, &sink),
         "trace" => cmd_trace(target.as_deref().unwrap_or_default(), &opts),
         "chaos" => cmd_chaos(target.as_deref().unwrap_or_default(), &opts),
+        "report" => cmd_report(target.as_deref().unwrap_or_default(), &sink),
         "bench" => cmd_bench(&opts),
-        "serve" => cmd_serve(&opts),
+        "serve" => cmd_serve(&opts, &sink),
         "all" => {
             cmd_list();
             cmd_table2();

@@ -31,6 +31,12 @@ pub struct Options {
     pub telemetry: bool,
     /// Also dump the telemetry snapshot as JSON to this path.
     pub telemetry_json: Option<String>,
+    /// Also dump the telemetry snapshot in Prometheus text-exposition
+    /// format to this path.
+    pub telemetry_prom: Option<String>,
+    /// Write structured JSONL log events to this path (fig5–fig8, sweep,
+    /// faults, serve); also enables progress heartbeats on stderr.
+    pub log_file: Option<String>,
     /// Use the reduced bench suite sizes (`bench` subcommand).
     pub quick: bool,
     /// Timed repetitions per bench entry (`bench`; default 3 quick/5 full).
@@ -88,6 +94,8 @@ impl Default for Options {
             trace_dir: None,
             telemetry: false,
             telemetry_json: None,
+            telemetry_prom: None,
+            log_file: None,
             quick: false,
             reps: None,
             tag: None,
@@ -140,6 +148,8 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--telemetry" => o.telemetry = true,
             "--telemetry-json" => o.telemetry_json = Some(value("--telemetry-json")?),
+            "--telemetry-prom" => o.telemetry_prom = Some(value("--telemetry-prom")?),
+            "--log" => o.log_file = Some(value("--log")?),
             "--quick" => o.quick = true,
             "--reps" => {
                 o.reps = Some(value("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?)
@@ -266,6 +276,15 @@ mod tests {
         assert_eq!(o.tag.as_deref(), Some("pr3"));
         assert_eq!(o.tolerance_pct, 10.0);
         assert_eq!(o.validate.as_deref(), Some("B.json"));
+    }
+
+    #[test]
+    fn observability_options_parse() {
+        let o = parse_options(&args("--telemetry-prom tel.prom --log run.log.jsonl")).unwrap();
+        assert_eq!(o.telemetry_prom.as_deref(), Some("tel.prom"));
+        assert_eq!(o.log_file.as_deref(), Some("run.log.jsonl"));
+        assert!(parse_options(&args("--log")).unwrap_err().contains("requires a value"));
+        assert!(parse_options(&args("--telemetry-prom")).unwrap_err().contains("requires"));
     }
 
     #[test]

@@ -10,10 +10,11 @@
 use crate::error::ReproError;
 use crate::journal::{self, Journal};
 use dls_rng::seed_stream;
-use dls_telemetry::Telemetry;
-use serde::{Deserialize, Serialize};
+use dls_telemetry::{Logger, Telemetry};
+use serde::{Deserialize, Serialize, Value};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Runs `runs` independent evaluations of `f(run_index, run_seed)` and
 /// collects the results in run order.
@@ -198,6 +199,94 @@ impl std::fmt::Display for QuarantinedRun {
     }
 }
 
+/// Emit a progress heartbeat every this many newly executed runs (and at
+/// campaign completion). Runs-based, so the heartbeat schedule is a pure
+/// function of execution order, not of the host clock.
+pub const HEARTBEAT_EVERY: u64 = 32;
+
+/// Shared, thread-safe campaign progress state: runs completed / total plus
+/// a wall-clock ETA. The campaign service exposes it via `GET /progress`;
+/// the CLI announces it on stderr when `--log` is active.
+///
+/// All updates are relaxed atomics — progress is a monitoring surface, not
+/// a synchronization point, and it never feeds back into the simulation.
+#[derive(Clone, Debug, Default)]
+pub struct Progress(Arc<ProgressInner>);
+
+#[derive(Debug, Default)]
+struct ProgressInner {
+    total: AtomicU64,
+    done: AtomicU64,
+    announce: AtomicBool,
+    label: Mutex<String>,
+    started: Mutex<Option<Instant>>,
+}
+
+/// Point-in-time view of a [`Progress`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Label of the most recently started campaign cell.
+    pub label: String,
+    /// Runs executed so far (completed or quarantined; replays excluded).
+    pub done: u64,
+    /// Runs scheduled for execution so far (grows as cells start).
+    pub total: u64,
+    /// Host seconds since the first cell started (0 before any work).
+    pub elapsed_s: f64,
+    /// Estimated seconds remaining, extrapolated from the mean run rate;
+    /// `None` until at least one run has finished.
+    pub eta_s: Option<f64>,
+}
+
+impl Progress {
+    /// A fresh tracker with nothing scheduled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Also announce heartbeats on stderr (the CLI surface).
+    pub fn announcing(self) -> Self {
+        self.0.announce.store(true, Ordering::Relaxed);
+        self
+    }
+
+    /// Registers a campaign cell about to execute `pending` runs: extends
+    /// the total, updates the label, and stamps the start time on first use.
+    pub fn begin_cell(&self, label: &str, pending: u64) {
+        *self.0.label.lock().unwrap_or_else(|e| e.into_inner()) = label.to_string();
+        self.0.total.fetch_add(pending, Ordering::Relaxed);
+        let mut started = self.0.started.lock().unwrap_or_else(|e| e.into_inner());
+        if started.is_none() {
+            *started = Some(Instant::now());
+        }
+    }
+
+    /// Counts one executed run; returns the new `done` value.
+    pub fn note_done(&self) -> u64 {
+        self.0.done.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Whether heartbeats should also go to stderr.
+    pub fn announces(&self) -> bool {
+        self.0.announce.load(Ordering::Relaxed)
+    }
+
+    /// The current progress view.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let done = self.0.done.load(Ordering::Relaxed);
+        let total = self.0.total.load(Ordering::Relaxed);
+        let label = self.0.label.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let elapsed_s = self
+            .0
+            .started
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map_or(0.0, |t| t.elapsed().as_secs_f64());
+        let eta_s = (done > 0).then(|| elapsed_s / done as f64 * total.saturating_sub(done) as f64);
+        ProgressSnapshot { label, done, total, elapsed_s, eta_s }
+    }
+}
+
 /// Shared state of one resilient invocation: the optional checkpoint
 /// journal, the cancellation flag, and the quarantine list. One context
 /// spans every campaign a command executes, so a `repro sweep` journals all
@@ -209,6 +298,8 @@ pub struct ExecContext {
     quarantined: Mutex<Vec<QuarantinedRun>>,
     cancel_after: Option<u64>,
     finished: AtomicU64,
+    progress: Option<Progress>,
+    logger: Logger,
 }
 
 impl ExecContext {
@@ -222,6 +313,8 @@ impl ExecContext {
             quarantined: Mutex::new(Vec::new()),
             cancel_after: None,
             finished: AtomicU64::new(0),
+            progress: None,
+            logger: Logger::disabled(),
         }
     }
 
@@ -246,6 +339,30 @@ impl ExecContext {
         self
     }
 
+    /// Tracks campaign progress (runs completed / total, ETA) in `p` and
+    /// emits periodic heartbeats; see [`Progress`] and [`HEARTBEAT_EVERY`].
+    pub fn with_progress(mut self, p: Progress) -> Self {
+        self.progress = Some(p);
+        self
+    }
+
+    /// Emits structured campaign events (cell starts, heartbeats,
+    /// quarantines) into `logger`.
+    pub fn with_logger(mut self, logger: Logger) -> Self {
+        self.logger = logger;
+        self
+    }
+
+    /// The attached progress tracker, if any.
+    pub fn progress(&self) -> Option<&Progress> {
+        self.progress.as_ref()
+    }
+
+    /// The attached structured logger (disabled by default).
+    pub fn logger(&self) -> &Logger {
+        &self.logger
+    }
+
     /// The attached journal, if any.
     pub fn journal(&self) -> Option<&Journal> {
         self.journal.as_ref()
@@ -267,6 +384,16 @@ impl ExecContext {
     /// valid after a writer panic, and aborting here would defeat the whole
     /// point of quarantine — one panicking run must not poison the campaign.
     pub fn quarantine(&self, run: QuarantinedRun) {
+        self.logger.warn(
+            "campaign",
+            "run quarantined",
+            &[
+                ("cell", Value::String(run.cell.clone())),
+                ("run", Value::U64(run.run as u64)),
+                ("seed", Value::String(format!("{:#018x}", run.seed))),
+                ("panic", Value::String(run.panic_message.clone())),
+            ],
+        );
         self.quarantined.lock().unwrap_or_else(|e| e.into_inner()).push(run);
     }
 
@@ -294,9 +421,35 @@ impl ExecContext {
     }
 
     /// Bookkeeping after a run finishes (completed *or* quarantined):
-    /// trips the cancellation flag once `--cancel-after` is reached.
+    /// advances the progress tracker (emitting a heartbeat every
+    /// [`HEARTBEAT_EVERY`] runs and at completion) and trips the
+    /// cancellation flag once `--cancel-after` is reached.
     fn note_run_finished(&self) {
         let done = self.finished.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(progress) = &self.progress {
+            let done = progress.note_done();
+            let snap = progress.snapshot();
+            if done % HEARTBEAT_EVERY == 0 || done >= snap.total {
+                self.logger.info(
+                    "campaign",
+                    "heartbeat",
+                    &[
+                        ("cell", Value::String(snap.label.clone())),
+                        ("done", Value::U64(snap.done)),
+                        ("total", Value::U64(snap.total)),
+                        ("elapsed_s", Value::F64(snap.elapsed_s)),
+                        ("eta_s", snap.eta_s.map_or(Value::Null, Value::F64)),
+                    ],
+                );
+                if progress.announces() {
+                    let eta = snap.eta_s.map_or("?".to_string(), |e| format!("{e:.1}"));
+                    eprintln!(
+                        "progress: [{}] {}/{} runs, {:.1}s elapsed, eta {eta}s",
+                        snap.label, snap.done, snap.total, snap.elapsed_s
+                    );
+                }
+            }
+        }
         if let Some(limit) = self.cancel_after {
             if done >= limit {
                 self.cancel.cancel();
@@ -393,6 +546,22 @@ where
         }
     }
 
+    if let Some(progress) = ctx.progress() {
+        progress.begin_cell(cell, pending.len() as u64);
+    }
+    if ctx.logger().is_enabled() {
+        ctx.logger().info(
+            "campaign",
+            "cell start",
+            &[
+                ("cell", Value::String(cell.to_string())),
+                ("runs", Value::U64(runs as u64)),
+                ("replayed", Value::U64((runs as usize - pending.len()) as u64)),
+                ("pending", Value::U64(pending.len() as u64)),
+            ],
+        );
+    }
+
     if ctx.is_cancelled() {
         ctx.flush()?;
         return Err(ctx.interrupted_error());
@@ -487,6 +656,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dls_telemetry::Level;
 
     #[test]
     fn sequential_and_parallel_agree() {
@@ -671,6 +841,69 @@ mod tests {
         assert_eq!(q[0].run, 3);
         assert_eq!(q[0].seed, seed_stream(5).nth(3).unwrap());
         assert!(q[0].panic_message.contains("injected failure in run 3"));
+    }
+
+    #[test]
+    fn progress_and_logger_observe_a_campaign() {
+        let progress = Progress::new();
+        let logger = Logger::enabled();
+        let ctx =
+            ExecContext::transient().with_progress(progress.clone()).with_logger(logger.clone());
+        let out = run_campaign_resilient(
+            HEARTBEAT_EVERY as u32 + 3,
+            7,
+            2,
+            &Telemetry::disabled(),
+            &ctx,
+            "cell-p",
+            |i, s| {
+                if i == 1 {
+                    panic!("boom");
+                }
+                s
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), HEARTBEAT_EVERY as usize + 3);
+
+        let snap = progress.snapshot();
+        assert_eq!(snap.label, "cell-p");
+        assert_eq!(snap.total, HEARTBEAT_EVERY + 3);
+        assert_eq!(snap.done, HEARTBEAT_EVERY + 3, "quarantined runs still count as executed");
+        assert_eq!(snap.eta_s.map(|e| e < 1e3), Some(true));
+
+        let records = logger.recent();
+        let msgs: Vec<&str> = records.iter().map(|r| r.message.as_str()).collect();
+        assert!(msgs.contains(&"cell start"));
+        assert!(msgs.contains(&"heartbeat"), "{msgs:?}");
+        let quarantine =
+            records.iter().find(|r| r.message == "run quarantined").expect("quarantine event");
+        assert_eq!(quarantine.level, Level::Warn);
+        assert!(quarantine
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "cell" && v.as_str() == Some("cell-p")));
+        // The completion heartbeat reports done == total.
+        let last_beat = records.iter().rev().find(|r| r.message == "heartbeat").unwrap();
+        assert!(last_beat
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "done" && v.as_f64() == Some((HEARTBEAT_EVERY + 3) as f64)));
+    }
+
+    #[test]
+    fn progress_eta_extrapolates_from_rate() {
+        let p = Progress::new();
+        p.begin_cell("c", 10);
+        assert_eq!(p.snapshot().eta_s, None, "no ETA before the first run");
+        for _ in 0..5 {
+            p.note_done();
+        }
+        let snap = p.snapshot();
+        assert_eq!((snap.done, snap.total), (5, 10));
+        let eta = snap.eta_s.unwrap();
+        // Half done: ETA equals elapsed (to floating-point accuracy).
+        assert!((eta - snap.elapsed_s).abs() <= 1e-3 * snap.elapsed_s.max(1e-9));
     }
 
     /// Regression for the poisoned-lock cascade: a panic while holding the

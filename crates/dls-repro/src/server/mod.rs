@@ -22,26 +22,36 @@
 //!    persist through the fail-soft atomic-write seam for warm restarts),
 //!    respond (`X-Cache: miss`).
 //!
-//! `GET /metrics` exports the server's [`Telemetry`] snapshot as JSON
-//! (request counts, admission outcomes, hit/miss counters, cold/warm
-//! latency histograms); `GET /healthz` answers liveness probes.
+//! Observability surfaces:
+//!
+//! * `GET /metrics` exports the server's [`Telemetry`] snapshot in the
+//!   Prometheus text exposition format (request counts, admission
+//!   outcomes, hit/miss counters, cold/warm latency histograms);
+//!   `GET /metrics.json` keeps the JSON rendering of the same snapshot;
+//! * every request is timed through its phases by [`spans`] and exported
+//!   via `GET /requests` (a bounded recent-request ring);
+//! * `GET /progress` reports the in-flight campaign's runs
+//!   completed / total and ETA;
+//! * `GET /healthz` answers liveness probes.
 
 pub mod admission;
 pub mod cache;
 pub mod http;
+pub mod spans;
 
 use crate::cli::Options;
 use crate::error::ReproError;
 use crate::hagerup_exp::{run_figure_resilient, HagerupConfig};
 use crate::journal::JournalMeta;
 use crate::report::{format_csv, wasted_rows};
-use crate::runner::{CancelFlag, ExecContext};
+use crate::runner::{CancelFlag, ExecContext, Progress};
 use admission::{Admission, Admit};
 use cache::{Begin, ResultCache};
 use dls_core::Technique;
-use dls_telemetry::Telemetry;
+use dls_telemetry::{to_prometheus_text, Logger, Telemetry};
 use http::{Request, Response};
 use serde::Value;
+use spans::{RequestSpans, RequestTrail};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -112,6 +122,9 @@ struct Shared {
     cache: ResultCache,
     admission: Admission,
     telemetry: Telemetry,
+    logger: Logger,
+    progress: Progress,
+    trail: RequestTrail,
     cancel: CancelFlag,
     hold_ms: u64,
 }
@@ -126,12 +139,15 @@ pub struct Server {
 impl Server {
     /// Binds the listen socket and opens (warm-loading) the result cache.
     /// `telemetry` should be enabled — `/metrics` exports its snapshot.
+    /// `logger` receives structured request and campaign events (pass
+    /// [`Logger::disabled`] to opt out; `GET /requests` works either way).
     /// `cancel` stops the accept loop; a cancelled server returns
     /// [`ReproError::Interrupted`] (exit 130) after draining in-flight
     /// handlers.
     pub fn bind(
         cfg: &ServeConfig,
         telemetry: Telemetry,
+        logger: Logger,
         cancel: CancelFlag,
     ) -> Result<Server, ReproError> {
         let cache = ResultCache::open(&cfg.cache_dir)
@@ -144,6 +160,9 @@ impl Server {
                 cache,
                 admission: Admission::new(cfg.workers, cfg.queue_depth),
                 telemetry,
+                logger,
+                progress: Progress::new(),
+                trail: RequestTrail::default(),
                 cancel,
                 hold_ms: cfg.hold_ms,
             }),
@@ -212,13 +231,44 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 fn route(request: &Request, shared: &Shared) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::new(200, "OK", "text/plain", "ok\n"),
-        ("GET", "/metrics") => {
+        ("GET", "/metrics") => Response::new(
+            200,
+            "OK",
+            "text/plain; version=0.0.4",
+            to_prometheus_text(&shared.telemetry.snapshot()),
+        ),
+        ("GET", "/metrics.json") => {
             Response::new(200, "OK", "application/json", shared.telemetry.snapshot().to_json())
         }
+        ("GET", "/progress") => {
+            let p = shared.progress.snapshot();
+            let body = Value::Object(vec![
+                ("cell".into(), Value::String(p.label.clone())),
+                ("done".into(), Value::U64(p.done)),
+                ("total".into(), Value::U64(p.total)),
+                ("elapsed_s".into(), Value::F64(p.elapsed_s)),
+                ("eta_s".into(), p.eta_s.map_or(Value::Null, Value::F64)),
+            ]);
+            Response::new(
+                200,
+                "OK",
+                "application/json",
+                serde_json::to_string(&body).expect("progress body serialization"),
+            )
+        }
+        ("GET", "/requests") => {
+            Response::new(200, "OK", "application/json", shared.trail.to_json())
+        }
         ("POST", "/run") => handle_run(&request.body, shared),
-        (_, "/run") | (_, "/metrics") | (_, "/healthz") => error_response(&ReproError::usage(
-            format!("method {} not allowed on {}", request.method, request.path),
-        )),
+        (_, "/run")
+        | (_, "/metrics")
+        | (_, "/metrics.json")
+        | (_, "/healthz")
+        | (_, "/progress")
+        | (_, "/requests") => error_response(&ReproError::usage(format!(
+            "method {} not allowed on {}",
+            request.method, request.path
+        ))),
         _ => {
             let body = Value::Object(vec![
                 ("error".into(), Value::String(format!("no such endpoint: {}", request.path))),
@@ -235,46 +285,68 @@ fn route(request: &Request, shared: &Shared) -> Response {
 }
 
 fn handle_run(body: &[u8], shared: &Shared) -> Response {
-    let (fig, cfg) = match parse_run_request(body) {
+    let id = shared.trail.next_id();
+    let mut spans = RequestSpans::start();
+
+    let (fig, cfg) = match spans.record("parse", || parse_run_request(body)) {
         Ok(parsed) => parsed,
         Err(e) => {
             shared.telemetry.counter_inc("serve.bad_requests");
-            return error_response(&e);
+            let response = error_response(&e);
+            finish_request(shared, id, String::new(), "bad-request", response.status, spans);
+            return response;
         }
     };
     let meta = JournalMeta::new(&fig, fingerprint(&cfg), cfg.seed);
     let key = meta.cache_key();
 
-    match shared.cache.begin(&key) {
+    // `cache.begin` is where a follower of an in-flight computation blocks,
+    // so this span covers both the lookup and any coalescing wait.
+    match spans.record("cache_lookup", || shared.cache.begin(&key)) {
         Begin::Hit(cached) => {
             let warm = Instant::now();
             shared.telemetry.counter_inc("serve.cache_hits");
-            let response = csv_response(&cached, true);
+            let response = spans.record("serialize", || csv_response(&cached, true));
             shared.telemetry.observe_secs("serve.warm_s", warm.elapsed().as_secs_f64());
+            finish_request(shared, id, key, "hit", response.status, spans);
             response
         }
         Begin::LeaderFailed(message) => {
             shared.telemetry.counter_inc("serve.coalesced_failures");
-            error_response(&ReproError::io(format!("coalesced computation failed: {message}")))
+            let response =
+                error_response(&ReproError::io(format!("coalesced computation failed: {message}")));
+            finish_request(shared, id, key, "coalesced-failure", response.status, spans);
+            response
         }
         Begin::Lead => {
-            let admit = shared.admission.admit(&shared.cancel);
+            let admit = spans.record("admission_wait", || shared.admission.admit(&shared.cancel));
             record_occupancy(shared);
             match admit {
                 Admit::Shed => {
                     shared.telemetry.counter_inc("serve.admission_shed");
                     shared.cache.fail(&key, "request was shed: server at capacity".into());
-                    shed_response()
+                    let response = shed_response();
+                    finish_request(shared, id, key, "shed", response.status, spans);
+                    response
                 }
                 Admit::Cancelled => {
                     shared.cache.fail(&key, "server is shutting down".into());
-                    error_response(&ReproError::Interrupted { resume_dir: None })
+                    let response = error_response(&ReproError::Interrupted { resume_dir: None });
+                    finish_request(shared, id, key, "cancelled", response.status, spans);
+                    response
                 }
                 Admit::Granted => {
                     shared.telemetry.counter_inc("serve.admission_granted");
-                    let response = compute_and_publish(&key, &cfg, shared);
-                    shared.admission.release();
-                    record_occupancy(shared);
+                    let response = {
+                        // The guard releases the slot and refreshes the
+                        // occupancy gauges on *every* exit path — normal
+                        // return, error response, or a panic unwinding
+                        // this handler thread.
+                        let _slot = SlotGuard { shared };
+                        compute_and_publish(&key, &cfg, shared, &mut spans)
+                    };
+                    let outcome = if response.status == 200 { "miss" } else { "error" };
+                    finish_request(shared, id, key, outcome, response.status, spans);
                     response
                 }
             }
@@ -282,14 +354,63 @@ fn handle_run(body: &[u8], shared: &Shared) -> Response {
     }
 }
 
+/// Closes a request's span collector into the trail and the structured log.
+fn finish_request(
+    shared: &Shared,
+    id: u64,
+    key: String,
+    outcome: &'static str,
+    status: u16,
+    spans: RequestSpans,
+) {
+    let record = spans.finish(id, key, outcome, status);
+    if shared.logger.is_enabled() {
+        shared.logger.info(
+            "serve",
+            "request",
+            &[
+                ("id", Value::U64(record.id)),
+                ("key", Value::String(record.key.clone())),
+                ("outcome", Value::String(outcome.into())),
+                ("status", Value::U64(u64::from(status))),
+                ("total_s", Value::F64(record.total_s)),
+            ],
+        );
+    }
+    shared.trail.push(record);
+}
+
+/// Holds one granted admission slot; dropping it — however the holder
+/// exits, including by panic — releases the slot and refreshes the
+/// occupancy gauges, so `serve.workers_busy`/`serve.queue_depth` always
+/// return to the true depth.
+struct SlotGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.admission.release();
+        record_occupancy(self.shared);
+    }
+}
+
 /// Runs the campaign for `key`, publishes the result (or failure) to the
 /// cache, and renders the response. Caller holds a worker slot.
-fn compute_and_publish(key: &str, cfg: &HagerupConfig, shared: &Shared) -> Response {
+fn compute_and_publish(
+    key: &str,
+    cfg: &HagerupConfig,
+    shared: &Shared,
+    spans: &mut RequestSpans,
+) -> Response {
     let cold = Instant::now();
     shared.telemetry.counter_inc("serve.computations");
     shared.telemetry.counter_inc("serve.cache_misses");
-    let ctx = ExecContext::transient().with_cancel_flag(shared.cancel.clone());
-    let result = run_figure_resilient(cfg, &shared.telemetry, &ctx);
+    let ctx = ExecContext::transient()
+        .with_cancel_flag(shared.cancel.clone())
+        .with_logger(shared.logger.clone())
+        .with_progress(shared.progress.clone());
+    let result = spans.record("compute", || run_figure_resilient(cfg, &shared.telemetry, &ctx));
     if shared.hold_ms > 0 {
         // Latency-injection knob: keep the slot busy so admission behavior
         // (queueing, shedding) can be exercised deterministically.
@@ -297,10 +418,12 @@ fn compute_and_publish(key: &str, cfg: &HagerupConfig, shared: &Shared) -> Respo
     }
     match result {
         Ok(rows) => {
-            let (headers, table) = wasted_rows(&rows);
-            let csv = format_csv(&headers, &table);
-            let published = shared.cache.complete(key, csv);
-            let response = csv_response(&published, false);
+            let response = spans.record("serialize", || {
+                let (headers, table) = wasted_rows(&rows);
+                let csv = format_csv(&headers, &table);
+                let published = shared.cache.complete(key, csv);
+                csv_response(&published, false)
+            });
             shared.telemetry.observe_secs("serve.cold_s", cold.elapsed().as_secs_f64());
             response
         }
@@ -313,7 +436,7 @@ fn compute_and_publish(key: &str, cfg: &HagerupConfig, shared: &Shared) -> Respo
 
 fn record_occupancy(shared: &Shared) {
     let (running, queued) = shared.admission.depth();
-    shared.telemetry.gauge_set("serve.running", running as f64);
+    shared.telemetry.gauge_set("serve.workers_busy", running as f64);
     shared.telemetry.gauge_set("serve.queue_depth", queued as f64);
 }
 
@@ -552,6 +675,42 @@ mod tests {
             Some(4)
         );
         assert_eq!(shed_response().status, 429);
+    }
+
+    fn test_shared(tag: &str, workers: usize, queue: usize) -> Shared {
+        let dir = std::env::temp_dir().join(format!("dls-slotguard-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Shared {
+            cache: ResultCache::open(&dir).unwrap(),
+            admission: Admission::new(workers, queue),
+            telemetry: Telemetry::enabled(),
+            logger: Logger::disabled(),
+            progress: Progress::new(),
+            trail: RequestTrail::default(),
+            cancel: CancelFlag::new(),
+            hold_ms: 0,
+        }
+    }
+
+    /// The occupancy-gauge contract: a slot is released and the gauges
+    /// refreshed even when the holder panics mid-computation.
+    #[test]
+    fn slot_guard_releases_on_panic() {
+        let shared = test_shared("panic", 1, 1);
+        assert!(matches!(shared.admission.admit(&shared.cancel), Admit::Granted));
+        record_occupancy(&shared);
+        assert_eq!(shared.telemetry.snapshot().gauge("serve.workers_busy"), Some(1.0));
+
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _slot = SlotGuard { shared: &shared };
+            panic!("handler died mid-compute");
+        }));
+        assert!(caught.is_err());
+
+        assert_eq!(shared.admission.depth(), (0, 0));
+        let snap = shared.telemetry.snapshot();
+        assert_eq!(snap.gauge("serve.workers_busy"), Some(0.0));
+        assert_eq!(snap.gauge("serve.queue_depth"), Some(0.0));
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Request-scoped span records and the bounded recent-request trail.
+//!
+//! Every `POST /run` gets a server-unique id and a [`RequestSpans`]
+//! collector that times the request's phases — parse → cache lookup
+//! (which includes any single-flight coalescing wait) → admission wait →
+//! compute → serialize — on the host clock. The finished record lands in
+//! the [`RequestTrail`] ring exported by `GET /requests`, and a one-line
+//! summary goes to the structured log. Spans observe the request; they
+//! never alter it, so a cache hit stays byte-identical while its spans are
+//! being recorded (pinned by `tests/serve.rs`).
+
+use serde::Value;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Requests retained by the trail ring (oldest evicted first).
+pub const DEFAULT_TRAIL_CAPACITY: usize = 256;
+
+/// One timed phase of a request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Phase name (`"cache_lookup"`, `"admission_wait"`, `"compute"`, ...).
+    pub name: &'static str,
+    /// Seconds from the request's start to this phase's start.
+    pub offset_s: f64,
+    /// Phase duration, seconds.
+    pub dur_s: f64,
+}
+
+/// Per-request span collector; phases are recorded in call order.
+#[derive(Debug)]
+pub struct RequestSpans {
+    t0: Instant,
+    spans: Vec<SpanRecord>,
+}
+
+impl RequestSpans {
+    /// Starts the request clock.
+    pub fn start() -> Self {
+        RequestSpans { t0: Instant::now(), spans: Vec::new() }
+    }
+
+    /// Times `f` as phase `name` and passes its result through.
+    pub fn record<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let before = Instant::now();
+        let out = f();
+        self.spans.push(SpanRecord {
+            name,
+            offset_s: before.duration_since(self.t0).as_secs_f64(),
+            dur_s: before.elapsed().as_secs_f64(),
+        });
+        out
+    }
+
+    /// Closes the collector into the finished request record.
+    pub fn finish(self, id: u64, key: String, outcome: &'static str, status: u16) -> RequestRecord {
+        RequestRecord {
+            id,
+            key,
+            outcome,
+            status,
+            total_s: self.t0.elapsed().as_secs_f64(),
+            spans: self.spans,
+        }
+    }
+}
+
+/// One completed request: the root of its span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// Server-unique request id (monotonic).
+    pub id: u64,
+    /// Cache key the request resolved to (empty for unparseable requests).
+    pub key: String,
+    /// How the request resolved: `hit`, `miss`, `shed`, `cancelled`,
+    /// `coalesced-failure`, `bad-request` or `error`.
+    pub outcome: &'static str,
+    /// HTTP status returned.
+    pub status: u16,
+    /// End-to-end handler time, seconds.
+    pub total_s: f64,
+    /// The timed phases, in execution order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl RequestRecord {
+    /// The JSON rendering used by `GET /requests`.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("id".into(), Value::U64(self.id)),
+            ("key".into(), Value::String(self.key.clone())),
+            ("outcome".into(), Value::String(self.outcome.into())),
+            ("status".into(), Value::U64(u64::from(self.status))),
+            ("total_s".into(), Value::F64(self.total_s)),
+            (
+                "spans".into(),
+                Value::Array(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            Value::Object(vec![
+                                ("name".into(), Value::String(s.name.into())),
+                                ("offset_s".into(), Value::F64(s.offset_s)),
+                                ("dur_s".into(), Value::F64(s.dur_s)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Bounded ring of recently completed requests, plus the id source.
+#[derive(Debug)]
+pub struct RequestTrail {
+    next_id: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<RequestRecord>>,
+}
+
+impl RequestTrail {
+    /// An empty trail retaining at most `capacity` requests (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RequestTrail {
+            next_id: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Allocates the next request id.
+    pub fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Retains `record`, evicting the oldest entry once full.
+    pub fn push(&self, record: RequestRecord) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Clones the retained window, oldest first.
+    pub fn recent(&self) -> Vec<RequestRecord> {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).iter().cloned().collect()
+    }
+
+    /// The `GET /requests` body: `{"requests": [...]}`, oldest first.
+    pub fn to_json(&self) -> String {
+        let requests = self.recent().iter().map(RequestRecord::to_value).collect();
+        let body = Value::Object(vec![("requests".into(), Value::Array(requests))]);
+        serde_json::to_string(&body).expect("request trail serialization is infallible")
+    }
+}
+
+impl Default for RequestTrail {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRAIL_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_phases_in_order() {
+        let mut spans = RequestSpans::start();
+        let x = spans.record("parse", || 7);
+        assert_eq!(x, 7);
+        spans.record("compute", || std::thread::sleep(std::time::Duration::from_millis(2)));
+        let record = spans.finish(3, "k".into(), "miss", 200);
+        assert_eq!(record.spans.len(), 2);
+        assert_eq!(record.spans[0].name, "parse");
+        assert_eq!(record.spans[1].name, "compute");
+        assert!(record.spans[1].offset_s >= record.spans[0].offset_s);
+        assert!(record.spans[1].dur_s >= 0.002);
+        assert!(record.total_s >= record.spans[1].dur_s);
+    }
+
+    #[test]
+    fn trail_is_bounded_with_monotonic_ids() {
+        let trail = RequestTrail::new(2);
+        for _ in 0..3 {
+            let id = trail.next_id();
+            trail.push(RequestSpans::start().finish(id, "k".into(), "hit", 200));
+        }
+        let recent = trail.recent();
+        assert_eq!(recent.len(), 2, "oldest entry evicted");
+        assert_eq!((recent[0].id, recent[1].id), (1, 2));
+    }
+
+    #[test]
+    fn trail_json_shape() {
+        let trail = RequestTrail::default();
+        let mut spans = RequestSpans::start();
+        spans.record("cache_lookup", || ());
+        trail.push(spans.finish(trail.next_id(), "key-1".into(), "hit", 200));
+        let v: Value = serde_json::from_str(&trail.to_json()).unwrap();
+        let requests = v.get("requests").and_then(Value::as_array).unwrap();
+        assert_eq!(requests.len(), 1);
+        assert_eq!(requests[0].get("outcome").and_then(Value::as_str), Some("hit"));
+        let spans = requests[0].get("spans").and_then(Value::as_array).unwrap();
+        assert_eq!(spans[0].get("name").and_then(Value::as_str), Some("cache_lookup"));
+    }
+}

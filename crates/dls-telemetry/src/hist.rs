@@ -6,6 +6,22 @@
 /// everything above [`bucket_le`]`(BUCKETS - 1)`.
 pub const BUCKETS: usize = 40;
 
+/// Hard cap on raw observations retained per histogram (per shard, and
+/// again after the cross-shard merge).
+///
+/// The moments (`count`/`sum`/`min`/`max`/`mean`) and the log-spaced
+/// buckets keep counting *every* observation forever; only the raw-sample
+/// vector backing the exact percentiles is bounded, so a long-running
+/// `repro serve` daemon cannot grow memory without bound. Once the cap is
+/// hit, later observations are tallied in `dropped_samples` and the
+/// exported percentiles become an estimate over the first
+/// `MAX_SAMPLES` observations rather than the exact all-time values —
+/// acceptable because every workload in this workspace either finishes
+/// well under the cap (CLI campaigns) or is dominated by its steady-state
+/// early distribution (the serve daemon). Bucket counts stay exact, so
+/// coarse log-bucket quantiles remain available past the cap.
+pub const MAX_SAMPLES: usize = 8192;
+
 /// Lowest finite bucket upper bound, seconds (1 µs).
 const BASE: f64 = 1e-6;
 /// Log-spacing growth factor: four buckets per decade, so 40 buckets span
@@ -77,8 +93,11 @@ pub(crate) struct HistData {
     pub max: f64,
     /// Finite buckets plus one overflow bucket.
     pub buckets: Vec<u64>,
-    /// Raw observations (NaN excluded) for exact percentiles at export.
+    /// Raw observations (NaN excluded) for exact percentiles at export,
+    /// capped at [`MAX_SAMPLES`]; overflow is tallied in `dropped_samples`.
     pub samples: Vec<f64>,
+    /// Observations not retained in `samples` because the cap was hit.
+    pub dropped_samples: u64,
 }
 
 impl Default for HistData {
@@ -91,6 +110,7 @@ impl Default for HistData {
             max: f64::NEG_INFINITY,
             buckets: vec![0; BUCKETS + 1],
             samples: Vec::new(),
+            dropped_samples: 0,
         }
     }
 }
@@ -106,10 +126,16 @@ impl HistData {
         self.min = self.min.min(v);
         self.max = self.max.max(v);
         self.buckets[bucket_index(v)] += 1;
-        self.samples.push(v);
+        if self.samples.len() < MAX_SAMPLES {
+            self.samples.push(v);
+        } else {
+            self.dropped_samples = self.dropped_samples.saturating_add(1);
+        }
     }
 
-    /// Merges another shard's state into this one.
+    /// Merges another shard's state into this one. The merged sample set is
+    /// capped at [`MAX_SAMPLES`] too; anything over the cap moves into
+    /// `dropped_samples`.
     pub fn merge(&mut self, other: &HistData) {
         self.count = self.count.saturating_add(other.count);
         self.nan_count = self.nan_count.saturating_add(other.nan_count);
@@ -119,7 +145,13 @@ impl HistData {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
-        self.samples.extend_from_slice(&other.samples);
+        let room = MAX_SAMPLES.saturating_sub(self.samples.len());
+        let take = other.samples.len().min(room);
+        self.samples.extend_from_slice(&other.samples[..take]);
+        self.dropped_samples = self
+            .dropped_samples
+            .saturating_add(other.dropped_samples)
+            .saturating_add((other.samples.len() - take) as u64);
     }
 }
 
@@ -209,6 +241,37 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_rejects_empty() {
         exact_percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn sample_retention_is_capped_with_drop_accounting() {
+        let mut h = HistData::default();
+        for i in 0..(MAX_SAMPLES + 100) {
+            h.record(i as f64 * 1e-6);
+        }
+        // Moments and buckets keep counting every observation...
+        assert_eq!(h.count, (MAX_SAMPLES + 100) as u64);
+        assert_eq!(h.buckets.iter().sum::<u64>(), (MAX_SAMPLES + 100) as u64);
+        assert_eq!(h.max, (MAX_SAMPLES + 99) as f64 * 1e-6);
+        // ...while the raw-sample vector stops at the cap.
+        assert_eq!(h.samples.len(), MAX_SAMPLES);
+        assert_eq!(h.dropped_samples, 100);
+    }
+
+    #[test]
+    fn merge_respects_the_sample_cap() {
+        let mut a = HistData::default();
+        let mut b = HistData::default();
+        for _ in 0..(MAX_SAMPLES - 10) {
+            a.record(1.0);
+        }
+        for _ in 0..50 {
+            b.record(2.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.samples.len(), MAX_SAMPLES);
+        assert_eq!(a.dropped_samples, 40, "overflow past the cap is tallied");
+        assert_eq!(a.count, (MAX_SAMPLES - 10 + 50) as u64, "count is exact regardless");
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! * Per-thread **shards**: each recording thread writes to its own shard
 //!   (an uncontended mutex — one CAS), so `run_campaign` workers never
 //!   contend on a shared line. [`Telemetry::snapshot`] merges all shards.
+//! * [`Logger`] — a structured, leveled JSONL event log (monotonic
+//!   sequence numbers, bounded ring buffer) with the same
+//!   zero-cost-when-disabled contract.
+//! * [`to_prometheus_text`] — the Prometheus text-exposition encoding of
+//!   a [`Snapshot`], shared by the CLI artifact writer and the campaign
+//!   service's `GET /metrics`.
 //!
 //! # Example
 //!
@@ -46,10 +52,16 @@
 #![warn(missing_docs)]
 
 mod hist;
+mod log;
+mod prom;
 mod registry;
 mod snapshot;
 
-pub use hist::{bucket_le, exact_percentile, BUCKETS};
+pub use hist::{bucket_le, exact_percentile, BUCKETS, MAX_SAMPLES};
+pub use log::{Level, LogRecord, Logger, DEFAULT_LOG_CAPACITY};
+pub use prom::{
+    escape_label_value, parse_prometheus_text, sanitize_metric_name, to_prometheus_text, PromSample,
+};
 pub use snapshot::{BucketCount, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Snapshot};
 
 use registry::Registry;

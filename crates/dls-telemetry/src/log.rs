@@ -1,0 +1,330 @@
+//! Structured, leveled JSONL event log with the same
+//! zero-cost-when-disabled contract as [`crate::Telemetry`].
+//!
+//! * [`Logger`] is a cheap, cloneable, `Send + Sync` handle. The disabled
+//!   handle reduces every call to one `Option` branch: no clock read, no
+//!   allocation, no lock — so instrumented code paths stay bit-identical
+//!   to uninstrumented ones (pinned by `tests/log_determinism.rs` at the
+//!   workspace root). The logger observes only *host* time; it never
+//!   reads or advances the simulator's virtual clock.
+//! * Every record gets a **monotonic sequence number** from one shared
+//!   atomic, so interleavings across threads are totally ordered even
+//!   when the host timestamp (millisecond resolution) ties.
+//! * Records land in a **bounded ring buffer**: once `capacity` records
+//!   are retained the oldest is evicted and tallied in
+//!   [`Logger::dropped`]. [`Logger::to_jsonl`] renders the retained
+//!   window for the file sink (`dls-repro` writes it through its
+//!   `ArtifactSink` as a secondary artifact).
+//!
+//! # Line schema
+//!
+//! One JSON object per line, reserved keys first:
+//!
+//! ```json
+//! {"seq":12,"t_ms":840,"level":"info","target":"campaign",
+//!  "msg":"heartbeat","fields":{"done":64,"total":512,"eta_s":3.5}}
+//! ```
+//!
+//! `seq`/`t_ms`/`level`/`target`/`msg` are always present; `fields` is an
+//! optional object carrying event-specific data and is omitted when
+//! empty. `repro report` validates exactly this shape.
+
+use serde::Value;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default ring capacity: generous for a CLI campaign, bounded for a
+/// long-lived `repro serve` daemon.
+pub const DEFAULT_LOG_CAPACITY: usize = 4096;
+
+/// Log severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Diagnostic chatter.
+    Debug,
+    /// Normal progress events.
+    Info,
+    /// Degraded-but-continuing conditions (quarantines, softened I/O).
+    Warn,
+    /// Failures worth surfacing even from a truncated log window.
+    Error,
+}
+
+impl Level {
+    /// The lowercase wire name (`"debug"`, `"info"`, `"warn"`, `"error"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// One structured log record.
+#[derive(Debug, Clone)]
+pub struct LogRecord {
+    /// Monotonic sequence number, unique per logger.
+    pub seq: u64,
+    /// Host milliseconds since the logger was created.
+    pub t_ms: u64,
+    /// Severity.
+    pub level: Level,
+    /// Subsystem that emitted the event (`"campaign"`, `"serve"`, ...).
+    pub target: &'static str,
+    /// Human-readable event name or message.
+    pub message: String,
+    /// Event-specific structured payload.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl LogRecord {
+    /// Renders the record as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut obj: Vec<(String, Value)> = vec![
+            ("seq".into(), Value::U64(self.seq)),
+            ("t_ms".into(), Value::U64(self.t_ms)),
+            ("level".into(), Value::String(self.level.as_str().into())),
+            ("target".into(), Value::String(self.target.into())),
+            ("msg".into(), Value::String(self.message.clone())),
+        ];
+        if !self.fields.is_empty() {
+            let fields = self.fields.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect();
+            obj.push(("fields".into(), Value::Object(fields)));
+        }
+        serde_json::to_string(&Value::Object(obj)).expect("log serialization is infallible")
+    }
+}
+
+struct LogCore {
+    seq: AtomicU64,
+    start: Instant,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+#[derive(Default)]
+struct Ring {
+    records: VecDeque<LogRecord>,
+    dropped: u64,
+}
+
+/// The cloneable structured-log handle; see the module docs.
+#[derive(Clone, Default)]
+pub struct Logger {
+    inner: Option<Arc<LogCore>>,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Logger {
+    /// The no-op handle (also the `Default`): every call is one branch.
+    pub fn disabled() -> Self {
+        Logger { inner: None }
+    }
+
+    /// An enabled logger with the default ring capacity.
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_LOG_CAPACITY)
+    }
+
+    /// An enabled logger retaining at most `capacity` records (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Logger {
+            inner: Some(Arc::new(LogCore {
+                seq: AtomicU64::new(0),
+                start: Instant::now(),
+                capacity: capacity.max(1),
+                ring: Mutex::new(Ring::default()),
+            })),
+        }
+    }
+
+    /// Whether a ring is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emits one structured event. On a disabled handle this is a single
+    /// branch: the message and fields are still *constructed* by the
+    /// caller, so hot paths that need a `format!` should guard on
+    /// [`Logger::is_enabled`] first.
+    pub fn log(
+        &self,
+        level: Level,
+        target: &'static str,
+        message: &str,
+        fields: &[(&'static str, Value)],
+    ) {
+        let Some(core) = &self.inner else { return };
+        let record = LogRecord {
+            seq: core.seq.fetch_add(1, Ordering::Relaxed),
+            t_ms: core.start.elapsed().as_millis() as u64,
+            level,
+            target,
+            message: message.to_string(),
+            fields: fields.to_vec(),
+        };
+        let mut ring = core.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.records.len() >= core.capacity {
+            ring.records.pop_front();
+            ring.dropped = ring.dropped.saturating_add(1);
+        }
+        ring.records.push_back(record);
+    }
+
+    /// [`Logger::log`] at [`Level::Debug`].
+    pub fn debug(&self, target: &'static str, message: &str, fields: &[(&'static str, Value)]) {
+        self.log(Level::Debug, target, message, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Info`].
+    pub fn info(&self, target: &'static str, message: &str, fields: &[(&'static str, Value)]) {
+        self.log(Level::Info, target, message, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Warn`].
+    pub fn warn(&self, target: &'static str, message: &str, fields: &[(&'static str, Value)]) {
+        self.log(Level::Warn, target, message, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Error`].
+    pub fn error(&self, target: &'static str, message: &str, fields: &[(&'static str, Value)]) {
+        self.log(Level::Error, target, message, fields);
+    }
+
+    /// Clones the retained window, oldest first.
+    pub fn recent(&self) -> Vec<LogRecord> {
+        match &self.inner {
+            Some(core) => {
+                let ring = core.ring.lock().unwrap_or_else(|e| e.into_inner());
+                ring.records.iter().cloned().collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Records evicted from the ring since creation.
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(core) => core.ring.lock().unwrap_or_else(|e| e.into_inner()).dropped,
+            None => 0,
+        }
+    }
+
+    /// Total records ever emitted (retained + dropped).
+    pub fn emitted(&self) -> u64 {
+        match &self.inner {
+            Some(core) => core.seq.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Renders the retained window as JSONL (one record per line, oldest
+    /// first, trailing newline). Empty string when nothing is retained.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in self.recent() {
+            out.push_str(&record.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let log = Logger::disabled();
+        assert!(!log.is_enabled());
+        log.info("t", "hello", &[]);
+        assert!(log.recent().is_empty());
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(log.emitted(), 0);
+        assert_eq!(log.to_jsonl(), "");
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic_across_threads() {
+        let log = Logger::with_capacity(10_000);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let log = log.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        log.info("t", "e", &[]);
+                    }
+                });
+            }
+        });
+        let mut seqs: Vec<u64> = log.recent().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs.len(), 400);
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..400).collect::<Vec<_>>(), "seqs are dense and unique");
+        assert_eq!(log.emitted(), 400);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let log = Logger::with_capacity(3);
+        for i in 0..5u64 {
+            log.info("t", &format!("e{i}"), &[]);
+        }
+        let recent = log.recent();
+        assert_eq!(recent.len(), 3);
+        // Oldest two were evicted; the window holds the newest records.
+        assert_eq!(recent[0].message, "e2");
+        assert_eq!(recent[2].message, "e4");
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.emitted(), 5);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_with_reserved_keys_and_fields() {
+        let log = Logger::enabled();
+        log.warn("campaign", "quarantined", &[("run", Value::U64(3))]);
+        log.info("serve", "plain", &[]);
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.get("seq").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(first.get("level").and_then(Value::as_str), Some("warn"));
+        assert_eq!(first.get("target").and_then(Value::as_str), Some("campaign"));
+        assert_eq!(first.get("msg").and_then(Value::as_str), Some("quarantined"));
+        assert_eq!(
+            first.get("fields").and_then(|f| f.get("run")).and_then(Value::as_f64),
+            Some(3.0)
+        );
+        let second: Value = serde_json::from_str(lines[1]).unwrap();
+        assert!(second.get("fields").is_none(), "empty fields object is omitted");
+        assert!(second.get("t_ms").is_some());
+    }
+
+    #[test]
+    fn levels_order_and_name() {
+        assert!(Level::Debug < Level::Info && Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+        assert_eq!(Level::Error.as_str(), "error");
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let log = Logger::enabled();
+        let log2 = log.clone();
+        log.info("a", "x", &[]);
+        log2.info("b", "y", &[]);
+        assert_eq!(log.recent().len(), 2);
+        assert_eq!(log2.recent()[1].seq, 1);
+    }
+}

@@ -1,0 +1,334 @@
+//! Prometheus text-exposition (format version 0.0.4) encoding of a
+//! [`Snapshot`], plus a strict parser used for round-trip sanity checks.
+//!
+//! One encoder serves both the CLI (`--telemetry-prom`) and the campaign
+//! service (`GET /metrics`), so the two surfaces can never drift apart.
+//! Mapping rules:
+//!
+//! * metric names are sanitized to the Prometheus charset
+//!   (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character — notably the
+//!   `.` namespace separator this workspace uses — becomes `_`;
+//! * counters gain the conventional `_total` suffix;
+//! * histograms emit **cumulative** `_bucket{le="..."}` series ending in
+//!   the mandatory `le="+Inf"` bucket, plus `_sum` and `_count`;
+//! * label values are escaped per the exposition format (`\\`, `\"`,
+//!   `\n`).
+
+use crate::snapshot::Snapshot;
+use std::fmt::Write as _;
+
+/// Sanitizes a workspace metric name (`serve.cache_hits`) into the
+/// Prometheus name charset (`serve_cache_hits`).
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+            continue;
+        }
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || c.is_ascii_digit();
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the text exposition format: backslash, double
+/// quote and newline must be escaped; everything else passes through.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats a sample value. Prometheus accepts any Go-parseable float;
+/// `{:?}` gives the shortest round-trip rendering (`0.5`, `1e-6`, `12`→`12.0`).
+fn fmt_value(v: f64) -> String {
+    if v == f64::MAX || v.is_infinite() && v > 0.0 {
+        "+Inf".into()
+    } else if v.is_infinite() {
+        "-Inf".into()
+    } else if v.is_nan() {
+        "NaN".into()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Metric families appear in snapshot order (sorted by name within each
+/// kind), each preceded by its `# TYPE` header, so the output for a given
+/// snapshot is deterministic.
+pub fn to_prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for c in &snap.counters {
+        let mut name = sanitize_metric_name(&c.name);
+        if !name.ends_with("_total") {
+            name.push_str("_total");
+        }
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", c.value);
+    }
+    for g in &snap.gauges {
+        let name = sanitize_metric_name(&g.name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_value(g.value));
+    }
+    for h in &snap.histograms {
+        let name = sanitize_metric_name(&h.name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for b in &h.buckets {
+            // The overflow bucket exports `le = f64::MAX` in JSON; in
+            // Prometheus it *is* the +Inf bucket, emitted below.
+            if b.le == f64::MAX {
+                continue;
+            }
+            cumulative += b.count;
+            let le = escape_label_value(&fmt_value(b.le));
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", fmt_value(h.sum));
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+/// One parsed sample line of a text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Sanitized metric name (including `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// Label pairs, unescaped, in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Strict parser for the subset of the text exposition format the encoder
+/// emits. Comment (`#`) and blank lines are skipped; any malformed sample
+/// line is an error. Used by tests and `repro report` to sanity-check that
+/// scraped output really is Prometheus text format.
+pub fn parse_prometheus_text(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator: {line:?}", lineno + 1))?;
+        let value = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v.parse::<f64>().map_err(|e| format!("line {}: bad value: {e}", lineno + 1))?,
+        };
+        let (name, labels) =
+            parse_series(series).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if name.is_empty() || !name.chars().enumerate().all(valid_name_char) {
+            return Err(format!("line {}: invalid metric name {name:?}", lineno + 1));
+        }
+        samples.push(PromSample { name, labels, value });
+    }
+    Ok(samples)
+}
+
+fn valid_name_char((i, c): (usize, char)) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+}
+
+/// Splits `name{k="v",...}` into the name and its unescaped labels.
+fn parse_series(series: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let Some(brace) = series.find('{') else {
+        return Ok((series.to_string(), Vec::new()));
+    };
+    let name = series[..brace].to_string();
+    let rest = &series[brace + 1..];
+    let body = rest.strip_suffix('}').ok_or_else(|| format!("unterminated labels: {series:?}"))?;
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    while chars.peek().is_some() {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label value must be quoted in {series:?}"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in {series:?}")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated label value in {series:?}")),
+            }
+        }
+        if let Some(',') = chars.peek() {
+            chars.next();
+        }
+        labels.push((key, value));
+    }
+    Ok((name, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{BucketCount, CounterSnapshot, GaugeSnapshot, HistogramSnapshot};
+
+    fn representative() -> Snapshot {
+        Snapshot {
+            counters: vec![CounterSnapshot { name: "serve.requests".into(), value: 6 }],
+            gauges: vec![GaugeSnapshot { name: "serve.workers_busy".into(), value: 2.0 }],
+            histograms: vec![HistogramSnapshot {
+                name: "serve.warm_s".into(),
+                count: 3,
+                nan_count: 0,
+                dropped_samples: 0,
+                sum: 0.0111,
+                min: 0.0001,
+                max: 0.01,
+                mean: 0.0037,
+                p10: 0.0001,
+                p50: 0.001,
+                p90: 0.01,
+                p99: 0.01,
+                buckets: vec![
+                    BucketCount { le: 1e-4, count: 1 },
+                    BucketCount { le: 1e-3, count: 1 },
+                    BucketCount { le: 1e-2, count: 1 },
+                ],
+            }],
+        }
+    }
+
+    /// Golden pin of the full text exposition for a representative
+    /// snapshot: counter (`_total` suffix), gauge, histogram with
+    /// *cumulative* buckets and the `+Inf`/`_sum`/`_count` tail, and `.`
+    /// sanitized to `_` throughout.
+    #[test]
+    fn golden_text_exposition() {
+        let expected = "\
+# TYPE serve_requests_total counter
+serve_requests_total 6
+# TYPE serve_workers_busy gauge
+serve_workers_busy 2.0
+# TYPE serve_warm_s histogram
+serve_warm_s_bucket{le=\"0.0001\"} 1
+serve_warm_s_bucket{le=\"0.001\"} 2
+serve_warm_s_bucket{le=\"0.01\"} 3
+serve_warm_s_bucket{le=\"+Inf\"} 3
+serve_warm_s_sum 0.0111
+serve_warm_s_count 3
+";
+        assert_eq!(to_prometheus_text(&representative()), expected);
+    }
+
+    #[test]
+    fn parse_back_round_trips_the_encoder() {
+        let text = to_prometheus_text(&representative());
+        let samples = parse_prometheus_text(&text).unwrap();
+        // 1 counter + 1 gauge + (3 finite + Inf) buckets + sum + count.
+        assert_eq!(samples.len(), 8);
+        let get = |name: &str| samples.iter().find(|s| s.name == name).unwrap();
+        assert_eq!(get("serve_requests_total").value, 6.0);
+        assert_eq!(get("serve_workers_busy").value, 2.0);
+        assert_eq!(get("serve_warm_s_count").value, 3.0);
+        let inf = samples
+            .iter()
+            .find(|s| s.name == "serve_warm_s_bucket" && s.labels == [("le".into(), "+Inf".into())])
+            .unwrap();
+        assert_eq!(inf.value, 3.0);
+        // Cumulative buckets are non-decreasing and end at the count.
+        let buckets: Vec<f64> =
+            samples.iter().filter(|s| s.name == "serve_warm_s_bucket").map(|s| s.value).collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn overflow_bucket_folds_into_inf() {
+        let snap = Snapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![HistogramSnapshot {
+                name: "h".into(),
+                count: 2,
+                nan_count: 0,
+                dropped_samples: 0,
+                sum: 1e9,
+                min: 0.5,
+                max: 1e9,
+                mean: 5e8,
+                p10: 0.5,
+                p50: 0.5,
+                p90: 1e9,
+                p99: 1e9,
+                buckets: vec![
+                    BucketCount { le: 1.0, count: 1 },
+                    // JSON rendering of the overflow bucket.
+                    BucketCount { le: f64::MAX, count: 1 },
+                ],
+            }],
+        };
+        let text = to_prometheus_text(&snap);
+        assert!(text.contains("h_bucket{le=\"1.0\"} 1\n"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 2\n"));
+        assert!(!text.contains("e308"), "f64::MAX must never leak as a bound:\n{text}");
+    }
+
+    #[test]
+    fn label_values_escape_and_unescape() {
+        let nasty = "a\\b\"c\nd";
+        let escaped = escape_label_value(nasty);
+        assert_eq!(escaped, "a\\\\b\\\"c\\nd");
+        let line = format!("m{{path=\"{escaped}\"}} 1\n");
+        let samples = parse_prometheus_text(&line).unwrap();
+        assert_eq!(samples[0].labels, vec![("path".into(), nasty.into())]);
+    }
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(sanitize_metric_name("serve.cache_hits"), "serve_cache_hits");
+        assert_eq!(sanitize_metric_name("campaign.run_wall_s"), "campaign_run_wall_s");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus_text("no_value_here").is_err());
+        assert!(parse_prometheus_text("bad{le=\"1.0\" 2").is_err());
+        assert!(parse_prometheus_text("bad{le=unquoted} 2").is_err());
+        assert!(parse_prometheus_text("na me 2").is_err());
+        assert!(parse_prometheus_text("# comment only\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_snapshot_encodes_to_empty_text() {
+        assert_eq!(to_prometheus_text(&Snapshot::default()), "");
+    }
+}

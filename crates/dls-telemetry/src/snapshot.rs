@@ -31,8 +31,15 @@ pub struct BucketCount {
     pub count: u64,
 }
 
-/// One histogram's merged summary: moments, *exact* sample percentiles and
-/// the non-empty buckets.
+/// One histogram's merged summary: moments, sample percentiles and the
+/// non-empty buckets.
+///
+/// Percentiles are *exact* while the raw-sample store is under
+/// [`crate::MAX_SAMPLES`] observations (`dropped_samples == 0`). Past the
+/// cap they are computed over the first `MAX_SAMPLES` retained samples —
+/// an estimate biased toward the early distribution — while `count`,
+/// `sum`, `min`, `max`, `mean` and the buckets stay exact for all
+/// observations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Metric name.
@@ -41,6 +48,11 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// NaN observations (excluded from everything else).
     pub nan_count: u64,
+    /// Observations not retained for percentile computation because the
+    /// raw-sample cap ([`crate::MAX_SAMPLES`]) was hit. Non-zero means the
+    /// percentiles below are estimates, not exact.
+    #[serde(default)]
+    pub dropped_samples: u64,
     /// Sum of observations.
     pub sum: f64,
     /// Smallest observation (0 when empty).
@@ -124,6 +136,7 @@ pub(crate) fn summarize(name: &'static str, h: &HistData) -> HistogramSnapshot {
         name: name.into(),
         count: h.count,
         nan_count: h.nan_count,
+        dropped_samples: h.dropped_samples,
         sum: h.sum,
         min: if h.count == 0 { 0.0 } else { h.min },
         max: if h.count == 0 { 0.0 } else { h.max },

@@ -1,0 +1,69 @@
+//! The structured logger and the progress tracker are observational: a
+//! campaign run with both attached must produce bit-identical results —
+//! and a byte-identical CSV — to the same campaign run without them.
+//!
+//! This is the logging layer's analog of `telemetry_determinism.rs`. The
+//! logger records host-side events (cell starts, heartbeats, quarantines)
+//! and the progress tracker counts completed runs on the host clock; both
+//! run strictly outside the virtual-time engine, so figures produced with
+//! `--log` are the *same* figures.
+
+use dls_suite::dls_repro::hagerup_exp::{run_figure_resilient, HagerupConfig};
+use dls_suite::dls_repro::report::{format_csv, wasted_rows};
+use dls_suite::dls_repro::runner::{ExecContext, Progress};
+use dls_telemetry::{Level, Logger, Telemetry};
+
+fn small_fig5() -> HagerupConfig {
+    let mut cfg = HagerupConfig::paper(1_024, 3);
+    cfg.threads = 2;
+    cfg.seed = 0x0106;
+    cfg.pes = vec![2, 4];
+    cfg.techniques = vec!["SS".parse().unwrap(), "FAC".parse().unwrap()];
+    cfg
+}
+
+#[test]
+fn logger_and_progress_leave_fig5_results_bit_identical() {
+    let cfg = small_fig5();
+    let plain =
+        run_figure_resilient(&cfg, &Telemetry::disabled(), &ExecContext::transient()).unwrap();
+
+    let logger = Logger::enabled();
+    let progress = Progress::new();
+    let ctx = ExecContext::transient().with_logger(logger.clone()).with_progress(progress.clone());
+    let logged = run_figure_resilient(&cfg, &Telemetry::enabled(), &ctx).unwrap();
+
+    assert_eq!(plain.len(), logged.len());
+    for (a, b) in plain.iter().zip(&logged) {
+        assert_eq!((a.technique.as_str(), a.p), (b.technique.as_str(), b.p));
+        assert_eq!(a.msgsim.to_bits(), b.msgsim.to_bits(), "{} p={}", a.technique, a.p);
+        assert_eq!(a.replica.to_bits(), b.replica.to_bits(), "{} p={}", a.technique, a.p);
+    }
+    let (headers_a, rows_a) = wasted_rows(&plain);
+    let (headers_b, rows_b) = wasted_rows(&logged);
+    assert_eq!(
+        format_csv(&headers_a, &rows_a),
+        format_csv(&headers_b, &rows_b),
+        "CSV must be byte-identical with the logger active"
+    );
+
+    // The observers really observed: the campaign logged its cells and a
+    // completion heartbeat, and the progress tracker drained to done.
+    let records = logger.recent();
+    assert!(
+        records.iter().any(|r| r.level == Level::Info && r.message == "cell start"),
+        "expected cell-start events, got {} record(s)",
+        records.len()
+    );
+    assert!(records.iter().any(|r| r.message == "heartbeat"));
+    let snap = progress.snapshot();
+    assert!(snap.total > 0 && snap.done == snap.total, "{snap:?}");
+
+    // And the JSONL dump is valid line-delimited JSON with the reserved keys.
+    for line in logger.to_jsonl().lines() {
+        let v: serde::Value = serde_json::from_str(line).unwrap();
+        for key in ["seq", "t_ms", "level", "target", "msg"] {
+            assert!(v.get(key).is_some(), "missing `{key}` in {line}");
+        }
+    }
+}

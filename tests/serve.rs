@@ -8,13 +8,18 @@
 //!   the first request is already a byte-identical cache hit;
 //! * malformed request JSON is a typed 422, not a connection drop;
 //! * with one worker and a zero-depth queue, a request arriving while the
-//!   slot is held is **shed** with HTTP 429.
+//!   slot is held is **shed** with HTTP 429;
+//! * the occupancy gauges return to zero after a concurrent burst;
+//! * `GET /metrics` parses as Prometheus text, `GET /requests` exposes the
+//!   per-request span trees, and recording them keeps a cache hit
+//!   byte-identical.
 
 use dls_suite::dls_repro::hagerup_exp::{run_figure_resilient, HagerupConfig};
 use dls_suite::dls_repro::report::{format_csv, wasted_rows};
 use dls_suite::dls_repro::runner::{CancelFlag, ExecContext};
 use dls_suite::dls_repro::server::{ServeConfig, Server};
-use dls_telemetry::{Snapshot, Telemetry};
+use dls_telemetry::{parse_prometheus_text, Logger, Snapshot, Telemetry};
+use serde::Value;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
@@ -42,7 +47,8 @@ fn start(cache_dir: &Path, workers: usize, queue_depth: usize, hold_ms: u64) -> 
         hold_ms,
     };
     let cancel = CancelFlag::new();
-    let server = Server::bind(&cfg, Telemetry::enabled(), cancel.clone()).unwrap();
+    let server =
+        Server::bind(&cfg, Telemetry::enabled(), Logger::enabled(), cancel.clone()).unwrap();
     let addr = server.local_addr();
     let handle = std::thread::spawn(move || server.run());
     TestServer { addr, cancel, handle }
@@ -89,9 +95,9 @@ fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
     headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
 }
 
-/// Scrapes `/metrics` and parses it back into a [`Snapshot`].
+/// Scrapes `/metrics.json` and parses it back into a [`Snapshot`].
 fn snapshot(addr: SocketAddr) -> Snapshot {
-    let (status, _, body) = exchange(addr, "GET", "/metrics", b"");
+    let (status, _, body) = exchange(addr, "GET", "/metrics.json", b"");
     assert_eq!(status, 200);
     Snapshot::from_json(std::str::from_utf8(&body).unwrap()).unwrap()
 }
@@ -147,7 +153,7 @@ fn concurrent_identical_requests_compute_once_and_match_direct_run() {
         "identical concurrent requests coalesce into one computation"
     );
     // The scrape itself is counted before it is routed: healthz + 4 runs
-    // + this /metrics request.
+    // + this /metrics.json request.
     assert_eq!(snap.counter("serve.requests"), Some(6));
 
     // A later repeat is a plain cache hit.
@@ -221,5 +227,127 @@ fn full_queue_sheds_with_429() {
 
     let (status, _, _) = slow.join().unwrap();
     assert_eq!(status, 200, "the slow request itself still completes");
+    server.stop();
+}
+
+/// Regression pin for the occupancy gauges: after a concurrent burst that
+/// exercises every exit path (cold computations, queued requests, a shed
+/// and a malformed request), `serve.workers_busy` and `serve.queue_depth`
+/// must both be back at zero — a slot leaked on any error path would show
+/// up here as a stuck non-zero gauge.
+#[test]
+fn occupancy_gauges_return_to_zero_after_burst() {
+    let dir = tmp_dir("burst");
+    let server = start(&dir, 2, 8, 0);
+    let addr = server.addr;
+
+    let mut clients = Vec::new();
+    for seed in 30..36u64 {
+        let spec =
+            format!(r#"{{"fig":"fig5","runs":2,"seed":{seed},"pes":[2],"techniques":["SS"]}}"#);
+        clients.push(std::thread::spawn(move || exchange(addr, "POST", "/run", spec.as_bytes())));
+    }
+    clients.push(std::thread::spawn(move || exchange(addr, "POST", "/run", b"not json")));
+    for c in clients {
+        let (status, _, _) = c.join().unwrap();
+        assert!(status == 200 || status == 422, "burst request ended with {status}");
+    }
+
+    let snap = snapshot(addr);
+    assert_eq!(snap.counter("serve.computations"), Some(6), "six distinct cold keys");
+    assert_eq!(snap.gauge("serve.workers_busy"), Some(0.0), "every slot released");
+    assert_eq!(snap.gauge("serve.queue_depth"), Some(0.0), "queue drained");
+    server.stop();
+}
+
+/// `GET /metrics` speaks the Prometheus text-exposition format (the JSON
+/// snapshot moved to `/metrics.json`).
+#[test]
+fn metrics_endpoint_is_prometheus_text() {
+    let dir = tmp_dir("prom");
+    let server = start(&dir, 1, 4, 0);
+    let addr = server.addr;
+
+    let (status, _, _) = exchange(addr, "POST", "/run", SPEC);
+    assert_eq!(status, 200);
+
+    let (status, headers, body) = exchange(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "content-type"), Some("text/plain; version=0.0.4"));
+    let text = std::str::from_utf8(&body).unwrap();
+    let samples = parse_prometheus_text(text).expect("scrape parses as Prometheus text");
+    let names: Vec<&str> = samples.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"serve_requests_total"), "counter with _total suffix: {names:?}");
+    assert!(names.contains(&"serve_workers_busy"), "gauge: {names:?}");
+    assert!(
+        names.contains(&"serve_cold_s_bucket"),
+        "histogram buckets for the cold computation: {names:?}"
+    );
+    let inf = samples
+        .iter()
+        .filter(|s| s.name == "serve_cold_s_bucket")
+        .find(|s| s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf"))
+        .expect("+Inf bucket present");
+    assert_eq!(inf.value, 1.0, "one cold computation observed");
+    server.stop();
+}
+
+/// `GET /requests` exposes the span tree of every handled request, and
+/// recording spans never perturbs the response: the cache hit is
+/// byte-identical to the miss that populated it.
+#[test]
+fn request_spans_are_exported_and_do_not_perturb_responses() {
+    let dir = tmp_dir("spans");
+    let server = start(&dir, 1, 4, 0);
+    let addr = server.addr;
+
+    let (status, _, miss_body) = exchange(addr, "POST", "/run", SPEC);
+    assert_eq!(status, 200);
+    let (status, headers, hit_body) = exchange(addr, "POST", "/run", SPEC);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-cache"), Some("hit"));
+    assert_eq!(hit_body, miss_body, "cache hit byte-identical while spans are recorded");
+    let (status, _, _) = exchange(addr, "POST", "/run", b"not json");
+    assert_eq!(status, 422);
+
+    let (status, headers, body) = exchange(addr, "GET", "/requests", b"");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "content-type"), Some("application/json"));
+    let v: Value = serde_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+    let requests = v.get("requests").and_then(Value::as_array).unwrap();
+    assert_eq!(requests.len(), 3);
+
+    let outcome = |r: &Value| r.get("outcome").and_then(Value::as_str).unwrap().to_string();
+    let span_names = |r: &Value| -> Vec<String> {
+        r.get("spans")
+            .and_then(Value::as_array)
+            .unwrap()
+            .iter()
+            .map(|s| s.get("name").and_then(Value::as_str).unwrap().to_string())
+            .collect()
+    };
+    assert_eq!(outcome(&requests[0]), "miss");
+    assert_eq!(
+        span_names(&requests[0]),
+        vec!["parse", "cache_lookup", "admission_wait", "compute", "serialize"],
+        "the miss walks every phase"
+    );
+    assert_eq!(outcome(&requests[1]), "hit");
+    assert!(span_names(&requests[1]).contains(&"serialize".to_string()));
+    assert_eq!(outcome(&requests[2]), "bad-request");
+    // Ids are server-unique and monotonic across the trail.
+    let ids: Vec<f64> =
+        requests.iter().map(|r| r.get("id").and_then(Value::as_f64).unwrap()).collect();
+    assert!(ids.windows(2).all(|w| w[0] < w[1]), "{ids:?}");
+
+    // The campaign behind the miss drove the progress tracker to
+    // completion: done == total > 0, and the payload is well-formed.
+    let (status, _, body) = exchange(addr, "GET", "/progress", b"");
+    assert_eq!(status, 200);
+    let p: Value = serde_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+    let done = p.get("done").and_then(Value::as_f64).unwrap();
+    let total = p.get("total").and_then(Value::as_f64).unwrap();
+    assert!(total > 0.0 && done == total, "done={done} total={total}");
+    assert!(p.get("elapsed_s").and_then(Value::as_f64).is_some());
     server.stop();
 }
