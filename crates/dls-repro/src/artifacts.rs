@@ -12,7 +12,8 @@
 //! everything" from "results are good, diagnostics are missing".
 
 use crate::error::ReproError;
-use crate::journal::write_artifact;
+use crate::journal::{write_artifact, write_artifact_with};
+use dls_chaos::{HostIo, RetryPolicy};
 use std::path::Path;
 use std::sync::Mutex;
 
@@ -53,6 +54,27 @@ impl ArtifactSink {
         contents: &[u8],
     ) -> Result<bool, ReproError> {
         match (tier, write_artifact(path, contents)) {
+            (_, Ok(())) => Ok(true),
+            (ArtifactTier::Primary, Err(e)) => Err(e),
+            (ArtifactTier::Secondary, Err(e)) => {
+                self.record_degraded(&path.display().to_string(), &e);
+                Ok(false)
+            }
+        }
+    }
+
+    /// [`ArtifactSink::write`] through an injectable [`HostIo`] and retry
+    /// policy — the seam the campaign service's cache persistence uses so
+    /// `repro chaos serve` can crash-exhaust and fault-storm its writes.
+    pub fn write_with(
+        &self,
+        tier: ArtifactTier,
+        io: &dyn HostIo,
+        retry: RetryPolicy,
+        path: &Path,
+        contents: &[u8],
+    ) -> Result<bool, ReproError> {
+        match (tier, write_artifact_with(io, retry, path, contents)) {
             (_, Ok(())) => Ok(true),
             (ArtifactTier::Primary, Err(e)) => Err(e),
             (ArtifactTier::Secondary, Err(e)) => {

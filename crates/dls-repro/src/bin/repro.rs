@@ -737,8 +737,9 @@ fn cmd_faults(o: &Options, sink: &ArtifactSink) -> Result<(), ReproError> {
     Ok(())
 }
 
-/// `repro chaos <fig5|sweep|faults>` — crash-point exhaustion over a
-/// reduced journaled campaign (see [`dls_repro::chaos`]).
+/// `repro chaos <fig5|sweep|faults|serve>` — crash-point exhaustion over a
+/// reduced journaled campaign, or over the campaign service (see
+/// [`dls_repro::chaos`]).
 fn cmd_chaos(target: &str, o: &Options) -> Result<(), ReproError> {
     use dls_repro::chaos::{self, ChaosConfig, ChaosTarget};
     let target: ChaosTarget = target.parse().map_err(ReproError::usage)?;
@@ -750,6 +751,9 @@ fn cmd_chaos(target: &str, o: &Options) -> Result<(), ReproError> {
     cfg.seed = o.seed;
     if let Some(path) = &o.host_fault_plan {
         cfg.plan = Some(chaos::load_host_plan(path)?);
+    }
+    if target == ChaosTarget::Serve {
+        return cmd_chaos_serve(&cfg);
     }
     eprintln!(
         "chaos {}: exhausting host-I/O crash points over a {} campaign...",
@@ -792,6 +796,69 @@ fn cmd_chaos(target: &str, o: &Options) -> Result<(), ReproError> {
         )));
     }
     println!("  verdict: every interrupted campaign resumed to byte-identical artifacts");
+    Ok(())
+}
+
+/// `repro chaos serve` — crash-exhaustion, fault storm, corrupt-entry
+/// quarantine census and deadline pin for the campaign service.
+fn cmd_chaos_serve(cfg: &dls_repro::chaos::ChaosConfig) -> Result<(), ReproError> {
+    use dls_repro::chaos;
+    eprintln!(
+        "chaos serve: crash-exhausting the campaign service's cache writes ({} mode)...",
+        if cfg.quick { "quick" } else { "full" },
+    );
+    let report = chaos::run_serve_chaos(cfg, &global_cancel_flag())?;
+    println!("chaos serve: {} cache-persistence crash points enumerated", report.io_ops);
+    println!(
+        "  passthrough pin (empty fault plan): {}",
+        if report.passthrough_identical {
+            "response bit-identical to direct computation"
+        } else {
+            "DIVERGED"
+        }
+    );
+    println!(
+        "  crash exhaustion: {}/{} crash points replayed byte-identically with a healed cache",
+        report.identical_replays, report.io_ops
+    );
+    let s = &report.storm_stats;
+    println!(
+        "  fault storm: {} request(s) over {} ops, {} flake(s), {} error(s), {} torn write(s) — {}",
+        report.storm_requests,
+        s.ops,
+        s.flakes,
+        s.errors_injected,
+        s.torn_writes,
+        if report.storm_ok { "zero 5xx, zero wrong answers" } else { "NOT ABSORBED" }
+    );
+    println!(
+        "  quarantine census: {} corrupt entr{} {}",
+        report.quarantined,
+        if report.quarantined == 1 { "y" } else { "ies" },
+        if report.quarantine_recovered {
+            "quarantined, recomputed byte-identically, healed to a hit"
+        } else {
+            "NOT RECOVERED"
+        }
+    );
+    println!(
+        "  deadline pin: {}",
+        if report.deadline_ok {
+            "expired request answered 504 with worker/queue gauges at zero"
+        } else {
+            "FAILED"
+        }
+    );
+    for m in &report.mismatches {
+        eprintln!("  mismatch: {m}");
+    }
+    if !report.is_ok() {
+        return Err(ReproError::Regression(format!(
+            "chaos serve: {} invariant violation(s)",
+            report.mismatches.len().max(1)
+        )));
+    }
+    println!("  verdict: the service absorbed every injected fault without a wrong answer");
     Ok(())
 }
 
@@ -965,15 +1032,24 @@ const RESUMABLE: &[&str] = &["fig5", "fig6", "fig7", "fig8", "sweep", "faults", 
 /// The structured log is always on for the service (the ring bounds its
 /// cost); `--log FILE` additionally dumps it as JSONL on shutdown.
 fn cmd_serve(o: &Options, sink: &ArtifactSink) -> Result<(), ReproError> {
-    let cfg = ServeConfig::from_options(o);
+    let mut cfg = ServeConfig::from_options(o);
+    if let Some(path) = &o.host_fault_plan {
+        // Deterministic fault injection into the server's cache writes —
+        // the operational knob behind `repro chaos serve`.
+        cfg.fault_plan = Some(dls_repro::chaos::load_host_plan(path)?);
+    }
     let logger = Logger::enabled();
     let server = Server::bind(&cfg, Telemetry::enabled(), logger.clone(), global_cancel_flag())?;
     eprintln!(
-        "serve: listening on http://{} (cache: {}, workers: {}, queue: {})",
+        "serve: listening on http://{} (cache: {}, workers: {}, queue: {}, deadline: {}, \
+         max-connections: {}{})",
         server.local_addr(),
         cfg.cache_dir.display(),
         cfg.workers,
         cfg.queue_depth,
+        cfg.deadline_ms.map_or("none".into(), |ms| format!("{ms}ms")),
+        cfg.max_connections,
+        if cfg.fault_plan.is_some() { ", fault plan armed" } else { "" },
     );
     let outcome = server.run();
     // Land the log even on Ctrl-C (exit 130); the interrupt still wins
@@ -1016,8 +1092,12 @@ fn usage() -> String {
      serve:       campaign-as-a-service daemon with a content-addressed\n\
                   result cache: POST {\"fig\":\"fig5\",\"runs\":8,...} to /run,\n\
                   GET /metrics (Prometheus), /metrics.json, /progress,\n\
-                  /requests, /healthz. [--addr H:P] [--cache DIR]\n\
+                  /requests, /healthz, /readyz. [--addr H:P] [--cache DIR]\n\
                   [--workers N] [--queue-depth N] [--max-requests N]\n\
+                  [--deadline-ms MS] (or per-request X-Deadline-Ms; expiry\n\
+                  answers 504) [--read-timeout-ms MS] [--write-timeout-ms MS]\n\
+                  [--max-connections N] [--host-fault-plan FILE]; corrupt\n\
+                  cache entries quarantine to CACHE/quarantine/ on load\n\
      bench:       timed standardized campaigns -> BENCH_<tag>.json\n\
                   [--quick] [--reps N] [--tag T] [--out FILE]\n\
                   [--entries a,b] (subset of suite cells, run and compare)\n\
@@ -1037,11 +1117,15 @@ fn usage() -> String {
                   of re-executing — resume after Ctrl-C or a crash\n\
      --cancel-after N (testing) injects a cooperative cancellation after N\n\
                   newly executed runs, simulating a mid-campaign kill\n\
-     chaos:       repro chaos <fig5|sweep|faults> [--quick] [--runs N]\n\
+     chaos:       repro chaos <fig5|sweep|faults|serve> [--quick] [--runs N]\n\
                   [--seed S] [--host-fault-plan FILE] — simulate a hard\n\
                   crash at every host-I/O boundary of a reduced journaled\n\
                   campaign, resume each, and prove the final CSVs and\n\
-                  journal are byte-identical to an uninterrupted run\n\
+                  journal are byte-identical to an uninterrupted run;\n\
+                  the serve target crash-exhausts the service's cache\n\
+                  writes over HTTP, storms them with seeded faults, plants\n\
+                  corrupt entries the quarantine must absorb, and pins the\n\
+                  504 deadline path\n\
      exit codes:  0 ok / quarantined-but-completed; 2 usage; 3 host I/O;\n\
                   4 invalid spec; 5 regression gate; 6 completed with\n\
                   degraded secondary artifacts; 130 interrupted"

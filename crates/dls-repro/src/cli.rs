@@ -77,6 +77,18 @@ pub struct Options {
     /// Testing/latency-injection knob for `serve`: hold each cold
     /// computation's worker slot for at least this many extra milliseconds.
     pub hold_ms: Option<u64>,
+    /// Server-wide default request deadline for `serve`, milliseconds; a
+    /// client `X-Deadline-Ms` header overrides it per request.
+    pub deadline_ms: Option<u64>,
+    /// Per-connection socket read timeout for `serve`, milliseconds
+    /// (default 10000; 0 disables).
+    pub read_timeout_ms: Option<u64>,
+    /// Per-connection socket write timeout for `serve`, milliseconds
+    /// (default 10000; 0 disables).
+    pub write_timeout_ms: Option<u64>,
+    /// Concurrent-connection bound for `serve`; the accept loop sheds
+    /// beyond it with HTTP 503 (default 64).
+    pub max_connections: Option<usize>,
 }
 
 impl Default for Options {
@@ -112,6 +124,10 @@ impl Default for Options {
             queue_depth: None,
             max_requests: None,
             hold_ms: None,
+            deadline_ms: None,
+            read_timeout_ms: None,
+            write_timeout_ms: None,
+            max_connections: None,
         }
     }
 }
@@ -211,6 +227,37 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--hold-ms" => {
                 o.hold_ms =
                     Some(value("--hold-ms")?.parse().map_err(|e| format!("--hold-ms: {e}"))?)
+            }
+            "--deadline-ms" => {
+                let ms: u64 =
+                    value("--deadline-ms")?.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--deadline-ms must be at least 1".into());
+                }
+                o.deadline_ms = Some(ms);
+            }
+            "--read-timeout-ms" => {
+                o.read_timeout_ms = Some(
+                    value("--read-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--read-timeout-ms: {e}"))?,
+                )
+            }
+            "--write-timeout-ms" => {
+                o.write_timeout_ms = Some(
+                    value("--write-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--write-timeout-ms: {e}"))?,
+                )
+            }
+            "--max-connections" => {
+                let n: usize = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?;
+                if n == 0 {
+                    return Err("--max-connections must be at least 1".into());
+                }
+                o.max_connections = Some(n);
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -341,6 +388,24 @@ mod tests {
         assert_eq!(o.hold_ms, Some(250));
         assert!(parse_options(&args("--workers 0")).unwrap_err().contains("at least 1"));
         assert!(parse_options(&args("--queue-depth x")).unwrap_err().contains("--queue-depth"));
+    }
+
+    #[test]
+    fn serve_robustness_options_parse() {
+        let o = parse_options(&args(
+            "--deadline-ms 500 --read-timeout-ms 2000 --write-timeout-ms 3000 \
+             --max-connections 16",
+        ))
+        .unwrap();
+        assert_eq!(o.deadline_ms, Some(500));
+        assert_eq!(o.read_timeout_ms, Some(2000));
+        assert_eq!(o.write_timeout_ms, Some(3000));
+        assert_eq!(o.max_connections, Some(16));
+        // Zero is rejected where it would be meaningless, accepted where it
+        // means "disabled" (socket timeouts).
+        assert!(parse_options(&args("--deadline-ms 0")).unwrap_err().contains("at least 1"));
+        assert!(parse_options(&args("--max-connections 0")).unwrap_err().contains("at least 1"));
+        assert_eq!(parse_options(&args("--read-timeout-ms 0")).unwrap().read_timeout_ms, Some(0));
     }
 
     #[test]

@@ -8,12 +8,24 @@
 //! rather than accumulating unbounded work, so a burst degrades into fast
 //! explicit rejections instead of a latency collapse.
 //!
+//! A queued request may also carry a **deadline**: once it passes, the
+//! request leaves the queue with [`Admit::Expired`] instead of waiting for
+//! a slot that can no longer help it (the server answers HTTP 504).
+//!
+//! Time spent waiting in the queue is observed into the
+//! `serve.queue_wait_ms` histogram (immediate grants and sheds never
+//! entered the queue, so they record nothing), and
+//! [`Admission::retry_after_secs`] derives a `Retry-After` hint from the
+//! *current* queue depth, so a shed client backs off proportionally to how
+//! far behind the server actually is.
+//!
 //! Cache hits and coalesced duplicate requests never enter admission at
 //! all; only cold computations consume slots.
 
 use crate::runner::CancelFlag;
+use dls_telemetry::Telemetry;
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Outcome of an admission attempt.
 #[derive(Debug, PartialEq, Eq)]
@@ -25,6 +37,8 @@ pub enum Admit {
     Shed,
     /// The server began shutting down while the request was queued.
     Cancelled,
+    /// The request's deadline passed while it was queued.
+    Expired,
 }
 
 #[derive(Debug, Default)]
@@ -40,6 +54,7 @@ pub struct Admission {
     queue_depth: usize,
     state: Mutex<AdmissionState>,
     freed: Condvar,
+    telemetry: Telemetry,
 }
 
 impl Admission {
@@ -51,13 +66,21 @@ impl Admission {
             queue_depth,
             state: Mutex::new(AdmissionState::default()),
             freed: Condvar::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches the telemetry registry queue-wait times are observed into.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Admission {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Tries to acquire a worker slot, waiting in the bounded queue if all
     /// slots are busy. Polls `cancel` so a queued request unblocks promptly
-    /// on shutdown.
-    pub fn admit(&self, cancel: &CancelFlag) -> Admit {
+    /// on shutdown, and `deadline` so a request whose budget ran out stops
+    /// occupying a queue slot it can no longer use.
+    pub fn admit(&self, cancel: &CancelFlag, deadline: Option<Instant>) -> Admit {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if state.running < self.workers {
             state.running += 1;
@@ -67,7 +90,8 @@ impl Admission {
             return Admit::Shed;
         }
         state.queued += 1;
-        loop {
+        let entered = Instant::now();
+        let outcome = loop {
             let (next, _timeout) = self
                 .freed
                 .wait_timeout(state, Duration::from_millis(20))
@@ -75,14 +99,22 @@ impl Admission {
             state = next;
             if cancel.is_cancelled() {
                 state.queued -= 1;
-                return Admit::Cancelled;
+                break Admit::Cancelled;
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                state.queued -= 1;
+                break Admit::Expired;
             }
             if state.running < self.workers {
                 state.queued -= 1;
                 state.running += 1;
-                return Admit::Granted;
+                break Admit::Granted;
             }
-        }
+        };
+        drop(state);
+        self.telemetry
+            .observe_secs("serve.queue_wait_ms", entered.elapsed().as_secs_f64() * 1_000.0);
+        outcome
     }
 
     /// Returns a previously granted worker slot and wakes one queued waiter.
@@ -98,6 +130,15 @@ impl Admission {
         let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         (state.running, state.queued)
     }
+
+    /// A `Retry-After` hint (seconds) derived from the current queue depth:
+    /// one second of backoff per request already ahead in line, floored at
+    /// one — an empty queue means "try again right away", a deep one tells
+    /// the client to wait out the backlog instead of hammering.
+    pub fn retry_after_secs(&self) -> u64 {
+        let (_, queued) = self.depth();
+        (queued as u64).saturating_add(1)
+    }
 }
 
 #[cfg(test)]
@@ -109,8 +150,8 @@ mod tests {
     fn grants_up_to_workers_then_queues_then_sheds() {
         let adm = Admission::new(2, 1);
         let cancel = CancelFlag::new();
-        assert_eq!(adm.admit(&cancel), Admit::Granted);
-        assert_eq!(adm.admit(&cancel), Admit::Granted);
+        assert_eq!(adm.admit(&cancel, None), Admit::Granted);
+        assert_eq!(adm.admit(&cancel, None), Admit::Granted);
         assert_eq!(adm.depth(), (2, 0));
 
         // Third request queues; release a slot from another thread so it
@@ -119,13 +160,13 @@ mod tests {
         let waiter = {
             let adm = Arc::clone(&adm);
             let cancel = cancel.clone();
-            std::thread::spawn(move || adm.admit(&cancel))
+            std::thread::spawn(move || adm.admit(&cancel, None))
         };
         // Wait until the waiter is actually queued, then shed a fourth.
         while adm.depth().1 == 0 {
             std::thread::yield_now();
         }
-        assert_eq!(adm.admit(&cancel), Admit::Shed, "queue of 1 is full");
+        assert_eq!(adm.admit(&cancel, None), Admit::Shed, "queue of 1 is full");
         adm.release();
         assert_eq!(waiter.join().unwrap(), Admit::Granted);
         assert_eq!(adm.depth(), (2, 0));
@@ -135,11 +176,11 @@ mod tests {
     fn queued_requests_unblock_on_cancel() {
         let adm = Arc::new(Admission::new(1, 4));
         let cancel = CancelFlag::new();
-        assert_eq!(adm.admit(&cancel), Admit::Granted);
+        assert_eq!(adm.admit(&cancel, None), Admit::Granted);
         let waiter = {
             let adm = Arc::clone(&adm);
             let cancel = cancel.clone();
-            std::thread::spawn(move || adm.admit(&cancel))
+            std::thread::spawn(move || adm.admit(&cancel, None))
         };
         while adm.depth().1 == 0 {
             std::thread::yield_now();
@@ -153,9 +194,59 @@ mod tests {
     fn zero_queue_depth_sheds_immediately_when_busy() {
         let adm = Admission::new(1, 0);
         let cancel = CancelFlag::new();
-        assert_eq!(adm.admit(&cancel), Admit::Granted);
-        assert_eq!(adm.admit(&cancel), Admit::Shed);
+        assert_eq!(adm.admit(&cancel, None), Admit::Granted);
+        assert_eq!(adm.admit(&cancel, None), Admit::Shed);
         adm.release();
-        assert_eq!(adm.admit(&cancel), Admit::Granted);
+        assert_eq!(adm.admit(&cancel, None), Admit::Granted);
+    }
+
+    #[test]
+    fn queued_requests_expire_at_their_deadline() {
+        let adm = Admission::new(1, 4).with_telemetry(Telemetry::enabled());
+        let cancel = CancelFlag::new();
+        assert_eq!(adm.admit(&cancel, None), Admit::Granted, "slot is now held");
+        let deadline = Instant::now() + Duration::from_millis(40);
+        // The slot is never released, so the only exit is the deadline.
+        assert_eq!(adm.admit(&cancel, Some(deadline)), Admit::Expired);
+        assert_eq!(adm.depth(), (1, 0), "expired request left the queue");
+        // The wait was observed into the queue-wait histogram, in ms.
+        let h = adm.telemetry.snapshot();
+        let h = h.histogram("serve.queue_wait_ms").expect("queue wait observed");
+        assert_eq!(h.count, 1);
+        assert!(h.min >= 20.0, "waited at least one poll interval: {}", h.min);
+    }
+
+    #[test]
+    fn immediate_grants_do_not_observe_queue_wait() {
+        let adm = Admission::new(2, 2).with_telemetry(Telemetry::enabled());
+        let cancel = CancelFlag::new();
+        assert_eq!(adm.admit(&cancel, None), Admit::Granted);
+        assert!(
+            adm.telemetry.snapshot().histogram("serve.queue_wait_ms").is_none(),
+            "an immediate grant never entered the queue"
+        );
+    }
+
+    #[test]
+    fn retry_after_tracks_queue_depth() {
+        let adm = Arc::new(Admission::new(1, 4));
+        let cancel = CancelFlag::new();
+        assert_eq!(adm.retry_after_secs(), 1, "empty queue suggests an immediate retry");
+        assert_eq!(adm.admit(&cancel, None), Admit::Granted);
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let adm = Arc::clone(&adm);
+                let cancel = cancel.clone();
+                std::thread::spawn(move || adm.admit(&cancel, None))
+            })
+            .collect();
+        while adm.depth().1 < 2 {
+            std::thread::yield_now();
+        }
+        assert_eq!(adm.retry_after_secs(), 3, "two queued requests push the hint out");
+        cancel.cancel();
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), Admit::Cancelled);
+        }
     }
 }

@@ -1,29 +1,45 @@
-//! Content-addressed result cache with single-flight coalescing.
+//! Content-addressed result cache with single-flight coalescing and
+//! corruption quarantine.
 //!
 //! A campaign result is a pure function of its [`JournalMeta::cache_key`](crate::journal::JournalMeta::cache_key)
 //! — (command, fingerprint, seed, git rev) — so the cache can hand back the
 //! exact response bytes of an earlier computation. Entries live in memory
 //! for the server's lifetime and are persisted to `dir/<hash>.json`
 //! through the fail-soft [`ArtifactSink`] seam (atomic tmp+fsync+rename,
-//! bounded retries): a crashed server restarts **warm** by re-reading the
-//! directory, and a full disk degrades persistence without failing the
-//! request — the result still serves from memory.
+//! bounded retries, an injectable [`HostIo`] so `repro chaos serve` can
+//! crash-exhaust the writes): a crashed server restarts **warm** by
+//! re-reading the directory, and a full disk degrades persistence without
+//! failing the request — the result still serves from memory.
 //!
 //! Concurrent requests for one key are **coalesced**: the first becomes
 //! the *leader* and computes; the rest wait on the leader's flight and are
 //! answered from the fresh entry, so N identical submissions cost one
-//! computation. File names are a 128-bit FNV-1a hash of the key, and the
-//! full key is stored inside the entry and verified on load, so a hash
-//! collision can at worst miss, never serve the wrong bytes.
+//! computation. File names are a 128-bit FNV-1a hash of the key, the full
+//! key is stored inside the entry and verified on load, and the body
+//! carries its own 128-bit checksum — so a hash collision, a renamed file,
+//! a torn write or a bit-flipped disk can at worst miss, never serve the
+//! wrong bytes.
+//!
+//! **Quarantine:** an unreadable, wrong-schema, wrong-key or
+//! checksum-mismatched entry found during the warm load is *moved* into
+//! `dir/quarantine/` — never deleted, so the evidence survives for
+//! forensics — counted (`serve.cache_quarantined`), and the key simply
+//! misses: the next request recomputes and rewrites a good entry. A
+//! corrupt disk degrades to a cold start, not a wrong answer or a crash.
 
 use crate::artifacts::{ArtifactSink, ArtifactTier};
+use dls_chaos::{HostIo, RealIo, RetryPolicy};
 use serde::Value;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Schema tag of on-disk cache entries; bump on breaking layout changes.
 pub const SCHEMA: &str = "dls-cache/1";
+
+/// Subdirectory corrupt entries are moved into (never deleted).
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// What [`ResultCache::begin`] resolved a key to.
 pub enum Begin {
@@ -60,6 +76,9 @@ struct CacheState {
 pub struct ResultCache {
     dir: PathBuf,
     sink: ArtifactSink,
+    io: Arc<dyn HostIo>,
+    retry: RetryPolicy,
+    quarantined: AtomicU64,
     state: Mutex<CacheState>,
 }
 
@@ -75,23 +94,46 @@ fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
     hash
 }
 
+const BASIS_A: u64 = 0xCBF2_9CE4_8422_2325; // standard FNV offset basis
+const BASIS_B: u64 = 0x9E37_79B9_7F4A_7C15; // golden-ratio variant
+
 /// Stable file stem for `key`: 32 hex chars of double FNV-1a.
 fn key_stem(key: &str) -> String {
-    const BASIS_A: u64 = 0xCBF2_9CE4_8422_2325; // standard FNV offset basis
-    const BASIS_B: u64 = 0x9E37_79B9_7F4A_7C15; // golden-ratio variant
     format!("{:016x}{:016x}", fnv1a64(key.as_bytes(), BASIS_A), fnv1a64(key.as_bytes(), BASIS_B))
 }
 
+/// Body integrity checksum stored inside every entry: the same 128-bit
+/// double FNV-1a, over the body bytes.
+fn body_checksum(body: &str) -> String {
+    key_stem(body)
+}
+
 impl ResultCache {
-    /// Opens the cache over `dir`, creating it if needed and loading every
-    /// readable persisted entry (warm restart). Unreadable or
-    /// wrong-schema files are skipped with a warning — a half-written file
-    /// cannot exist (writes are atomic), but a *foreign* file can.
+    /// Opens the cache over `dir` with real host I/O and the standard
+    /// retry policy; see [`ResultCache::open_with_io`].
     pub fn open(dir: &Path) -> std::io::Result<ResultCache> {
+        ResultCache::open_with_io(dir, Arc::new(RealIo), RetryPolicy::standard())
+    }
+
+    /// Opens the cache over `dir`, creating it if needed and loading every
+    /// valid persisted entry (warm restart). An entry that fails any
+    /// integrity check — unreadable, wrong schema, wrong key-to-name hash,
+    /// body checksum mismatch — is quarantined into
+    /// [`QUARANTINE_DIR`] and
+    /// counted; the key misses and recomputes. Persistence writes go
+    /// through `io` under `retry` (the chaos-injection seam).
+    pub fn open_with_io(
+        dir: &Path,
+        io: Arc<dyn HostIo>,
+        retry: RetryPolicy,
+    ) -> std::io::Result<ResultCache> {
         std::fs::create_dir_all(dir)?;
         let cache = ResultCache {
             dir: dir.to_path_buf(),
             sink: ArtifactSink::new(),
+            io,
+            retry,
+            quarantined: AtomicU64::new(0),
             state: Mutex::new(CacheState::default()),
         };
         let mut warmed = 0usize;
@@ -106,9 +148,7 @@ impl ResultCache {
                     state.entries.insert(key, Arc::new(body));
                     warmed += 1;
                 }
-                None => {
-                    eprintln!("warning: {}: not a {SCHEMA} cache entry — skipped", path.display());
-                }
+                None => cache.quarantine(&path),
             }
         }
         if warmed > 0 {
@@ -125,6 +165,41 @@ impl ResultCache {
     /// Whether the cache holds no results.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Entries quarantined since this cache was opened.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Labels of persistence writes that degraded (fail-soft failures);
+    /// non-empty means warm restarts are currently incomplete — the
+    /// readiness probe reports the cache tier degraded.
+    pub fn degraded(&self) -> Vec<String> {
+        self.sink.degraded()
+    }
+
+    /// Moves a corrupt or foreign entry into the quarantine subdirectory
+    /// (creating it lazily) and counts it. The file is renamed, never
+    /// deleted: the corrupt bytes stay available for inspection. A failed
+    /// move leaves the file in place — it still will not load.
+    fn quarantine(&self, path: &Path) {
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        let file = path.file_name().map(|n| n.to_os_string()).unwrap_or_else(|| "entry".into());
+        let moved =
+            std::fs::create_dir_all(&qdir).and_then(|()| std::fs::rename(path, qdir.join(&file)));
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        match moved {
+            Ok(()) => eprintln!(
+                "warning: {}: failed {SCHEMA} integrity checks — quarantined to {}",
+                path.display(),
+                qdir.display()
+            ),
+            Err(e) => eprintln!(
+                "warning: {}: failed {SCHEMA} integrity checks (quarantine move failed: {e})",
+                path.display()
+            ),
+        }
     }
 
     /// Resolves `key`: an immediate hit, leadership of a new flight, or —
@@ -165,6 +240,7 @@ impl ResultCache {
         let persisted = Value::Object(vec![
             ("schema".into(), Value::String(SCHEMA.into())),
             ("key".into(), Value::String(key.to_string())),
+            ("checksum".into(), Value::String(body_checksum(&body))),
             ("body".into(), Value::String((*body).clone())),
         ]);
         let path = self.dir.join(format!("{}.json", key_stem(key)));
@@ -172,7 +248,13 @@ impl ResultCache {
         // Secondary tier: a persistence failure degrades the warm-restart
         // guarantee, never the response — the entry still serves from
         // memory for the server's lifetime.
-        let _ = self.sink.write(ArtifactTier::Secondary, &path, rendered.as_bytes());
+        let _ = self.sink.write_with(
+            ArtifactTier::Secondary,
+            &*self.io,
+            self.retry,
+            &path,
+            rendered.as_bytes(),
+        );
 
         let flight = {
             let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -205,9 +287,9 @@ impl ResultCache {
     }
 }
 
-/// Parses one persisted entry, returning `(key, body)` if it is a valid
-/// current-schema record.
-fn load_entry(path: &Path) -> Option<(String, String)> {
+/// Parses one persisted entry, returning `(key, body)` if it passes every
+/// integrity check of the current schema.
+pub(crate) fn load_entry(path: &Path) -> Option<(String, String)> {
     let text = std::fs::read_to_string(path).ok()?;
     let value: Value = serde_json::from_str(&text).ok()?;
     if value.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
@@ -218,6 +300,11 @@ fn load_entry(path: &Path) -> Option<(String, String)> {
     // The file name is a hash of the key; verify so a renamed or colliding
     // file cannot answer for a different campaign.
     if path.file_stem().and_then(|s| s.to_str()) != Some(&key_stem(&key)) {
+        return None;
+    }
+    // The stored checksum must match the body: a bit flip or a torn tail
+    // that still parses as JSON is caught here, not served.
+    if value.get("checksum").and_then(Value::as_str) != Some(&body_checksum(&body)) {
         return None;
     }
     Some((key, body))
@@ -260,6 +347,7 @@ mod tests {
         // A fresh cache over the same directory serves the same bytes.
         let cache = ResultCache::open(&dir).unwrap();
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.quarantined(), 0);
         match cache.begin("key A") {
             Begin::Hit(hit) => assert_eq!(*hit, body, "persisted bytes must round-trip"),
             _ => panic!("warm restart must hit"),
@@ -268,7 +356,7 @@ mod tests {
     }
 
     #[test]
-    fn foreign_and_mismatched_files_are_skipped() {
+    fn foreign_and_mismatched_files_are_quarantined_not_deleted() {
         let dir = tmp_dir("foreign");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("notes.json"), "{\"schema\":\"other\"}").unwrap();
@@ -278,11 +366,64 @@ mod tests {
         let forged = Value::Object(vec![
             ("schema".into(), Value::String(SCHEMA.into())),
             ("key".into(), Value::String("stolen".into())),
+            ("checksum".into(), Value::String(body_checksum("x"))),
             ("body".into(), Value::String("x".into())),
         ]);
         std::fs::write(dir.join("0000.json"), serde_json::to_string(&forged).unwrap()).unwrap();
         let cache = ResultCache::open(&dir).unwrap();
         assert!(cache.is_empty(), "no foreign file may load");
+        assert_eq!(cache.quarantined(), 3);
+        // Quarantined files are moved, never deleted.
+        let qdir = dir.join(QUARANTINE_DIR);
+        for f in ["notes.json", "junk.json", "0000.json"] {
+            assert!(!dir.join(f).exists(), "{f} moved out of the cache dir");
+            assert!(qdir.join(f).exists(), "{f} preserved in quarantine");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_body_is_quarantined_and_key_recomputes() {
+        let dir = tmp_dir("bitflip");
+        let key = "command=fig5 seed=0x2a";
+        {
+            let cache = ResultCache::open(&dir).unwrap();
+            assert!(matches!(cache.begin(key), Begin::Lead));
+            cache.complete(key, "a,b\n1,2\n".into());
+        }
+        // Flip the body inside the persisted entry, leaving the checksum
+        // stale — a simulated bit-flipped disk.
+        let path = dir.join(format!("{}.json", key_stem(key)));
+        let tampered = std::fs::read_to_string(&path).unwrap().replace("1,2", "9,9");
+        std::fs::write(&path, tampered).unwrap();
+
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.is_empty(), "tampered entry must not serve");
+        assert_eq!(cache.quarantined(), 1);
+        assert!(!path.exists(), "tampered entry left the cache dir");
+        // The key misses and recomputes: the wrong answer can never serve.
+        assert!(matches!(cache.begin(key), Begin::Lead));
+        cache.complete(key, "a,b\n1,2\n".into());
+        // And the rewrite self-heals the disk entry.
+        assert!(load_entry(&path).is_some(), "recompute rewrote a valid entry");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn entry_without_checksum_is_quarantined() {
+        let dir = tmp_dir("nochecksum");
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = "legacy key";
+        let legacy = Value::Object(vec![
+            ("schema".into(), Value::String(SCHEMA.into())),
+            ("key".into(), Value::String(key.into())),
+            ("body".into(), Value::String("old bytes".into())),
+        ]);
+        let path = dir.join(format!("{}.json", key_stem(key)));
+        std::fs::write(&path, serde_json::to_string(&legacy).unwrap()).unwrap();
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.is_empty(), "unverifiable entry must not serve");
+        assert_eq!(cache.quarantined(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -18,15 +18,28 @@ pub const MAX_BODY_BYTES: usize = 64 * 1024;
 /// Upper bound on a single header line, bytes.
 const MAX_LINE_BYTES: usize = 8 * 1024;
 
-/// A parsed request: method, path, and the (possibly empty) body.
+/// Upper bound on the number of header lines accepted per request — a
+/// client streaming headers forever is a slow-loris, not a campaign spec.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parsed request: method, path, headers, and the (possibly empty) body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// `GET`, `POST`, … (uppercased as received).
     pub method: String,
     /// Request target as sent, e.g. `/run` (query strings are not split).
     pub path: String,
+    /// `(name, value)` header pairs, names lowercased, in receive order.
+    pub headers: Vec<(String, String)>,
     /// Raw request body.
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (ASCII case-insensitive), trimmed.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
 }
 
 /// A response about to be written: status code, reason, extra headers, body.
@@ -101,18 +114,22 @@ pub fn read_request(stream: &TcpStream) -> std::io::Result<Request> {
     }
 
     let mut content_length: usize = 0;
+    let mut headers: Vec<(String, String)> = Vec::new();
     loop {
         let line = read_line(&mut reader)?;
         if line.is_empty() {
             break;
         }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad(format!("more than {MAX_HEADERS} header lines")));
+        }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| bad(format!("bad Content-Length `{}`", value.trim())))?;
+            let (name, value) = (name.trim().to_lowercase(), value.trim().to_string());
+            if name == "content-length" {
+                content_length =
+                    value.parse().map_err(|_| bad(format!("bad Content-Length `{value}`")))?;
             }
+            headers.push((name, value));
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -120,7 +137,7 @@ pub fn read_request(stream: &TcpStream) -> std::io::Result<Request> {
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(Request { method, path, body })
+    Ok(Request { method, path, headers, body })
 }
 
 /// Writes `response` to `stream` and flushes it.
@@ -180,16 +197,59 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed_framing() {
-        assert!(parse(b"\r\n\r\n").is_err(), "empty request line");
-        assert!(parse(b"GET\r\n\r\n").is_err(), "no path");
-        assert!(parse(b"GET / SPDY/3\r\n\r\n").is_err(), "unknown protocol");
-        assert!(
-            parse(b"POST / HTTP/1.1\r\nContent-Length: zap\r\n\r\n").is_err(),
-            "unparseable length"
-        );
+    fn headers_are_captured_lowercased_and_looked_up_case_insensitively() {
+        let req = parse(
+            b"POST /run HTTP/1.1\r\nX-Deadline-Ms: 250\r\nHost: x\r\nContent-Length: 2\r\n\r\nok",
+        )
+        .unwrap();
+        assert_eq!(req.header("x-deadline-ms"), Some("250"));
+        assert_eq!(req.header("X-Deadline-Ms"), Some("250"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("absent"), None);
+        assert!(req.headers.iter().any(|(n, v)| n == "content-length" && v == "2"));
+    }
+
+    /// Fuzz-style table over malformed framings: every row must surface as
+    /// a clean `InvalidData`-style error — never a panic, never a hang.
+    #[test]
+    fn malformed_framing_table_rejects_without_panicking() {
+        let giant_header = format!("GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n", "a".repeat(9000));
+        let many_headers =
+            format!("GET / HTTP/1.1\r\n{}\r\n", "X-H: v\r\n".repeat(MAX_HEADERS + 1));
         let too_big = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
-        assert!(parse(too_big.as_bytes()).is_err(), "oversized body bound");
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("empty request line", b"\r\n\r\n".to_vec()),
+            ("truncated request line", b"POST /ru".to_vec()),
+            ("method only", b"GET\r\n\r\n".to_vec()),
+            ("no path", b"GET \r\n\r\n".to_vec()),
+            ("unknown protocol", b"GET / SPDY/3\r\n\r\n".to_vec()),
+            ("oversized header line", giant_header.into_bytes()),
+            ("unbounded header count", many_headers.into_bytes()),
+            (
+                "unparseable Content-Length",
+                b"POST / HTTP/1.1\r\nContent-Length: zap\r\n\r\n".to_vec(),
+            ),
+            ("negative Content-Length", b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n".to_vec()),
+            ("oversized body bound", too_big.into_bytes()),
+            (
+                "body shorter than declared",
+                b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc".to_vec(),
+            ),
+            ("non-UTF-8 request line", b"\xff\xfe /run HTTP/1.1\r\n\r\n".to_vec()),
+            ("non-UTF-8 header line", b"GET / HTTP/1.1\r\nX-\xff: v\r\n\r\n".to_vec()),
+            ("connection closed mid-headers", b"GET / HTTP/1.1\r\nHost: x".to_vec()),
+        ];
+        for (label, raw) in cases {
+            assert!(parse(&raw).is_err(), "{label}: must be rejected");
+        }
+    }
+
+    /// A non-UTF-8 *body* is fine at this layer — bodies are raw bytes;
+    /// rejecting them (as 422, not 400) is the JSON parser's job upstream.
+    #[test]
+    fn non_utf8_bodies_pass_the_framing_layer() {
+        let req = parse(b"POST /run HTTP/1.1\r\nContent-Length: 3\r\n\r\n\xff\xfe\xfd").unwrap();
+        assert_eq!(req.body, vec![0xff, 0xfe, 0xfd]);
     }
 
     #[test]

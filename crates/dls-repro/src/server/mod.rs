@@ -17,22 +17,38 @@
 //!    hit`); an in-flight computation of the same key → coalesce onto it;
 //!    otherwise lead a new flight,
 //! 4. leaders pass two-level [`admission`] (bounded worker slots plus a
-//!    bounded wait queue; beyond both → HTTP 429 shed),
+//!    bounded wait queue; beyond both → HTTP 429 shed, with a `Retry-After`
+//!    derived from the live queue depth),
 //! 5. compute via [`run_figure_resilient`], publish to the cache (entries
 //!    persist through the fail-soft atomic-write seam for warm restarts),
 //!    respond (`X-Cache: miss`).
+//!
+//! **Fault model** (DESIGN.md §18): every request may carry a deadline —
+//! the server-wide `--deadline-ms` default or a per-request `X-Deadline-Ms`
+//! header — enforced cooperatively at every blocking stage: a queued
+//! request whose deadline passes leaves the queue as HTTP 504, and a
+//! granted one runs under a per-request watchdog that cancels the campaign's
+//! [`CancelFlag`] at the deadline (504, slot freed, no thread leak) and
+//! logs warn-level heartbeats if a computation overruns 2× its deadline.
+//! Cache persistence goes through the injectable [`HostIo`] seam, so
+//! `repro chaos serve` can crash-exhaust and fault-storm the exact write
+//! path production runs; corrupt entries quarantine on load rather than
+//! serving wrong bytes. The accept loop sheds connections beyond
+//! `--max-connections` with an immediate 503, and `GET /readyz` flips
+//! not-ready during SIGINT drain and while the cache tier is degraded.
 //!
 //! Observability surfaces:
 //!
 //! * `GET /metrics` exports the server's [`Telemetry`] snapshot in the
 //!   Prometheus text exposition format (request counts, admission
-//!   outcomes, hit/miss counters, cold/warm latency histograms);
+//!   outcomes, hit/miss counters, cold/warm latency histograms, queue-wait
+//!   times, quarantine and deadline counters);
 //!   `GET /metrics.json` keeps the JSON rendering of the same snapshot;
 //! * every request is timed through its phases by [`spans`] and exported
 //!   via `GET /requests` (a bounded recent-request ring);
 //! * `GET /progress` reports the in-flight campaign's runs
 //!   completed / total and ETA;
-//! * `GET /healthz` answers liveness probes.
+//! * `GET /healthz` answers liveness probes; `GET /readyz` readiness.
 
 pub mod admission;
 pub mod cache;
@@ -47,6 +63,7 @@ use crate::report::{format_csv, wasted_rows};
 use crate::runner::{CancelFlag, ExecContext, Progress};
 use admission::{Admission, Admit};
 use cache::{Begin, ResultCache};
+use dls_chaos::{ChaosIo, HostFaultPlan, HostIo, RealIo, RetryPolicy};
 use dls_core::Technique;
 use dls_telemetry::{to_prometheus_text, Logger, Telemetry};
 use http::{Request, Response};
@@ -54,6 +71,7 @@ use serde::Value;
 use spans::{RequestSpans, RequestTrail};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -65,6 +83,11 @@ pub const DEFAULT_CACHE_DIR: &str = "repro-cache";
 pub const DEFAULT_WORKERS: usize = 2;
 /// Default admission queue depth.
 pub const DEFAULT_QUEUE_DEPTH: usize = 8;
+/// Default per-connection socket read/write timeout, milliseconds.
+pub const DEFAULT_SOCKET_TIMEOUT_MS: u64 = 10_000;
+/// Default bound on concurrently open connections; the accept loop sheds
+/// beyond it with an immediate 503.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
 
 /// Upper bound on `runs` a request may ask for — a service request is a
 /// quick cell, not a day-long 1000-run grid (run those via the CLI).
@@ -87,6 +110,18 @@ pub struct ServeConfig {
     /// Testing/latency-injection knob: hold each cold computation's worker
     /// slot for at least this long, milliseconds.
     pub hold_ms: u64,
+    /// Server-wide default request deadline, milliseconds (`None` = no
+    /// deadline). A client `X-Deadline-Ms` header overrides it per request.
+    pub deadline_ms: Option<u64>,
+    /// Per-connection socket read timeout, milliseconds (0 disables).
+    pub read_timeout_ms: u64,
+    /// Per-connection socket write timeout, milliseconds (0 disables).
+    pub write_timeout_ms: u64,
+    /// Concurrent-connection bound; the accept loop sheds beyond it.
+    pub max_connections: usize,
+    /// Deterministic host-fault plan injected into cache persistence
+    /// (`--host-fault-plan`); `None` runs on real host I/O.
+    pub fault_plan: Option<HostFaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -98,12 +133,19 @@ impl Default for ServeConfig {
             queue_depth: DEFAULT_QUEUE_DEPTH,
             max_requests: None,
             hold_ms: 0,
+            deadline_ms: None,
+            read_timeout_ms: DEFAULT_SOCKET_TIMEOUT_MS,
+            write_timeout_ms: DEFAULT_SOCKET_TIMEOUT_MS,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            fault_plan: None,
         }
     }
 }
 
 impl ServeConfig {
-    /// Builds the server configuration from parsed CLI options.
+    /// Builds the server configuration from parsed CLI options (the
+    /// `--host-fault-plan` file, if any, is loaded separately by the CLI
+    /// and assigned to [`ServeConfig::fault_plan`]).
     pub fn from_options(o: &Options) -> ServeConfig {
         let d = ServeConfig::default();
         ServeConfig {
@@ -113,6 +155,11 @@ impl ServeConfig {
             queue_depth: o.queue_depth.unwrap_or(d.queue_depth),
             max_requests: o.max_requests,
             hold_ms: o.hold_ms.unwrap_or(0),
+            deadline_ms: o.deadline_ms,
+            read_timeout_ms: o.read_timeout_ms.unwrap_or(d.read_timeout_ms),
+            write_timeout_ms: o.write_timeout_ms.unwrap_or(d.write_timeout_ms),
+            max_connections: o.max_connections.unwrap_or(d.max_connections),
+            fault_plan: None,
         }
     }
 }
@@ -127,6 +174,9 @@ struct Shared {
     trail: RequestTrail,
     cancel: CancelFlag,
     hold_ms: u64,
+    deadline_ms: Option<u64>,
+    read_timeout_ms: u64,
+    write_timeout_ms: u64,
 }
 
 /// A bound (but not yet serving) campaign server.
@@ -134,6 +184,7 @@ pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
     max_requests: Option<u64>,
+    max_connections: usize,
 }
 
 impl Server {
@@ -143,30 +194,58 @@ impl Server {
     /// [`Logger::disabled`] to opt out; `GET /requests` works either way).
     /// `cancel` stops the accept loop; a cancelled server returns
     /// [`ReproError::Interrupted`] (exit 130) after draining in-flight
-    /// handlers.
+    /// handlers. Cache persistence runs on real host I/O unless the config
+    /// carries a fault plan ([`ServeConfig::fault_plan`]).
     pub fn bind(
         cfg: &ServeConfig,
         telemetry: Telemetry,
         logger: Logger,
         cancel: CancelFlag,
     ) -> Result<Server, ReproError> {
-        let cache = ResultCache::open(&cfg.cache_dir)
+        let io: Arc<dyn HostIo> = match &cfg.fault_plan {
+            Some(plan) => Arc::new(ChaosIo::new(plan.clone())),
+            None => Arc::new(RealIo),
+        };
+        Server::bind_with_io(cfg, telemetry, logger, cancel, io, RetryPolicy::standard())
+    }
+
+    /// [`Server::bind`] with an explicit [`HostIo`] + retry policy for the
+    /// cache-persistence writes — the seam `repro chaos serve` uses to
+    /// crash-exhaust the service's disk writes with a shared [`ChaosIo`]
+    /// it can interrogate.
+    pub fn bind_with_io(
+        cfg: &ServeConfig,
+        telemetry: Telemetry,
+        logger: Logger,
+        cancel: CancelFlag,
+        io: Arc<dyn HostIo>,
+        retry: RetryPolicy,
+    ) -> Result<Server, ReproError> {
+        let cache = ResultCache::open_with_io(&cfg.cache_dir, io, retry)
             .map_err(|e| ReproError::io(format!("{}: {e}", cfg.cache_dir.display())))?;
+        if cache.quarantined() > 0 {
+            telemetry.counter_add("serve.cache_quarantined", cache.quarantined());
+        }
         let listener = TcpListener::bind(&cfg.addr)
             .map_err(|e| ReproError::io(format!("bind {}: {e}", cfg.addr)))?;
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 cache,
-                admission: Admission::new(cfg.workers, cfg.queue_depth),
+                admission: Admission::new(cfg.workers, cfg.queue_depth)
+                    .with_telemetry(telemetry.clone()),
                 telemetry,
                 logger,
                 progress: Progress::new(),
                 trail: RequestTrail::default(),
                 cancel,
                 hold_ms: cfg.hold_ms,
+                deadline_ms: cfg.deadline_ms,
+                read_timeout_ms: cfg.read_timeout_ms,
+                write_timeout_ms: cfg.write_timeout_ms,
             }),
             max_requests: cfg.max_requests,
+            max_connections: cfg.max_connections.max(1),
         })
     }
 
@@ -177,8 +256,10 @@ impl Server {
 
     /// Serves until cancelled (→ [`ReproError::Interrupted`], exit 130) or
     /// until `max_requests` connections were handled (→ `Ok`, exit 0).
-    /// Each connection is handled on its own thread; in-flight handlers
-    /// are drained before returning.
+    /// Each connection is handled on its own thread, bounded by
+    /// `max_connections` — beyond that the accept loop sheds with an
+    /// immediate 503 instead of accumulating handler threads. In-flight
+    /// handlers are drained before returning.
     pub fn run(self) -> Result<(), ReproError> {
         self.listener
             .set_nonblocking(true)
@@ -191,10 +272,23 @@ impl Server {
             }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    handles.retain(|h| !h.is_finished());
+                    if handles.len() >= self.max_connections {
+                        // Shed on the accept thread without reading the
+                        // request: the bound exists to protect the server
+                        // from connection floods, so the answer must not
+                        // cost a handler thread.
+                        self.shared.telemetry.counter_inc("serve.connections_shed");
+                        let mut stream = stream;
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(1000)));
+                        let retry = self.shared.admission.retry_after_secs();
+                        let _ = http::write_response(&mut stream, &overloaded_response(retry));
+                        continue;
+                    }
                     handled += 1;
                     let shared = Arc::clone(&self.shared);
                     handles.push(std::thread::spawn(move || handle_connection(stream, &shared)));
-                    handles.retain(|h| !h.is_finished());
                     if self.max_requests.is_some_and(|n| handled >= n) {
                         break Ok(());
                     }
@@ -212,12 +306,20 @@ impl Server {
     }
 }
 
+/// Converts a configured timeout to the socket API's representation
+/// (0 = disabled = `None`).
+fn socket_timeout(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let mut stream = stream;
     // Blocking I/O per connection; the accept loop is the only nonblocking
-    // socket. A stuck client cannot stall the server past this timeout.
+    // socket. A stuck client can neither stall reads past the read timeout
+    // nor wedge the response write past the write timeout.
     let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_read_timeout(socket_timeout(shared.read_timeout_ms));
+    let _ = stream.set_write_timeout(socket_timeout(shared.write_timeout_ms));
     let response = match http::read_request(&stream) {
         Ok(request) => {
             shared.telemetry.counter_inc("serve.requests");
@@ -231,6 +333,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 fn route(request: &Request, shared: &Shared) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::new(200, "OK", "text/plain", "ok\n"),
+        ("GET", "/readyz") => readyz_response(shared),
         ("GET", "/metrics") => Response::new(
             200,
             "OK",
@@ -259,11 +362,12 @@ fn route(request: &Request, shared: &Shared) -> Response {
         ("GET", "/requests") => {
             Response::new(200, "OK", "application/json", shared.trail.to_json())
         }
-        ("POST", "/run") => handle_run(&request.body, shared),
+        ("POST", "/run") => handle_run(request, shared),
         (_, "/run")
         | (_, "/metrics")
         | (_, "/metrics.json")
         | (_, "/healthz")
+        | (_, "/readyz")
         | (_, "/progress")
         | (_, "/requests") => error_response(&ReproError::usage(format!(
             "method {} not allowed on {}",
@@ -284,11 +388,65 @@ fn route(request: &Request, shared: &Shared) -> Response {
     }
 }
 
-fn handle_run(body: &[u8], shared: &Shared) -> Response {
+/// Readiness: ready only while the server is accepting new work *and* the
+/// cache tier is healthy. Flips not-ready during SIGINT drain and when
+/// cache persistence has degraded (warm restarts would be incomplete) —
+/// a load balancer steers new traffic away while in-flight work finishes.
+fn readyz_response(shared: &Shared) -> Response {
+    let reason = if shared.cancel.is_cancelled() {
+        Some("draining")
+    } else if !shared.cache.degraded().is_empty() {
+        Some("cache-degraded")
+    } else {
+        None
+    };
+    match reason {
+        None => {
+            let body = Value::Object(vec![("ready".into(), Value::Bool(true))]);
+            Response::new(
+                200,
+                "OK",
+                "application/json",
+                serde_json::to_string(&body).expect("readyz body serialization"),
+            )
+        }
+        Some(reason) => {
+            let body = Value::Object(vec![
+                ("ready".into(), Value::Bool(false)),
+                ("reason".into(), Value::String(reason.into())),
+            ]);
+            Response::new(
+                503,
+                "Service Unavailable",
+                "application/json",
+                serde_json::to_string(&body).expect("readyz body serialization"),
+            )
+        }
+    }
+}
+
+fn handle_run(request: &Request, shared: &Shared) -> Response {
     let id = shared.trail.next_id();
     let mut spans = RequestSpans::start();
 
-    let (fig, cfg) = match spans.record("parse", || parse_run_request(body)) {
+    // Per-request deadline: the client header overrides the server default.
+    let deadline_ms = match request.header("x-deadline-ms") {
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(ms) if ms >= 1 => Some(ms),
+            _ => {
+                shared.telemetry.counter_inc("serve.bad_requests");
+                let response = error_response(&ReproError::usage(format!(
+                    "X-Deadline-Ms must be a positive integer of milliseconds, got `{raw}`"
+                )));
+                finish_request(shared, id, String::new(), "bad-request", response.status, spans);
+                return response;
+            }
+        },
+        None => shared.deadline_ms,
+    };
+    let deadline = deadline_ms.map(|ms| (Instant::now() + Duration::from_millis(ms), ms));
+
+    let (fig, cfg) = match spans.record("parse", || parse_run_request(&request.body)) {
         Ok(parsed) => parsed,
         Err(e) => {
             shared.telemetry.counter_inc("serve.bad_requests");
@@ -319,13 +477,15 @@ fn handle_run(body: &[u8], shared: &Shared) -> Response {
             response
         }
         Begin::Lead => {
-            let admit = spans.record("admission_wait", || shared.admission.admit(&shared.cancel));
+            let admit = spans.record("admission_wait", || {
+                shared.admission.admit(&shared.cancel, deadline.map(|(at, _)| at))
+            });
             record_occupancy(shared);
             match admit {
                 Admit::Shed => {
                     shared.telemetry.counter_inc("serve.admission_shed");
                     shared.cache.fail(&key, "request was shed: server at capacity".into());
-                    let response = shed_response();
+                    let response = shed_response(shared.admission.retry_after_secs());
                     finish_request(shared, id, key, "shed", response.status, spans);
                     response
                 }
@@ -333,6 +493,16 @@ fn handle_run(body: &[u8], shared: &Shared) -> Response {
                     shared.cache.fail(&key, "server is shutting down".into());
                     let response = error_response(&ReproError::Interrupted { resume_dir: None });
                     finish_request(shared, id, key, "cancelled", response.status, spans);
+                    response
+                }
+                Admit::Expired => {
+                    shared.telemetry.counter_inc("serve.deadline_expired");
+                    shared.cache.fail(&key, "deadline expired while queued".into());
+                    let response = deadline_response(
+                        "deadline expired while queued for a worker slot",
+                        shared.admission.retry_after_secs(),
+                    );
+                    finish_request(shared, id, key, "deadline", response.status, spans);
                     response
                 }
                 Admit::Granted => {
@@ -343,9 +513,13 @@ fn handle_run(body: &[u8], shared: &Shared) -> Response {
                         // return, error response, or a panic unwinding
                         // this handler thread.
                         let _slot = SlotGuard { shared };
-                        compute_and_publish(&key, &cfg, shared, &mut spans)
+                        compute_and_publish(&key, &cfg, shared, &mut spans, deadline)
                     };
-                    let outcome = if response.status == 200 { "miss" } else { "error" };
+                    let outcome = match response.status {
+                        200 => "miss",
+                        504 => "deadline",
+                        _ => "error",
+                    };
                     finish_request(shared, id, key, outcome, response.status, spans);
                     response
                 }
@@ -395,27 +569,122 @@ impl Drop for SlotGuard<'_> {
     }
 }
 
+/// Deadline enforcement for one granted computation.
+///
+/// The campaign runs with a *request-scoped* [`CancelFlag`]; the watchdog
+/// thread cancels it when the deadline passes (the runner's cooperative
+/// cancellation seam then stops between runs — HTTP 504, slot freed, no
+/// thread leak), propagates server-wide shutdown into the same flag, and
+/// logs warn-level heartbeats for computations overrunning **2×** their
+/// deadline, then once per further deadline interval. [`Watchdog::finish`]
+/// joins the thread — the watchdog never outlives its request.
+struct Watchdog {
+    done: Arc<AtomicBool>,
+    expired: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn spawn(
+        deadline: Instant,
+        deadline_ms: u64,
+        request_cancel: CancelFlag,
+        server_cancel: CancelFlag,
+        logger: Logger,
+        key: String,
+    ) -> Watchdog {
+        let done = Arc::new(AtomicBool::new(false));
+        let expired = Arc::new(AtomicBool::new(false));
+        let (done_w, expired_w) = (Arc::clone(&done), Arc::clone(&expired));
+        let interval = Duration::from_millis(deadline_ms.max(1));
+        let handle = std::thread::spawn(move || {
+            // First heartbeat at 2× the deadline (measured from request
+            // start, i.e. one full interval past expiry).
+            let mut next_warn = deadline + interval;
+            while !done_w.load(Ordering::Relaxed) {
+                if server_cancel.is_cancelled() {
+                    request_cancel.cancel();
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    if !expired_w.swap(true, Ordering::Relaxed) {
+                        request_cancel.cancel();
+                    }
+                    if now >= next_warn {
+                        logger.warn(
+                            "serve",
+                            "deadline-overrun",
+                            &[
+                                ("key", Value::String(key.clone())),
+                                ("deadline_ms", Value::U64(deadline_ms)),
+                                (
+                                    "overrun_ms",
+                                    Value::U64(now.duration_since(deadline).as_millis() as u64),
+                                ),
+                            ],
+                        );
+                        next_warn = now + interval;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        Watchdog { done, expired, handle: Some(handle) }
+    }
+
+    /// Stops and joins the watchdog thread; returns whether the deadline
+    /// expired while the computation ran.
+    fn finish(mut self) -> bool {
+        self.done.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        self.expired.load(Ordering::Relaxed)
+    }
+}
+
 /// Runs the campaign for `key`, publishes the result (or failure) to the
-/// cache, and renders the response. Caller holds a worker slot.
+/// cache, and renders the response. Caller holds a worker slot. With a
+/// deadline, the computation runs under a [`Watchdog`]; an expired request
+/// answers 504, but a result that *did* complete is still published to the
+/// cache — the work is not wasted, and an identical retry hits.
 fn compute_and_publish(
     key: &str,
     cfg: &HagerupConfig,
     shared: &Shared,
     spans: &mut RequestSpans,
+    deadline: Option<(Instant, u64)>,
 ) -> Response {
     let cold = Instant::now();
     shared.telemetry.counter_inc("serve.computations");
     shared.telemetry.counter_inc("serve.cache_misses");
+    let (cancel, watchdog) = match deadline {
+        Some((at, ms)) => {
+            let request_cancel = CancelFlag::new();
+            let watchdog = Watchdog::spawn(
+                at,
+                ms,
+                request_cancel.clone(),
+                shared.cancel.clone(),
+                shared.logger.clone(),
+                key.to_string(),
+            );
+            (request_cancel, Some(watchdog))
+        }
+        None => (shared.cancel.clone(), None),
+    };
     let ctx = ExecContext::transient()
-        .with_cancel_flag(shared.cancel.clone())
+        .with_cancel_flag(cancel)
         .with_logger(shared.logger.clone())
         .with_progress(shared.progress.clone());
     let result = spans.record("compute", || run_figure_resilient(cfg, &shared.telemetry, &ctx));
     if shared.hold_ms > 0 {
         // Latency-injection knob: keep the slot busy so admission behavior
-        // (queueing, shedding) can be exercised deterministically.
+        // (queueing, shedding, deadline expiry) can be exercised
+        // deterministically.
         std::thread::sleep(Duration::from_millis(shared.hold_ms));
     }
+    let expired = watchdog.is_some_and(Watchdog::finish);
     match result {
         Ok(rows) => {
             let response = spans.record("serialize", || {
@@ -425,7 +694,24 @@ fn compute_and_publish(
                 csv_response(&published, false)
             });
             shared.telemetry.observe_secs("serve.cold_s", cold.elapsed().as_secs_f64());
+            if expired {
+                // The result landed in the cache (an identical retry will
+                // hit), but this request's budget is spent: answer 504.
+                shared.telemetry.counter_inc("serve.deadline_expired");
+                return deadline_response(
+                    "deadline expired before the computation completed",
+                    shared.admission.retry_after_secs(),
+                );
+            }
             response
+        }
+        Err(ReproError::Interrupted { .. }) if expired => {
+            shared.telemetry.counter_inc("serve.deadline_expired");
+            shared.cache.fail(key, "deadline expired mid-computation".into());
+            deadline_response(
+                "deadline expired before the computation completed",
+                shared.admission.retry_after_secs(),
+            )
         }
         Err(e) => {
             shared.cache.fail(key, e.to_string());
@@ -479,8 +765,9 @@ pub fn error_response(e: &ReproError) -> Response {
 }
 
 /// The 429 shed response; its body mirrors the error-body shape with the
-/// dedicated `shed` class (there is no CLI analog, so no exit code).
-fn shed_response() -> Response {
+/// dedicated `shed` class (there is no CLI analog, so no exit code). The
+/// `Retry-After` is computed from the live queue depth.
+fn shed_response(retry_after_secs: u64) -> Response {
     let body = Value::Object(vec![
         ("error".into(), Value::String("server at capacity: request was shed".into())),
         ("class".into(), Value::String("shed".into())),
@@ -491,7 +778,42 @@ fn shed_response() -> Response {
         "application/json",
         serde_json::to_string(&body).expect("shed body serialization"),
     )
-    .with_header("Retry-After", "1")
+    .with_header("Retry-After", retry_after_secs.to_string())
+}
+
+/// The 504 deadline response (class `deadline`, no CLI exit-code analog);
+/// `Retry-After` is computed from the live queue depth like a shed.
+fn deadline_response(message: &str, retry_after_secs: u64) -> Response {
+    let body = Value::Object(vec![
+        ("error".into(), Value::String(message.to_string())),
+        ("class".into(), Value::String("deadline".into())),
+    ]);
+    Response::new(
+        504,
+        "Gateway Timeout",
+        "application/json",
+        serde_json::to_string(&body).expect("deadline body serialization"),
+    )
+    .with_header("Retry-After", retry_after_secs.to_string())
+}
+
+/// The accept-loop overload response (class `overloaded`): the connection
+/// bound was hit, so the request was never read — shed before parse.
+fn overloaded_response(retry_after_secs: u64) -> Response {
+    let body = Value::Object(vec![
+        (
+            "error".into(),
+            Value::String("server at connection capacity: connection was shed".into()),
+        ),
+        ("class".into(), Value::String("overloaded".into())),
+    ]);
+    Response::new(
+        503,
+        "Service Unavailable",
+        "application/json",
+        serde_json::to_string(&body).expect("overloaded body serialization"),
+    )
+    .with_header("Retry-After", retry_after_secs.to_string())
 }
 
 /// Task counts of the four figure variants.
@@ -674,7 +996,11 @@ mod tests {
             }),
             Some(4)
         );
-        assert_eq!(shed_response().status, 429);
+        assert_eq!(shed_response(1).status, 429);
+        let deadline = deadline_response("expired", 3);
+        assert_eq!(deadline.status, 504);
+        assert!(deadline.headers.iter().any(|(n, v)| *n == "Retry-After" && v == "3"));
+        assert_eq!(overloaded_response(1).status, 503);
     }
 
     fn test_shared(tag: &str, workers: usize, queue: usize) -> Shared {
@@ -689,7 +1015,14 @@ mod tests {
             trail: RequestTrail::default(),
             cancel: CancelFlag::new(),
             hold_ms: 0,
+            deadline_ms: None,
+            read_timeout_ms: DEFAULT_SOCKET_TIMEOUT_MS,
+            write_timeout_ms: DEFAULT_SOCKET_TIMEOUT_MS,
         }
+    }
+
+    fn get(path: &str) -> Request {
+        Request { method: "GET".into(), path: path.into(), headers: Vec::new(), body: Vec::new() }
     }
 
     /// The occupancy-gauge contract: a slot is released and the gauges
@@ -697,7 +1030,7 @@ mod tests {
     #[test]
     fn slot_guard_releases_on_panic() {
         let shared = test_shared("panic", 1, 1);
-        assert!(matches!(shared.admission.admit(&shared.cancel), Admit::Granted));
+        assert!(matches!(shared.admission.admit(&shared.cancel, None), Admit::Granted));
         record_occupancy(&shared);
         assert_eq!(shared.telemetry.snapshot().gauge("serve.workers_busy"), Some(1.0));
 
@@ -711,6 +1044,76 @@ mod tests {
         let snap = shared.telemetry.snapshot();
         assert_eq!(snap.gauge("serve.workers_busy"), Some(0.0));
         assert_eq!(snap.gauge("serve.queue_depth"), Some(0.0));
+    }
+
+    #[test]
+    fn readyz_flips_not_ready_during_drain() {
+        let shared = test_shared("readyz-drain", 1, 1);
+        assert_eq!(route(&get("/readyz"), &shared).status, 200);
+        shared.cancel.cancel();
+        let resp = route(&get("/readyz"), &shared);
+        assert_eq!(resp.status, 503);
+        assert!(String::from_utf8_lossy(&resp.body).contains("draining"), "names the reason");
+        // Liveness stays up during drain — only readiness flips.
+        assert_eq!(route(&get("/healthz"), &shared).status, 200);
+    }
+
+    #[test]
+    fn readyz_flips_not_ready_when_cache_tier_degrades() {
+        let dir = std::env::temp_dir().join(format!("dls-readyz-degraded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Every persistence write fails: the entry serves from memory but
+        // the cache tier is degraded (warm restart would lose it).
+        let io = Arc::new(ChaosIo::new(HostFaultPlan::none().with_seed(7).with_errors(1.0)));
+        let cache = ResultCache::open_with_io(&dir, io, RetryPolicy::no_delay(2)).unwrap();
+        assert!(matches!(cache.begin("k"), Begin::Lead));
+        cache.complete("k", "body".into());
+        assert!(!cache.degraded().is_empty(), "persistence must have degraded");
+
+        let shared = Shared { cache, ..test_shared("readyz-degraded", 1, 1) };
+        let resp = route(&get("/readyz"), &shared);
+        assert_eq!(resp.status, 503);
+        assert!(String::from_utf8_lossy(&resp.body).contains("cache-degraded"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn watchdog_cancels_at_deadline_and_reports_expiry() {
+        let request_cancel = CancelFlag::new();
+        let logger = Logger::enabled();
+        let watchdog = Watchdog::spawn(
+            Instant::now() + Duration::from_millis(30),
+            30,
+            request_cancel.clone(),
+            CancelFlag::new(),
+            logger.clone(),
+            "k".into(),
+        );
+        // Simulate a computation overrunning well past 2× the deadline.
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(request_cancel.is_cancelled(), "watchdog cancelled the request flag");
+        assert!(watchdog.finish(), "expiry is reported");
+        let warned = logger.recent().iter().any(|r| r.message == "deadline-overrun");
+        assert!(warned, "overrunning 2x the deadline logs a warn heartbeat");
+    }
+
+    #[test]
+    fn watchdog_propagates_server_shutdown_into_the_request_flag() {
+        let request_cancel = CancelFlag::new();
+        let server_cancel = CancelFlag::new();
+        let watchdog = Watchdog::spawn(
+            Instant::now() + Duration::from_secs(3600),
+            3_600_000,
+            request_cancel.clone(),
+            server_cancel.clone(),
+            Logger::disabled(),
+            "k".into(),
+        );
+        server_cancel.cancel();
+        while !request_cancel.is_cancelled() {
+            std::thread::yield_now();
+        }
+        assert!(!watchdog.finish(), "shutdown is not a deadline expiry");
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub struct RequestRecord {
     /// Cache key the request resolved to (empty for unparseable requests).
     pub key: String,
     /// How the request resolved: `hit`, `miss`, `shed`, `cancelled`,
-    /// `coalesced-failure`, `bad-request` or `error`.
+    /// `deadline`, `coalesced-failure`, `bad-request` or `error`.
     pub outcome: &'static str,
     /// HTTP status returned.
     pub status: u16,

@@ -12,8 +12,18 @@
 //! * the occupancy gauges return to zero after a concurrent burst;
 //! * `GET /metrics` parses as Prometheus text, `GET /requests` exposes the
 //!   per-request span trees, and recording them keeps a cache hit
-//!   byte-identical.
+//!   byte-identical;
+//! * a request whose `X-Deadline-Ms` budget expires is a typed 504 with a
+//!   `Retry-After`, the occupancy gauges return to zero, and a server-wide
+//!   `deadline_ms` default behaves the same without the header;
+//! * a corrupted or torn cache entry is quarantined (moved, never deleted)
+//!   on restart and the key recomputes byte-identically;
+//! * `GET /readyz` is ready on a healthy server and flips to 503 once the
+//!   cache persistence tier degrades;
+//! * a stuck client is cut off by the read timeout without wedging the
+//!   server, and raw non-HTTP garbage gets a typed 400.
 
+use dls_chaos::HostFaultPlan;
 use dls_suite::dls_repro::hagerup_exp::{run_figure_resilient, HagerupConfig};
 use dls_suite::dls_repro::report::{format_csv, wasted_rows};
 use dls_suite::dls_repro::runner::{CancelFlag, ExecContext};
@@ -37,15 +47,22 @@ struct TestServer {
     handle: std::thread::JoinHandle<Result<(), dls_suite::dls_repro::error::ReproError>>,
 }
 
-fn start(cache_dir: &Path, workers: usize, queue_depth: usize, hold_ms: u64) -> TestServer {
-    let cfg = ServeConfig {
+fn config(cache_dir: &Path, workers: usize, queue_depth: usize, hold_ms: u64) -> ServeConfig {
+    ServeConfig {
         addr: "127.0.0.1:0".into(),
         cache_dir: cache_dir.to_path_buf(),
         workers,
         queue_depth,
-        max_requests: None,
         hold_ms,
-    };
+        ..ServeConfig::default()
+    }
+}
+
+fn start(cache_dir: &Path, workers: usize, queue_depth: usize, hold_ms: u64) -> TestServer {
+    start_with(config(cache_dir, workers, queue_depth, hold_ms))
+}
+
+fn start_with(cfg: ServeConfig) -> TestServer {
     let cancel = CancelFlag::new();
     let server =
         Server::bind(&cfg, Telemetry::enabled(), Logger::enabled(), cancel.clone()).unwrap();
@@ -71,14 +88,33 @@ fn exchange(
     path: &str,
     body: &[u8],
 ) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    exchange_with_headers(addr, method, path, &[], body)
+}
+
+/// [`exchange`] with extra request headers (e.g. `X-Deadline-Ms`).
+fn exchange_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
     let mut stream = TcpStream::connect(addr).unwrap();
-    let head =
-        format!("{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n", body.len());
+    let mut head =
+        format!("{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n", body.len());
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes()).unwrap();
     stream.write_all(body).unwrap();
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw).unwrap();
+    parse_response(&raw)
+}
 
+/// Splits a raw HTTP/1.1 response into (status, headers lowercased, body).
+fn parse_response(raw: &[u8]) -> (u16, Vec<(String, String)>, Vec<u8>) {
     let split = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("header/body separator");
     let head = std::str::from_utf8(&raw[..split]).unwrap();
     let body = raw[split + 4..].to_vec();
@@ -220,9 +256,12 @@ fn full_queue_sheds_with_429() {
     // Different seed -> different cache key -> a second cold computation,
     // which must be shed rather than queued.
     let other = br#"{"fig":"fig5","runs":2,"seed":12,"pes":[2,4],"techniques":["SS","FAC"]}"#;
-    let (status, _, body) = exchange(addr, "POST", "/run", other);
+    let (status, headers, body) = exchange(addr, "POST", "/run", other);
     assert_eq!(status, 429, "{}", String::from_utf8_lossy(&body));
     assert!(String::from_utf8(body).unwrap().contains("\"class\":\"shed\""));
+    let retry: u64 =
+        header(&headers, "retry-after").expect("shed carries Retry-After").parse().unwrap();
+    assert!(retry >= 1, "computed Retry-After is at least one second");
     assert_eq!(metric(addr, "serve.admission_shed"), Some(1));
 
     let (status, _, _) = slow.join().unwrap();
@@ -349,5 +388,184 @@ fn request_spans_are_exported_and_do_not_perturb_responses() {
     let total = p.get("total").and_then(Value::as_f64).unwrap();
     assert!(total > 0.0 && done == total, "done={done} total={total}");
     assert!(p.get("elapsed_s").and_then(Value::as_f64).is_some());
+    server.stop();
+}
+
+/// A request whose deadline budget expires is a typed 504 that still frees
+/// its worker slot, and the follow-up request for the same key succeeds.
+#[test]
+fn expired_deadline_is_a_504_that_releases_its_slot() {
+    let dir = tmp_dir("deadline");
+    // Every cold computation holds its slot for 400 ms, so a 50 ms budget
+    // deterministically expires whether or not the compute itself is fast.
+    let server = start(&dir, 1, 4, 400);
+    let addr = server.addr;
+
+    let (status, headers, body) =
+        exchange_with_headers(addr, "POST", "/run", &[("X-Deadline-Ms", "50")], SPEC);
+    assert_eq!(status, 504, "{}", String::from_utf8_lossy(&body));
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("\"class\":\"deadline\""), "{text}");
+    let retry: u64 =
+        header(&headers, "retry-after").expect("504 carries Retry-After").parse().unwrap();
+    assert!(retry >= 1);
+
+    // The span trail records the outcome before anything else runs.
+    let (_, _, trail) = exchange(addr, "GET", "/requests", b"");
+    let v: Value = serde_json::from_str(std::str::from_utf8(&trail).unwrap()).unwrap();
+    let requests = v.get("requests").and_then(Value::as_array).unwrap();
+    let last = requests.last().unwrap();
+    assert_eq!(last.get("outcome").and_then(Value::as_str), Some("deadline"));
+
+    let snap = snapshot(addr);
+    assert_eq!(snap.counter("serve.deadline_expired"), Some(1));
+    assert_eq!(snap.gauge("serve.workers_busy"), Some(0.0), "slot released after the 504");
+    assert_eq!(snap.gauge("serve.queue_depth"), Some(0.0));
+
+    // A malformed deadline header is a usage rejection, not a computation.
+    let (status, _, body) =
+        exchange_with_headers(addr, "POST", "/run", &[("X-Deadline-Ms", "0")], SPEC);
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+
+    // Without a budget the same key now succeeds, byte-identical to the
+    // direct computation — either as a fresh compute or as a hit on the
+    // result the expired request still published.
+    let (status, headers, body) = exchange(addr, "POST", "/run", SPEC);
+    assert_eq!(status, 200);
+    assert!(header(&headers, "x-cache").is_some());
+    assert_eq!(std::str::from_utf8(&body).unwrap(), direct_csv());
+    server.stop();
+}
+
+/// The server-wide `--deadline-ms` default applies to requests that carry
+/// no `X-Deadline-Ms` header.
+#[test]
+fn server_default_deadline_applies_without_a_header() {
+    let dir = tmp_dir("deadline-default");
+    let mut cfg = config(&dir, 1, 4, 400);
+    cfg.deadline_ms = Some(50);
+    let server = start_with(cfg);
+    let addr = server.addr;
+
+    let (status, _, body) = exchange(addr, "POST", "/run", SPEC);
+    assert_eq!(status, 504, "{}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8(body).unwrap().contains("\"class\":\"deadline\""));
+    assert_eq!(metric(addr, "serve.deadline_expired"), Some(1));
+    server.stop();
+}
+
+/// A corrupted (torn) cache entry and a foreign file are quarantined on
+/// restart — moved aside, never deleted — and the key transparently
+/// recomputes byte-identically.
+#[test]
+fn corrupted_cache_entries_are_quarantined_and_recomputed() {
+    let dir = tmp_dir("quarantine");
+    let server = start(&dir, 1, 4, 0);
+    let (status, _, first) = exchange(server.addr, "POST", "/run", SPEC);
+    assert_eq!(status, 200);
+    server.stop();
+
+    // Tear the persisted entry in half and plant a garbage file beside it.
+    let entry = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|x| x == "json"))
+        .expect("the computation persisted one cache entry");
+    let raw = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &raw[..raw.len() / 2]).unwrap();
+    std::fs::write(dir.join("deadbeef.json"), b"{ not a cache entry").unwrap();
+
+    let server = start(&dir, 1, 4, 0);
+    let addr = server.addr;
+    assert_eq!(
+        metric(addr, "serve.cache_quarantined"),
+        Some(2),
+        "both the torn entry and the foreign file are quarantined at boot"
+    );
+    assert!(!entry.exists(), "the torn entry was moved out of the cache directory");
+    let held = std::fs::read_dir(dir.join("quarantine")).unwrap().count();
+    assert_eq!(held, 2, "quarantined files are retained for inspection, not deleted");
+
+    // The poisoned key recomputes transparently and byte-identically.
+    let (status, headers, body) = exchange(addr, "POST", "/run", SPEC);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-cache"), Some("miss"), "corrupt entry does not serve");
+    assert_eq!(body, first, "recomputed answer is byte-identical to the original");
+    let (status, headers, body) = exchange(addr, "POST", "/run", SPEC);
+    assert_eq!((status, header(&headers, "x-cache")), (200, Some("hit")), "self-healed");
+    assert_eq!(body, first);
+    server.stop();
+}
+
+/// `/readyz` reports ready on a healthy server and flips to 503 once the
+/// cache persistence tier degrades (every write errors via the fault plan).
+#[test]
+fn readyz_flips_when_the_cache_tier_degrades() {
+    let healthy = start(&tmp_dir("readyz-ok"), 1, 4, 0);
+    let (status, _, body) = exchange(healthy.addr, "GET", "/readyz", b"");
+    assert_eq!(status, 200);
+    assert!(String::from_utf8(body).unwrap().contains("\"ready\":true"));
+    healthy.stop();
+
+    let dir = tmp_dir("readyz-degraded");
+    let mut cfg = config(&dir, 1, 4, 0);
+    cfg.fault_plan = Some(HostFaultPlan::none().with_seed(41).with_errors(1.0));
+    let server = start_with(cfg);
+    let addr = server.addr;
+
+    // The computation itself still answers (persistence is fail-soft)...
+    let (status, _, body) = exchange(addr, "POST", "/run", SPEC);
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(std::str::from_utf8(&body).unwrap(), direct_csv());
+    // ...but the server now reports itself not-ready.
+    let (status, _, body) = exchange(addr, "GET", "/readyz", b"");
+    assert_eq!(status, 503);
+    assert!(String::from_utf8(body).unwrap().contains("cache-degraded"));
+    server.stop();
+}
+
+/// A client that connects and then stops sending is cut off by the read
+/// timeout with a typed 400; the server keeps serving afterwards.
+#[test]
+fn stuck_client_is_timed_out_without_wedging_the_server() {
+    let dir = tmp_dir("stuck");
+    let mut cfg = config(&dir, 1, 4, 0);
+    cfg.read_timeout_ms = 150;
+    let server = start_with(cfg);
+    let addr = server.addr;
+
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // Half a request head, then silence.
+    stream.write_all(b"POST /run HTTP/1.1\r\nHost: test\r\n").unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let elapsed = started.elapsed();
+    assert!(elapsed < Duration::from_secs(5), "read timeout fired, not the 10 s default");
+    let (status, _, _) = parse_response(&raw);
+    assert_eq!(status, 400, "the stalled read is answered as malformed HTTP");
+
+    let (status, _, body) = exchange(addr, "GET", "/healthz", b"");
+    assert_eq!((status, body.as_slice()), (200, &b"ok\n"[..]), "server unaffected");
+    server.stop();
+}
+
+/// Raw non-HTTP bytes on the wire get a typed 400 and a clean close.
+#[test]
+fn raw_garbage_bytes_are_rejected_with_a_400() {
+    let dir = tmp_dir("garbage");
+    let server = start(&dir, 1, 4, 0);
+    let addr = server.addr;
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"\xff\xfe\x00garbage\r\n\r\n").unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let (status, _, body) = parse_response(&raw);
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8(body).unwrap().contains("\"class\":\"usage\""));
+
+    let (status, _, _) = exchange(addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
     server.stop();
 }
