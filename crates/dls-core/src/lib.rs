@@ -161,6 +161,34 @@ impl Technique {
         matches!(self, Technique::Awf { .. } | Technique::Af)
     }
 
+    /// Whether the technique's chunk-size sequence is *time-oblivious*:
+    /// fully determined by `(n, p, moments)` before the run starts — never
+    /// by measured execution times, completion feedback, or per-PE weights.
+    /// (STAT's per-PE blocks depend on the requesting PE's index, but that
+    /// index is a-priori information, not a measurement.)
+    ///
+    /// Time-oblivious techniques are eligible for the lockstep batched
+    /// direct simulator in `dls-hagerup`, which replays one shared
+    /// chunk-boundary stream across many seeds; everything else (TAP, BOLD,
+    /// WF and the adaptive family) takes the scalar path per seed. TAP and
+    /// BOLD are pinned to the scalar path even though their chunk formulas
+    /// read only the remaining-task count: BOLD consumes completion reports
+    /// (`record_completion` maintains its unfinished-work estimate), and
+    /// TAP is kept with it conservatively.
+    pub fn is_time_oblivious(&self) -> bool {
+        matches!(
+            self,
+            Technique::Stat
+                | Technique::SS
+                | Technique::Css { .. }
+                | Technique::Fsc
+                | Technique::Gss { .. }
+                | Technique::Tss { .. }
+                | Technique::Fac
+                | Technique::Fac2
+        )
+    }
+
     /// Instantiates the runtime scheduler for the given loop.
     pub fn build(&self, setup: &LoopSetup) -> Result<Box<dyn ChunkScheduler>, SetupError> {
         setup.validate()?;
@@ -375,6 +403,36 @@ mod tests {
         assert!(!Technique::Bold.is_adaptive());
         assert!(Technique::Af.is_adaptive());
         assert!(Technique::Awf { variant: AwfVariant::Chunk }.is_adaptive());
+    }
+
+    #[test]
+    fn time_obliviousness_classification() {
+        // Batchable: chunk sizes are a pure function of (n, p, moments).
+        for t in [
+            Technique::Stat,
+            Technique::SS,
+            Technique::Css { k: 100 },
+            Technique::Fsc,
+            Technique::Gss { min_chunk: 1 },
+            Technique::Tss { first: None, last: None },
+            Technique::Fac,
+            Technique::Fac2,
+        ] {
+            assert!(t.is_time_oblivious(), "{t} must be time-oblivious");
+            assert!(!t.is_adaptive(), "time-oblivious implies non-adaptive ({t})");
+        }
+        // Scalar fallback: feedback consumers plus the pinned TAP/BOLD/WF.
+        for t in [
+            Technique::Tap { alpha: 1.3 },
+            Technique::Bold,
+            Technique::Wf,
+            Technique::Awf { variant: AwfVariant::TimeStep },
+            Technique::Awf { variant: AwfVariant::Batch },
+            Technique::Awf { variant: AwfVariant::Chunk },
+            Technique::Af,
+        ] {
+            assert!(!t.is_time_oblivious(), "{t} must take the scalar path");
+        }
     }
 
     #[test]

@@ -34,6 +34,9 @@ use dls_workload::TaskTimes;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+mod batch;
+pub use batch::{BatchDirectSimulator, LOCKSTEP_MAX_P};
+
 /// Ordered f64 wrapper for the availability heap (no NaNs by construction).
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Avail(f64);
@@ -47,6 +50,73 @@ impl PartialOrd for Avail {
 impl Ord for Avail {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.0.partial_cmp(&other.0).expect("availability times are never NaN")
+    }
+}
+
+/// Largest PE count for which the availability queue uses a flat index-min
+/// scan instead of a binary heap. Every paper configuration has P ≤ 16 in
+/// the figure-5/6 regime; a linear scan over ≤ 16 slots is branch-cheap,
+/// allocation-free and measurably faster than heap sift operations (see
+/// `hotpath_batch_direct` in the bench crate).
+const FLAT_QUEUE_MAX_P: usize = 16;
+
+/// The simulator's PE-availability priority queue.
+///
+/// Both variants pop the minimum `(avail, pe)` pair — ties broken toward
+/// the smaller PE index, matching `BinaryHeap<Reverse<(Avail, usize)>>`
+/// tuple order — so the dispatch sequence (and therefore every f64 in the
+/// outcome) is identical whichever variant is selected.
+enum ReadyQueue {
+    /// One slot per PE; pop is an ascending strict-`<` scan. Each PE has at
+    /// most one queued entry by construction, so slots suffice.
+    Flat { avail: Vec<f64>, queued: Vec<bool> },
+    /// The original heap, kept for large P where O(log p) pops win.
+    Heap(BinaryHeap<Reverse<(Avail, usize)>>),
+}
+
+impl ReadyQueue {
+    /// All `p` PEs queued at availability 0.
+    fn new(p: usize) -> Self {
+        if p <= FLAT_QUEUE_MAX_P {
+            ReadyQueue::Flat { avail: vec![0.0; p], queued: vec![true; p] }
+        } else {
+            Self::heap(p)
+        }
+    }
+
+    fn heap(p: usize) -> Self {
+        ReadyQueue::Heap((0..p).map(|pe| Reverse((Avail(0.0), pe))).collect())
+    }
+
+    /// Removes and returns the earliest-available queued PE.
+    fn pop(&mut self) -> Option<(f64, usize)> {
+        match self {
+            ReadyQueue::Flat { avail, queued } => {
+                let mut best: Option<usize> = None;
+                for pe in 0..avail.len() {
+                    if queued[pe] && best.is_none_or(|b| avail[pe] < avail[b]) {
+                        best = Some(pe);
+                    }
+                }
+                best.map(|pe| {
+                    queued[pe] = false;
+                    (avail[pe], pe)
+                })
+            }
+            ReadyQueue::Heap(h) => h.pop().map(|Reverse((Avail(t), pe))| (t, pe)),
+        }
+    }
+
+    /// Re-queues `pe` as available at time `t`.
+    fn push(&mut self, t: f64, pe: usize) {
+        match self {
+            ReadyQueue::Flat { avail, queued } => {
+                debug_assert!(!queued[pe], "PE already queued");
+                avail[pe] = t;
+                queued[pe] = true;
+            }
+            ReadyQueue::Heap(h) => h.push(Reverse((Avail(t), pe))),
+        }
     }
 }
 
@@ -199,9 +269,29 @@ impl DirectSimulator {
         tasks: &TaskTimes,
         tracer: &Tracer,
     ) -> DirectOutcome {
+        self.run_core(scheduler, tasks, tracer, ReadyQueue::new(self.p))
+    }
+
+    /// Forces the binary-heap availability queue regardless of PE count.
+    /// Exists only so the `hotpath_batch_direct` criterion bench can A/B the
+    /// flat scan against the heap; outcomes are identical by construction.
+    #[doc(hidden)]
+    pub fn run_with_ref_forced_heap(
+        &self,
+        scheduler: &mut dyn ChunkScheduler,
+        tasks: &TaskTimes,
+    ) -> DirectOutcome {
+        self.run_core(scheduler, tasks, &Tracer::disabled(), ReadyQueue::heap(self.p))
+    }
+
+    fn run_core(
+        &self,
+        scheduler: &mut dyn ChunkScheduler,
+        tasks: &TaskTimes,
+        tracer: &Tracer,
+        mut queue: ReadyQueue,
+    ) -> DirectOutcome {
         let in_sim_h = self.overhead.in_sim_h();
-        let mut heap: BinaryHeap<Reverse<(Avail, usize)>> =
-            (0..self.p).map(|pe| Reverse((Avail(0.0), pe))).collect();
         let mut compute = vec![0.0f64; self.p];
         let mut chunks_per_pe = vec![0u64; self.p];
         let mut tasks_per_pe = vec![0u64; self.p];
@@ -216,7 +306,7 @@ impl DirectSimulator {
         let mut chunks = 0u64;
 
         while next_task < tasks.len() {
-            let Reverse((Avail(t), pe)) = heap.pop().expect("heap holds all PEs");
+            let (t, pe) = queue.pop().expect("queue holds all PEs");
             if let Some((c, elapsed)) = pending[pe].take() {
                 scheduler.record_completion(pe, c, elapsed);
             }
@@ -258,11 +348,13 @@ impl DirectSimulator {
             compute[pe] += work;
             finish[pe] = done;
             pending[pe] = Some((c as u64, work));
-            heap.push(Reverse((Avail(done), pe)));
+            queue.push(done, pe);
         }
         // Flush the final completions (the master receives them with the
-        // requests that get answered by finalization messages).
-        while let Some(Reverse((Avail(_), pe))) = heap.pop() {
+        // requests that get answered by finalization messages). Popping in
+        // (avail, pe) order matters for persistent adaptive schedulers that
+        // carry state across time steps.
+        while let Some((_, pe)) = queue.pop() {
             if let Some((c, elapsed)) = pending[pe].take() {
                 scheduler.record_completion(pe, c, elapsed);
             }
@@ -410,6 +502,40 @@ mod tests {
     #[should_panic(expected = "speeds must be > 0")]
     fn invalid_speeds_panic() {
         DirectSimulator::with_speeds(vec![1.0, 0.0], OverheadModel::None);
+    }
+
+    #[test]
+    fn flat_queue_matches_heap_bit_for_bit() {
+        // P ≤ 16 auto-selects the flat scan; the forced-heap entry point
+        // must produce the identical dispatch sequence and f64 bits.
+        let wl = Workload::exponential(2048, 1.0).unwrap();
+        for seed in 0..4u64 {
+            let tasks = wl.generate(seed);
+            for p in [1usize, 2, 8, 16] {
+                let s = LoopSetup::new(2048, p).with_moments(1.0, 1.0);
+                let sim = DirectSimulator::new(p, OverheadModel::InDynamics { h: 0.01 });
+                for tech in [Technique::SS, Technique::Fac2, Technique::Af] {
+                    let flat = sim.run(tech, &s, &tasks).unwrap();
+                    let mut sched = tech.build(&s).unwrap();
+                    let heap = sim.run_with_ref_forced_heap(sched.as_mut(), &tasks);
+                    assert_eq!(flat.makespan.to_bits(), heap.makespan.to_bits());
+                    assert_eq!(flat, heap, "{tech} p={p} seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_p_still_uses_heap_and_matches() {
+        let wl = Workload::exponential(512, 1.0).unwrap();
+        let tasks = wl.generate(7);
+        let p = FLAT_QUEUE_MAX_P + 1;
+        let s = LoopSetup::new(512, p).with_moments(1.0, 1.0);
+        let sim = DirectSimulator::new(p, OverheadModel::None);
+        let auto = sim.run(Technique::Gss { min_chunk: 1 }, &s, &tasks).unwrap();
+        let mut sched = Technique::Gss { min_chunk: 1 }.build(&s).unwrap();
+        let forced = sim.run_with_ref_forced_heap(sched.as_mut(), &tasks);
+        assert_eq!(auto, forced);
     }
 
     #[test]

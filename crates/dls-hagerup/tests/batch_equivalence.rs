@@ -1,0 +1,137 @@
+//! Property test: batched `DirectOutcome`s are bit-identical to scalar.
+//!
+//! For every `Technique`, over randomized `(n, p, overhead-model, speeds)`
+//! grids, `BatchDirectSimulator::run_batch` must reproduce the exact f64
+//! bit patterns of per-seed `DirectSimulator::run` — including the
+//! adaptive-technique scalar-fallback dispatch and the `p > LOCKSTEP_MAX_P`
+//! fallback. Randomness comes from `dls-rng`'s SplitMix64 with a fixed
+//! seed, so the grid is deterministic and failures replay exactly.
+
+use dls_core::{AwfVariant, LoopSetup, Technique};
+use dls_hagerup::{BatchDirectSimulator, DirectSimulator, LOCKSTEP_MAX_P};
+use dls_metrics::OverheadModel;
+use dls_rng::SplitMix64;
+use dls_workload::{TaskTimes, Workload};
+
+fn every_technique() -> Vec<Technique> {
+    vec![
+        Technique::Stat,
+        Technique::SS,
+        Technique::Css { k: 7 },
+        Technique::Fsc,
+        Technique::Gss { min_chunk: 1 },
+        Technique::Tss { first: None, last: None },
+        Technique::Fac,
+        Technique::Fac2,
+        Technique::Tap { alpha: 1.3 },
+        Technique::Bold,
+        Technique::Wf,
+        Technique::Awf { variant: AwfVariant::Batch },
+        Technique::Awf { variant: AwfVariant::Chunk },
+        Technique::Awf { variant: AwfVariant::TimeStep },
+        Technique::Af,
+    ]
+}
+
+fn assert_bits_equal(
+    got: &dls_hagerup::DirectOutcome,
+    want: &dls_hagerup::DirectOutcome,
+    cx: &str,
+) {
+    assert_eq!(got.makespan.to_bits(), want.makespan.to_bits(), "makespan bits: {cx}");
+    assert_eq!(got.chunks, want.chunks, "chunks: {cx}");
+    assert_eq!(got.chunks_per_pe, want.chunks_per_pe, "chunks_per_pe: {cx}");
+    assert_eq!(got.tasks_per_pe, want.tasks_per_pe, "tasks_per_pe: {cx}");
+    let got_bits: Vec<u64> = got.compute.iter().map(|x| x.to_bits()).collect();
+    let want_bits: Vec<u64> = want.compute.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(got_bits, want_bits, "compute bits: {cx}");
+}
+
+fn random_grid(rng: &mut SplitMix64) -> (u64, usize, OverheadModel, Option<Vec<f64>>) {
+    let n = 16 + rng.below(2000);
+    let p = (1 + rng.below(12)) as usize;
+    let h = [0.0, 0.1, 0.5][rng.below(3) as usize];
+    let overhead = match rng.below(3) {
+        0 => OverheadModel::None,
+        1 => OverheadModel::PostHocTotal { h },
+        _ => OverheadModel::InDynamics { h },
+    };
+    let speeds = if rng.below(2) == 0 {
+        None
+    } else {
+        Some((0..p).map(|_| 0.25 + 1.75 * rng.next_f64()).collect())
+    };
+    (n, p, overhead, speeds)
+}
+
+#[test]
+fn batched_outcomes_bit_identical_for_every_technique() {
+    let mut rng = SplitMix64::new(0xBA7C_4EED);
+    for case in 0..12u32 {
+        let (n, p, overhead, speeds) = random_grid(&mut rng);
+        let setup = LoopSetup::new(n, p).with_moments(1.0, 1.0).with_overhead(0.1);
+        let wl = Workload::exponential(n, 1.0).unwrap();
+        let width = (2 + rng.below(7)) as usize;
+        let batch: Vec<TaskTimes> =
+            (0..width as u64).map(|s| wl.generate(rng.next_u64() ^ s)).collect();
+        let (bsim, ssim) = match &speeds {
+            Some(sp) => (
+                BatchDirectSimulator::with_speeds(sp.clone(), overhead),
+                DirectSimulator::with_speeds(sp.clone(), overhead),
+            ),
+            None => (BatchDirectSimulator::new(p, overhead), DirectSimulator::new(p, overhead)),
+        };
+        for tech in every_technique() {
+            let batched = match bsim.run_batch(tech, &setup, &batch) {
+                Ok(b) => b,
+                // A technique may reject a degenerate grid (e.g. CSS chunk
+                // larger than allowed); the scalar path must agree.
+                Err(_) => {
+                    assert!(ssim.run(tech, &setup, &batch[0]).is_err(), "case {case}: {tech}");
+                    continue;
+                }
+            };
+            assert_eq!(batched.len(), batch.len());
+            for (i, (tasks, got)) in batch.iter().zip(&batched).enumerate() {
+                let want = ssim.run(tech, &setup, tasks).unwrap();
+                let cx = format!(
+                    "case {case}: {tech} n={n} p={p} overhead={overhead:?} hetero={} seed#{i}",
+                    speeds.is_some()
+                );
+                assert_bits_equal(got, &want, &cx);
+            }
+        }
+    }
+}
+
+#[test]
+fn dispatch_covers_both_paths() {
+    // The property grid keeps p ≤ 12 (lockstep eligible); pin the other
+    // branch explicitly so a dispatch regression cannot hide.
+    let p = LOCKSTEP_MAX_P + 4;
+    let n = 4096u64;
+    let setup = LoopSetup::new(n, p).with_moments(1.0, 1.0);
+    let wl = Workload::exponential(n, 1.0).unwrap();
+    let batch: Vec<TaskTimes> = (0..3).map(|s| wl.generate(s)).collect();
+    let sim = BatchDirectSimulator::new(p, OverheadModel::PostHocTotal { h: 0.5 });
+    for tech in [Technique::Fac2, Technique::Af] {
+        let batched = sim.run_batch(tech, &setup, &batch).unwrap();
+        for (i, (tasks, got)) in batch.iter().zip(&batched).enumerate() {
+            let want = sim.scalar().run(tech, &setup, tasks).unwrap();
+            assert_bits_equal(got, &want, &format!("large-p {tech} seed#{i}"));
+        }
+    }
+}
+
+#[test]
+fn lockstep_eligibility_matches_classification() {
+    // Guard the dispatch predicate itself: every hagerup-set technique is
+    // either time-oblivious (lockstep-eligible) or adaptive-path, and the
+    // two sets partition the full technique list.
+    for t in every_technique() {
+        assert!(
+            !(t.is_time_oblivious() && t.is_adaptive()),
+            "{t} cannot be both time-oblivious and adaptive"
+        );
+    }
+}

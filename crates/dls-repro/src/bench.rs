@@ -25,7 +25,10 @@
 
 use crate::error::ReproError;
 use crate::faults::{default_scenarios, run_fault_sweep_metered, FaultSweepConfig};
-use crate::hagerup_exp::{run_figure_metered, HagerupConfig, OracleMode};
+use crate::hagerup_exp::{
+    run_direct_campaign_resilient, run_figure_metered, DirectCampaignConfig, HagerupConfig,
+    OracleMode,
+};
 use crate::journal::git_rev;
 use crate::runner::ExecContext;
 use crate::tss_exp;
@@ -113,6 +116,12 @@ pub struct BenchConfig {
     pub tag: String,
     /// Campaign seed (fixed by default so reps repeat identical work).
     pub seed: u64,
+    /// Force the scalar (pre-batching) direct-simulator path everywhere a
+    /// cell would use the lockstep batch simulator. This is the A/B
+    /// baseline switch: `repro bench --scalar-direct --out BASE.json`
+    /// followed by a normal `repro bench` + `--compare` measures the batch
+    /// speedup on the same host with the same binary.
+    pub scalar_direct: bool,
 }
 
 impl BenchConfig {
@@ -124,6 +133,7 @@ impl BenchConfig {
             threads: crate::runner::default_threads(),
             tag: "local".into(),
             seed: 0xBE7C,
+            scalar_direct: false,
         }
     }
 }
@@ -141,10 +151,12 @@ pub struct BenchCase {
     pub run: Box<dyn Fn(u32, usize, u64, &Telemetry) -> Result<(), String>>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fig_cell(
     n: u64,
     p: usize,
     technique: Technique,
+    scalar_direct: bool,
     runs: u32,
     threads: usize,
     seed: u64,
@@ -156,7 +168,35 @@ fn fig_cell(
     cfg.threads = threads;
     cfg.seed = seed;
     cfg.oracle = OracleMode::SharedRealizations;
+    if scalar_direct {
+        cfg.batch_width = 1;
+    }
     run_figure_metered(&cfg, telemetry).map(|_| ()).map_err(|e| e.to_string())
+}
+
+/// Driver for the `fig5_batch`/`fig6_batch` cells: a direct-only campaign
+/// (no msgsim), the workload shape the lockstep batch simulator speeds up
+/// end to end. With `scalar_direct` the same campaign runs at batch width
+/// 1 — bit-identical outputs, scalar throughput — which is the baseline
+/// the ≥3× acceptance A/B measures against.
+fn direct_cell(
+    n: u64,
+    p: usize,
+    scalar_direct: bool,
+    runs: u32,
+    threads: usize,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> Result<(), String> {
+    let mut cfg = DirectCampaignConfig::new(n, p, runs);
+    cfg.threads = threads;
+    cfg.seed = seed;
+    if scalar_direct {
+        cfg.batch_width = 1;
+    }
+    run_direct_campaign_resilient(&cfg, telemetry, &ExecContext::transient())
+        .map(|_| ())
+        .map_err(|e| e.to_string())
 }
 
 /// Timers armed per churn cycle; all but the earliest are cancelled.
@@ -272,43 +312,70 @@ fn engine_fanout_run(workers: usize, rounds: u32) -> u64 {
     stats.events
 }
 
-/// The standard suite: one representative cell per figure scale, the
-/// combined fault scenario, a TSS speedup panel, and two engine-only
-/// microcells (`engine_churn`, `engine_fanout`) that time the raw event
-/// queue without workload generation or scheduler logic — the entries CI's
-/// bench smoke compares strictly, because they are far less noisy than the
-/// campaign cells. Reduced run counts keep a full `--quick` pass in CI
-/// territory while still exercising the DES engine, both simulators, the
-/// campaign runner and the fault path.
+/// The standard suite: one representative cell per figure scale, two
+/// direct-only batch cells (`fig5_batch`, `fig6_batch`) that isolate the
+/// lockstep batch simulator's throughput, the combined fault scenario, a
+/// TSS speedup panel, and two engine-only microcells (`engine_churn`,
+/// `engine_fanout`) that time the raw event queue without workload
+/// generation or scheduler logic — the entries CI's bench smoke compares
+/// strictly, because they are far less noisy than the campaign cells.
+/// Reduced run counts keep a full `--quick` pass in CI territory while
+/// still exercising the DES engine, both simulators, the campaign runner
+/// and the fault path. [`suite`] is the normal (batched) variant;
+/// [`suite_with`]`(true)` is the `--scalar-direct` A/B baseline.
 pub fn suite() -> Vec<BenchCase> {
+    suite_with(false)
+}
+
+/// [`suite`] with the direct-simulator path pinned: `scalar_direct` forces
+/// batch width 1 in every cell that would otherwise run the lockstep batch
+/// simulator, producing the baseline half of the batch-speedup A/B.
+pub fn suite_with(scalar_direct: bool) -> Vec<BenchCase> {
+    let sd = scalar_direct;
     vec![
         BenchCase {
             id: "fig5_cell",
             quick_runs: 64,
             full_runs: 256,
-            run: Box::new(|r, t, s, tel| fig_cell(1_024, 8, Technique::Fac2, r, t, s, tel)),
+            run: Box::new(move |r, t, s, tel| {
+                fig_cell(1_024, 8, Technique::Fac2, sd, r, t, s, tel)
+            }),
         },
         BenchCase {
             id: "fig6_cell",
             quick_runs: 16,
             full_runs: 64,
-            run: Box::new(|r, t, s, tel| {
-                fig_cell(8_192, 64, Technique::Gss { min_chunk: 1 }, r, t, s, tel)
+            run: Box::new(move |r, t, s, tel| {
+                fig_cell(8_192, 64, Technique::Gss { min_chunk: 1 }, sd, r, t, s, tel)
             }),
         },
         BenchCase {
             id: "fig7_cell",
             quick_runs: 2,
             full_runs: 8,
-            run: Box::new(|r, t, s, tel| {
-                fig_cell(65_536, 256, Technique::Tss { first: None, last: None }, r, t, s, tel)
+            run: Box::new(move |r, t, s, tel| {
+                fig_cell(65_536, 256, Technique::Tss { first: None, last: None }, sd, r, t, s, tel)
             }),
         },
         BenchCase {
             id: "fig8_cell",
             quick_runs: 1,
             full_runs: 2,
-            run: Box::new(|r, t, s, tel| fig_cell(524_288, 256, Technique::Fac2, r, t, s, tel)),
+            run: Box::new(move |r, t, s, tel| {
+                fig_cell(524_288, 256, Technique::Fac2, sd, r, t, s, tel)
+            }),
+        },
+        BenchCase {
+            id: "fig5_batch",
+            quick_runs: 256,
+            full_runs: 1_024,
+            run: Box::new(move |r, t, s, tel| direct_cell(1_024, 8, sd, r, t, s, tel)),
+        },
+        BenchCase {
+            id: "fig6_batch",
+            quick_runs: 64,
+            full_runs: 256,
+            run: Box::new(move |r, t, s, tel| direct_cell(8_192, 64, sd, r, t, s, tel)),
         },
         BenchCase {
             id: "faults_cell",
@@ -380,9 +447,10 @@ fn now_unix_s() -> u64 {
         .unwrap_or(0)
 }
 
-/// Runs the standard [`suite`] and aggregates the timings.
+/// Runs the standard [`suite`] (honouring `cfg.scalar_direct`) and
+/// aggregates the timings.
 pub fn run_bench(cfg: &BenchConfig) -> Result<BenchFile, ReproError> {
-    run_bench_with(cfg, suite())
+    run_bench_with(cfg, suite_with(cfg.scalar_direct))
 }
 
 /// [`run_bench`] over a caller-provided case list (unit tests inject a
@@ -564,6 +632,11 @@ pub struct EntryDelta {
     pub current_median: f64,
     /// `100·(current − baseline)/baseline` (positive = slower).
     pub delta_pct: f64,
+    /// `baseline/current` median ratio (>1 = current is faster); 0 when
+    /// the current median is zero. This is the column the batch-simulator
+    /// A/B reads: a scalar-direct baseline vs a batched current run shows
+    /// the lockstep speedup directly as e.g. `3.4x`.
+    pub speedup: f64,
     /// True when `delta_pct` exceeds the tolerance band.
     pub regressed: bool,
 }
@@ -608,11 +681,14 @@ pub fn compare(baseline: &BenchFile, current: &BenchFile, tolerance_pct: f64) ->
                 } else {
                     0.0
                 };
+                let speedup =
+                    if c.wall_s_median > 0.0 { b.wall_s_median / c.wall_s_median } else { 0.0 };
                 deltas.push(EntryDelta {
                     id: b.id.clone(),
                     baseline_median: b.wall_s_median,
                     current_median: c.wall_s_median,
                     delta_pct,
+                    speedup,
                     regressed: delta_pct > tolerance_pct,
                 });
             }
@@ -641,12 +717,13 @@ pub fn comparison_report(cmp: &Comparison) -> String {
                 format!("{:.3}", d.baseline_median),
                 format!("{:.3}", d.current_median),
                 format!("{:+.1} %", d.delta_pct),
+                format!("{:.2}x", d.speedup),
                 if d.regressed { "REGRESSED" } else { "ok" }.into(),
             ]
         })
         .collect();
     out.push_str(&crate::report::format_table(
-        &["entry", "baseline[s]", "current[s]", "delta", "verdict"],
+        &["entry", "baseline[s]", "current[s]", "delta", "speedup", "verdict"],
         &rows,
     ));
     for id in &cmp.missing {
@@ -779,7 +856,7 @@ mod tests {
 
     #[test]
     fn run_bench_with_aggregates_reps_into_exact_percentiles() {
-        let cfg = BenchConfig { quick: true, reps: 4, threads: 1, tag: "t".into(), seed: 1 };
+        let cfg = BenchConfig { quick: true, reps: 4, threads: 1, ..BenchConfig::new(true) };
         let cases = vec![BenchCase {
             id: "trivial",
             quick_runs: 2,
@@ -841,7 +918,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("dls-bench-resume-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let meta = JournalMeta::new("bench", "quick reps=2", 1);
-        let cfg = BenchConfig { quick: true, reps: 2, threads: 1, tag: "t".into(), seed: 1 };
+        let cfg = BenchConfig { quick: true, reps: 2, threads: 1, ..BenchConfig::new(true) };
         let executions = Arc::new(AtomicU32::new(0));
         let make_cases = |counter: Arc<AtomicU32>| {
             vec![BenchCase {
@@ -877,6 +954,8 @@ mod tests {
                 "fig6_cell",
                 "fig7_cell",
                 "fig8_cell",
+                "fig5_batch",
+                "fig6_batch",
                 "faults_cell",
                 "tss_panel",
                 "engine_churn",
@@ -887,6 +966,57 @@ mod tests {
         for c in suite() {
             assert!(c.quick_runs <= c.full_runs, "{}", c.id);
             assert!(c.quick_runs >= 1, "{}", c.id);
+        }
+        // The scalar-direct baseline variant covers the same cells: the
+        // A/B comparison would otherwise flag missing/added entries.
+        let scalar_ids: Vec<&str> = suite_with(true).iter().map(|c| c.id).collect();
+        assert_eq!(scalar_ids, ids);
+    }
+
+    #[test]
+    fn comparison_reports_per_entry_speedup() {
+        let baseline = file(vec![entry("fig5_batch", 3.6), entry("fig6_batch", 1.0)]);
+        let current = file(vec![entry("fig5_batch", 1.0), entry("fig6_batch", 2.0)]);
+        let cmp = compare(&baseline, &current, DEFAULT_TOLERANCE_PCT);
+        assert!((cmp.deltas[0].speedup - 3.6).abs() < 1e-9);
+        assert!((cmp.deltas[1].speedup - 0.5).abs() < 1e-9);
+        let report = comparison_report(&cmp);
+        assert!(report.contains("speedup"), "{report}");
+        assert!(report.contains("3.60x"), "{report}");
+        assert!(report.contains("0.50x"), "{report}");
+
+        // Degenerate zero-median current must not divide by zero.
+        let mut zero = file(vec![entry("a", 1.0)]);
+        zero.entries[0].wall_s_median = 0.0;
+        zero.entries[0].wall_s_min = 0.0;
+        let cmp = compare(&file(vec![entry("a", 1.0)]), &zero, 25.0);
+        assert_eq!(cmp.deltas[0].speedup, 0.0);
+    }
+
+    #[test]
+    fn batch_cells_run_scalar_and_batched_variants() {
+        // Smoke both dispatch arms of the `fig5_batch` driver at a tiny
+        // size: the cell must complete and count simulator work through
+        // the telemetry registry in either mode.
+        for scalar_direct in [false, true] {
+            let tel = Telemetry::enabled();
+            direct_cell(64, 4, scalar_direct, 6, 1, 0xBE7C, &tel).unwrap();
+            let snap = tel.snapshot();
+            assert_eq!(
+                snap.counter("hagerup.run_calls"),
+                // 6 runs × 7 time-oblivious techniques.
+                Some(42),
+                "scalar_direct={scalar_direct}"
+            );
+            let batch_calls = snap.counter("hagerup.batch_calls").unwrap_or(0);
+            if scalar_direct {
+                // Width 1: one single-seed call per run per technique.
+                assert_eq!(batch_calls, 42, "width 1 runs seed-at-a-time");
+            } else {
+                // Width 16 covers all 6 runs in one block: one lockstep
+                // call per technique.
+                assert_eq!(batch_calls, 7, "batched mode must coalesce the block");
+            }
         }
     }
 
@@ -900,7 +1030,7 @@ mod tests {
         assert!(engine_churn_run(16) >= 16, "cycles fire at least one timer each");
         assert!(engine_fanout_run(8, 4) >= 8 * 4 * 2, "each round is a full round trip");
 
-        let cfg = BenchConfig { quick: true, reps: 2, threads: 1, tag: "t".into(), seed: 1 };
+        let cfg = BenchConfig { quick: true, reps: 2, threads: 1, ..BenchConfig::new(true) };
         let cases: Vec<BenchCase> = suite()
             .into_iter()
             .filter(|c| c.id == "engine_churn" || c.id == "engine_fanout")

@@ -15,9 +15,9 @@
 //!   discrepancy columns (Figures 5c/d–8c/d) compare against.
 
 use crate::error::ReproError;
-use crate::runner::{cell_seed, run_campaign_resilient_scratch, ExecContext};
+use crate::runner::{batch_width_for, cell_seed, run_campaign_resilient_batched, ExecContext};
 use dls_core::{SetupError, Technique};
-use dls_hagerup::DirectSimulator;
+use dls_hagerup::BatchDirectSimulator;
 use dls_metrics::{discrepancy, relative_discrepancy_pct, OverheadModel, SummaryStats};
 use dls_msgsim::{simulate_with_setup_metered, SimSpec};
 use dls_platform::{LinkSpec, Platform};
@@ -62,6 +62,13 @@ pub struct HagerupConfig {
     pub oracle: OracleMode,
     /// Techniques to measure (default: the paper's eight).
     pub techniques: Vec<Technique>,
+    /// Replica-side batch width: how many seeds the `BatchDirectSimulator`
+    /// simulates in lockstep per claimed block (the scratch-arena tier,
+    /// [`batch_width_for`]`(n)` by default). `1` forces the scalar path —
+    /// the pre-batching behavior, used as the A/B baseline by
+    /// `repro bench --scalar-direct`. Outputs are bit-identical either way;
+    /// only throughput changes.
+    pub batch_width: usize,
 }
 
 impl HagerupConfig {
@@ -78,6 +85,7 @@ impl HagerupConfig {
             threads: crate::runner::default_threads(),
             oracle: OracleMode::IndependentSeeds,
             techniques: Technique::hagerup_set().to_vec(),
+            batch_width: batch_width_for(n),
         }
     }
 }
@@ -85,13 +93,16 @@ impl HagerupConfig {
 /// Seed salt separating the oracle's realization stream from msgsim's.
 const ORACLE_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
-/// Per-thread scratch for figure campaigns: realization buffers are refilled
-/// in place across replications instead of reallocated per run. Purely an
-/// allocation cache — every run's contents depend only on its seed.
+/// Per-thread scratch for figure campaigns: one realization slot per batch
+/// lane, refilled in place across blocks instead of reallocated per run.
+/// Purely an allocation cache — every lane's contents depend only on its
+/// run's seed. (Clones taken for a `run_batch` call are dropped before the
+/// block returns, so the slots stay uniquely owned and `generate_into`
+/// keeps its zero-allocation refill.)
 #[derive(Default)]
 struct FigScratch {
-    tasks: Option<TaskTimes>,
-    oracle: Option<TaskTimes>,
+    tasks: Vec<Option<TaskTimes>>,
+    oracle: Vec<Option<TaskTimes>>,
 }
 
 /// Aggregated result for one (technique, p) cell.
@@ -160,7 +171,7 @@ pub fn run_figure_resilient(
 
     for (pi, &p) in cfg.pes.iter().enumerate() {
         let platform = Platform::homogeneous_star("pe", p, 1.0, LinkSpec::negligible());
-        let sim = DirectSimulator::new(p, overhead);
+        let sim = BatchDirectSimulator::new(p, overhead);
         // Build and validate every technique's (spec, setup) once per cell:
         // a bad configuration must surface as Err here, not as a panic
         // inside a worker thread — and the replications below then reuse
@@ -175,49 +186,64 @@ pub fn run_figure_resilient(
             prepared.push((spec, setup));
         }
         // One campaign per p: each run generates a single realization and
-        // evaluates every technique on it, in both simulators.
-        let per_run: Vec<Option<Vec<FigPair>>> = run_campaign_resilient_scratch(
+        // evaluates every technique on it, in both simulators. Runs are
+        // claimed in blocks of `cfg.batch_width`; the msgsim side stays
+        // per-run (its cost is the message engine, not the scheduler), the
+        // replica side goes through the lockstep batch simulator. The
+        // journal still records one `Vec<FigPair>` per run, so resume and
+        // quarantine semantics are identical to the scalar runner's.
+        let per_run: Vec<Option<Vec<FigPair>>> = run_campaign_resilient_batched(
             cfg.runs,
             cell_seed(cfg.seed, pi as u64),
             cfg.threads,
+            cfg.batch_width.max(1),
             telemetry,
             ctx,
             &format!("n={} p={}", cfg.n, p),
             FigScratch::default,
-            |_, run_seed, scratch: &mut FigScratch| {
-                workload.generate_into(run_seed, &mut scratch.tasks);
-                let oracle_tasks = match cfg.oracle {
-                    OracleMode::SharedRealizations => None,
-                    OracleMode::IndependentSeeds => {
-                        workload.generate_into(run_seed ^ ORACLE_SALT, &mut scratch.oracle);
-                        scratch.oracle.as_ref()
+            |items, scratch: &mut FigScratch| {
+                let b = items.len();
+                if scratch.tasks.len() < b {
+                    scratch.tasks.resize_with(b, || None);
+                    scratch.oracle.resize_with(b, || None);
+                }
+                for (lane, &(_, run_seed)) in items.iter().enumerate() {
+                    workload.generate_into(run_seed, &mut scratch.tasks[lane]);
+                    if cfg.oracle == OracleMode::IndependentSeeds {
+                        workload.generate_into(run_seed ^ ORACLE_SALT, &mut scratch.oracle[lane]);
                     }
-                };
-                let tasks = scratch.tasks.as_ref().expect("generate_into fills the slot");
-                let mut pairs = vec![FigPair { msgsim: 0.0, replica: 0.0 }; techniques.len()];
-                for ((slot, &technique), (spec, setup)) in
-                    pairs.iter_mut().zip(techniques).zip(&prepared)
-                {
-                    let msg = simulate_with_setup_metered(
-                        spec,
-                        tasks,
-                        setup,
-                        &Tracer::disabled(),
-                        telemetry,
-                    )
-                    .expect("validated spec cannot fail")
-                    .average_wasted();
-                    let rep = sim
-                        .run_metered(
-                            technique,
+                }
+                let mut pairs: Vec<Vec<FigPair>> =
+                    vec![vec![FigPair { msgsim: 0.0, replica: 0.0 }; techniques.len()]; b];
+                for (lane, lane_pairs) in pairs.iter_mut().enumerate() {
+                    let tasks = scratch.tasks[lane].as_ref().expect("generate_into fills slots");
+                    for (ti, (spec, setup)) in prepared.iter().enumerate() {
+                        lane_pairs[ti].msgsim = simulate_with_setup_metered(
+                            spec,
+                            tasks,
                             setup,
-                            oracle_tasks.unwrap_or(tasks),
                             &Tracer::disabled(),
                             telemetry,
                         )
-                        .expect("validated setup cannot fail")
-                        .average_wasted(overhead);
-                    *slot = FigPair { msgsim: msg, replica: rep };
+                        .expect("validated spec cannot fail")
+                        .average_wasted();
+                    }
+                }
+                // Arc-bump clones for the batch call; dropped before return.
+                let oracle_batch: Vec<TaskTimes> = (0..b)
+                    .map(|lane| match cfg.oracle {
+                        OracleMode::SharedRealizations => scratch.tasks[lane].clone(),
+                        OracleMode::IndependentSeeds => scratch.oracle[lane].clone(),
+                    })
+                    .map(|slot| slot.expect("generate_into fills slots"))
+                    .collect();
+                for ((ti, &technique), (_, setup)) in techniques.iter().enumerate().zip(&prepared) {
+                    let outcomes = sim
+                        .run_batch_metered(technique, setup, &oracle_batch, telemetry)
+                        .expect("validated setup cannot fail");
+                    for (lane, outcome) in outcomes.iter().enumerate() {
+                        pairs[lane][ti].replica = outcome.average_wasted(overhead);
+                    }
                 }
                 pairs
             },
@@ -247,6 +273,141 @@ pub fn run_figure_resilient(
     Ok(rows)
 }
 
+/// Campaign parameters for a **direct-only** cell: the Hagerup replica
+/// alone, no msgsim. This is the workload shape the lockstep batch
+/// simulator accelerates end to end (per-run cost is workload generation
+/// plus direct simulation, nothing else), and what `repro bench`'s
+/// `fig5_batch` / `fig6_batch` entries measure.
+#[derive(Debug, Clone)]
+pub struct DirectCampaignConfig {
+    /// Task count `n`.
+    pub n: u64,
+    /// PE count `p`.
+    pub p: usize,
+    /// Independent runs.
+    pub runs: u32,
+    /// Scheduling overhead `h`, seconds (post-hoc accounting, as in the
+    /// figure campaigns).
+    pub h: f64,
+    /// Mean task time µ, seconds (σ = µ, exponential).
+    pub mean: f64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Techniques to measure (default: the time-oblivious members of the
+    /// paper's eight — the set the lockstep kernel covers).
+    pub techniques: Vec<Technique>,
+    /// Lockstep batch width; `1` forces the scalar path (A/B baseline).
+    pub batch_width: usize,
+}
+
+impl DirectCampaignConfig {
+    /// Figure-style defaults (h = 0.5 s, µ = 1 s) for one `(n, p)` cell.
+    pub fn new(n: u64, p: usize, runs: u32) -> Self {
+        DirectCampaignConfig {
+            n,
+            p,
+            runs,
+            h: 0.5,
+            mean: 1.0,
+            seed: 0x20170529 ^ n ^ (p as u64),
+            threads: crate::runner::default_threads(),
+            techniques: Technique::hagerup_set()
+                .iter()
+                .copied()
+                .filter(Technique::is_time_oblivious)
+                .collect(),
+            batch_width: batch_width_for(n),
+        }
+    }
+}
+
+/// Aggregated result for one technique of a direct-only campaign.
+#[derive(Debug, Clone)]
+pub struct DirectRow {
+    /// Technique name.
+    pub technique: String,
+    /// Sample mean of the average wasted time over completed runs.
+    pub mean_wasted: f64,
+    /// Full statistics of the completed runs.
+    pub stats: SummaryStats,
+}
+
+/// Runs a direct-only campaign: every run generates one realization and
+/// evaluates every configured technique on the Hagerup replica, batched
+/// `cfg.batch_width` seeds at a time through [`BatchDirectSimulator`].
+/// The journal records one `Vec<f64>` of per-technique wasted times per
+/// run (cell label `direct n=<n> p=<p>`), so `--resume` replays per run
+/// regardless of batch width, and the resulting rows are bit-identical
+/// for any width (the batch simulator's hard guarantee).
+pub fn run_direct_campaign_resilient(
+    cfg: &DirectCampaignConfig,
+    telemetry: &Telemetry,
+    ctx: &ExecContext,
+) -> Result<Vec<DirectRow>, ReproError> {
+    let overhead = OverheadModel::PostHocTotal { h: cfg.h };
+    let workload = Workload::exponential(cfg.n, cfg.mean)
+        .map_err(|_| SetupError::BadMoment("exponential mean must be > 0"))?;
+    let sim = BatchDirectSimulator::new(cfg.p, overhead);
+    let mut setups = Vec::with_capacity(cfg.techniques.len());
+    for &technique in &cfg.techniques {
+        let setup = dls_core::LoopSetup::new(cfg.n, cfg.p)
+            .with_moments(cfg.mean, cfg.mean)
+            .with_overhead(cfg.h);
+        setup.validate()?;
+        technique.build(&setup)?;
+        setups.push(setup);
+    }
+
+    let per_run: Vec<Option<Vec<f64>>> = run_campaign_resilient_batched(
+        cfg.runs,
+        cfg.seed,
+        cfg.threads,
+        cfg.batch_width.max(1),
+        telemetry,
+        ctx,
+        &format!("direct n={} p={}", cfg.n, cfg.p),
+        Vec::<Option<TaskTimes>>::new,
+        |items, scratch: &mut Vec<Option<TaskTimes>>| {
+            let b = items.len();
+            if scratch.len() < b {
+                scratch.resize_with(b, || None);
+            }
+            for (lane, &(_, run_seed)) in items.iter().enumerate() {
+                workload.generate_into(run_seed, &mut scratch[lane]);
+            }
+            let batch: Vec<TaskTimes> = scratch[..b]
+                .iter()
+                .map(|slot| slot.clone().expect("generate_into fills slots"))
+                .collect();
+            let mut wasted = vec![vec![0.0f64; cfg.techniques.len()]; b];
+            for ((ti, &technique), setup) in cfg.techniques.iter().enumerate().zip(&setups) {
+                let outcomes = sim
+                    .run_batch_metered(technique, setup, &batch, telemetry)
+                    .expect("validated setup cannot fail");
+                for (lane, outcome) in outcomes.iter().enumerate() {
+                    wasted[lane][ti] = outcome.average_wasted(overhead);
+                }
+            }
+            wasted
+        },
+    )?;
+
+    Ok(cfg
+        .techniques
+        .iter()
+        .enumerate()
+        .map(|(ti, &technique)| {
+            let mut stats = SummaryStats::new();
+            for run in per_run.iter().flatten() {
+                stats.push(run[ti]);
+            }
+            DirectRow { technique: technique.name().to_string(), mean_wasted: stats.mean(), stats }
+        })
+        .collect())
+}
+
 /// Maximum absolute relative discrepancy over all rows, excluding the
 /// FAC/2-PE heavy-tail outlier the paper also excludes (§IV-B4).
 pub fn max_relative_discrepancy_excluding_outlier(rows: &[WastedRow]) -> f64 {
@@ -271,6 +432,7 @@ mod tests {
             threads: 1,
             oracle,
             techniques: Technique::hagerup_set().to_vec(),
+            batch_width: 4,
         }
     }
 
@@ -353,5 +515,60 @@ mod tests {
         assert_eq!(c.h, 0.5);
         assert_eq!(c.mean, 1.0);
         assert_eq!(c.runs, 1000);
+        assert_eq!(c.batch_width, 32, "paper cells default to the batched replica path");
+    }
+
+    /// The tentpole pin at the figure level: batch width is invisible in
+    /// the outputs — every statistic of every row is bit-identical between
+    /// the scalar path (width 1) and lockstep batching, for both oracle
+    /// modes (BOLD rides along via the in-batch scalar fallback).
+    #[test]
+    fn figure_rows_bit_identical_across_batch_widths() {
+        for oracle in [OracleMode::SharedRealizations, OracleMode::IndependentSeeds] {
+            let mut scalar_cfg = tiny_cfg(oracle);
+            scalar_cfg.batch_width = 1;
+            let mut batched_cfg = tiny_cfg(oracle);
+            batched_cfg.batch_width = 7; // deliberately not a divisor of runs
+            let scalar = run_figure(&scalar_cfg).unwrap();
+            let batched = run_figure(&batched_cfg).unwrap();
+            assert_eq!(scalar.len(), batched.len());
+            for (a, b) in scalar.iter().zip(&batched) {
+                assert_eq!(a.technique, b.technique);
+                assert_eq!(a.p, b.p);
+                assert_eq!(a.msgsim.to_bits(), b.msgsim.to_bits(), "{} p={}", a.technique, a.p);
+                assert_eq!(a.replica.to_bits(), b.replica.to_bits(), "{} p={}", a.technique, a.p);
+                assert_eq!(a.discrepancy.to_bits(), b.discrepancy.to_bits());
+                assert_eq!(a.relative_pct.to_bits(), b.relative_pct.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn direct_campaign_rows_bit_identical_across_batch_widths() {
+        let mut cfg = DirectCampaignConfig::new(512, 8, 24);
+        cfg.threads = 1;
+        cfg.batch_width = 1;
+        let scalar =
+            run_direct_campaign_resilient(&cfg, &Telemetry::disabled(), &ExecContext::transient())
+                .unwrap();
+        cfg.batch_width = 16;
+        cfg.threads = 2;
+        let batched =
+            run_direct_campaign_resilient(&cfg, &Telemetry::disabled(), &ExecContext::transient())
+                .unwrap();
+        assert_eq!(scalar.len(), batched.len());
+        assert_eq!(scalar.len(), 7, "time-oblivious members of the paper's eight");
+        for (a, b) in scalar.iter().zip(&batched) {
+            assert_eq!(a.technique, b.technique);
+            assert_eq!(a.mean_wasted.to_bits(), b.mean_wasted.to_bits(), "{}", a.technique);
+        }
+    }
+
+    #[test]
+    fn direct_campaign_defaults_cover_the_lockstep_set() {
+        let cfg = DirectCampaignConfig::new(1024, 8, 10);
+        assert!(cfg.techniques.iter().all(Technique::is_time_oblivious));
+        assert_eq!(cfg.techniques.len(), 7, "the paper's eight minus BOLD");
+        assert_eq!(cfg.batch_width, 32);
     }
 }

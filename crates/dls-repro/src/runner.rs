@@ -653,6 +653,268 @@ where
     Ok(results)
 }
 
+/// Batch width for a batched campaign over a cell with `n` tasks — the
+/// scratch-arena tier. Wider batches amortize the shared chunk-stream
+/// generation over more seeds but keep B realizations (`B × (n + 1)` f64
+/// prefix entries each) live at once, so the width shrinks as `n` grows:
+/// `2^18 / n`, clamped to `[4, 32]`.
+pub fn batch_width_for(n: u64) -> usize {
+    ((1u64 << 18) / n.max(1)).clamp(4, 32) as usize
+}
+
+/// [`run_campaign_resilient_scratch`] for batch-capable cells: pending runs
+/// are claimed in contiguous blocks of up to `batch_width` and handed to
+/// `f` as a `&[(run_index, run_seed)]` slice, so the closure can simulate
+/// the whole block in lockstep (see `dls-hagerup`'s `BatchDirectSimulator`).
+/// `f` returns one `T` per item, in item order.
+///
+/// Journal keys and values are recorded **per run**, byte-identical to what
+/// the scalar runner writes, so `--resume` replay, `--cancel-after`
+/// checkpoints and quarantine bookkeeping are unchanged; a resumed campaign
+/// simply re-batches whatever is still pending (batch boundaries are an
+/// execution detail, never an observable).
+///
+/// Failure containment: a panicking block of width > 1 gets its scratch
+/// rebuilt and is retried one run at a time, so a single poisoned seed
+/// quarantines only itself. A closure that returns the wrong number of
+/// results quarantines the whole block with an explanatory message rather
+/// than guessing at the alignment. Cancellation is honoured between block
+/// claims; an in-flight block completes (and journals) before the flush.
+///
+/// `batch_width <= 1` delegates to the scalar resilient runner, preserving
+/// its exact telemetry stream (`campaign.run_wall_s` per run).
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_resilient_batched<T, S, G, F>(
+    runs: u32,
+    campaign_seed: u64,
+    threads: usize,
+    batch_width: usize,
+    telemetry: &Telemetry,
+    ctx: &ExecContext,
+    cell: &str,
+    make_scratch: G,
+    f: F,
+) -> Result<Vec<Option<T>>, ReproError>
+where
+    T: Send + Serialize + for<'de> Deserialize<'de>,
+    G: Fn() -> S + Sync,
+    F: Fn(&[(u32, u64)], &mut S) -> Vec<T> + Sync,
+{
+    if batch_width <= 1 {
+        return run_campaign_resilient_scratch(
+            runs,
+            campaign_seed,
+            threads,
+            telemetry,
+            ctx,
+            cell,
+            make_scratch,
+            |i, s, scratch: &mut S| {
+                let mut v = f(&[(i, s)], scratch);
+                assert_eq!(v.len(), 1, "batch closure must return exactly one result per run");
+                v.pop().expect("length checked above")
+            },
+        );
+    }
+
+    let seeds: Vec<u64> = seed_stream(campaign_seed).take(runs as usize).collect();
+    let mut results: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+
+    // Replay journaled runs; anything missing or undecodable re-executes.
+    let mut pending: Vec<u32> = Vec::new();
+    for i in 0..runs {
+        let replayed = ctx.journal().and_then(|j| {
+            let v = j.lookup(&journal::run_key(cell, campaign_seed, i))?;
+            T::from_value(&v).ok()
+        });
+        match replayed {
+            Some(v) => {
+                results[i as usize] = Some(v);
+                telemetry.counter_inc("journal.runs_skipped");
+            }
+            None => pending.push(i),
+        }
+    }
+
+    if let Some(progress) = ctx.progress() {
+        progress.begin_cell(cell, pending.len() as u64);
+    }
+    if ctx.logger().is_enabled() {
+        ctx.logger().info(
+            "campaign",
+            "cell start",
+            &[
+                ("cell", Value::String(cell.to_string())),
+                ("runs", Value::U64(runs as u64)),
+                ("replayed", Value::U64((runs as usize - pending.len()) as u64)),
+                ("pending", Value::U64(pending.len() as u64)),
+                ("batch_width", Value::U64(batch_width as u64)),
+            ],
+        );
+    }
+
+    if ctx.is_cancelled() {
+        ctx.flush()?;
+        return Err(ctx.interrupted_error());
+    }
+
+    let record_success = |i: u32, v: &T| {
+        telemetry.counter_inc("campaign.runs_completed");
+        if let Some(j) = ctx.journal() {
+            j.record(journal::run_key(cell, campaign_seed, i), v.to_value());
+            telemetry.counter_inc("journal.runs_recorded");
+        }
+    };
+    let quarantine_run = |i: u32, msg: String| {
+        telemetry.counter_inc("campaign.runs_quarantined");
+        ctx.quarantine(QuarantinedRun {
+            cell: cell.to_string(),
+            run: i,
+            seed: seeds[i as usize],
+            panic_message: msg,
+        });
+    };
+
+    // One run through the batch closure (width-1 slice), with the scalar
+    // runner's panic isolation. `campaign.runs_started` is counted by the
+    // caller (once per run per block claim, never again on retry).
+    let execute_single = |i: u32, scratch: &mut S| -> Option<T> {
+        let items = [(i, seeds[i as usize])];
+        let span = telemetry.span("campaign.run_wall_s");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items, scratch)));
+        span.finish();
+        match outcome {
+            Ok(mut vs) if vs.len() == 1 => {
+                let v = vs.pop().expect("length checked above");
+                record_success(i, &v);
+                Some(v)
+            }
+            Ok(vs) => {
+                *scratch = make_scratch();
+                quarantine_run(i, format!("batch closure returned {} results for 1 run", vs.len()));
+                None
+            }
+            Err(payload) => {
+                *scratch = make_scratch();
+                quarantine_run(i, panic_message(payload.as_ref()));
+                None
+            }
+        }
+    };
+
+    // One claimed block: lockstep first, per-run retry on panic.
+    let execute_block = |block: &[u32], scratch: &mut S| -> Vec<(u32, Option<T>)> {
+        for _ in block {
+            telemetry.counter_inc("campaign.runs_started");
+        }
+        if block.len() > 1 {
+            let items: Vec<(u32, u64)> = block.iter().map(|&i| (i, seeds[i as usize])).collect();
+            let span = telemetry.span("campaign.batch_wall_s");
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items, scratch)));
+            span.finish();
+            match outcome {
+                Ok(vs) if vs.len() == items.len() => {
+                    return items
+                        .iter()
+                        .zip(vs)
+                        .map(|(&(i, _), v)| {
+                            record_success(i, &v);
+                            ctx.note_run_finished();
+                            (i, Some(v))
+                        })
+                        .collect();
+                }
+                Ok(vs) => {
+                    *scratch = make_scratch();
+                    let msg = format!(
+                        "batch closure returned {} results for {} runs",
+                        vs.len(),
+                        items.len()
+                    );
+                    return block
+                        .iter()
+                        .map(|&i| {
+                            quarantine_run(i, msg.clone());
+                            ctx.note_run_finished();
+                            (i, None)
+                        })
+                        .collect();
+                }
+                Err(_) => {
+                    // A poisoned seed somewhere in the block: rebuild the
+                    // scratch and fall through to one-run-at-a-time retry
+                    // so the healthy seeds still complete.
+                    telemetry.counter_inc("campaign.batches_retried");
+                    *scratch = make_scratch();
+                }
+            }
+        }
+        block
+            .iter()
+            .map(|&i| {
+                let v = execute_single(i, scratch);
+                ctx.note_run_finished();
+                (i, v)
+            })
+            .collect()
+    };
+
+    let threads = threads.max(1).min(pending.len().max(1));
+    if threads == 1 {
+        let mut scratch = make_scratch();
+        for block in pending.chunks(batch_width) {
+            if ctx.is_cancelled() {
+                break;
+            }
+            for (i, v) in execute_block(block, &mut scratch) {
+                results[i as usize] = v;
+            }
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let mut partials: Vec<Vec<(u32, Option<T>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let pending = &pending;
+                    let execute_block = &execute_block;
+                    let make_scratch = &make_scratch;
+                    scope.spawn(move || {
+                        let mut scratch = make_scratch();
+                        let mut local = Vec::new();
+                        loop {
+                            if ctx.is_cancelled() {
+                                break;
+                            }
+                            let start = cursor.fetch_add(batch_width, Ordering::Relaxed);
+                            if start >= pending.len() {
+                                break;
+                            }
+                            let end = (start + batch_width).min(pending.len());
+                            local.extend(execute_block(&pending[start..end], &mut scratch));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("campaign worker panicked")).collect()
+        });
+        for part in &mut partials {
+            for (i, v) in part.drain(..) {
+                results[i as usize] = v;
+            }
+        }
+    }
+
+    if ctx.is_cancelled() {
+        ctx.flush()?;
+        return Err(ctx.interrupted_error());
+    }
+    ctx.flush()?;
+    Ok(results)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1002,5 +1264,188 @@ mod tests {
         assert_ne!(a, b, "distinct cells with one seed must not replay each other");
         assert_eq!(ctx.journal().unwrap().stats().recorded, 12);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The batch closure used across the batched-runner tests: a pure
+    /// per-item function of `(run_index, run_seed)` so outputs must be
+    /// invariant under batch width and thread count.
+    fn per_item(items: &[(u32, u64)]) -> Vec<u64> {
+        items.iter().map(|&(i, s)| s.wrapping_mul(31).wrapping_add(u64::from(i))).collect()
+    }
+
+    #[test]
+    fn batched_runner_output_invariant_under_width_and_threads() {
+        let want = run_campaign(37, 11, 1, |i, s| s.wrapping_mul(31).wrapping_add(u64::from(i)));
+        for width in [1usize, 3, 4, 16, 64] {
+            for threads in [1usize, 4] {
+                let ctx = ExecContext::transient();
+                let out = run_campaign_resilient_batched(
+                    37,
+                    11,
+                    threads,
+                    width,
+                    &Telemetry::disabled(),
+                    &ctx,
+                    "c",
+                    || (),
+                    |items, _: &mut ()| per_item(items),
+                )
+                .unwrap();
+                let out: Vec<u64> = out.into_iter().map(Option::unwrap).collect();
+                assert_eq!(out, want, "width={width} threads={threads}");
+                assert!(ctx.quarantined().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_panic_quarantines_only_the_poisoned_run() {
+        let tel = Telemetry::enabled();
+        let ctx = ExecContext::transient();
+        let out = run_campaign_resilient_batched(
+            20,
+            7,
+            2,
+            4,
+            &tel,
+            &ctx,
+            "cell-b",
+            || (),
+            |items, _: &mut ()| {
+                if items.iter().any(|&(i, _)| i == 5) {
+                    panic!("poisoned seed in run 5");
+                }
+                per_item(items)
+            },
+        )
+        .unwrap();
+        assert!(out[5].is_none(), "poisoned run quarantined");
+        assert_eq!(out.iter().filter(|r| r.is_some()).count(), 19, "healthy block mates complete");
+        let q = ctx.quarantined();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].run, 5);
+        assert!(q[0].panic_message.contains("poisoned seed"));
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("campaign.runs_started"), Some(20), "no double-count on retry");
+        assert_eq!(snap.counter("campaign.runs_completed"), Some(19));
+        assert_eq!(snap.counter("campaign.runs_quarantined"), Some(1));
+        assert_eq!(snap.counter("campaign.batches_retried"), Some(1));
+    }
+
+    #[test]
+    fn batched_arity_mismatch_quarantines_the_block_with_explanation() {
+        let ctx = ExecContext::transient();
+        let out = run_campaign_resilient_batched(
+            8,
+            7,
+            1,
+            4,
+            &Telemetry::disabled(),
+            &ctx,
+            "c",
+            || (),
+            |items, _: &mut ()| {
+                let mut v = per_item(items);
+                if items[0].0 == 4 {
+                    v.pop(); // drop one result: alignment is unknowable
+                }
+                v
+            },
+        )
+        .unwrap();
+        assert_eq!(out.iter().filter(|r| r.is_some()).count(), 4, "first block unaffected");
+        assert!(out[4..].iter().all(Option::is_none), "whole misaligned block quarantined");
+        let q = ctx.quarantined();
+        assert_eq!(q.len(), 4);
+        assert!(q[0].panic_message.contains("returned 3 results for 4 runs"));
+    }
+
+    #[test]
+    fn batched_scratch_rebuilt_after_block_panic() {
+        let ctx = ExecContext::transient();
+        let out = run_campaign_resilient_batched(
+            12,
+            5,
+            1,
+            3,
+            &Telemetry::disabled(),
+            &ctx,
+            "c",
+            || 0u64,
+            |items, scratch: &mut u64| {
+                assert_eq!(*scratch % 2, 0, "scratch from a panicked block leaked");
+                *scratch += 2;
+                if items.iter().any(|&(i, _)| i == 7) {
+                    *scratch = 1; // poison, then die: the runner must rebuild
+                    panic!("boom");
+                }
+                per_item(items)
+            },
+        )
+        .unwrap();
+        assert!(out[7].is_none());
+        assert_eq!(out.iter().filter(|r| r.is_some()).count(), 11);
+    }
+
+    #[test]
+    fn batched_campaign_resumes_bit_identically_across_widths() {
+        let dir = tmp_dir("batched-resume");
+        let full = run_campaign(40, 5, 1, |i, s| (s ^ u64::from(i)) as f64 * 0.1);
+
+        // Phase 1: width-8 batches, cancelled mid-campaign.
+        let ctx =
+            ExecContext::with_journal(Journal::open(&dir, &meta()).unwrap()).with_cancel_after(16);
+        let err = run_campaign_resilient_batched(
+            40,
+            5,
+            2,
+            8,
+            &Telemetry::disabled(),
+            &ctx,
+            "c",
+            || (),
+            |items, _: &mut ()| {
+                items.iter().map(|&(i, s)| (s ^ u64::from(i)) as f64 * 0.1).collect()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), crate::error::EXIT_INTERRUPTED);
+
+        // Phase 2: resume with a *different* width — batch boundaries are
+        // an execution detail, so the journal replays per-run values and
+        // the final vector is bit-identical to the uninterrupted campaign.
+        let tel = Telemetry::enabled();
+        let journal = Journal::open(&dir, &meta()).unwrap();
+        assert!(journal.resumed() >= 16, "phase 1 journaled its completed runs");
+        let resumed_count = journal.resumed();
+        let ctx = ExecContext::with_journal(journal);
+        let out = run_campaign_resilient_batched(
+            40,
+            5,
+            2,
+            5,
+            &tel,
+            &ctx,
+            "c",
+            || (),
+            |items, _: &mut ()| {
+                items.iter().map(|&(i, s)| (s ^ u64::from(i)) as f64 * 0.1).collect()
+            },
+        )
+        .unwrap();
+        let out: Vec<f64> = out.into_iter().map(Option::unwrap).collect();
+        assert_eq!(out, full);
+        assert_eq!(tel.snapshot().counter("journal.runs_skipped"), Some(resumed_count));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_width_tiers_shrink_with_n() {
+        assert_eq!(batch_width_for(1024), 32);
+        assert_eq!(batch_width_for(8192), 32);
+        assert_eq!(batch_width_for(65536), 4);
+        assert_eq!(batch_width_for(524288), 4);
+        assert_eq!(batch_width_for(0), 32, "degenerate n clamps instead of dividing by zero");
+        assert_eq!(batch_width_for(u64::MAX), 4);
     }
 }

@@ -101,6 +101,15 @@ impl TaskTimes {
         self.times.iter().copied()
     }
 
+    /// The prefix-sum array (`len() + 1` entries, `prefix()[0] == 0.0`).
+    ///
+    /// `chunk_sum(s, e)` is exactly `prefix()[e] - prefix()[s]`; batch
+    /// simulators index this slice directly so the per-chunk work read is
+    /// two loads and a subtract with no bounds re-derivation per seed.
+    pub fn prefix(&self) -> &[f64] {
+        &self.prefix
+    }
+
     /// Empirical mean of this realization.
     pub fn empirical_mean(&self) -> f64 {
         if self.times.is_empty() {
@@ -153,6 +162,36 @@ mod tests {
         assert_eq!(t.total(), 0.0);
         assert_eq!(t.empirical_mean(), 0.0);
         assert_eq!(t.empirical_variance(), 0.0);
+    }
+
+    #[test]
+    fn prefix_is_bitwise_left_to_right_accumulation() {
+        // Pin the summation order: prefix[i+1] must be the exact f64
+        // produced by strictly sequential `acc += t` — the same order the
+        // scalar simulator's original per-chunk loop used. Any reassociated
+        // (pairwise/compensated) variant would diverge in the low bits on
+        // this irrational-ish input.
+        let times: Vec<f64> = (0..257).map(|i| 1.0 / (i as f64 + 0.3)).collect();
+        let t = TaskTimes::new(times.clone());
+        let mut acc = 0.0f64;
+        assert_eq!(t.prefix()[0].to_bits(), 0.0f64.to_bits());
+        for (i, &x) in times.iter().enumerate() {
+            acc += x;
+            assert_eq!(t.prefix()[i + 1].to_bits(), acc.to_bits(), "prefix[{}]", i + 1);
+        }
+        assert_eq!(t.prefix().len(), t.len() + 1);
+    }
+
+    #[test]
+    fn chunk_sum_is_bitwise_prefix_difference() {
+        let times: Vec<f64> = (0..64).map(|i| (i as f64).sin().abs() + 1e-3).collect();
+        let t = TaskTimes::new(times);
+        for s in [0usize, 1, 17, 63] {
+            for e in [s, s + 1, 64] {
+                let direct = t.prefix()[e] - t.prefix()[s];
+                assert_eq!(t.chunk_sum(s, e).to_bits(), direct.to_bits(), "[{s}, {e})");
+            }
+        }
     }
 
     #[test]

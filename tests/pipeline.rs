@@ -36,6 +36,7 @@ fn spec_round_trip_drives_campaign() {
         threads: 1,
         oracle: OracleMode::SharedRealizations,
         techniques: Technique::hagerup_set().to_vec(),
+        batch_width: 8,
     };
     let rows = run_figure(&cfg).unwrap();
     assert_eq!(rows.len(), 8);
@@ -59,6 +60,7 @@ fn campaigns_are_deterministic() {
         threads,
         oracle: OracleMode::IndependentSeeds,
         techniques: Technique::hagerup_set().to_vec(),
+        batch_width: 8,
     };
     let a = run_figure(&cfg(1)).unwrap();
     let b = run_figure(&cfg(4)).unwrap();
